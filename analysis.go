@@ -1,0 +1,142 @@
+package prefmatch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// This file exposes the two query primitives underneath the matcher as
+// stand-alone operations, because they are useful on their own: the skyline
+// of an object set (the candidates that can win under *some* monotone
+// preference) and the top-k objects for a single preference query.
+
+// Skyline returns the IDs of the objects not dominated by any other object:
+// for every non-skyline object there is a skyline object at least as good
+// in every attribute and strictly better in one. The result is the complete
+// set of objects that can be the top-1 of some monotone preference.
+// IDs are returned in ascending order.
+func Skyline(objects []Object, opts *Options) ([]int, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if len(objects) == 0 {
+		return nil, nil
+	}
+	d := len(objects[0].Values)
+	if d == 0 {
+		return nil, errors.New("prefmatch: objects need at least one attribute")
+	}
+	items, _, err := convertObjects(objects, d)
+	if err != nil {
+		return nil, err
+	}
+	tree, c, err := buildIndex(items, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := skyline.New(tree, skyline.MaintainPlist, c)
+	if err := m.Compute(); err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, m.Size())
+	for _, s := range m.Skyline() {
+		out = append(out, int(s.ID))
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// TopK returns the k best objects for a single query, best first, using
+// branch-and-bound ranked search over a bulk-loaded R-tree. Fewer than k
+// results are returned when the object set is smaller.
+func TopK(objects []Object, query Query, k int, opts *Options) ([]Assignment, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("prefmatch: negative k %d", k)
+	}
+	if len(objects) == 0 || k == 0 {
+		return nil, nil
+	}
+	d := len(objects[0].Values)
+	if d == 0 {
+		return nil, errors.New("prefmatch: objects need at least one attribute")
+	}
+	f, err := prefs.NewFunction(query.ID, query.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("prefmatch: query %d: %w", query.ID, err)
+	}
+	if f.Dim() != d {
+		return nil, fmt.Errorf("prefmatch: query %d has %d weights, want %d", query.ID, f.Dim(), d)
+	}
+	items, _, err := convertObjects(objects, d)
+	if err != nil {
+		return nil, err
+	}
+	tree, c, err := buildIndex(items, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := topk.Search(tree, f, k, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assignment, len(results))
+	for i, r := range results {
+		out[i] = Assignment{QueryID: query.ID, ObjectID: int(r.ID), Score: r.Score}
+	}
+	return out, nil
+}
+
+// TopKMonotone is TopK for an arbitrary monotone preference.
+func TopKMonotone(objects []Object, query PreferenceQuery, k int, opts *Options) ([]Assignment, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("prefmatch: negative k %d", k)
+	}
+	if query.Preference == nil {
+		return nil, fmt.Errorf("prefmatch: preference query %d is nil", query.ID)
+	}
+	if len(objects) == 0 || k == 0 {
+		return nil, nil
+	}
+	d := len(objects[0].Values)
+	if d == 0 {
+		return nil, errors.New("prefmatch: objects need at least one attribute")
+	}
+	items, _, err := convertObjects(objects, d)
+	if err != nil {
+		return nil, err
+	}
+	tree, c, err := buildIndex(items, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := topk.Search(tree, prefAdapter{p: query.Preference}, k, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assignment, len(results))
+	for i, r := range results {
+		out[i] = Assignment{QueryID: query.ID, ObjectID: int(r.ID), Score: r.Score}
+	}
+	return out, nil
+}
+
+// Dominates reports whether object a dominates object b: at least as good
+// in every attribute and strictly better in at least one.
+func Dominates(a, b Object) bool {
+	if len(a.Values) != len(b.Values) || len(a.Values) == 0 {
+		return false
+	}
+	return vec.Point(a.Values).Dominates(vec.Point(b.Values))
+}

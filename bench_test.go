@@ -1,0 +1,269 @@
+// Benchmarks reproducing every figure of the paper's evaluation (§ V), one
+// family per panel, plus ablations for the design choices called out in
+// DESIGN.md. Sizes are reduced so that `go test -bench=. -benchmem`
+// completes in minutes; run `go run ./cmd/benchfig -full` for the
+// paper-scale sweeps. Custom metrics:
+//
+//	io/op      physical page transfers per matching run (the paper's
+//	           "I/O accesses" — the y-axis of Figs. 2(a), 2(b), 3(a))
+//	top1/op    ranked searches issued per run
+//	skymax     largest skyline encountered
+//
+// Wall time per op is the CPU panel (Figs. 2(c), 2(d), 3(b)).
+package prefmatch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"prefmatch/internal/core"
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/ta"
+)
+
+const (
+	benchObjectsFig2 = 10000
+	benchFunctions   = 200
+)
+
+var benchAlgs = []core.Algorithm{core.AlgSB, core.AlgBruteForce, core.AlgChain}
+
+// runMatch builds a fresh index (Brute Force and Chain consume it), then
+// runs one full matching with counters attached.
+func runMatch(b *testing.B, items []rtree.Item, fns []prefs.Function, d int, opts core.Options) *stats.Counters {
+	b.Helper()
+	c := &stats.Counters{}
+	b.StopTimer()
+	tree, err := rtree.New(d, &rtree.Options{Counters: c})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tree.BulkLoad(items); err != nil {
+		b.Fatal(err)
+	}
+	if err := tree.DropBuffer(); err != nil {
+		b.Fatal(err)
+	}
+	c.Reset()
+	b.StartTimer()
+	opts.Counters = c
+	if _, err := core.Match(tree, fns, &opts); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func reportCounters(b *testing.B, total *stats.Counters) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(float64(total.IOAccesses())/n, "io/op")
+	b.ReportMetric(float64(total.Top1Searches)/n, "top1/op")
+	b.ReportMetric(float64(total.SkylineMaxSize), "skymax")
+}
+
+func benchFigure2(b *testing.B, anti bool) {
+	gen := dataset.Independent
+	if anti {
+		gen = dataset.AntiCorrelated
+	}
+	for _, d := range []int{3, 4, 5, 6} {
+		items := gen(benchObjectsFig2, d, int64(100+d))
+		fns := dataset.Functions(benchFunctions, d, int64(200+d))
+		for _, alg := range benchAlgs {
+			b.Run(fmt.Sprintf("D=%d/%s", d, alg), func(b *testing.B) {
+				total := &stats.Counters{}
+				for i := 0; i < b.N; i++ {
+					total.Add(runMatch(b, items, fns, d, core.Options{Algorithm: alg}))
+				}
+				reportCounters(b, total)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2aIndependentIO regenerates Figure 2(a) (and, through wall
+// time, Figure 2(c)): independent objects, sweep over dimensionality.
+func BenchmarkFig2aIndependentIO(b *testing.B) { benchFigure2(b, false) }
+
+// BenchmarkFig2bAntiCorrelatedIO regenerates Figure 2(b) (and 2(d)):
+// anti-correlated objects, sweep over dimensionality.
+func BenchmarkFig2bAntiCorrelatedIO(b *testing.B) { benchFigure2(b, true) }
+
+// BenchmarkFig3ZillowScaling regenerates Figure 3(a)/(b): the Zillow-like
+// dataset, sweep over object cardinality.
+func BenchmarkFig3ZillowScaling(b *testing.B) {
+	for _, n := range []int{5000, 10000, 20000} {
+		items := dataset.Zillow(n, 17)
+		fns := dataset.Functions(benchFunctions, dataset.ZillowDim, 18)
+		for _, alg := range benchAlgs {
+			b.Run(fmt.Sprintf("O=%d/%s", n, alg), func(b *testing.B) {
+				total := &stats.Counters{}
+				for i := 0; i < b.N; i++ {
+					total.Add(runMatch(b, items, fns, dataset.ZillowDim, core.Options{Algorithm: alg}))
+				}
+				reportCounters(b, total)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMultiPair isolates § IV-C: emitting several stable pairs
+// per loop versus one.
+func BenchmarkAblationMultiPair(b *testing.B) {
+	items := dataset.Independent(benchObjectsFig2, 3, 31)
+	fns := dataset.Functions(benchFunctions, 3, 32)
+	for _, disable := range []bool{false, true} {
+		name := "multi"
+		if disable {
+			name = "single"
+		}
+		b.Run(name, func(b *testing.B) {
+			total := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				total.Add(runMatch(b, items, fns, 3, core.Options{Algorithm: core.AlgSB, DisableMultiPair: disable}))
+			}
+			reportCounters(b, total)
+			b.ReportMetric(float64(total.Loops)/float64(b.N), "loops/op")
+			b.ReportMetric(float64(total.SkylineUpdates)/float64(b.N), "skyupd/op")
+		})
+	}
+}
+
+// BenchmarkAblationTightThreshold isolates § IV-A: the tight TA threshold
+// versus the naive one, measured in sorted-list accesses.
+func BenchmarkAblationTightThreshold(b *testing.B) {
+	items := dataset.Independent(benchObjectsFig2, 4, 33)
+	fns := dataset.Functions(2000, 4, 34)
+	for _, disable := range []bool{false, true} {
+		name := "tight"
+		if disable {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			total := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				total.Add(runMatch(b, items, fns, 4, core.Options{Algorithm: core.AlgSB, DisableTightThreshold: disable}))
+			}
+			reportCounters(b, total)
+			b.ReportMetric(float64(total.TAListAccesses)/float64(b.N), "ta-acc/op")
+		})
+	}
+}
+
+// BenchmarkAblationSkylineMaintenance isolates § IV-B: plist-based
+// maintenance versus re-traversal versus full recomputation.
+func BenchmarkAblationSkylineMaintenance(b *testing.B) {
+	items := dataset.Independent(benchObjectsFig2, 3, 35)
+	fns := dataset.Functions(benchFunctions, 3, 36)
+	for _, mode := range []skyline.Mode{skyline.MaintainPlist, skyline.MaintainRetraverse, skyline.MaintainRecompute} {
+		b.Run(mode.String(), func(b *testing.B) {
+			total := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				total.Add(runMatch(b, items, fns, 3, core.Options{Algorithm: core.AlgSB, SkylineMode: mode}))
+			}
+			reportCounters(b, total)
+		})
+	}
+}
+
+// BenchmarkAblationBufferSize shows the sensitivity of the I/O metric to
+// the LRU buffer, for the buffer-bound Brute Force baseline.
+func BenchmarkAblationBufferSize(b *testing.B) {
+	items := dataset.Independent(benchObjectsFig2, 3, 37)
+	fns := dataset.Functions(benchFunctions, 3, 38)
+	for _, frac := range []float64{0.005, 0.02, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("buffer=%g", frac), func(b *testing.B) {
+			total := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := &stats.Counters{}
+				tree, err := rtree.New(3, &rtree.Options{Counters: c, BufferFraction: frac})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tree.BulkLoad(items); err != nil {
+					b.Fatal(err)
+				}
+				if err := tree.DropBuffer(); err != nil {
+					b.Fatal(err)
+				}
+				c.Reset()
+				b.StartTimer()
+				if _, err := core.Match(tree, fns, &core.Options{Algorithm: core.AlgBruteForce, Counters: c}); err != nil {
+					b.Fatal(err)
+				}
+				total.Add(c)
+			}
+			reportCounters(b, total)
+		})
+	}
+}
+
+// BenchmarkAblationIncrementalBF compares classic Brute Force (restarted
+// top-1 searches + tree deletions, § III-A) against the incremental-search
+// variant, quantifying how much of the baseline's cost is re-search.
+func BenchmarkAblationIncrementalBF(b *testing.B) {
+	items := dataset.Independent(benchObjectsFig2, 3, 39)
+	fns := dataset.Functions(benchFunctions, 3, 40)
+	for _, alg := range []core.Algorithm{core.AlgBruteForce, core.AlgBruteForceIncremental} {
+		b.Run(alg.String(), func(b *testing.B) {
+			total := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				total.Add(runMatch(b, items, fns, 3, core.Options{Algorithm: alg}))
+			}
+			reportCounters(b, total)
+		})
+	}
+}
+
+// BenchmarkComponents micro-benchmarks the load-bearing substrates.
+func BenchmarkComponents(b *testing.B) {
+	items := dataset.Independent(50000, 3, 41)
+	fns := dataset.Functions(5000, 3, 42)
+
+	b.Run("rtree-bulkload-50k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree, err := rtree.New(3, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tree.BulkLoad(items); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("skyline-compute-50k", func(b *testing.B) {
+		tree, err := rtree.New(3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tree.BulkLoad(items); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := skyline.New(tree, skyline.MaintainPlist, nil)
+			if err := m.Compute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ta-reverse-top1-5k-funcs", func(b *testing.B) {
+		c := &stats.Counters{}
+		lists, err := ta.NewLists(fns, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj := items[0].Point
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lists.ReverseTop1(obj)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+// Command benchfig regenerates every figure of the paper's evaluation
+// (§ V): Figure 2(a)-(d) — I/O and CPU versus dimensionality on independent
+// and anti-correlated data — and Figure 3(a)-(b) — I/O and CPU versus
+// object cardinality on the Zillow-like dataset. One run of an experiment
+// produces both the I/O panel and the CPU panel.
+//
+//	go run ./cmd/benchfig                  # all experiments, reduced scale
+//	go run ./cmd/benchfig -fig 2a          # one panel (its experiment runs once)
+//	go run ./cmd/benchfig -full            # paper-scale parameters (slow!)
+//	go run ./cmd/benchfig -algs sb,bf      # subset of algorithms
+//
+// Reduced scale keeps every curve's shape while finishing in minutes;
+// -full uses the paper's |O| = 100K (up to 400K for Fig. 3) and |F| = 5000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"prefmatch/internal/core"
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/stats"
+)
+
+type scale struct {
+	objectsFig2 int
+	functions   int
+	dims        []int
+	objectsFig3 []int
+}
+
+var (
+	smallScale = scale{
+		objectsFig2: 20000,
+		functions:   500,
+		dims:        []int{3, 4, 5, 6},
+		objectsFig3: []int{5000, 10000, 20000, 40000},
+	}
+	fullScale = scale{
+		objectsFig2: 100000,
+		functions:   5000,
+		dims:        []int{3, 4, 5, 6},
+		objectsFig3: []int{10000, 50000, 100000, 200000, 400000},
+	}
+)
+
+type cell struct {
+	io     int64
+	cpu    time.Duration
+	top1   int64
+	skyMax int64
+	loops  int64
+}
+
+type experiment struct {
+	name    string   // e.g. "fig2-independent"
+	panels  []string // e.g. ["2a (I/O)", "2c (CPU)"]
+	xLabel  string
+	xValues []int
+	run     func(x int, alg core.Algorithm) cell
+}
+
+func main() {
+	fig := flag.String("fig", "all", "2a | 2b | 2c | 2d | 3a | 3b | all")
+	full := flag.Bool("full", false, "paper-scale parameters (slow: tens of minutes)")
+	algsFlag := flag.String("algs", "sb,bf,chain", "comma-separated subset of sb,bf,chain")
+	seed := flag.Int64("seed", 2009, "dataset seed")
+	flag.Parse()
+
+	sc := smallScale
+	label := "reduced scale"
+	if *full {
+		sc = fullScale
+		label = "paper scale"
+	}
+
+	var algs []core.Algorithm
+	for _, a := range strings.Split(*algsFlag, ",") {
+		switch strings.TrimSpace(a) {
+		case "sb":
+			algs = append(algs, core.AlgSB)
+		case "bf":
+			algs = append(algs, core.AlgBruteForce)
+		case "chain":
+			algs = append(algs, core.AlgChain)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "benchfig: unknown algorithm %q\n", a)
+			os.Exit(2)
+		}
+	}
+	if len(algs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfig: no algorithms selected")
+		os.Exit(2)
+	}
+
+	experiments := buildExperiments(sc, *seed)
+	want := map[string]bool{}
+	switch *fig {
+	case "all":
+		want["fig2-independent"] = true
+		want["fig2-anticorrelated"] = true
+		want["fig3-zillow"] = true
+	case "2a", "2c":
+		want["fig2-independent"] = true
+	case "2b", "2d":
+		want["fig2-anticorrelated"] = true
+	case "3a", "3b":
+		want["fig3-zillow"] = true
+	default:
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchfig: %s — |F| = %d\n", label, sc.functions)
+	for _, ex := range experiments {
+		if !want[ex.name] {
+			continue
+		}
+		runExperiment(ex, algs)
+	}
+}
+
+func buildExperiments(sc scale, seed int64) []experiment {
+	return []experiment{
+		{
+			name:    "fig2-independent",
+			panels:  []string{"Figure 2(a): I/O vs D (independent)", "Figure 2(c): CPU vs D (independent)"},
+			xLabel:  "D",
+			xValues: sc.dims,
+			run: func(d int, alg core.Algorithm) cell {
+				items := dataset.Independent(sc.objectsFig2, d, seed+int64(d))
+				fns := dataset.Functions(sc.functions, d, seed+100+int64(d))
+				return runOnce(items, fns, d, alg)
+			},
+		},
+		{
+			name:    "fig2-anticorrelated",
+			panels:  []string{"Figure 2(b): I/O vs D (anti-correlated)", "Figure 2(d): CPU vs D (anti-correlated)"},
+			xLabel:  "D",
+			xValues: sc.dims,
+			run: func(d int, alg core.Algorithm) cell {
+				items := dataset.AntiCorrelated(sc.objectsFig2, d, seed+200+int64(d))
+				fns := dataset.Functions(sc.functions, d, seed+300+int64(d))
+				return runOnce(items, fns, d, alg)
+			},
+		},
+		{
+			name:    "fig3-zillow",
+			panels:  []string{"Figure 3(a): I/O vs |O| (Zillow-like)", "Figure 3(b): CPU vs |O| (Zillow-like)"},
+			xLabel:  "|O|",
+			xValues: sc.objectsFig3,
+			run: func(n int, alg core.Algorithm) cell {
+				items := dataset.Zillow(n, seed+400)
+				fns := dataset.Functions(sc.functions, dataset.ZillowDim, seed+500)
+				return runOnce(items, fns, dataset.ZillowDim, alg)
+			},
+		},
+	}
+}
+
+// runOnce builds a fresh index (Brute Force and Chain consume it), resets
+// the counters after construction, and runs the matcher to completion.
+func runOnce(items []rtree.Item, fns []prefs.Function, d int, alg core.Algorithm) cell {
+	c := &stats.Counters{}
+	tree, err := rtree.New(d, &rtree.Options{Counters: c})
+	if err != nil {
+		panic(err)
+	}
+	if err := tree.BulkLoad(items); err != nil {
+		panic(err)
+	}
+	if err := tree.DropBuffer(); err != nil {
+		panic(err)
+	}
+	c.Reset()
+	start := time.Now()
+	if _, err := core.Match(tree, fns, &core.Options{Algorithm: alg, Counters: c}); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	return cell{io: c.IOAccesses(), cpu: elapsed, top1: c.Top1Searches, skyMax: c.SkylineMaxSize, loops: c.Loops}
+}
+
+func runExperiment(ex experiment, algs []core.Algorithm) {
+	results := map[int]map[core.Algorithm]cell{}
+	for _, x := range ex.xValues {
+		results[x] = map[core.Algorithm]cell{}
+		for _, alg := range algs {
+			fmt.Fprintf(os.Stderr, "  running %s %s=%d %s ...\n", ex.name, ex.xLabel, x, alg)
+			results[x][alg] = ex.run(x, alg)
+		}
+	}
+	xs := append([]int(nil), ex.xValues...)
+	sort.Ints(xs)
+
+	fmt.Printf("\n== %s ==\n", ex.panels[0])
+	printTable(ex.xLabel, xs, algs, results, func(c cell) string { return fmt.Sprintf("%d", c.io) })
+	fmt.Printf("\n== %s ==\n", ex.panels[1])
+	printTable(ex.xLabel, xs, algs, results, func(c cell) string { return fmt.Sprintf("%.3fs", c.cpu.Seconds()) })
+
+	fmt.Println("\nauxiliary counters:")
+	printTable(ex.xLabel, xs, algs, results, func(c cell) string {
+		return fmt.Sprintf("top1=%d skyMax=%d loops=%d", c.top1, c.skyMax, c.loops)
+	})
+}
+
+func printTable(xLabel string, xs []int, algs []core.Algorithm, results map[int]map[core.Algorithm]cell, format func(cell) string) {
+	fmt.Printf("%-10s", xLabel)
+	for _, alg := range algs {
+		fmt.Printf(" %28s", alg)
+	}
+	fmt.Println()
+	for _, x := range xs {
+		fmt.Printf("%-10d", x)
+		for _, alg := range algs {
+			fmt.Printf(" %28s", format(results[x][alg]))
+		}
+		fmt.Println()
+	}
+}

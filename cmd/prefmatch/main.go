@@ -1,0 +1,265 @@
+// Command prefmatch is the operational CLI for the library: generate
+// datasets, run matchings, and verify results, all over simple CSV files.
+//
+//	prefmatch generate -kind zillow -n 10000 -out objects.csv
+//	prefmatch genqueries -n 500 -d 5 -out queries.csv
+//	prefmatch match -objects objects.csv -queries queries.csv -alg sb -out pairs.csv
+//	prefmatch verify -objects objects.csv -queries queries.csv -pairs pairs.csv
+//
+// CSV rows are "id,v1,v2,...". Run any subcommand with -h for its flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefmatch"
+	"prefmatch/internal/csvio"
+	"prefmatch/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "genqueries":
+		err = cmdGenQueries(os.Args[2:])
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "prefmatch: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: prefmatch <subcommand> [flags]
+
+subcommands:
+  generate    generate an object dataset (independent, anti, correlated, clustered, zillow)
+  genqueries  generate linear preference queries
+  match       compute the stable matching between objects and queries
+  verify      check that a pairs file is the stable matching
+  help        show this message`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "independent", "independent | anti | correlated | clustered | zillow")
+	n := fs.Int("n", 10000, "number of objects")
+	d := fs.Int("d", 3, "dimensionality (ignored for zillow, which is 5-D)")
+	k := fs.Int("clusters", 8, "cluster count (clustered only)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var objs []prefmatch.Object
+	emit := func(id int, vals []float64) {
+		objs = append(objs, prefmatch.Object{ID: id, Values: vals})
+	}
+	switch *kind {
+	case "independent":
+		for _, it := range dataset.Independent(*n, *d, *seed) {
+			emit(int(it.ID), it.Point)
+		}
+	case "anti":
+		for _, it := range dataset.AntiCorrelated(*n, *d, *seed) {
+			emit(int(it.ID), it.Point)
+		}
+	case "correlated":
+		for _, it := range dataset.Correlated(*n, *d, *seed) {
+			emit(int(it.ID), it.Point)
+		}
+	case "clustered":
+		for _, it := range dataset.Clustered(*n, *d, *k, *seed) {
+			emit(int(it.ID), it.Point)
+		}
+	case "zillow":
+		for _, it := range dataset.Zillow(*n, *seed) {
+			emit(int(it.ID), it.Point)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	return csvio.WriteObjects(w, objs)
+}
+
+func cmdGenQueries(args []string) error {
+	fs := flag.NewFlagSet("genqueries", flag.ExitOnError)
+	n := fs.Int("n", 500, "number of queries")
+	d := fs.Int("d", 3, "dimensionality")
+	seed := fs.Int64("seed", 2, "random seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	qs := make([]prefmatch.Query, 0, *n)
+	for _, f := range dataset.Functions(*n, *d, *seed) {
+		qs = append(qs, prefmatch.Query{ID: f.ID, Weights: f.Weights})
+	}
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	return csvio.WriteQueries(w, qs)
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	objPath := fs.String("objects", "", "objects CSV (required)")
+	qPath := fs.String("queries", "", "queries CSV (required)")
+	alg := fs.String("alg", "sb", "sb | bf | chain")
+	maint := fs.String("maintenance", "plist", "plist | retraverse | recompute (sb only)")
+	pageSize := fs.Int("page", 4096, "page size in bytes")
+	bufFrac := fs.Float64("buffer-frac", 0.02, "LRU buffer fraction of tree size")
+	noMulti := fs.Bool("no-multipair", false, "disable multi-pair emission (sb only)")
+	naiveTA := fs.Bool("naive-threshold", false, "use the naive TA threshold (sb only)")
+	out := fs.String("out", "", "pairs CSV output (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *objPath == "" || *qPath == "" {
+		return fmt.Errorf("match: -objects and -queries are required")
+	}
+	objects, err := readObjects(*objPath)
+	if err != nil {
+		return err
+	}
+	queries, err := readQueries(*qPath)
+	if err != nil {
+		return err
+	}
+	opts := &prefmatch.Options{
+		PageSize:              *pageSize,
+		BufferFraction:        *bufFrac,
+		DisableMultiPair:      *noMulti,
+		DisableTightThreshold: *naiveTA,
+	}
+	switch *alg {
+	case "sb":
+		opts.Algorithm = prefmatch.SkylineBased
+	case "bf":
+		opts.Algorithm = prefmatch.BruteForce
+	case "chain":
+		opts.Algorithm = prefmatch.Chain
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	switch *maint {
+	case "plist":
+		opts.Maintenance = prefmatch.MaintainPlist
+	case "retraverse":
+		opts.Maintenance = prefmatch.MaintainRetraverse
+	case "recompute":
+		opts.Maintenance = prefmatch.MaintainRecompute
+	default:
+		return fmt.Errorf("unknown maintenance mode %q", *maint)
+	}
+	res, err := prefmatch.Match(objects, queries, opts)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	if err := csvio.WriteAssignments(w, res.Assignments); err != nil {
+		return err
+	}
+	s := res.Stats
+	fmt.Fprintf(os.Stderr, "pairs=%d io=%d (r=%d w=%d hits=%d) top1=%d ta=%d skyUpdates=%d skyMax=%d loops=%d elapsed=%v\n",
+		s.Pairs, s.IOAccesses, s.PageReads, s.PageWrites, s.BufferHits,
+		s.Top1Searches, s.TAListAccesses, s.SkylineUpdates, s.SkylineMax, s.Loops, s.Elapsed)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	objPath := fs.String("objects", "", "objects CSV (required)")
+	qPath := fs.String("queries", "", "queries CSV (required)")
+	pairsPath := fs.String("pairs", "", "pairs CSV (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *objPath == "" || *qPath == "" || *pairsPath == "" {
+		return fmt.Errorf("verify: -objects, -queries and -pairs are required")
+	}
+	objects, err := readObjects(*objPath)
+	if err != nil {
+		return err
+	}
+	queries, err := readQueries(*qPath)
+	if err != nil {
+		return err
+	}
+	assignments, err := readAssignments(*pairsPath)
+	if err != nil {
+		return err
+	}
+	if err := prefmatch.Verify(objects, queries, assignments); err != nil {
+		return err
+	}
+	fmt.Println("OK: the matching is stable and complete")
+	return nil
+}
+
+func openOut(path string) (*os.File, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func readObjects(path string) ([]prefmatch.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return csvio.ReadObjects(f)
+}
+
+func readQueries(path string) ([]prefmatch.Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return csvio.ReadQueries(f)
+}
+
+func readAssignments(path string) ([]prefmatch.Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return csvio.ReadAssignments(f)
+}

@@ -1,0 +1,165 @@
+package prefmatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"prefmatch"
+)
+
+// Three users compete for three of four rooms; the matching resolves the
+// contention fairly, best score first.
+func ExampleMatch() {
+	rooms := []prefmatch.Object{
+		{ID: 101, Values: []float64{0.9, 0.2}}, // big, pricey
+		{ID: 102, Values: []float64{0.4, 0.9}}, // small, cheap
+		{ID: 103, Values: []float64{0.7, 0.6}}, // balanced
+	}
+	users := []prefmatch.Query{
+		{ID: 1, Weights: []float64{9, 1}}, // wants space
+		{ID: 2, Weights: []float64{1, 9}}, // wants a bargain
+		{ID: 3, Weights: []float64{5, 5}}, // balanced
+	}
+	res, err := prefmatch.Match(rooms, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		fmt.Printf("user %d -> room %d (%.2f)\n", a.QueryID, a.ObjectID, a.Score)
+	}
+	// Output:
+	// user 2 -> room 102 (0.85)
+	// user 1 -> room 101 (0.83)
+	// user 3 -> room 103 (0.65)
+}
+
+// The progressive API emits the most contested assignment first.
+func ExampleNewMatcher() {
+	rooms := []prefmatch.Object{
+		{ID: 1, Values: []float64{1.0, 1.0}}, // everyone's favourite
+		{ID: 2, Values: []float64{0.3, 0.3}},
+	}
+	users := []prefmatch.Query{
+		{ID: 7, Weights: []float64{1, 1}},
+		{ID: 8, Weights: []float64{3, 1}},
+	}
+	m, err := prefmatch.NewMatcher(rooms, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _, _ := m.Next()
+	fmt.Printf("first: user %d gets room %d\n", a.QueryID, a.ObjectID)
+	// Output:
+	// first: user 7 gets room 1
+}
+
+// The skyline is the set of objects that can win under some monotone
+// preference; dominated objects never appear in any matching's top picks.
+func ExampleSkyline() {
+	objs := []prefmatch.Object{
+		{ID: 1, Values: []float64{0.9, 0.9}},
+		{ID: 2, Values: []float64{0.5, 0.5}}, // dominated by 1
+		{ID: 3, Values: []float64{1.0, 0.1}},
+	}
+	sky, err := prefmatch.Skyline(objs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sky)
+	// Output:
+	// [1 3]
+}
+
+// TopK answers a single preference query, best first.
+func ExampleTopK() {
+	objs := []prefmatch.Object{
+		{ID: 1, Values: []float64{0.2, 0.9}},
+		{ID: 2, Values: []float64{0.9, 0.2}},
+		{ID: 3, Values: []float64{0.6, 0.6}},
+	}
+	top, err := prefmatch.TopK(objs, prefmatch.Query{ID: 0, Weights: []float64{1, 0}}, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range top {
+		fmt.Printf("object %d score %.1f\n", a.ObjectID, a.Score)
+	}
+	// Output:
+	// object 2 score 0.9
+	// object 3 score 0.6
+}
+
+// Capacity lets one object serve several queries.
+func ExampleMatch_capacity() {
+	roomTypes := []prefmatch.Object{
+		{ID: 1, Values: []float64{0.8}, Capacity: 2}, // two identical units
+		{ID: 2, Values: []float64{0.5}},
+	}
+	users := []prefmatch.Query{
+		{ID: 10, Weights: []float64{1}},
+		{ID: 11, Weights: []float64{1}},
+		{ID: 12, Weights: []float64{1}},
+	}
+	res, err := prefmatch.Match(roomTypes, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		fmt.Printf("user %d -> type %d\n", a.QueryID, a.ObjectID)
+	}
+	// Output:
+	// user 10 -> type 1
+	// user 11 -> type 1
+	// user 12 -> type 2
+}
+
+// MatchMonotone accepts any monotone utility, not just weight vectors.
+func ExampleMatchMonotone() {
+	objs := []prefmatch.Object{
+		{ID: 1, Values: []float64{0.9, 0.1}}, // lopsided
+		{ID: 2, Values: []float64{0.6, 0.6}}, // balanced
+	}
+	// A "weakest attribute" utility prefers balance.
+	balanced := prefmatch.PreferenceQuery{ID: 5, Preference: minPref{}}
+	res, err := prefmatch.MatchMonotone(objs, []prefmatch.PreferenceQuery{balanced}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %d -> object %d\n", res.Assignments[0].QueryID, res.Assignments[0].ObjectID)
+	// Output:
+	// query 5 -> object 2
+}
+
+type minPref struct{}
+
+func (minPref) Score(values []float64) float64 {
+	s := values[0]
+	for _, v := range values[1:] {
+		if v < s {
+			s = v
+		}
+	}
+	return s
+}
+
+// BuildIndex amortises index construction across query waves.
+func ExampleBuildIndex() {
+	objs := []prefmatch.Object{
+		{ID: 1, Values: []float64{0.9, 0.3}},
+		{ID: 2, Values: []float64{0.3, 0.9}},
+	}
+	ix, err := prefmatch.BuildIndex(objs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for wave := 0; wave < 2; wave++ {
+		res, err := ix.Match([]prefmatch.Query{{ID: wave, Weights: []float64{1, 2}}}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wave %d: query %d -> object %d\n", wave, res.Assignments[0].QueryID, res.Assignments[0].ObjectID)
+	}
+	// Output:
+	// wave 0: query 0 -> object 2
+	// wave 1: query 1 -> object 2
+}

@@ -1,0 +1,120 @@
+// Hotel booking: the paper's motivating scenario at realistic scale.
+//
+// A popular reservation site receives a burst of simultaneous searches.
+// Every user ranks rooms by personal weights over (size, cheapness, beach
+// proximity, rating); many users' top choice is the same handful of rooms,
+// but each room can host only one booking. The example builds a 20,000-room
+// inventory, runs 500 concurrent queries through each of the paper's three
+// algorithms, and reports the I/O and time gap that motivates the
+// skyline-based method.
+//
+// Run with:
+//
+//	go run ./examples/hotelbooking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"prefmatch"
+)
+
+const (
+	numRooms = 20000
+	numUsers = 500
+)
+
+func buildInventory(rng *rand.Rand) []prefmatch.Object {
+	rooms := make([]prefmatch.Object, numRooms)
+	for i := range rooms {
+		// Correlations mirror reality: bigger rooms cost more (lower
+		// cheapness), beachfront property is pricier still.
+		size := rng.Float64()
+		beach := rng.Float64()
+		price := 0.3*size + 0.4*beach + 0.3*rng.Float64() // higher = pricier
+		rating := clamp01(0.35*size + 0.15*beach + 0.5*rng.Float64())
+		rooms[i] = prefmatch.Object{
+			ID:     i,
+			Values: []float64{size, 1 - price, beach, rating},
+		}
+	}
+	return rooms
+}
+
+func buildUsers(rng *rand.Rand) []prefmatch.Query {
+	users := make([]prefmatch.Query, numUsers)
+	archetypes := [][]float64{
+		{1, 1, 6, 2}, // beach lovers
+		{1, 6, 1, 2}, // bargain hunters
+		{6, 1, 1, 2}, // families wanting space
+		{1, 1, 1, 7}, // review readers
+		{1, 1, 1, 1}, // no strong preference
+	}
+	for i := range users {
+		base := archetypes[rng.Intn(len(archetypes))]
+		w := make([]float64, len(base))
+		for j := range w {
+			w[j] = base[j] * (0.5 + rng.Float64()) // personal variation
+		}
+		users[i] = prefmatch.Query{ID: i, Weights: w}
+	}
+	return users
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2009))
+	rooms := buildInventory(rng)
+	users := buildUsers(rng)
+
+	fmt.Printf("matching %d users against %d rooms\n\n", numUsers, numRooms)
+	fmt.Printf("%-12s %12s %12s %14s %12s\n", "algorithm", "I/O accesses", "top-1 runs", "sky updates", "elapsed")
+
+	var reference map[int]int
+	for _, alg := range []prefmatch.Algorithm{prefmatch.SkylineBased, prefmatch.BruteForce, prefmatch.Chain} {
+		res, err := prefmatch.Match(rooms, users, &prefmatch.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-12s %12d %12d %14d %12v\n", alg, s.IOAccesses, s.Top1Searches, s.SkylineUpdates, s.Elapsed.Round(1000))
+
+		assign := map[int]int{}
+		for _, a := range res.Assignments {
+			assign[a.QueryID] = a.ObjectID
+		}
+		if reference == nil {
+			reference = assign
+		} else {
+			for q, o := range reference {
+				if assign[q] != o {
+					log.Fatalf("%v disagrees on user %d", alg, q)
+				}
+			}
+		}
+	}
+
+	// Show a few concrete outcomes from the skyline-based run.
+	res, err := prefmatch.Match(rooms, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst assignments (highest scores — the most contested matches):")
+	for _, a := range res.Assignments[:5] {
+		room := rooms[a.ObjectID]
+		fmt.Printf("  user %3d -> room %5d  score %.3f  (size %.2f cheap %.2f beach %.2f rating %.2f)\n",
+			a.QueryID, a.ObjectID, a.Score, room.Values[0], room.Values[1], room.Values[2], room.Values[3])
+	}
+	fmt.Println("\nall three algorithms produced the identical stable matching.")
+}

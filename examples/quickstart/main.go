@@ -1,0 +1,55 @@
+// Quickstart: the smallest end-to-end use of prefmatch.
+//
+// Three users search a four-room inventory with different priorities. Each
+// room attribute is a goodness score in [0, 1] (larger = better); each user
+// supplies weights saying how much each attribute matters. prefmatch
+// returns the fair one-to-one assignment: pairs are matched best-score
+// first, and every match is stable — no unmatched user values the room more
+// than its owner, and the owner values no unmatched room more.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefmatch"
+)
+
+func main() {
+	// Rooms scored on (size, cheapness, beach proximity).
+	rooms := []prefmatch.Object{
+		{ID: 101, Values: []float64{0.9, 0.2, 0.8}}, // big, pricey, near beach
+		{ID: 102, Values: []float64{0.4, 0.9, 0.3}}, // small, cheap, inland
+		{ID: 103, Values: []float64{0.7, 0.6, 0.9}}, // balanced, near beach
+		{ID: 104, Values: []float64{0.5, 0.8, 0.5}}, // modest all round
+	}
+
+	// Users weight the attributes; weights are normalised internally.
+	users := []prefmatch.Query{
+		{ID: 1, Weights: []float64{1, 1, 8}}, // wants the beach
+		{ID: 2, Weights: []float64{1, 8, 1}}, // wants a bargain
+		{ID: 3, Weights: []float64{8, 1, 1}}, // wants space
+	}
+
+	res, err := prefmatch.Match(rooms, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("assignments (best score first):")
+	for _, a := range res.Assignments {
+		fmt.Printf("  user %d -> room %d (score %.3f)\n", a.QueryID, a.ObjectID, a.Score)
+	}
+
+	// The result is verifiable: Verify re-checks stability of every pair.
+	if err := prefmatch.Verify(rooms, users, res.Assignments); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("verified: the matching is stable")
+	fmt.Printf("work: %d I/O accesses, %d skyline updates, %v elapsed\n",
+		res.Stats.IOAccesses, res.Stats.SkylineUpdates, res.Stats.Elapsed)
+}

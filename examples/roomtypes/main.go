@@ -1,0 +1,123 @@
+// Room types: capacitated matching. Hotels sell room *types* — a "deluxe
+// double, sea view" is not one room but forty identical ones. Setting
+// Object.Capacity lets one object absorb several queries, so the matcher
+// works on types instead of exploding the inventory into identical rows.
+//
+// The example also shows MatchMonotone with a custom non-linear utility:
+// one guest segment uses a "weakest attribute" preference (a room is only
+// as good as its worst aspect), which no weight vector can express.
+//
+// Run with:
+//
+//	go run ./examples/roomtypes
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"prefmatch"
+)
+
+type roomType struct {
+	name  string
+	units int
+	size  float64 // all goodness scores in [0,1]
+	cheap float64
+	beach float64
+	quiet float64
+}
+
+// pickiest scores a room by its weakest weighted attribute: balanced rooms
+// win, any single flaw caps the score. Monotone, but not linear.
+type pickiest struct{ w []float64 }
+
+func (p pickiest) Score(values []float64) float64 {
+	s := math.Inf(1)
+	for i, w := range p.w {
+		if v := w * values[i]; v < s {
+			s = v
+		}
+	}
+	return s
+}
+
+func main() {
+	types := []roomType{
+		{"economy inland double", 60, 0.30, 0.95, 0.10, 0.40},
+		{"standard garden double", 40, 0.45, 0.70, 0.35, 0.65},
+		{"deluxe sea-view double", 40, 0.60, 0.40, 0.90, 0.55},
+		{"family suite", 25, 0.90, 0.25, 0.60, 0.50},
+		{"penthouse", 4, 1.00, 0.05, 0.95, 0.95},
+	}
+	objects := make([]prefmatch.Object, len(types))
+	for i, rt := range types {
+		objects[i] = prefmatch.Object{
+			ID:       i,
+			Values:   []float64{rt.size, rt.cheap, rt.beach, rt.quiet},
+			Capacity: rt.units,
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	const numGuests = 150
+	queries := make([]prefmatch.Query, numGuests)
+	for i := range queries {
+		w := make([]float64, 4)
+		for j := range w {
+			w[j] = rng.Float64() + 0.05
+		}
+		w[rng.Intn(4)] += 2 // every guest has one dominant concern
+		queries[i] = prefmatch.Query{ID: i, Weights: w}
+	}
+
+	res, err := prefmatch.Match(objects, queries, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prefmatch.Verify(objects, queries, res.Assignments); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+
+	sold := make([]int, len(types))
+	for _, a := range res.Assignments {
+		sold[a.ObjectID]++
+	}
+	fmt.Printf("%d guests, %d room types (%d units total)\n\n", numGuests, len(types), totalUnits(types))
+	fmt.Printf("%-24s %7s %7s\n", "room type", "units", "sold")
+	for i, rt := range types {
+		fmt.Printf("%-24s %7d %7d\n", rt.name, rt.units, sold[i])
+	}
+	fmt.Printf("\n%d guests matched; every sale is stable (no unserved guest\n", len(res.Assignments))
+	fmt.Println("values a room type more than any guest holding a unit of it).")
+
+	// A picky guest segment with a non-linear utility, via MatchMonotone.
+	picky := make([]prefmatch.PreferenceQuery, 20)
+	for i := range picky {
+		w := []float64{1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()}
+		picky[i] = prefmatch.PreferenceQuery{ID: i, Preference: pickiest{w: w}}
+	}
+	flat := make([]prefmatch.Object, len(objects))
+	copy(flat, objects)
+	for i := range flat {
+		flat[i].Capacity = 0 // one representative unit per type for the demo
+	}
+	pickyRes, err := prefmatch.MatchMonotone(flat, picky, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npicky guests (weakest-attribute utility), one unit per type:")
+	for _, a := range pickyRes.Assignments {
+		fmt.Printf("  guest %2d -> %-24s score %.3f\n", a.QueryID, types[a.ObjectID].name, a.Score)
+	}
+}
+
+func totalUnits(types []roomType) int {
+	t := 0
+	for _, rt := range types {
+		t += rt.units
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+package prefmatch
+
+import (
+	"errors"
+	"fmt"
+
+	"prefmatch/internal/core"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
+)
+
+// Index is a reusable bulk-loaded object index. Building the R-tree is the
+// expensive part of a matching run; a server that receives waves of query
+// batches over a slow-changing inventory should build the Index once and
+// call Match on it per wave.
+//
+// Index.Match always uses the skyline-based algorithm, which never modifies
+// the index (Brute Force and Chain consume their tree; use the package-level
+// Match for those). An Index is not safe for concurrent use.
+type Index struct {
+	tree       *rtree.Tree
+	capacities map[rtree.ObjID]int
+	opts       Options
+}
+
+// BuildIndex bulk-loads objects into a reusable index. Options control the
+// page size and buffer policy; the algorithm-related fields are taken per
+// Match call instead.
+func BuildIndex(objects []Object, opts *Options) (*Index, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if len(objects) == 0 {
+		return nil, errNoObjects
+	}
+	d := len(objects[0].Values)
+	if d == 0 {
+		return nil, errors.New("prefmatch: objects need at least one attribute")
+	}
+	items, capacities, err := convertObjects(objects, d)
+	if err != nil {
+		return nil, err
+	}
+	tree, _, err := buildIndex(items, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree, capacities: capacities, opts: *opts}, nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Dim returns the number of attributes per object.
+func (ix *Index) Dim() int { return ix.tree.Dim() }
+
+// Pages returns the index size in pages (diagnostics).
+func (ix *Index) Pages() int { return ix.tree.NumPages() }
+
+// Match runs a skyline-based matching of the queries against the indexed
+// objects. The index is left intact and can be matched again. opts may be
+// nil; its Algorithm field is ignored (always SkylineBased) and its storage
+// fields are ignored (fixed at BuildIndex time).
+func (ix *Index) Match(queries []Query, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if coreAlg(opts.Algorithm) != core.AlgSB {
+		return nil, fmt.Errorf("prefmatch: Index.Match supports only SkylineBased (got %v); destructive algorithms need a fresh index", opts.Algorithm)
+	}
+	if len(queries) == 0 {
+		return nil, errNoQueries
+	}
+	fns, err := convertQueries(queries, ix.tree.Dim())
+	if err != nil {
+		return nil, err
+	}
+	c := &stats.Counters{}
+	ix.tree.SetCounters(c)
+	inner, err := core.NewMatcher(ix.tree, fns, &core.Options{
+		Algorithm:             core.AlgSB,
+		SkylineMode:           skyline.Mode(opts.Maintenance),
+		DisableMultiPair:      opts.DisableMultiPair,
+		DisableTightThreshold: opts.DisableTightThreshold,
+		Capacities:            ix.capacities,
+		Counters:              c,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Matcher{inner: inner, c: c}
+	res := &Result{}
+	for {
+		a, ok, err := m.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.Assignments = append(res.Assignments, a)
+	}
+	res.Stats = m.Stats()
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package prefmatch
+
+import (
+	"testing"
+)
+
+func TestIndexReuseAcrossWaves(t *testing.T) {
+	objs := demoObjects(500, 3, 30)
+	ix, err := BuildIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 500 || ix.Dim() != 3 || ix.Pages() == 0 {
+		t.Fatalf("index shape wrong: len=%d dim=%d pages=%d", ix.Len(), ix.Dim(), ix.Pages())
+	}
+	for wave := 0; wave < 5; wave++ {
+		qs := demoQueries(40, 3, int64(31+wave))
+		res, err := ix.Match(qs, nil)
+		if err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		if err := Verify(objs, qs, res.Assignments); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		// Each wave must agree with a from-scratch run.
+		fresh, err := Match(objs, qs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[int]int{}
+		for _, a := range fresh.Assignments {
+			m[a.QueryID] = a.ObjectID
+		}
+		for _, a := range res.Assignments {
+			if m[a.QueryID] != a.ObjectID {
+				t.Fatalf("wave %d: query %d -> %d, fresh run -> %d", wave, a.QueryID, a.ObjectID, m[a.QueryID])
+			}
+		}
+	}
+	if ix.Len() != 500 {
+		t.Fatal("index consumed by SB matching")
+	}
+}
+
+func TestIndexMatchRejectsDestructiveAlgorithms(t *testing.T) {
+	objs := demoObjects(50, 2, 32)
+	ix, err := BuildIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{BruteForce, Chain} {
+		if _, err := ix.Match(demoQueries(5, 2, 33), &Options{Algorithm: alg}); err == nil {
+			t.Fatalf("%v accepted by Index.Match", alg)
+		}
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := BuildIndex(nil, nil); err == nil {
+		t.Fatal("empty objects accepted")
+	}
+	objs := demoObjects(10, 2, 34)
+	ix, err := BuildIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Match(nil, nil); err == nil {
+		t.Fatal("empty queries accepted")
+	}
+	if _, err := ix.Match(demoQueries(5, 3, 35), nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestIndexWithCapacities(t *testing.T) {
+	objs := demoObjects(20, 2, 36)
+	objs[0].Capacity = 5
+	ix, err := BuildIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := demoQueries(24, 2, 37)
+	res, err := ix.Match(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 24 {
+		t.Fatalf("%d assignments, want 24 (19 singles + capacity-5 object)", len(res.Assignments))
+	}
+	if err := Verify(objs, qs, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+	// Second wave on the same index still honours capacities from scratch.
+	res2, err := ix.Match(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Assignments) != 24 {
+		t.Fatalf("second wave: %d assignments", len(res2.Assignments))
+	}
+}

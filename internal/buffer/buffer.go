@@ -1,0 +1,223 @@
+// Package buffer implements the LRU page buffer that sits between the
+// matching algorithms and the paged file, mirroring the paper's experimental
+// setup: "We use an LRU memory buffer with default size 2% of the tree size."
+//
+// The pool is generic over the cached frame type so that the R-tree can cache
+// decoded nodes rather than raw bytes: a buffer hit then costs neither a
+// physical transfer nor a decode, exactly like a page pinned in a C++ buffer
+// manager. Physical reads happen inside the load callback (which reads from
+// the pagedfile and therefore increments PageReads) and physical writes
+// inside the flush callback.
+package buffer
+
+import (
+	"fmt"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/stats"
+)
+
+// LoadFunc fetches and decodes the frame for a page (a physical read).
+type LoadFunc[T any] func(id pagedfile.PageID) (T, error)
+
+// FlushFunc encodes and writes back a dirty frame (a physical write).
+type FlushFunc[T any] func(id pagedfile.PageID, frame T) error
+
+// Pool is a fixed-capacity LRU cache of decoded page frames. It is not safe
+// for concurrent use.
+type Pool[T any] struct {
+	capacity int
+	load     LoadFunc[T]
+	flush    FlushFunc[T]
+	counters *stats.Counters
+
+	frames map[pagedfile.PageID]*entry[T]
+	// Intrusive doubly-linked LRU list with a sentinel: head.next is the
+	// most recently used entry, head.prev the least recently used.
+	head entry[T]
+}
+
+type entry[T any] struct {
+	id         pagedfile.PageID
+	frame      T
+	dirty      bool
+	prev, next *entry[T]
+}
+
+// New returns a pool holding at most capacity frames. capacity must be >= 1.
+// A nil counters is replaced by a private sink.
+func New[T any](capacity int, load LoadFunc[T], flush FlushFunc[T], counters *stats.Counters) *Pool[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d < 1", capacity))
+	}
+	if load == nil || flush == nil {
+		panic("buffer: nil load or flush callback")
+	}
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	p := &Pool[T]{capacity: capacity, load: load, flush: flush, counters: counters}
+	p.head.prev = &p.head
+	p.head.next = &p.head
+	p.frames = make(map[pagedfile.PageID]*entry[T], capacity)
+	return p
+}
+
+// Capacity returns the maximum number of frames the pool holds.
+func (p *Pool[T]) Capacity() int { return p.capacity }
+
+// Len returns the number of frames currently cached.
+func (p *Pool[T]) Len() int { return len(p.frames) }
+
+// SetCounters redirects hit accounting to c (must be non-nil).
+func (p *Pool[T]) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("buffer: nil counters")
+	}
+	p.counters = c
+}
+
+// Get returns the frame for page id, loading it on a miss. The returned
+// frame remains owned by the pool: callers that mutate it must call
+// MarkDirty(id) before the next pool operation.
+func (p *Pool[T]) Get(id pagedfile.PageID) (T, error) {
+	if e, ok := p.frames[id]; ok {
+		p.counters.BufferHits++
+		p.moveToFront(e)
+		return e.frame, nil
+	}
+	frame, err := p.load(id)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if err := p.insert(id, frame, false); err != nil {
+		var zero T
+		return zero, err
+	}
+	return frame, nil
+}
+
+// Put inserts or replaces the frame for page id. dirty marks whether the
+// frame differs from its on-disk image (it will be flushed on eviction).
+// Put of a newly allocated page with dirty=true defers the physical write
+// until eviction or FlushAll, exactly like a real buffer manager.
+func (p *Pool[T]) Put(id pagedfile.PageID, frame T, dirty bool) error {
+	if e, ok := p.frames[id]; ok {
+		e.frame = frame
+		e.dirty = e.dirty || dirty
+		p.moveToFront(e)
+		return nil
+	}
+	return p.insert(id, frame, dirty)
+}
+
+// MarkDirty records that the cached frame for id has been mutated in place.
+// It is a no-op if the page is not resident (the mutation must then have
+// been flushed by the caller through other means — in this codebase the
+// R-tree always mutates frames obtained from Get, which are resident).
+func (p *Pool[T]) MarkDirty(id pagedfile.PageID) {
+	if e, ok := p.frames[id]; ok {
+		e.dirty = true
+	}
+}
+
+// Contains reports whether page id is resident (without touching LRU order).
+func (p *Pool[T]) Contains(id pagedfile.PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Invalidate drops the frame for id without flushing it, for pages that have
+// been freed. It is a no-op for non-resident pages.
+func (p *Pool[T]) Invalidate(id pagedfile.PageID) {
+	if e, ok := p.frames[id]; ok {
+		p.unlink(e)
+		delete(p.frames, id)
+	}
+}
+
+// Resize changes the pool capacity. Shrinking below the current population
+// evicts least-recently-used frames (flushing dirty ones). newCapacity must
+// be >= 1.
+func (p *Pool[T]) Resize(newCapacity int) error {
+	if newCapacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d < 1", newCapacity))
+	}
+	p.capacity = newCapacity
+	for len(p.frames) > p.capacity {
+		victim := p.head.prev
+		if victim == &p.head {
+			break
+		}
+		if victim.dirty {
+			if err := p.flush(victim.id, victim.frame); err != nil {
+				return err
+			}
+		}
+		p.unlink(victim)
+		delete(p.frames, victim.id)
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty frame, keeping all frames resident.
+func (p *Pool[T]) FlushAll() error {
+	for e := p.head.prev; e != &p.head; e = e.prev {
+		if e.dirty {
+			if err := p.flush(e.id, e.frame); err != nil {
+				return err
+			}
+			e.dirty = false
+		}
+	}
+	return nil
+}
+
+// Clear flushes all dirty frames and empties the pool.
+func (p *Pool[T]) Clear() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	p.frames = make(map[pagedfile.PageID]*entry[T], p.capacity)
+	p.head.prev = &p.head
+	p.head.next = &p.head
+	return nil
+}
+
+func (p *Pool[T]) insert(id pagedfile.PageID, frame T, dirty bool) error {
+	for len(p.frames) >= p.capacity {
+		victim := p.head.prev // least recently used
+		if victim == &p.head {
+			break
+		}
+		if victim.dirty {
+			if err := p.flush(victim.id, victim.frame); err != nil {
+				return err
+			}
+		}
+		p.unlink(victim)
+		delete(p.frames, victim.id)
+	}
+	e := &entry[T]{id: id, frame: frame, dirty: dirty}
+	p.frames[id] = e
+	p.linkFront(e)
+	return nil
+}
+
+func (p *Pool[T]) moveToFront(e *entry[T]) {
+	p.unlink(e)
+	p.linkFront(e)
+}
+
+func (p *Pool[T]) linkFront(e *entry[T]) {
+	e.prev = &p.head
+	e.next = p.head.next
+	p.head.next.prev = e
+	p.head.next = e
+}
+
+func (p *Pool[T]) unlink(e *entry[T]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}

@@ -1,0 +1,322 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/stats"
+)
+
+// harness wires a Pool[int] to a fake backing store of ints, recording loads
+// and flushes.
+type harness struct {
+	pool    *Pool[int]
+	backing map[pagedfile.PageID]int
+	loads   int
+	flushes int
+	c       *stats.Counters
+}
+
+func newHarness(t *testing.T, capacity int) *harness {
+	t.Helper()
+	h := &harness{backing: map[pagedfile.PageID]int{}, c: &stats.Counters{}}
+	load := func(id pagedfile.PageID) (int, error) {
+		v, ok := h.backing[id]
+		if !ok {
+			return 0, fmt.Errorf("no such page %d", id)
+		}
+		h.loads++
+		h.c.PageReads++
+		return v, nil
+	}
+	flush := func(id pagedfile.PageID, v int) error {
+		h.backing[id] = v
+		h.flushes++
+		h.c.PageWrites++
+		return nil
+	}
+	h.pool = New(capacity, load, flush, h.c)
+	return h
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	h := newHarness(t, 2)
+	h.backing[1] = 100
+	v, err := h.pool.Get(1)
+	if err != nil || v != 100 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if h.loads != 1 {
+		t.Fatalf("loads = %d, want 1", h.loads)
+	}
+	v, err = h.pool.Get(1)
+	if err != nil || v != 100 {
+		t.Fatalf("second Get = %d, %v", v, err)
+	}
+	if h.loads != 1 {
+		t.Fatalf("hit caused load, loads = %d", h.loads)
+	}
+	if h.c.BufferHits != 1 {
+		t.Fatalf("BufferHits = %d, want 1", h.c.BufferHits)
+	}
+}
+
+func TestGetPropagatesLoadError(t *testing.T) {
+	h := newHarness(t, 2)
+	if _, err := h.pool.Get(42); err == nil {
+		t.Fatal("expected error for missing page")
+	}
+	if h.pool.Len() != 0 {
+		t.Fatal("failed load must not be cached")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := newHarness(t, 2)
+	h.backing[1], h.backing[2], h.backing[3] = 10, 20, 30
+	mustGet(t, h.pool, 1)
+	mustGet(t, h.pool, 2)
+	mustGet(t, h.pool, 1) // touch 1 so that 2 becomes LRU
+	mustGet(t, h.pool, 3) // evicts 2
+	if h.pool.Contains(2) {
+		t.Fatal("page 2 should have been evicted")
+	}
+	if !h.pool.Contains(1) || !h.pool.Contains(3) {
+		t.Fatal("pages 1 and 3 should be resident")
+	}
+	loadsBefore := h.loads
+	mustGet(t, h.pool, 1)
+	if h.loads != loadsBefore {
+		t.Fatal("page 1 should still be a hit")
+	}
+}
+
+func TestDirtyEvictionFlushes(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.pool.Put(5, 555, true); err != nil {
+		t.Fatal(err)
+	}
+	if h.flushes != 0 {
+		t.Fatal("Put must not flush eagerly")
+	}
+	h.backing[6] = 60
+	mustGet(t, h.pool, 6) // evicts dirty page 5
+	if h.flushes != 1 {
+		t.Fatalf("dirty eviction should flush once, got %d", h.flushes)
+	}
+	if h.backing[5] != 555 {
+		t.Fatalf("backing store not updated, got %d", h.backing[5])
+	}
+}
+
+func TestCleanEvictionDoesNotFlush(t *testing.T) {
+	h := newHarness(t, 1)
+	h.backing[1], h.backing[2] = 10, 20
+	mustGet(t, h.pool, 1)
+	mustGet(t, h.pool, 2)
+	if h.flushes != 0 {
+		t.Fatalf("clean eviction flushed, flushes = %d", h.flushes)
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	h := newHarness(t, 1)
+	h.backing[1] = 10
+	mustGet(t, h.pool, 1)
+	if err := h.pool.Put(1, 11, false); err != nil { // update value, still claim clean
+		t.Fatal(err)
+	}
+	h.pool.MarkDirty(1)
+	h.backing[2] = 20
+	mustGet(t, h.pool, 2) // evict 1
+	if h.backing[1] != 11 {
+		t.Fatalf("MarkDirty not honoured, backing = %d", h.backing[1])
+	}
+	h.pool.MarkDirty(99) // non-resident: must be a no-op, not a panic
+}
+
+func TestPutDirtyStickiness(t *testing.T) {
+	h := newHarness(t, 2)
+	if err := h.pool.Put(1, 100, true); err != nil {
+		t.Fatal(err)
+	}
+	// A later clean Put must not launder the dirty bit away.
+	if err := h.pool.Put(1, 101, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if h.backing[1] != 101 {
+		t.Fatalf("dirty bit was lost; backing = %v", h.backing[1])
+	}
+}
+
+func TestInvalidateDropsWithoutFlush(t *testing.T) {
+	h := newHarness(t, 2)
+	if err := h.pool.Put(1, 100, true); err != nil {
+		t.Fatal(err)
+	}
+	h.pool.Invalidate(1)
+	if h.pool.Contains(1) {
+		t.Fatal("page still resident after Invalidate")
+	}
+	if h.flushes != 0 {
+		t.Fatal("Invalidate must not flush")
+	}
+	if _, ok := h.backing[1]; ok {
+		t.Fatal("backing store should never have seen page 1")
+	}
+	h.pool.Invalidate(77) // non-resident: no-op
+}
+
+func TestFlushAllKeepsFramesAndClearsDirty(t *testing.T) {
+	h := newHarness(t, 4)
+	for i := pagedfile.PageID(0); i < 3; i++ {
+		if err := h.pool.Put(i, int(i)*10, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if h.flushes != 3 {
+		t.Fatalf("flushes = %d, want 3", h.flushes)
+	}
+	if err := h.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if h.flushes != 3 {
+		t.Fatal("second FlushAll must be a no-op on clean frames")
+	}
+	if h.pool.Len() != 3 {
+		t.Fatalf("FlushAll dropped frames, len = %d", h.pool.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	h := newHarness(t, 4)
+	if err := h.pool.Put(1, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if h.pool.Len() != 0 {
+		t.Fatal("Clear left frames resident")
+	}
+	if h.backing[1] != 10 {
+		t.Fatal("Clear must flush dirty frames first")
+	}
+}
+
+func TestFlushErrorPropagates(t *testing.T) {
+	wantErr := errors.New("disk full")
+	p := New(1,
+		func(id pagedfile.PageID) (int, error) { return 0, nil },
+		func(id pagedfile.PageID, v int) error { return wantErr },
+		nil)
+	if err := p.Put(1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(2, 2, true); !errors.Is(err, wantErr) {
+		t.Fatalf("eviction flush error not propagated: %v", err)
+	}
+	if err := p.FlushAll(); !errors.Is(err, wantErr) {
+		t.Fatalf("FlushAll error not propagated: %v", err)
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	h := newHarness(t, 1)
+	for i := 0; i < 10; i++ {
+		h.backing[pagedfile.PageID(i)] = i
+		mustGet(t, h.pool, pagedfile.PageID(i))
+		if h.pool.Len() != 1 {
+			t.Fatalf("len = %d, want 1", h.pool.Len())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero capacity": func() {
+			New[int](0, func(pagedfile.PageID) (int, error) { return 0, nil },
+				func(pagedfile.PageID, int) error { return nil }, nil)
+		},
+		"nil load": func() {
+			New[int](1, nil, func(pagedfile.PageID, int) error { return nil }, nil)
+		},
+		"nil flush": func() {
+			New[int](1, func(pagedfile.PageID) (int, error) { return 0, nil }, nil, nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Model-based test: the pool must behave like write-back caching over the
+// backing map — after arbitrary operations plus FlushAll, the backing store
+// equals the logical contents.
+func TestModelEquivalence(t *testing.T) {
+	h := newHarness(t, 3)
+	logical := map[pagedfile.PageID]int{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		id := pagedfile.PageID(rng.Intn(10))
+		switch rng.Intn(3) {
+		case 0: // write through Put
+			v := rng.Intn(1000)
+			logical[id] = v
+			if err := h.pool.Put(id, v, true); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // read and compare with the model
+			want, ok := logical[id]
+			if !ok {
+				continue
+			}
+			got, err := h.pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("step %d: Get(%d) = %d, want %d", i, id, got, want)
+			}
+		case 2:
+			if err := h.pool.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if h.pool.Len() > h.pool.Capacity() {
+			t.Fatalf("pool over capacity: %d > %d", h.pool.Len(), h.pool.Capacity())
+		}
+	}
+	if err := h.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range logical {
+		if h.backing[id] != want {
+			t.Fatalf("backing[%d] = %d, want %d", id, h.backing[id], want)
+		}
+	}
+}
+
+func mustGet(t *testing.T, p *Pool[int], id pagedfile.PageID) int {
+	t.Helper()
+	v, err := p.Get(id)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", id, err)
+	}
+	return v
+}

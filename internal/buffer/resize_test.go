@@ -1,0 +1,99 @@
+package buffer
+
+import (
+	"testing"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/stats"
+)
+
+func TestResizeGrow(t *testing.T) {
+	h := newHarness(t, 2)
+	h.backing[1], h.backing[2], h.backing[3] = 10, 20, 30
+	mustGet(t, h.pool, 1)
+	mustGet(t, h.pool, 2)
+	if err := h.pool.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.pool.Capacity() != 5 {
+		t.Fatalf("capacity = %d", h.pool.Capacity())
+	}
+	mustGet(t, h.pool, 3)
+	if h.pool.Len() != 3 {
+		t.Fatalf("len = %d after growth, want 3", h.pool.Len())
+	}
+	if !h.pool.Contains(1) || !h.pool.Contains(2) {
+		t.Fatal("growth evicted resident pages")
+	}
+}
+
+func TestResizeShrinkEvictsLRU(t *testing.T) {
+	h := newHarness(t, 4)
+	for i := pagedfile.PageID(1); i <= 4; i++ {
+		h.backing[i] = int(i) * 10
+		mustGet(t, h.pool, i)
+	}
+	mustGet(t, h.pool, 1) // 1 is now MRU; LRU order: 2, 3, 4, 1
+	if err := h.pool.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if h.pool.Len() != 2 {
+		t.Fatalf("len = %d after shrink, want 2", h.pool.Len())
+	}
+	if !h.pool.Contains(1) || !h.pool.Contains(4) {
+		t.Fatal("shrink evicted the wrong pages")
+	}
+	if h.pool.Contains(2) || h.pool.Contains(3) {
+		t.Fatal("LRU pages survived the shrink")
+	}
+}
+
+func TestResizeShrinkFlushesDirty(t *testing.T) {
+	h := newHarness(t, 3)
+	if err := h.pool.Put(1, 111, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Put(2, 222, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Put(3, 333, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.backing[1] != 111 || h.backing[2] != 222 {
+		t.Fatalf("dirty evictees not flushed: %v", h.backing)
+	}
+	if _, dirty3 := h.backing[3]; dirty3 {
+		t.Fatal("resident page must not be flushed by Resize")
+	}
+}
+
+func TestResizePanicsOnZero(t *testing.T) {
+	h := newHarness(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resize(0) must panic")
+		}
+	}()
+	_ = h.pool.Resize(0)
+}
+
+func TestPoolSetCounters(t *testing.T) {
+	h := newHarness(t, 2)
+	h.backing[1] = 10
+	mustGet(t, h.pool, 1)
+	fresh := &stats.Counters{}
+	h.pool.SetCounters(fresh)
+	mustGet(t, h.pool, 1) // hit
+	if fresh.BufferHits != 1 {
+		t.Fatalf("redirected hits = %d, want 1", fresh.BufferHits)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCounters(nil) must panic")
+		}
+	}()
+	h.pool.SetCounters(nil)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/stats"
+)
+
+func TestBFIncrementalMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name  string
+		items []rtree.Item
+		nFn   int
+		d     int
+	}{
+		{"indep", dataset.Independent(150, 3, 2), 40, 3},
+		{"anti", dataset.AntiCorrelated(120, 3, 3), 30, 3},
+		{"zillow", dataset.Zillow(120, 4), 30, dataset.ZillowDim},
+		{"ties", gridItems(rng, 100, 2, 3), 40, 2},
+		{"objects-exhausted", dataset.Independent(15, 3, 5), 40, 3},
+	} {
+		fns := dataset.Functions(tc.nFn, tc.d, 6)
+		want := oracle(tc.items, fns)
+		tree := buildTree(t, tc.items, tc.d)
+		got, err := Match(tree, fns, &Options{Algorithm: AlgBruteForceIncremental})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%s: incremental BF differs from oracle", tc.name)
+		}
+		// The incremental variant never touches the tree.
+		if tree.Len() != len(tc.items) {
+			t.Fatalf("%s: tree modified (%d items left)", tc.name, tree.Len())
+		}
+	}
+}
+
+func TestBFIncrementalWithCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := dataset.Independent(50, 3, 8)
+	fns := dataset.Functions(70, 3, 9)
+	caps := randomCapacities(rng, items, 3)
+	want := capacitatedOracle(items, fns, caps)
+	tree := buildTree(t, items, 3)
+	got, err := Match(tree, fns, &Options{Algorithm: AlgBruteForceIncremental, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairSetEqual(got, want) {
+		t.Fatal("capacitated incremental BF differs from oracle")
+	}
+}
+
+// The whole point of the variant: it issues exactly |F| searches (one
+// resumable search per function) and does far less I/O than classic Brute
+// Force, while still doing more than SB.
+func TestBFIncrementalCostProfile(t *testing.T) {
+	items := dataset.Independent(10000, 3, 10)
+	fns := dataset.Functions(300, 3, 11)
+	run := func(alg Algorithm) *stats.Counters {
+		c := &stats.Counters{}
+		tree := buildTree(t, items, 3)
+		tree.SetCounters(c)
+		if _, err := Match(tree, fns, &Options{Algorithm: alg, Counters: c}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	inc := run(AlgBruteForceIncremental)
+	classic := run(AlgBruteForce)
+	sb := run(AlgSB)
+	t.Logf("io: sb=%d inc=%d classic=%d; searches: inc=%d classic=%d",
+		sb.IOAccesses(), inc.IOAccesses(), classic.IOAccesses(), inc.Top1Searches, classic.Top1Searches)
+	if inc.Top1Searches != int64(len(fns)) {
+		t.Fatalf("incremental BF issued %d searches, want exactly %d", inc.Top1Searches, len(fns))
+	}
+	if inc.IOAccesses() >= classic.IOAccesses() {
+		t.Fatalf("incremental BF should beat classic BF on I/O: %d vs %d", inc.IOAccesses(), classic.IOAccesses())
+	}
+	if sb.IOAccesses() >= inc.IOAccesses() {
+		t.Fatalf("SB should still beat incremental BF on I/O: %d vs %d", sb.IOAccesses(), inc.IOAccesses())
+	}
+	if classic.TreeDeletes == 0 || inc.TreeDeletes != 0 {
+		t.Fatalf("deletes: classic=%d inc=%d", classic.TreeDeletes, inc.TreeDeletes)
+	}
+}
+
+func TestBFIncrementalProgressive(t *testing.T) {
+	items := dataset.Independent(60, 2, 12)
+	fns := dataset.Functions(20, 2, 13)
+	tree := buildTree(t, items, 2)
+	m, err := NewMatcher(tree, fns, &Options{Algorithm: AlgBruteForceIncremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 20 {
+		t.Fatalf("count = %d", count)
+	}
+	if _, ok, _ := m.Next(); ok {
+		t.Fatal("emission after completion")
+	}
+	if AlgBruteForceIncremental.String() != "BruteForceInc" {
+		t.Fatal("algorithm name wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// bfMatcher is the Brute Force baseline of § III-A: every function holds a
+// cached top-1 object obtained by branch-and-bound ranked search; the pair
+// with the globally highest score is stable. After emitting (f, o), o is
+// deleted from the R-tree and top-1 search is re-applied for every function
+// whose cached top-1 was o. Worst case: O(|F|) deletions and O(|F|²) top-1
+// searches.
+type bfMatcher struct {
+	tree *rtree.Tree
+	fns  []prefs.Function
+	c    *stats.Counters
+
+	started bool
+	alive   []bool
+	cache   []bfCache
+	live    int
+	resid   *residual
+}
+
+type bfCache struct {
+	has   bool // false once the tree is exhausted for this function
+	objID rtree.ObjID
+	point vec.Point
+	sum   float64
+	score float64
+}
+
+func newBruteForce(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfMatcher, error) {
+	m := &bfMatcher{
+		tree:  tree,
+		fns:   fns,
+		c:     c,
+		alive: make([]bool, len(fns)),
+		cache: make([]bfCache, len(fns)),
+		live:  len(fns),
+		resid: newResidual(opts.Capacities),
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	return m, nil
+}
+
+func (m *bfMatcher) Counters() *stats.Counters { return m.c }
+
+func (m *bfMatcher) Next() (Pair, bool, error) {
+	if !m.started {
+		for i := range m.fns {
+			if err := m.research(i); err != nil {
+				return Pair{}, false, err
+			}
+		}
+		m.started = true
+	}
+	if m.live == 0 || m.tree.Len() == 0 {
+		return Pair{}, false, nil
+	}
+
+	// The highest-scoring cached pair is stable (§ III-A): o is f's top-1,
+	// and no other function can score o higher, or it would head a cached
+	// pair with a higher score.
+	best := -1
+	for i := range m.fns {
+		if !m.alive[i] || !m.cache[i].has {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		a := prefs.PairKey{Score: m.cache[i].score, ObjSum: m.cache[i].sum, FuncID: m.fns[i].ID, ObjID: int(m.cache[i].objID)}
+		b := prefs.PairKey{Score: m.cache[best].score, ObjSum: m.cache[best].sum, FuncID: m.fns[best].ID, ObjID: int(m.cache[best].objID)}
+		if a.Better(b) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Pair{}, false, nil
+	}
+	won := m.cache[best]
+	m.alive[best] = false
+	m.live--
+	m.c.PairsEmitted++
+	m.c.Loops++
+
+	// When the object's capacity is exhausted, remove it from the tree and
+	// re-run top-1 for every function whose cached best was o. While it has
+	// residual capacity the caches remain valid.
+	if m.resid.take(won.objID) {
+		if err := m.tree.Delete(won.objID, won.point); err != nil {
+			return Pair{}, false, err
+		}
+		for i := range m.fns {
+			if m.alive[i] && m.cache[i].has && m.cache[i].objID == won.objID {
+				if err := m.research(i); err != nil {
+					return Pair{}, false, err
+				}
+			}
+		}
+	}
+	return Pair{FuncID: m.fns[best].ID, ObjID: won.objID, Score: won.score}, true, nil
+}
+
+// research refreshes function i's cached top-1 by a ranked search on the
+// current tree.
+func (m *bfMatcher) research(i int) error {
+	res, ok, err := topk.Top1(m.tree, m.fns[i], m.c)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.cache[i] = bfCache{}
+		return nil
+	}
+	m.cache[i] = bfCache{has: true, objID: res.ID, point: res.Point, sum: res.Point.Sum(), score: res.Score}
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+)
+
+// capacitatedOracle is the exhaustive greedy reference with per-object
+// capacities: an object leaves the pool only when its capacity is spent.
+func capacitatedOracle(objs []rtree.Item, fns []prefs.Function, caps map[rtree.ObjID]int) []Pair {
+	resid := make(map[rtree.ObjID]int, len(objs))
+	total := 0
+	for _, o := range objs {
+		c, ok := caps[o.ID]
+		if !ok {
+			c = 1
+		}
+		resid[o.ID] = c
+		total += c
+	}
+	aliveF := make([]bool, len(fns))
+	for i := range aliveF {
+		aliveF[i] = true
+	}
+	n := min(total, len(fns))
+	var out []Pair
+	for len(out) < n {
+		bf, bo := -1, -1
+		var bk prefs.PairKey
+		for fi := range fns {
+			if !aliveF[fi] {
+				continue
+			}
+			for oi := range objs {
+				if resid[objs[oi].ID] == 0 {
+					continue
+				}
+				k := prefs.PairKey{
+					Score:  fns[fi].Score(objs[oi].Point),
+					ObjSum: objs[oi].Point.Sum(),
+					FuncID: fns[fi].ID,
+					ObjID:  int(objs[oi].ID),
+				}
+				if bf == -1 || k.Better(bk) {
+					bf, bo, bk = fi, oi, k
+				}
+			}
+		}
+		aliveF[bf] = false
+		resid[objs[bo].ID]--
+		out = append(out, Pair{FuncID: fns[bf].ID, ObjID: objs[bo].ID, Score: bk.Score})
+	}
+	return out
+}
+
+func randomCapacities(rng *rand.Rand, items []rtree.Item, maxCap int) map[rtree.ObjID]int {
+	caps := map[rtree.ObjID]int{}
+	for _, it := range items {
+		if rng.Intn(2) == 0 {
+			caps[it.ID] = 1 + rng.Intn(maxCap)
+		}
+	}
+	return caps
+}
+
+func TestCapacitatedMatchingAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name  string
+		items []rtree.Item
+		nFn   int
+		d     int
+	}{
+		{"indep", dataset.Independent(80, 3, 2), 60, 3},
+		{"anti", dataset.AntiCorrelated(60, 3, 3), 80, 3},
+		{"ties", gridItems(rng, 50, 2, 3), 70, 2},
+		{"zillow", dataset.Zillow(60, 4), 90, dataset.ZillowDim},
+	} {
+		fns := dataset.Functions(tc.nFn, tc.d, 5)
+		caps := randomCapacities(rng, tc.items, 3)
+		want := capacitatedOracle(tc.items, fns, caps)
+		for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+			tree := buildTree(t, tc.items, tc.d)
+			got, err := Match(tree, fns, &Options{Algorithm: alg, Capacities: caps})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, alg, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%v: %d pairs, want %d", tc.name, alg, len(got), len(want))
+			}
+			if !pairSetEqual(got, want) {
+				t.Fatalf("%s/%v: capacitated matching differs from oracle\ngot:  %v\nwant: %v", tc.name, alg, got, want)
+			}
+		}
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	items := dataset.Independent(10, 2, 6)
+	fns := dataset.Functions(5, 2, 7)
+	tree := buildTree(t, items, 2)
+	_, err := NewMatcher(tree, fns, &Options{Capacities: map[rtree.ObjID]int{3: 0}})
+	if err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	_, err = NewMatcher(tree, fns, &Options{Capacities: map[rtree.ObjID]int{3: -2}})
+	if err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestSingleObjectManyFunctions(t *testing.T) {
+	// One object with capacity 5 absorbs the 5 best-scoring functions.
+	items := dataset.Independent(1, 3, 8)
+	fns := dataset.Functions(12, 3, 9)
+	caps := map[rtree.ObjID]int{items[0].ID: 5}
+	want := capacitatedOracle(items, fns, caps)
+	if len(want) != 5 {
+		t.Fatalf("oracle produced %d pairs", len(want))
+	}
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		got, err := Match(tree, fns, &Options{Algorithm: alg, Capacities: caps})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: differs from oracle", alg)
+		}
+	}
+}
+
+func TestCapacityLargerThanDemand(t *testing.T) {
+	// Total capacity exceeds |F|: every function must be served, and the
+	// per-function assignment equals the oracle's.
+	items := dataset.Independent(20, 3, 10)
+	fns := dataset.Functions(15, 3, 11)
+	caps := map[rtree.ObjID]int{}
+	for _, it := range items {
+		caps[it.ID] = 4
+	}
+	want := capacitatedOracle(items, fns, caps)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		got, err := Match(tree, fns, &Options{Algorithm: alg, Capacities: caps})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(got) != len(fns) {
+			t.Fatalf("%v: %d pairs, want %d", alg, len(got), len(fns))
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: differs from oracle", alg)
+		}
+	}
+}
+
+func TestCapacitatedRandomizedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		nObj := 3 + rng.Intn(50)
+		nFn := 1 + rng.Intn(60)
+		var items []rtree.Item
+		if rng.Intn(2) == 0 {
+			items = dataset.Independent(nObj, d, seed*17+1)
+		} else {
+			items = gridItems(rng, nObj, d, 2+rng.Intn(3))
+		}
+		fns := dataset.Functions(nFn, d, seed*17+2)
+		caps := randomCapacities(rng, items, 4)
+		want := capacitatedOracle(items, fns, caps)
+		for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+			tree := buildTree(t, items, d)
+			got, err := Match(tree, fns, &Options{Algorithm: alg, Capacities: caps})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, alg, err)
+			}
+			if !pairSetEqual(got, want) {
+				t.Fatalf("seed %d %v: differs from oracle (d=%d |O|=%d |F|=%d)", seed, alg, d, nObj, nFn)
+			}
+		}
+	}
+}

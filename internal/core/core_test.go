@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+func buildTree(t testing.TB, items []rtree.Item, d int) *rtree.Tree {
+	t.Helper()
+	c := &stats.Counters{}
+	tr, err := rtree.New(d, &rtree.Options{PageSize: 512, Counters: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DropBuffer(); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	return tr
+}
+
+// gridItems produces objects on a coarse grid: many duplicates and ties,
+// the adversarial case for tie-breaking.
+func gridItems(rng *rand.Rand, n, d, grid int) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = float64(rng.Intn(grid)) / float64(grid-1)
+		}
+		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+	}
+	return items
+}
+
+// oracle is a local copy of the exhaustive greedy reference (the verify
+// package hosts the exported version; core tests keep their own to avoid an
+// import cycle in coverage tooling).
+func oracle(objs []rtree.Item, fns []prefs.Function) []Pair {
+	aliveO := make([]bool, len(objs))
+	aliveF := make([]bool, len(fns))
+	for i := range aliveO {
+		aliveO[i] = true
+	}
+	for i := range aliveF {
+		aliveF[i] = true
+	}
+	n := min(len(objs), len(fns))
+	var out []Pair
+	for len(out) < n {
+		bf, bo := -1, -1
+		var bk prefs.PairKey
+		for fi := range fns {
+			if !aliveF[fi] {
+				continue
+			}
+			for oi := range objs {
+				if !aliveO[oi] {
+					continue
+				}
+				k := prefs.PairKey{
+					Score:  fns[fi].Score(objs[oi].Point),
+					ObjSum: objs[oi].Point.Sum(),
+					FuncID: fns[fi].ID,
+					ObjID:  int(objs[oi].ID),
+				}
+				if bf == -1 || k.Better(bk) {
+					bf, bo, bk = fi, oi, k
+				}
+			}
+		}
+		aliveF[bf] = false
+		aliveO[bo] = false
+		out = append(out, Pair{FuncID: fns[bf].ID, ObjID: objs[bo].ID, Score: bk.Score})
+	}
+	return out
+}
+
+func pairSetEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]rtree.ObjID, len(a))
+	for _, p := range a {
+		m[p.FuncID] = p.ObjID
+	}
+	for _, p := range b {
+		if got, ok := m[p.FuncID]; !ok || got != p.ObjID {
+			return false
+		}
+	}
+	return true
+}
+
+// The central equivalence property: every algorithm, in every configuration,
+// produces exactly the oracle's matching — across data distributions,
+// dimensionalities, tie densities, and |F| vs |O| balances.
+func TestAllAlgorithmsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type workload struct {
+		name  string
+		items []rtree.Item
+		fns   []prefs.Function
+		d     int
+	}
+	var workloads []workload
+	add := func(name string, items []rtree.Item, fns []prefs.Function, d int) {
+		workloads = append(workloads, workload{name, items, fns, d})
+	}
+	add("indep-2d", dataset.Independent(120, 2, 1), dataset.Functions(30, 2, 2), 2)
+	add("indep-3d", dataset.Independent(150, 3, 3), dataset.Functions(40, 3, 4), 3)
+	add("indep-4d", dataset.Independent(100, 4, 5), dataset.Functions(25, 4, 6), 4)
+	add("anti-3d", dataset.AntiCorrelated(120, 3, 7), dataset.Functions(30, 3, 8), 3)
+	add("corr-3d", dataset.Correlated(120, 3, 9), dataset.Functions(30, 3, 10), 3)
+	add("clustered-3d", dataset.Clustered(120, 3, 5, 11), dataset.Functions(30, 3, 12), 3)
+	add("zillow", dataset.Zillow(150, 13), dataset.Functions(30, dataset.ZillowDim, 14), dataset.ZillowDim)
+	add("ties-2d", gridItems(rng, 100, 2, 3), dataset.Functions(40, 2, 15), 2)
+	add("ties-3d", gridItems(rng, 150, 3, 3), dataset.Functions(35, 3, 16), 3)
+	add("more-funcs-than-objects", dataset.Independent(25, 3, 17), dataset.Functions(60, 3, 18), 3)
+	add("equal-sizes", dataset.Independent(40, 3, 19), dataset.Functions(40, 3, 20), 3)
+	add("single-object", dataset.Independent(1, 3, 21), dataset.Functions(10, 3, 22), 3)
+	add("single-function", dataset.Independent(50, 3, 23), dataset.Functions(1, 3, 24), 3)
+	add("skewed-funcs", dataset.Independent(100, 3, 25), dataset.SkewedFunctions(30, 3, 0.9, 26), 3)
+
+	type config struct {
+		name string
+		opts Options
+	}
+	configs := []config{
+		{"SB", Options{Algorithm: AlgSB}},
+		{"SB-retraverse", Options{Algorithm: AlgSB, SkylineMode: skyline.MaintainRetraverse}},
+		{"SB-recompute", Options{Algorithm: AlgSB, SkylineMode: skyline.MaintainRecompute}},
+		{"SB-singlepair", Options{Algorithm: AlgSB, DisableMultiPair: true}},
+		{"SB-naivethreshold", Options{Algorithm: AlgSB, DisableTightThreshold: true}},
+		{"BruteForce", Options{Algorithm: AlgBruteForce}},
+		{"Chain", Options{Algorithm: AlgChain}},
+	}
+
+	for _, w := range workloads {
+		want := oracle(w.items, w.fns)
+		for _, cfg := range configs {
+			t.Run(w.name+"/"+cfg.name, func(t *testing.T) {
+				tree := buildTree(t, w.items, w.d)
+				opts := cfg.opts
+				got, err := Match(tree, w.fns, &opts)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", w.name, cfg.name, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s: %d pairs, want %d", w.name, cfg.name, len(got), len(want))
+				}
+				if !pairSetEqual(got, want) {
+					t.Fatalf("%s/%s: matching differs from oracle\ngot:  %v\nwant: %v", w.name, cfg.name, got, want)
+				}
+			})
+		}
+	}
+}
+
+// Emission must be progressive and exact: Next returns pairs one at a time,
+// then reports completion, and keeps reporting completion afterwards.
+func TestProgressiveNext(t *testing.T) {
+	items := dataset.Independent(60, 3, 1)
+	fns := dataset.Functions(20, 3, 2)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		m, err := NewMatcher(tree, fns, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for {
+			_, ok, err := m.Next()
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if !ok {
+				break
+			}
+			count++
+			if count > len(fns) {
+				t.Fatalf("%v: emitted more pairs than functions", alg)
+			}
+		}
+		if count != 20 {
+			t.Fatalf("%v: %d pairs, want 20", alg, count)
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok, _ := m.Next(); ok {
+				t.Fatalf("%v: Next after completion returned a pair", alg)
+			}
+		}
+	}
+}
+
+// Two identical runs must produce the identical emission sequence (not just
+// the same set) — determinism matters for reproducible benchmarks.
+func TestDeterministicEmission(t *testing.T) {
+	items := dataset.AntiCorrelated(200, 3, 5)
+	fns := dataset.Functions(50, 3, 6)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		run := func() []Pair {
+			tree := buildTree(t, items, 3)
+			got, err := Match(tree, fns, &Options{Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return got
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", alg)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: emission %d differs: %v vs %v", alg, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestNewMatcherValidation(t *testing.T) {
+	items := dataset.Independent(10, 2, 1)
+	fns := dataset.Functions(5, 2, 2)
+	tree := buildTree(t, items, 2)
+
+	if _, err := NewMatcher(nil, fns, nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := NewMatcher(tree, nil, nil); err == nil {
+		t.Fatal("empty function set accepted")
+	}
+	bad := dataset.Functions(5, 3, 3) // wrong dimension
+	if _, err := NewMatcher(tree, bad, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	dup := []prefs.Function{
+		prefs.MustFunction(1, []float64{1, 1}),
+		prefs.MustFunction(1, []float64{2, 1}),
+	}
+	if _, err := NewMatcher(tree, dup, nil); err == nil {
+		t.Fatal("duplicate function IDs accepted")
+	}
+	if _, err := NewMatcher(tree, fns, &Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// The headline experimental claim (Fig. 2): SB incurs orders of magnitude
+// fewer I/O accesses than Brute Force and Chain.
+func TestSBDominatesBaselinesOnIO(t *testing.T) {
+	items := dataset.Independent(20000, 3, 1)
+	fns := dataset.Functions(400, 3, 2)
+	run := func(alg Algorithm) (*stats.Counters, []Pair) {
+		c := &stats.Counters{}
+		tree := buildTree(t, items, 3)
+		tree.SetCounters(c)
+		pairs, err := Match(tree, fns, &Options{Algorithm: alg, Counters: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, pairs
+	}
+	sbC, sbPairs := run(AlgSB)
+	bfC, bfPairs := run(AlgBruteForce)
+	chC, chPairs := run(AlgChain)
+	t.Logf("IO: SB=%d BF=%d Chain=%d", sbC.IOAccesses(), bfC.IOAccesses(), chC.IOAccesses())
+	t.Logf("top1: SB=%d BF=%d Chain=%d", sbC.Top1Searches, bfC.Top1Searches, chC.Top1Searches)
+	if !pairSetEqual(sbPairs, bfPairs) || !pairSetEqual(sbPairs, chPairs) {
+		t.Fatal("algorithms disagree on the matching")
+	}
+	if sbC.IOAccesses()*10 > bfC.IOAccesses() {
+		t.Fatalf("SB should beat BF by >10x on I/O: %d vs %d", sbC.IOAccesses(), bfC.IOAccesses())
+	}
+	if sbC.IOAccesses()*10 > chC.IOAccesses() {
+		t.Fatalf("SB should beat Chain by >10x on I/O: %d vs %d", sbC.IOAccesses(), chC.IOAccesses())
+	}
+	// Chain performs more top-1 searches than Brute Force (§ V).
+	if chC.Top1Searches <= bfC.Top1Searches {
+		t.Logf("note: Chain top-1 searches (%d) not above BF (%d) at this scale", chC.Top1Searches, bfC.Top1Searches)
+	}
+}
+
+// Multi-pair emission (§ IV-C) must reduce the number of loops (and thus
+// skyline-maintenance calls), without changing the matching.
+func TestMultiPairReducesLoops(t *testing.T) {
+	items := dataset.Independent(5000, 3, 3)
+	fns := dataset.Functions(200, 3, 4)
+	run := func(disable bool) (*stats.Counters, []Pair) {
+		c := &stats.Counters{}
+		tree := buildTree(t, items, 3)
+		tree.SetCounters(c)
+		pairs, err := Match(tree, fns, &Options{Algorithm: AlgSB, DisableMultiPair: disable, Counters: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, pairs
+	}
+	multi, mp := run(false)
+	single, sp := run(true)
+	if !pairSetEqual(mp, sp) {
+		t.Fatal("multi-pair changed the matching")
+	}
+	t.Logf("loops: multi=%d single=%d; updates: multi=%d single=%d",
+		multi.Loops, single.Loops, multi.SkylineUpdates, single.SkylineUpdates)
+	if multi.Loops > single.Loops {
+		t.Fatalf("multi-pair used more loops (%d) than single (%d)", multi.Loops, single.Loops)
+	}
+	if single.Loops != int64(len(sp)) {
+		t.Fatalf("single-pair mode must use one loop per pair: %d loops, %d pairs", single.Loops, len(sp))
+	}
+}
+
+// SB must not modify the object tree; BF and Chain consume it.
+func TestTreeMutationContract(t *testing.T) {
+	items := dataset.Independent(200, 3, 7)
+	fns := dataset.Functions(50, 3, 8)
+
+	tree := buildTree(t, items, 3)
+	if _, err := Match(tree, fns, &Options{Algorithm: AlgSB}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != len(items) {
+		t.Fatalf("SB modified the tree: %d items left", tree.Len())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []Algorithm{AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		if _, err := Match(tree, fns, &Options{Algorithm: alg}); err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != len(items)-len(fns) {
+			t.Fatalf("%v: tree has %d items, want %d", alg, tree.Len(), len(items)-len(fns))
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v left an invalid tree: %v", alg, err)
+		}
+	}
+}
+
+func TestCountersExposed(t *testing.T) {
+	items := dataset.Independent(100, 2, 9)
+	fns := dataset.Functions(20, 2, 10)
+	c := &stats.Counters{}
+	tree := buildTree(t, items, 2)
+	m, err := NewMatcher(tree, fns, &Options{Algorithm: AlgSB, Counters: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters() != c {
+		t.Fatal("Counters() does not return the configured sink")
+	}
+	if _, err := MatchAll(m); err != nil {
+		t.Fatal(err)
+	}
+	if c.PairsEmitted != 20 {
+		t.Fatalf("PairsEmitted = %d, want 20", c.PairsEmitted)
+	}
+	if c.SkylineUpdates == 0 || c.TAListAccesses == 0 {
+		t.Fatalf("SB work counters empty: %+v", c)
+	}
+}
+
+// Exhausting the objects (|O| < |F|) must leave the surplus functions
+// unmatched in every algorithm.
+func TestObjectExhaustion(t *testing.T) {
+	items := dataset.Independent(15, 3, 11)
+	fns := dataset.Functions(40, 3, 12)
+	want := oracle(items, fns)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		got, err := Match(tree, fns, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(got) != 15 {
+			t.Fatalf("%v: %d pairs, want 15", alg, len(got))
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: differs from oracle", alg)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		AlgSB: "SB", AlgBruteForce: "BruteForce", AlgChain: "Chain",
+	} {
+		if alg.String() != want {
+			t.Fatalf("%d.String() = %q", alg, alg.String())
+		}
+	}
+	if Algorithm(42).String() == "" {
+		t.Fatal("unknown algorithm must still render")
+	}
+}
+
+func TestPairString(t *testing.T) {
+	p := Pair{FuncID: 3, ObjID: 7, Score: 0.5}
+	if got := p.String(); got != "(f3, o7, 0.500000)" {
+		t.Fatalf("Pair.String() = %q", got)
+	}
+}
+
+// Fuzz-style randomized equivalence sweep: many small random instances,
+// seeds reported on failure for reproduction.
+func TestRandomizedEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		nObj := 5 + rng.Intn(120)
+		nFn := 1 + rng.Intn(60)
+		var items []rtree.Item
+		switch rng.Intn(4) {
+		case 0:
+			items = dataset.Independent(nObj, d, seed*31+1)
+		case 1:
+			items = dataset.AntiCorrelated(nObj, d, seed*31+2)
+		case 2:
+			items = gridItems(rng, nObj, d, 2+rng.Intn(4))
+		default:
+			items = dataset.Correlated(nObj, d, seed*31+3)
+		}
+		fns := dataset.Functions(nFn, d, seed*31+4)
+		want := oracle(items, fns)
+		for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+			tree := buildTree(t, items, d)
+			got, err := Match(tree, fns, &Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, alg, err)
+			}
+			if !pairSetEqual(got, want) {
+				t.Fatalf("seed %d %v: matching differs from oracle (d=%d, |O|=%d, |F|=%d)\ngot:  %v\nwant: %v",
+					seed, alg, d, nObj, nFn, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkMatchSmall(b *testing.B) {
+	items := dataset.Independent(2000, 3, 1)
+	fns := dataset.Functions(100, 3, 2)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tree := buildTree(b, items, 3)
+				b.StartTimer()
+				if _, err := Match(tree, fns, &Options{Algorithm: alg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug helpers

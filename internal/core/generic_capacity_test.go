@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+)
+
+// genericCapacitatedOracle extends the generic greedy reference with
+// per-object capacities.
+func genericCapacitatedOracle(objs []rtree.Item, gps []GenericPreference, caps map[rtree.ObjID]int) []Pair {
+	resid := make(map[rtree.ObjID]int, len(objs))
+	total := 0
+	for _, o := range objs {
+		c, ok := caps[o.ID]
+		if !ok {
+			c = 1
+		}
+		resid[o.ID] = c
+		total += c
+	}
+	aliveF := make([]bool, len(gps))
+	for i := range aliveF {
+		aliveF[i] = true
+	}
+	n := min(total, len(gps))
+	var out []Pair
+	for len(out) < n {
+		bf, bo := -1, -1
+		var bk prefs.PairKey
+		for fi := range gps {
+			if !aliveF[fi] {
+				continue
+			}
+			for oi := range objs {
+				if resid[objs[oi].ID] == 0 {
+					continue
+				}
+				k := prefs.PairKey{
+					Score:  gps[fi].Pref.Score(objs[oi].Point),
+					ObjSum: objs[oi].Point.Sum(),
+					FuncID: gps[fi].ID,
+					ObjID:  int(objs[oi].ID),
+				}
+				if bf == -1 || k.Better(bk) {
+					bf, bo, bk = fi, oi, k
+				}
+			}
+		}
+		aliveF[bf] = false
+		resid[objs[bo].ID]--
+		out = append(out, Pair{FuncID: gps[bf].ID, ObjID: objs[bo].ID, Score: bk.Score})
+	}
+	return out
+}
+
+func TestGenericCapacitatedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct {
+		name  string
+		items []rtree.Item
+		nPref int
+		d     int
+	}{
+		{"indep", dataset.Independent(50, 3, 22), 60, 3},
+		{"ties", gridItems(rng, 40, 2, 3), 55, 2},
+	} {
+		gps := mixedPreferences(rng, tc.nPref, tc.d)
+		caps := randomCapacities(rng, tc.items, 3)
+		want := genericCapacitatedOracle(tc.items, gps, caps)
+		for _, alg := range []Algorithm{AlgSB, AlgBruteForce} {
+			tree := buildTree(t, tc.items, tc.d)
+			got, err := MatchGeneric(tree, gps, &Options{Algorithm: alg, Capacities: caps})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, alg, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%v: %d pairs, want %d", tc.name, alg, len(got), len(want))
+			}
+			if !pairSetEqual(got, want) {
+				t.Fatalf("%s/%v: capacitated generic matching differs from oracle", tc.name, alg)
+			}
+		}
+	}
+}
+
+func TestGenericCapacityValidation(t *testing.T) {
+	items := dataset.Independent(10, 2, 23)
+	tree := buildTree(t, items, 2)
+	gps := mixedPreferences(rand.New(rand.NewSource(24)), 4, 2)
+	if _, err := NewGenericMatcher(tree, gps, &Options{Capacities: map[rtree.ObjID]int{1: 0}}); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/ta"
+)
+
+// sbMatcher is the paper's skyline-based algorithm (Algorithm 1 with the
+// § IV modules):
+//
+//  1. compute the skyline of O with BBS, tracking pruned entries;
+//  2. for every skyline object, find its best function by TA-based
+//     reverse top-1 over the coefficient lists (BestPair, § IV-A);
+//  3. report every pair (f, o) with o.fbest = f and f.obest = o — all are
+//     stable by Property 1 (§ IV-C); at least one always exists;
+//  4. remove the matched functions and objects, update the skyline through
+//     the pruned-entry lists (§ IV-B), and repeat.
+//
+// Between loops the matcher caches each skyline object's best function
+// (invalidated only when that function is assigned) and each candidate
+// function's best object (invalidated when that object is assigned, updated
+// when new objects enter the skyline), so per-loop work is proportional to
+// what actually changed.
+type sbMatcher struct {
+	tree  *rtree.Tree
+	fns   []prefs.Function
+	lists *ta.Lists
+	maint *skyline.Maintainer
+	c     *stats.Counters
+
+	multiPair bool
+	started   bool
+	done      bool
+	resid     *residual
+
+	// ocache maps a skyline object ID to its best function; entries exist
+	// for exactly the current skyline members.
+	ocache map[rtree.ObjID]obCache
+	// fcache maps a function index to its best object over the current
+	// skyline; entries may be stale-marked (valid=false) but never wrong.
+	fcache map[int]fnCache
+
+	queue []Pair // emitted but not yet returned by Next
+}
+
+type obCache struct {
+	fnIdx int
+	score float64
+}
+
+type fnCache struct {
+	obj   *skyline.Object
+	score float64
+	valid bool
+}
+
+func newSB(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Counters) (*sbMatcher, error) {
+	lists, err := ta.NewLists(fns, c)
+	if err != nil {
+		return nil, err
+	}
+	lists.TightThreshold = !opts.DisableTightThreshold
+	return &sbMatcher{
+		tree:      tree,
+		fns:       fns,
+		lists:     lists,
+		maint:     skyline.New(tree, opts.SkylineMode, c),
+		c:         c,
+		multiPair: !opts.DisableMultiPair,
+		resid:     newResidual(opts.Capacities),
+		ocache:    map[rtree.ObjID]obCache{},
+		fcache:    map[int]fnCache{},
+	}, nil
+}
+
+func (m *sbMatcher) Counters() *stats.Counters { return m.c }
+
+func (m *sbMatcher) Next() (Pair, bool, error) {
+	if len(m.queue) > 0 {
+		p := m.queue[0]
+		m.queue = m.queue[1:]
+		return p, true, nil
+	}
+	if m.done {
+		return Pair{}, false, nil
+	}
+	if !m.started {
+		if err := m.start(); err != nil {
+			return Pair{}, false, err
+		}
+	}
+	for len(m.queue) == 0 {
+		if m.lists.AliveCount() == 0 || m.maint.Size() == 0 {
+			m.done = true
+			return Pair{}, false, nil
+		}
+		if err := m.loop(); err != nil {
+			return Pair{}, false, err
+		}
+	}
+	p := m.queue[0]
+	m.queue = m.queue[1:]
+	return p, true, nil
+}
+
+// start computes the initial skyline and the best function of every member.
+func (m *sbMatcher) start() error {
+	if err := m.maint.Compute(); err != nil {
+		return err
+	}
+	for _, o := range m.maint.Skyline() {
+		idx, score, ok := m.lists.ReverseTop1(o.Point)
+		if !ok {
+			return fmt.Errorf("core: no functions for skyline object %d", o.ID)
+		}
+		m.ocache[o.ID] = obCache{fnIdx: idx, score: score}
+	}
+	m.started = true
+	return nil
+}
+
+// loop runs one iteration of Algorithm 1, emitting at least one stable pair
+// into the queue.
+func (m *sbMatcher) loop() error {
+	m.c.Loops++
+	sky := m.maint.Skyline()
+
+	// Fbest: the distinct best functions over the skyline, in deterministic
+	// (skyline discovery) order.
+	fbestOrder := make([]int, 0, len(sky))
+	inFbest := make(map[int]bool, len(sky))
+	for _, o := range sky {
+		oc, ok := m.ocache[o.ID]
+		if !ok {
+			return fmt.Errorf("core: missing ocache for skyline object %d", o.ID)
+		}
+		if !inFbest[oc.fnIdx] {
+			inFbest[oc.fnIdx] = true
+			fbestOrder = append(fbestOrder, oc.fnIdx)
+		}
+	}
+
+	// Ensure every f in Fbest has a valid best object over the skyline.
+	for _, fIdx := range fbestOrder {
+		fc, ok := m.fcache[fIdx]
+		if ok && fc.valid {
+			continue
+		}
+		best := (*skyline.Object)(nil)
+		bestScore := 0.0
+		f := m.fns[fIdx]
+		for _, o := range sky {
+			m.c.ScoreEvals++
+			s := f.Score(o.Point)
+			if best == nil || prefs.BetterObj(s, o.Sum, int(o.ID), bestScore, best.Sum, int(best.ID)) {
+				best, bestScore = o, s
+			}
+		}
+		m.fcache[fIdx] = fnCache{obj: best, score: bestScore, valid: true}
+	}
+
+	// Collect the mutually-best pairs (§ IV-C). Each is stable by
+	// Property 1. Without multi-pair (ablation), keep only the globally
+	// best one.
+	type matched struct {
+		fIdx  int
+		obj   *skyline.Object
+		score float64
+	}
+	var pairs []matched
+	for _, fIdx := range fbestOrder {
+		fc := m.fcache[fIdx]
+		if m.ocache[fc.obj.ID].fnIdx == fIdx {
+			pairs = append(pairs, matched{fIdx: fIdx, obj: fc.obj, score: fc.score})
+		}
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("core: no stable pair found in loop %d (invariant violation)", m.c.Loops)
+	}
+	// Order by the global pair order; the first element is the pair the
+	// plain greedy process would emit now.
+	sort.Slice(pairs, func(i, j int) bool {
+		a := prefs.PairKey{Score: pairs[i].score, ObjSum: pairs[i].obj.Sum, FuncID: m.fns[pairs[i].fIdx].ID, ObjID: int(pairs[i].obj.ID)}
+		b := prefs.PairKey{Score: pairs[j].score, ObjSum: pairs[j].obj.Sum, FuncID: m.fns[pairs[j].fIdx].ID, ObjID: int(pairs[j].obj.ID)}
+		return a.Better(b)
+	})
+	if !m.multiPair {
+		pairs = pairs[:1]
+	}
+
+	// Emit; remove functions always, objects only when their capacity is
+	// exhausted (the default capacity is 1, the paper's 1-1 model).
+	matchedFns := make(map[int]bool, len(pairs))
+	removedObjs := make([]rtree.ObjID, 0, len(pairs))
+	for _, p := range pairs {
+		m.queue = append(m.queue, Pair{FuncID: m.fns[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
+		m.c.PairsEmitted++
+		matchedFns[p.fIdx] = true
+		if err := m.lists.Remove(p.fIdx); err != nil {
+			return err
+		}
+		delete(m.fcache, p.fIdx)
+		if m.resid.take(p.obj.ID) {
+			removedObjs = append(removedObjs, p.obj.ID)
+			delete(m.ocache, p.obj.ID)
+		}
+		// A surviving object keeps its skyline slot; its ocache entry
+		// points at the just-matched function and is refreshed below.
+	}
+
+	// Skyline maintenance (§ IV-B): promote what the removed objects were
+	// exclusively dominating.
+	added, err := m.maint.Remove(removedObjs)
+	if err != nil {
+		return err
+	}
+
+	if m.lists.AliveCount() == 0 {
+		return nil
+	}
+
+	// Refresh ocache: objects whose best function was just assigned need a
+	// new reverse top-1; new skyline members need their first one.
+	for _, o := range m.maint.Skyline() {
+		oc, ok := m.ocache[o.ID]
+		if ok && !matchedFns[oc.fnIdx] {
+			continue
+		}
+		idx, score, okTA := m.lists.ReverseTop1(o.Point)
+		if !okTA {
+			return fmt.Errorf("core: function set exhausted with objects remaining")
+		}
+		m.ocache[o.ID] = obCache{fnIdx: idx, score: score}
+	}
+
+	// Refresh fcache: invalidate entries whose best object was assigned,
+	// then challenge the surviving entries with the newly promoted objects.
+	removedSet := make(map[rtree.ObjID]bool, len(removedObjs))
+	for _, id := range removedObjs {
+		removedSet[id] = true
+	}
+	for fIdx, fc := range m.fcache {
+		if !fc.valid {
+			continue
+		}
+		if removedSet[fc.obj.ID] {
+			fc.valid = false
+			m.fcache[fIdx] = fc
+			continue
+		}
+		for _, o := range added {
+			m.c.ScoreEvals++
+			s := m.fns[fIdx].Score(o.Point)
+			if prefs.BetterObj(s, o.Sum, int(o.ID), fc.score, fc.obj.Sum, int(fc.obj.ID)) {
+				fc.obj, fc.score = o, s
+			}
+		}
+		m.fcache[fIdx] = fc
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/vec"
+)
+
+// Adversarial chain workload: objects arranged so that best-partner chains
+// are long (each function's favourite object slightly prefers a different
+// function). Verifies Chain's stack/staleness handling under pressure.
+func TestChainLongChains(t *testing.T) {
+	const n = 60
+	items := make([]rtree.Item, n)
+	fns := make([]prefs.Function, n)
+	// Objects on a gentle gradient along dim 0 with a compensating dim 1,
+	// functions with weight vectors rotating between the dims: this creates
+	// many near-ties and long improvement chains.
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{frac, 1 - frac*frac}}
+		w := []float64{0.01 + frac, 1.01 - frac}
+		fns[i] = prefs.MustFunction(i, w)
+	}
+	want := oracle(items, fns)
+	tree := buildTree(t, items, 2)
+	got, err := Match(tree, fns, &Options{Algorithm: AlgChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairSetEqual(got, want) {
+		t.Fatal("chain matching differs from oracle on adversarial gradient")
+	}
+}
+
+// All objects identical: pure tie-breaking. Every algorithm must assign
+// functions to objects in (function ID, object ID) order.
+func TestAllIdenticalObjects(t *testing.T) {
+	const n = 30
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{0.5, 0.5}}
+	}
+	fns := dataset.Functions(n, 2, 99)
+	want := oracle(items, fns)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 2)
+		got, err := Match(tree, fns, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: differs from oracle on identical objects", alg)
+		}
+	}
+}
+
+// All functions identical: the object-side tie-break (sum, then ID) decides
+// everything.
+func TestAllIdenticalFunctions(t *testing.T) {
+	items := dataset.Independent(40, 3, 100)
+	fns := make([]prefs.Function, 15)
+	for i := range fns {
+		fns[i] = prefs.MustFunction(i, []float64{1, 1, 1})
+	}
+	want := oracle(items, fns)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		got, err := Match(tree, fns, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: differs from oracle on identical functions", alg)
+		}
+	}
+}
+
+// One-dimensional matching: degenerate but legal (weights normalise to 1.0,
+// so all functions are identical and the order is decided by object value).
+func TestOneDimensional(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]rtree.Item, 25)
+	for i := range items {
+		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{rng.Float64()}}
+	}
+	fns := make([]prefs.Function, 10)
+	for i := range fns {
+		fns[i] = prefs.MustFunction(i, []float64{1 + rng.Float64()})
+	}
+	want := oracle(items, fns)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 1)
+		got, err := Match(tree, fns, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: differs from oracle in 1-D", alg)
+		}
+	}
+}
+
+// Every combination of SB options must still match the oracle, with
+// capacities in play.
+func TestSBOptionMatrixWithCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := dataset.AntiCorrelated(90, 3, 9)
+	fns := dataset.Functions(70, 3, 10)
+	caps := randomCapacities(rng, items, 3)
+	want := capacitatedOracle(items, fns, caps)
+	for _, mode := range []skyline.Mode{skyline.MaintainPlist, skyline.MaintainRetraverse, skyline.MaintainRecompute} {
+		for _, multi := range []bool{false, true} {
+			for _, tight := range []bool{false, true} {
+				tree := buildTree(t, items, 3)
+				got, err := Match(tree, fns, &Options{
+					Algorithm:             AlgSB,
+					SkylineMode:           mode,
+					DisableMultiPair:      multi,
+					DisableTightThreshold: tight,
+					Capacities:            caps,
+				})
+				if err != nil {
+					t.Fatalf("mode=%v multi=%v tight=%v: %v", mode, multi, tight, err)
+				}
+				if !pairSetEqual(got, want) {
+					t.Fatalf("mode=%v multi=%v tight=%v: differs from oracle", mode, multi, tight)
+				}
+			}
+		}
+	}
+}
+
+// Interleaving Next calls with full drains must be stable: a matcher must
+// tolerate being drained in bursts.
+func TestBurstDraining(t *testing.T) {
+	items := dataset.Independent(120, 3, 11)
+	fns := dataset.Functions(50, 3, 12)
+	want := oracle(items, fns)
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+		tree := buildTree(t, items, 3)
+		m, err := NewMatcher(tree, fns, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Pair
+		burst := 1
+		for {
+			done := false
+			for i := 0; i < burst; i++ {
+				p, ok, err := m.Next()
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				if !ok {
+					done = true
+					break
+				}
+				got = append(got, p)
+			}
+			if done {
+				break
+			}
+			burst = burst*2 + 1
+		}
+		if !pairSetEqual(got, want) {
+			t.Fatalf("%v: burst draining corrupted the matching", alg)
+		}
+	}
+}
+
+// Large-scale smoke: a 50K-object, 1K-function SB run finishes quickly and
+// produces a verified matching (progressive check on a sample basis is too
+// slow at this size; we check structure and the first pairs against BF).
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large smoke skipped in -short mode")
+	}
+	items := dataset.Zillow(50000, 13)
+	fns := dataset.Functions(1000, dataset.ZillowDim, 14)
+	tree := buildTree(t, items, dataset.ZillowDim)
+	got, err := Match(tree, fns, &Options{Algorithm: AlgSB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fns) {
+		t.Fatalf("%d pairs", len(got))
+	}
+	usedF := map[int]bool{}
+	usedO := map[rtree.ObjID]bool{}
+	for _, p := range got {
+		if usedF[p.FuncID] || usedO[p.ObjID] {
+			t.Fatal("double assignment at scale")
+		}
+		usedF[p.FuncID] = true
+		usedO[p.ObjID] = true
+	}
+	// Emission is not globally score-sorted (multi-pair batches), but the
+	// first emitted pair must be the global maximum.
+	first := got[0]
+	for _, p := range got[1:] {
+		if p.Score > first.Score+1e-12 {
+			t.Fatalf("pair %v emitted after lower-scoring first %v", p, first)
+		}
+	}
+}

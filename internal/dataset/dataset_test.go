@@ -1,0 +1,364 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func inUnitCube(t *testing.T, name string, pts [][]float64) {
+	t.Helper()
+	for i, p := range pts {
+		for j, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s: point %d dim %d out of range: %v", name, i, j, v)
+			}
+		}
+	}
+}
+
+// pearson computes the sample correlation between two attribute columns.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func columns(items []itemLike, d int) [][]float64 {
+	cols := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		cols[j] = make([]float64, len(items))
+		for i := range items {
+			cols[j][i] = items[i].pt()[j]
+		}
+	}
+	return cols
+}
+
+type itemLike interface{ pt() []float64 }
+
+func TestIndependentBasics(t *testing.T) {
+	items := Independent(5000, 4, 1)
+	if len(items) != 5000 {
+		t.Fatalf("len = %d", len(items))
+	}
+	pts := make([][]float64, len(items))
+	ids := map[int32]bool{}
+	for i, it := range items {
+		pts[i] = it.Point
+		if len(it.Point) != 4 {
+			t.Fatalf("dimension = %d", len(it.Point))
+		}
+		if ids[int32(it.ID)] {
+			t.Fatalf("duplicate ID %d", it.ID)
+		}
+		ids[int32(it.ID)] = true
+	}
+	inUnitCube(t, "independent", pts)
+	// Pairwise correlation should be near zero.
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			xs := make([]float64, len(items))
+			ys := make([]float64, len(items))
+			for i := range items {
+				xs[i], ys[i] = items[i].Point[a], items[i].Point[b]
+			}
+			if r := pearson(xs, ys); math.Abs(r) > 0.06 {
+				t.Fatalf("independent dims %d,%d correlated: r=%v", a, b, r)
+			}
+		}
+	}
+}
+
+func TestAntiCorrelatedHasNegativeCorrelation(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 6} {
+		items := AntiCorrelated(5000, d, 7)
+		pts := make([][]float64, len(items))
+		for i, it := range items {
+			pts[i] = it.Point
+		}
+		inUnitCube(t, "anti", pts)
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				xs := make([]float64, len(items))
+				ys := make([]float64, len(items))
+				for i := range items {
+					xs[i], ys[i] = items[i].Point[a], items[i].Point[b]
+				}
+				if r := pearson(xs, ys); r >= -0.05 {
+					t.Fatalf("d=%d dims %d,%d not anti-correlated: r=%v", d, a, b, r)
+				}
+			}
+		}
+	}
+}
+
+func TestAntiCorrelatedSkylineIsLarge(t *testing.T) {
+	// The whole point of the anti-correlated workload: a much larger
+	// skyline than the independent one.
+	countSkyline := func(items []itemStub) int {
+		n := 0
+		for i := range items {
+			dominated := false
+			for j := range items {
+				if i == j {
+					continue
+				}
+				if dominates(items[j].p, items[i].p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				n++
+			}
+		}
+		return n
+	}
+	indep := Independent(2000, 3, 3)
+	anti := AntiCorrelated(2000, 3, 4)
+	si := make([]itemStub, len(indep))
+	sa := make([]itemStub, len(anti))
+	for i := range indep {
+		si[i] = itemStub{indep[i].Point}
+		sa[i] = itemStub{anti[i].Point}
+	}
+	ni, na := countSkyline(si), countSkyline(sa)
+	t.Logf("skyline sizes: independent=%d anti-correlated=%d", ni, na)
+	if na < 2*ni {
+		t.Fatalf("anti-correlated skyline (%d) should dwarf independent (%d)", na, ni)
+	}
+}
+
+type itemStub struct{ p []float64 }
+
+func (s itemStub) pt() []float64 { return s.p }
+
+func dominates(p, q []float64) bool {
+	strict := false
+	for i := range p {
+		if p[i] < q[i] {
+			return false
+		}
+		if p[i] > q[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+func TestCorrelatedHasPositiveCorrelation(t *testing.T) {
+	items := Correlated(4000, 3, 9)
+	pts := make([][]float64, len(items))
+	for i, it := range items {
+		pts[i] = it.Point
+	}
+	inUnitCube(t, "correlated", pts)
+	xs := make([]float64, len(items))
+	ys := make([]float64, len(items))
+	for i := range items {
+		xs[i], ys[i] = items[i].Point[0], items[i].Point[1]
+	}
+	if r := pearson(xs, ys); r < 0.5 {
+		t.Fatalf("correlated data has r=%v, want strong positive", r)
+	}
+}
+
+func TestClusteredStaysInRange(t *testing.T) {
+	items := Clustered(3000, 3, 8, 11)
+	pts := make([][]float64, len(items))
+	for i, it := range items {
+		pts[i] = it.Point
+	}
+	inUnitCube(t, "clustered", pts)
+	// k < 1 falls back to one cluster.
+	one := Clustered(100, 2, 0, 12)
+	if len(one) != 100 {
+		t.Fatal("clustered with k=0 failed")
+	}
+}
+
+func TestZillowShape(t *testing.T) {
+	items := Zillow(10000, 5)
+	if len(items) != 10000 {
+		t.Fatalf("len = %d", len(items))
+	}
+	pts := make([][]float64, len(items))
+	for i, it := range items {
+		if len(it.Point) != ZillowDim {
+			t.Fatalf("dimension = %d, want %d", len(it.Point), ZillowDim)
+		}
+		pts[i] = it.Point
+	}
+	inUnitCube(t, "zillow", pts)
+}
+
+func TestZillowIsDiscreteAndTieHeavy(t *testing.T) {
+	items := Zillow(5000, 6)
+	// Bathrooms (dim 0) and bedrooms (dim 1) must be discrete: few distinct
+	// values, many ties — the property that stresses top-1 search on the
+	// real data (Fig. 3 discussion).
+	for _, dim := range []int{0, 1} {
+		distinct := map[float64]int{}
+		for _, it := range items {
+			distinct[it.Point[dim]]++
+		}
+		if len(distinct) > 10 {
+			t.Fatalf("dim %d has %d distinct values; expected discrete attribute", dim, len(distinct))
+		}
+	}
+}
+
+func TestZillowCorrelations(t *testing.T) {
+	items := Zillow(8000, 7)
+	col := func(j int) []float64 {
+		xs := make([]float64, len(items))
+		for i := range items {
+			xs[i] = items[i].Point[j]
+		}
+		return xs
+	}
+	baths, beds, area := col(0), col(1), col(2)
+	price := col(3) // goodness: higher = cheaper
+	if r := pearson(baths, beds); r < 0.4 {
+		t.Fatalf("baths/beds correlation too weak: %v", r)
+	}
+	if r := pearson(beds, area); r < 0.3 {
+		t.Fatalf("beds/area correlation too weak: %v", r)
+	}
+	// Bigger homes cost more, so area-goodness and price-goodness (cheap-
+	// ness) must be negatively correlated.
+	if r := pearson(area, price); r > -0.3 {
+		t.Fatalf("area vs price-goodness should be strongly negative: %v", r)
+	}
+}
+
+func TestZillowSkew(t *testing.T) {
+	// The area distribution must be right-skewed (mean above median), like
+	// real sq-footage data.
+	items := Zillow(8000, 8)
+	vals := make([]float64, len(items))
+	for i := range items {
+		vals[i] = items[i].Point[2]
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	below := 0
+	for _, v := range vals {
+		if v < mean {
+			below++
+		}
+	}
+	// For a skewed distribution the median differs clearly from the mean.
+	frac := float64(below) / float64(len(vals))
+	if math.Abs(frac-0.5) < 0.01 {
+		t.Logf("note: area distribution looks symmetric (%.3f below mean)", frac)
+	}
+}
+
+func TestFunctionsAreNormalised(t *testing.T) {
+	fns := Functions(2000, 5, 13)
+	if len(fns) != 2000 {
+		t.Fatalf("len = %d", len(fns))
+	}
+	for i, f := range fns {
+		if f.ID != i {
+			t.Fatalf("IDs must be 0..n-1, got %d at %d", f.ID, i)
+		}
+		sum := 0.0
+		for _, w := range f.Weights {
+			if w < 0 {
+				t.Fatalf("negative weight in f%d", i)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("f%d weights sum to %v", i, sum)
+		}
+	}
+}
+
+func TestSkewedFunctionsConcentrate(t *testing.T) {
+	fns := SkewedFunctions(500, 4, 0.9, 14)
+	concentrated := 0
+	for _, f := range fns {
+		maxW := 0.0
+		for _, w := range f.Weights {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if maxW > 0.5 {
+			concentrated++
+		}
+	}
+	if concentrated < 400 {
+		t.Fatalf("only %d/500 functions concentrated", concentrated)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Independent(100, 3, 42)
+	b := Independent(100, 3, 42)
+	for i := range a {
+		if !a[i].Point.Equal(b[i].Point) {
+			t.Fatal("Independent not deterministic")
+		}
+	}
+	za := Zillow(100, 42)
+	zb := Zillow(100, 42)
+	for i := range za {
+		if !za[i].Point.Equal(zb[i].Point) {
+			t.Fatal("Zillow not deterministic")
+		}
+	}
+	fa := Functions(100, 3, 42)
+	fb := Functions(100, 3, 42)
+	for i := range fa {
+		if !fa[i].Weights.Equal(fb[i].Weights) {
+			t.Fatal("Functions not deterministic")
+		}
+	}
+	c := Independent(100, 3, 43)
+	same := true
+	for i := range a {
+		if !a[i].Point.Equal(c[i].Point) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestLogGoodness(t *testing.T) {
+	if logGoodness(100, 200, 400) != 0 {
+		t.Fatal("below lo must clamp to 0")
+	}
+	if logGoodness(500, 200, 400) != 1 {
+		t.Fatal("above hi must clamp to 1")
+	}
+	mid := logGoodness(math.Sqrt(200*400), 200, 400)
+	if math.Abs(mid-0.5) > 1e-9 {
+		t.Fatalf("geometric mid should map to 0.5, got %v", mid)
+	}
+}

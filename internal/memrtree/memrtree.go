@@ -1,0 +1,407 @@
+// Package memrtree implements the main-memory R-tree over preference-weight
+// vectors that the Chain matcher uses, following the paper's description of
+// the baseline: "Chain is an adaptation of [2], where the functions are
+// indexed by a main memory R-tree (built on their weights), and the nearest
+// neighbor module ... is replaced by top-1 search in the corresponding
+// R-tree [3]" (§ V).
+//
+// Because normalised weights sum to 1, the indexed points lie on a simplex —
+// an inherently anti-correlated set — so node MBRs overlap heavily and the
+// branch-and-bound reverse search prunes poorly. That is exactly the
+// weakness the paper attributes to Chain ("the efficiency of the function
+// R-tree it uses is limited, as the functions are anti-correlated"), and the
+// benchmarks reproduce it.
+package memrtree
+
+import (
+	"fmt"
+
+	"prefmatch/internal/pqueue"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Item is an indexed function: its position in the matcher's function slice,
+// its external ID (tie-break key), and its weight vector.
+type Item struct {
+	Idx     int
+	ID      int
+	Weights vec.Point
+}
+
+// DefaultMaxEntries is the default node fan-out. In-memory trees favour a
+// moderate fan-out; the value is configurable for experiments.
+const DefaultMaxEntries = 32
+
+type entry struct {
+	rect  vec.Rect
+	child *node // internal entries
+	item  Item  // leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) mbr() vec.Rect {
+	r := n.entries[0].rect.Clone()
+	for i := 1; i < len(n.entries); i++ {
+		r.ExpandRect(n.entries[i].rect)
+	}
+	return r
+}
+
+// Tree is a main-memory R-tree over weight vectors. Not safe for concurrent
+// use.
+type Tree struct {
+	dim        int
+	root       *node
+	size       int
+	maxEntries int
+	minEntries int
+	c          *stats.Counters
+}
+
+// New creates an empty tree for dim-dimensional weight vectors. maxEntries
+// <= 0 selects DefaultMaxEntries. A nil counters gets a private sink.
+func New(dim, maxEntries int, c *stats.Counters) (*Tree, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("memrtree: dimension %d < 1", dim)
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("memrtree: max entries %d < 4", maxEntries)
+	}
+	if c == nil {
+		c = &stats.Counters{}
+	}
+	return &Tree{
+		dim:        dim,
+		maxEntries: maxEntries,
+		minEntries: max(1, min(maxEntries*2/5, maxEntries/2)),
+		c:          c,
+	}, nil
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an item.
+func (t *Tree) Insert(it Item) error {
+	if len(it.Weights) != t.dim {
+		return fmt.Errorf("memrtree: inserting dimension %d into dimension-%d tree", len(it.Weights), t.dim)
+	}
+	e := entry{rect: vec.RectFromPoint(it.Weights), item: it}
+	if t.root == nil {
+		t.root = &node{leaf: true, entries: []entry{e}}
+		t.size++
+		return nil
+	}
+	split := t.insertAt(t.root, e)
+	if split != nil {
+		old := entry{rect: t.root.mbr(), child: t.root}
+		t.root = &node{leaf: false, entries: []entry{old, *split}}
+	}
+	t.size++
+	return nil
+}
+
+func (t *Tree) insertAt(n *node, e entry) *entry {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.split(n)
+		}
+		return nil
+	}
+	best := -1
+	var bestEnl, bestArea float64
+	for i := range n.entries {
+		enl := n.entries[i].rect.EnlargementRect(e.rect)
+		area := n.entries[i].rect.Area()
+		if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	split := t.insertAt(n.entries[best].child, e)
+	n.entries[best].rect = n.entries[best].child.mbr()
+	if split != nil {
+		n.entries = append(n.entries, *split)
+		if len(n.entries) > t.maxEntries {
+			return t.split(n)
+		}
+	}
+	return nil
+}
+
+// split distributes n's entries via Guttman's quadratic split; n keeps the
+// left group and the returned entry points at a new right sibling.
+func (t *Tree) split(n *node) *entry {
+	ents := n.entries
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			u := ents[i].rect.Union(ents[j].rect)
+			waste := u.Area() - ents[i].rect.Area() - ents[j].rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	left := []entry{ents[s1]}
+	right := []entry{ents[s2]}
+	leftRect := ents[s1].rect.Clone()
+	rightRect := ents[s2].rect.Clone()
+	var remaining []entry
+	for i := range ents {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, ents[i])
+		}
+	}
+	for len(remaining) > 0 {
+		if len(left)+len(remaining) == t.minEntries {
+			left = append(left, remaining...)
+			break
+		}
+		if len(right)+len(remaining) == t.minEntries {
+			right = append(right, remaining...)
+			break
+		}
+		bestIdx, bestDiff := -1, -1.0
+		var d1b, d2b float64
+		for i := range remaining {
+			d1 := leftRect.EnlargementRect(remaining[i].rect)
+			d2 := rightRect.EnlargementRect(remaining[i].rect)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx, d1b, d2b = diff, i, d1, d2
+			}
+		}
+		e := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		toLeft := d1b < d2b || (d1b == d2b && (leftRect.Area() < rightRect.Area() ||
+			(leftRect.Area() == rightRect.Area() && len(left) <= len(right))))
+		if toLeft {
+			left = append(left, e)
+			leftRect.ExpandRect(e.rect)
+		} else {
+			right = append(right, e)
+			rightRect.ExpandRect(e.rect)
+		}
+	}
+	n.entries = left
+	sibling := &node{leaf: n.leaf, entries: right}
+	return &entry{rect: sibling.mbr(), child: sibling}
+}
+
+// Delete removes the item at function index idx with the given weights.
+// Underflowing nodes are dissolved and their items re-inserted.
+func (t *Tree) Delete(idx int, w vec.Point) error {
+	if t.root == nil {
+		return fmt.Errorf("memrtree: delete from empty tree")
+	}
+	var orphans []Item
+	found, _ := t.deleteRec(t.root, idx, w, &orphans)
+	if !found {
+		return fmt.Errorf("memrtree: item %d not found", idx)
+	}
+	t.size--
+	for t.root != nil && !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if t.root != nil && t.root.leaf && len(t.root.entries) == 0 {
+		t.root = nil
+	}
+	for _, it := range orphans {
+		e := entry{rect: vec.RectFromPoint(it.Weights), item: it}
+		if t.root == nil {
+			t.root = &node{leaf: true, entries: []entry{e}}
+			continue
+		}
+		if split := t.insertAt(t.root, e); split != nil {
+			old := entry{rect: t.root.mbr(), child: t.root}
+			t.root = &node{leaf: false, entries: []entry{old, *split}}
+		}
+	}
+	return nil
+}
+
+// deleteRec removes the item from the subtree under n, reporting whether it
+// was found and whether n underflowed (caller dissolves it).
+func (t *Tree) deleteRec(n *node, idx int, w vec.Point, orphans *[]Item) (found, underflow bool) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].item.Idx == idx && n.entries[i].item.Weights.Equal(w) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true, n != t.root && len(n.entries) < t.minEntries
+			}
+		}
+		return false, false
+	}
+	for i := 0; i < len(n.entries); i++ {
+		if !n.entries[i].rect.ContainsPoint(w) {
+			continue
+		}
+		child := n.entries[i].child
+		f, uf := t.deleteRec(child, idx, w, orphans)
+		if !f {
+			continue
+		}
+		if uf {
+			t.collectItems(child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = child.mbr()
+		}
+		return true, n != t.root && len(n.entries) < t.minEntries
+	}
+	return false, false
+}
+
+func (t *Tree) collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		for i := range n.entries {
+			*out = append(*out, n.entries[i].item)
+		}
+		return
+	}
+	for i := range n.entries {
+		t.collectItems(n.entries[i].child, out)
+	}
+}
+
+// searchItem is the branch-and-bound frontier element of BestFor.
+type searchItem struct {
+	bound  float64
+	isItem bool
+	item   Item
+	node   *node
+	seq    int // deterministic node tie-break
+}
+
+// BestFor returns the indexed function that scores object point o highest
+// (object-side order: score desc, then smaller function ID), with ok ==
+// false when the tree is empty. The bound of a node with weight MBR [lo,hi]
+// is Σ hiᵢ·oᵢ, which ignores the Σα = 1 constraint but is a valid upper
+// bound because o is non-negative.
+func (t *Tree) BestFor(o vec.Point) (Item, float64, bool) {
+	if len(o) != t.dim {
+		panic(fmt.Sprintf("memrtree: object dimension %d, tree dimension %d", len(o), t.dim))
+	}
+	if t.root == nil {
+		return Item{}, 0, false
+	}
+	t.c.Top1Searches++
+	seq := 0
+	h := pqueue.New(func(a, b searchItem) bool {
+		if a.bound != b.bound {
+			return a.bound > b.bound
+		}
+		if a.isItem != b.isItem {
+			return !a.isItem // nodes first: they may hide an equal-score, smaller-ID item
+		}
+		if a.isItem {
+			return a.item.ID < b.item.ID
+		}
+		return a.seq < b.seq
+	})
+	h.SetCounters(t.c)
+	score := func(w vec.Point) float64 {
+		t.c.ScoreEvals++
+		s := 0.0
+		for i := range w {
+			s += w[i] * o[i]
+		}
+		return s
+	}
+	h.Push(searchItem{bound: 1e300, node: t.root, seq: seq})
+	for {
+		top, ok := h.Pop()
+		if !ok {
+			return Item{}, 0, false
+		}
+		if top.isItem {
+			return top.item, top.bound, true
+		}
+		for i := range top.node.entries {
+			e := &top.node.entries[i]
+			if top.node.leaf {
+				h.Push(searchItem{bound: score(e.item.Weights), isItem: true, item: e.item})
+			} else {
+				seq++
+				h.Push(searchItem{bound: score(e.rect.Hi), node: e.child, seq: seq})
+			}
+		}
+	}
+}
+
+// Items returns all indexed items (test helper).
+func (t *Tree) Items() []Item {
+	var out []Item
+	if t.root != nil {
+		t.collectItems(t.root, &out)
+	}
+	return out
+}
+
+// Validate checks structural invariants (test helper): tight MBRs, uniform
+// leaf depth, occupancy bounds, and size consistency.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("memrtree: nil root with size %d", t.size)
+		}
+		return nil
+	}
+	count := 0
+	var depthSeen = -1
+	var walk func(n *node, depth int) (vec.Rect, error)
+	walk = func(n *node, depth int) (vec.Rect, error) {
+		if len(n.entries) == 0 {
+			return vec.Rect{}, fmt.Errorf("memrtree: empty node at depth %d", depth)
+		}
+		if len(n.entries) > t.maxEntries {
+			return vec.Rect{}, fmt.Errorf("memrtree: node overflow %d", len(n.entries))
+		}
+		if n != t.root && len(n.entries) < t.minEntries {
+			return vec.Rect{}, fmt.Errorf("memrtree: node underfull %d < %d", len(n.entries), t.minEntries)
+		}
+		if n.leaf {
+			if depthSeen == -1 {
+				depthSeen = depth
+			} else if depth != depthSeen {
+				return vec.Rect{}, fmt.Errorf("memrtree: leaves at depths %d and %d", depthSeen, depth)
+			}
+			count += len(n.entries)
+			return n.mbr(), nil
+		}
+		for i := range n.entries {
+			childRect, err := walk(n.entries[i].child, depth+1)
+			if err != nil {
+				return vec.Rect{}, err
+			}
+			if !childRect.Equal(n.entries[i].rect) {
+				return vec.Rect{}, fmt.Errorf("memrtree: loose MBR at depth %d entry %d", depth, i)
+			}
+		}
+		return n.mbr(), nil
+	}
+	if _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("memrtree: size %d but %d items stored", t.size, count)
+	}
+	return nil
+}

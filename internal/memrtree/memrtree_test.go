@@ -1,0 +1,294 @@
+package memrtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// simplexWeights generates normalised weight vectors, as the matcher indexes.
+func simplexWeights(rng *rand.Rand, n, d int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.Float64()
+		}
+		w[rng.Intn(d)] += 0.01
+		f := prefs.MustFunction(i, w)
+		items[i] = Item{Idx: i, ID: i, Weights: f.Weights}
+	}
+	return items
+}
+
+func mustTree(t *testing.T, d int) *Tree {
+	t.Helper()
+	tr, err := New(d, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, nil); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	if _, err := New(2, 2, nil); err == nil {
+		t.Fatal("fan-out 2 accepted")
+	}
+}
+
+func TestInsertAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{2, 3, 5} {
+		tr := mustTree(t, d)
+		items := simplexWeights(rng, 500, d)
+		for _, it := range items {
+			if err := tr.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != len(items) {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		got := tr.Items()
+		sort.Slice(got, func(i, j int) bool { return got[i].Idx < got[j].Idx })
+		if len(got) != len(items) {
+			t.Fatalf("stored %d items", len(got))
+		}
+		for i := range got {
+			if got[i].Idx != items[i].Idx || !got[i].Weights.Equal(items[i].Weights) {
+				t.Fatalf("item %d corrupted", i)
+			}
+		}
+	}
+}
+
+func TestInsertWrongDimension(t *testing.T) {
+	tr := mustTree(t, 3)
+	if err := tr.Insert(Item{Idx: 0, Weights: vec.Point{1, 0}}); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
+func TestBestForMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{2, 3, 4} {
+		tr := mustTree(t, d)
+		items := simplexWeights(rng, 400, d)
+		for _, it := range items {
+			if err := tr.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 100; trial++ {
+			o := make(vec.Point, d)
+			for i := range o {
+				o[i] = rng.Float64()
+			}
+			got, gotScore, ok := tr.BestFor(o)
+			if !ok {
+				t.Fatal("BestFor found nothing")
+			}
+			best := -1
+			bestScore := 0.0
+			for i, it := range items {
+				s := 0.0
+				for j := range o {
+					s += it.Weights[j] * o[j]
+				}
+				if best < 0 || prefs.BetterFunc(s, it.ID, bestScore, items[best].ID) {
+					best, bestScore = i, s
+				}
+			}
+			if got.Idx != items[best].Idx || math.Abs(gotScore-bestScore) > 1e-12 {
+				t.Fatalf("d=%d trial %d: got f%d (%v), want f%d (%v)", d, trial, got.Idx, gotScore, items[best].Idx, bestScore)
+			}
+		}
+	}
+}
+
+func TestBestForEmptyTree(t *testing.T) {
+	tr := mustTree(t, 2)
+	if _, _, ok := tr.BestFor(vec.Point{0.5, 0.5}); ok {
+		t.Fatal("result from empty tree")
+	}
+}
+
+func TestBestForDimensionPanic(t *testing.T) {
+	tr := mustTree(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.BestFor(vec.Point{1})
+}
+
+func TestBestForTieBreakByID(t *testing.T) {
+	tr := mustTree(t, 2)
+	// Identical weights, different IDs: smaller ID must win.
+	w := prefs.MustFunction(0, []float64{1, 1}).Weights
+	for _, id := range []int{9, 4, 7} {
+		if err := tr.Insert(Item{Idx: id, ID: id, Weights: w.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, _, ok := tr.BestFor(vec.Point{0.5, 0.5})
+	if !ok || it.ID != 4 {
+		t.Fatalf("tie-break winner = %d, want 4", it.ID)
+	}
+}
+
+func TestDeleteAndSearchInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := mustTree(t, 3)
+	items := simplexWeights(rng, 300, 3)
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alive := make([]bool, len(items))
+	for i := range alive {
+		alive[i] = true
+	}
+	liveCount := len(items)
+	for step := 0; liveCount > 0; step++ {
+		o := make(vec.Point, 3)
+		for i := range o {
+			o[i] = rng.Float64()
+		}
+		got, gotScore, ok := tr.BestFor(o)
+		if !ok {
+			t.Fatalf("step %d: empty result with %d live", step, liveCount)
+		}
+		best := -1
+		bestScore := 0.0
+		for i, it := range items {
+			if !alive[i] {
+				continue
+			}
+			s := 0.0
+			for j := range o {
+				s += it.Weights[j] * o[j]
+			}
+			if best < 0 || prefs.BetterFunc(s, it.ID, bestScore, items[best].ID) {
+				best, bestScore = i, s
+			}
+		}
+		if got.Idx != items[best].Idx || math.Abs(gotScore-bestScore) > 1e-12 {
+			t.Fatalf("step %d: got f%d (%v), want f%d (%v)", step, got.Idx, gotScore, items[best].Idx, bestScore)
+		}
+		// Delete the winner (as Chain does after matching it).
+		if err := tr.Delete(got.Idx, got.Weights); err != nil {
+			t.Fatal(err)
+		}
+		alive[got.Idx] = false
+		liveCount--
+		if step%37 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	tr := mustTree(t, 2)
+	if err := tr.Delete(0, vec.Point{0.5, 0.5}); err == nil {
+		t.Fatal("delete from empty tree accepted")
+	}
+	if err := tr.Insert(Item{Idx: 1, ID: 1, Weights: vec.Point{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(2, vec.Point{0.5, 0.5}); err == nil {
+		t.Fatal("deleting absent idx accepted")
+	}
+	if err := tr.Delete(1, vec.Point{0.4, 0.6}); err == nil {
+		t.Fatal("deleting wrong point accepted")
+	}
+	if err := tr.Delete(1, vec.Point{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Len after delete != 0")
+	}
+}
+
+func TestRandomChurnModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := mustTree(t, 2)
+	model := map[int]vec.Point{}
+	next := 0
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(100) < 55 || len(model) == 0 {
+			w := prefs.MustFunction(next, []float64{rng.Float64() + 0.01, rng.Float64() + 0.01}).Weights
+			if err := tr.Insert(Item{Idx: next, ID: next, Weights: w}); err != nil {
+				t.Fatal(err)
+			}
+			model[next] = w
+			next++
+		} else {
+			var idx int
+			k := rng.Intn(len(model))
+			for cand := range model {
+				if k == 0 {
+					idx = cand
+					break
+				}
+				k--
+			}
+			if err := tr.Delete(idx, model[idx]); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			delete(model, idx)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d model=%d", step, tr.Len(), len(model))
+		}
+		if step%500 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := &stats.Counters{}
+	tr, err := New(3, 0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range simplexWeights(rand.New(rand.NewSource(5)), 100, 3) {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.BestFor(vec.Point{0.2, 0.3, 0.5})
+	if c.Top1Searches != 1 {
+		t.Fatalf("Top1Searches = %d", c.Top1Searches)
+	}
+	if c.ScoreEvals == 0 || c.HeapOps == 0 {
+		t.Fatalf("work counters not incremented: %+v", c)
+	}
+}

@@ -1,0 +1,144 @@
+// Package pagedfile simulates the disk underneath the object R-tree: a flat
+// file of fixed-size pages with physical read/write accounting.
+//
+// The paper stores the object set in an R-tree "with 4 KBytes page size" and
+// reports "I/O accesses" — page transfers that are not absorbed by an LRU
+// buffer. This package provides the page store; package buffer provides the
+// LRU layer on top. Keeping the two separate lets tests assert the exact
+// number of physical transfers that each algorithm causes.
+//
+// Pages live in memory (the benchmark machine easily holds them), but every
+// Read/Write is counted and every page boundary is enforced, so the I/O
+// metric is identical to what an on-disk implementation would measure.
+package pagedfile
+
+import (
+	"errors"
+	"fmt"
+
+	"prefmatch/internal/stats"
+)
+
+// DefaultPageSize is the page size used throughout the reproduction,
+// matching the paper's 4 KiB setting.
+const DefaultPageSize = 4096
+
+// PageID identifies a page within a Store. Valid IDs are >= 0.
+type PageID int32
+
+// InvalidPage is the sentinel "no page" value.
+const InvalidPage PageID = -1
+
+// ErrPageOutOfRange is returned when a page ID does not exist in the store.
+var ErrPageOutOfRange = errors.New("pagedfile: page out of range")
+
+// ErrPageFreed is returned when accessing a page that has been freed.
+var ErrPageFreed = errors.New("pagedfile: page is freed")
+
+// Store is an append-allocated collection of fixed-size pages with a free
+// list. It is not safe for concurrent use, mirroring the single-threaded
+// query processing of the paper.
+type Store struct {
+	pageSize int
+	pages    [][]byte
+	freed    []bool
+	freeList []PageID
+	counters *stats.Counters
+}
+
+// New returns an empty store with the given page size. A nil counters is
+// replaced by a private one so callers may always omit it.
+func New(pageSize int, counters *stats.Counters) *Store {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("pagedfile: non-positive page size %d", pageSize))
+	}
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	return &Store{pageSize: pageSize, counters: counters}
+}
+
+// PageSize returns the size in bytes of every page in the store.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// NumPages returns the number of allocated (live) pages.
+func (s *Store) NumPages() int { return len(s.pages) - len(s.freeList) }
+
+// Capacity returns the total number of page slots ever allocated, including
+// freed ones. It is the extent of the underlying file.
+func (s *Store) Capacity() int { return len(s.pages) }
+
+// Counters returns the counter sink the store reports physical I/O to.
+func (s *Store) Counters() *stats.Counters { return s.counters }
+
+// SetCounters redirects physical I/O accounting to c (must be non-nil).
+func (s *Store) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("pagedfile: nil counters")
+	}
+	s.counters = c
+}
+
+// Alloc allocates a zeroed page and returns its ID. Freed pages are reused
+// before the file is extended, as a real page manager would.
+func (s *Store) Alloc() PageID {
+	if n := len(s.freeList); n > 0 {
+		id := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		s.freed[id] = false
+		clear(s.pages[id])
+		return id
+	}
+	s.pages = append(s.pages, make([]byte, s.pageSize))
+	s.freed = append(s.freed, false)
+	return PageID(len(s.pages) - 1)
+}
+
+// Free returns a page to the free list. Accessing a freed page fails until
+// the slot is re-allocated.
+func (s *Store) Free(id PageID) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	s.freed[id] = true
+	s.freeList = append(s.freeList, id)
+	return nil
+}
+
+// Read copies the content of page id into dst, which must be exactly one
+// page long. Each call counts as one physical read.
+func (s *Store) Read(id PageID, dst []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	if len(dst) != s.pageSize {
+		return fmt.Errorf("pagedfile: read buffer is %d bytes, want %d", len(dst), s.pageSize)
+	}
+	s.counters.PageReads++
+	copy(dst, s.pages[id])
+	return nil
+}
+
+// Write stores src (exactly one page) as the content of page id. Each call
+// counts as one physical write.
+func (s *Store) Write(id PageID, src []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	if len(src) != s.pageSize {
+		return fmt.Errorf("pagedfile: write buffer is %d bytes, want %d", len(src), s.pageSize)
+	}
+	s.counters.PageWrites++
+	copy(s.pages[id], src)
+	return nil
+}
+
+func (s *Store) check(id PageID) error {
+	if id < 0 || int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: %d (capacity %d)", ErrPageOutOfRange, id, len(s.pages))
+	}
+	if s.freed[id] {
+		return fmt.Errorf("%w: %d", ErrPageFreed, id)
+	}
+	return nil
+}

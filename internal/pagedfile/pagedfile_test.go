@@ -1,0 +1,184 @@
+package pagedfile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"prefmatch/internal/stats"
+)
+
+func TestAllocSequentialIDs(t *testing.T) {
+	s := New(64, nil)
+	for i := 0; i < 5; i++ {
+		if id := s.Alloc(); id != PageID(i) {
+			t.Fatalf("alloc %d returned id %d", i, id)
+		}
+	}
+	if s.NumPages() != 5 || s.Capacity() != 5 {
+		t.Fatalf("NumPages=%d Capacity=%d, want 5/5", s.NumPages(), s.Capacity())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := New(32, nil)
+	id := s.Alloc()
+	src := bytes.Repeat([]byte{0xAB}, 32)
+	if err := s.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 32)
+	if err := s.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("read returned different bytes than written")
+	}
+}
+
+func TestReadReturnsCopyNotAlias(t *testing.T) {
+	s := New(16, nil)
+	id := s.Alloc()
+	src := bytes.Repeat([]byte{1}, 16)
+	if err := s.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 16)
+	if err := s.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	dst[0] = 99
+	dst2 := make([]byte, 16)
+	if err := s.Read(id, dst2); err != nil {
+		t.Fatal(err)
+	}
+	if dst2[0] != 1 {
+		t.Fatal("mutating a read buffer corrupted the store")
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	s := New(16, nil)
+	id := s.Alloc()
+	src := bytes.Repeat([]byte{7}, 16)
+	if err := s.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 42 // mutating the caller's buffer must not affect the page
+	dst := make([]byte, 16)
+	if err := s.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 7 {
+		t.Fatal("store aliases the caller's write buffer")
+	}
+}
+
+func TestIOCounting(t *testing.T) {
+	c := &stats.Counters{}
+	s := New(16, c)
+	id := s.Alloc()
+	buf := make([]byte, 16)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.PageWrites != 3 || c.PageReads != 5 {
+		t.Fatalf("counters reads=%d writes=%d, want 5/3", c.PageReads, c.PageWrites)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := New(16, nil)
+	a := s.Alloc()
+	b := s.Alloc()
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPages() != 1 {
+		t.Fatalf("NumPages = %d after free, want 1", s.NumPages())
+	}
+	buf := make([]byte, 16)
+	if err := s.Read(a, buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("read of freed page: %v, want ErrPageFreed", err)
+	}
+	if err := s.Write(a, buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("write of freed page: %v, want ErrPageFreed", err)
+	}
+	// Reuse must hand back the freed slot, zeroed.
+	if err := s.Write(b, bytes.Repeat([]byte{9}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Alloc()
+	if c != a {
+		t.Fatalf("expected freed page %d to be reused, got %d", a, c)
+	}
+	if err := s.Read(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range buf {
+		if x != 0 {
+			t.Fatal("reused page was not zeroed")
+		}
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	s := New(16, nil)
+	buf := make([]byte, 16)
+	if err := s.Read(0, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("read: %v, want ErrPageOutOfRange", err)
+	}
+	if err := s.Write(InvalidPage, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("write: %v, want ErrPageOutOfRange", err)
+	}
+	if err := s.Free(3); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("free: %v, want ErrPageOutOfRange", err)
+	}
+}
+
+func TestBufferSizeMismatch(t *testing.T) {
+	s := New(16, nil)
+	id := s.Alloc()
+	if err := s.Read(id, make([]byte, 15)); err == nil {
+		t.Fatal("short read buffer must error")
+	}
+	if err := s.Write(id, make([]byte, 17)); err == nil {
+		t.Fatal("long write buffer must error")
+	}
+}
+
+func TestSetCounters(t *testing.T) {
+	s := New(16, nil)
+	id := s.Alloc()
+	c := &stats.Counters{}
+	s.SetCounters(c)
+	if s.Counters() != c {
+		t.Fatal("Counters getter mismatch")
+	}
+	_ = s.Write(id, make([]byte, 16))
+	if c.PageWrites != 1 {
+		t.Fatal("redirected counters not used")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCounters(nil) must panic")
+		}
+	}()
+	s.SetCounters(nil)
+}
+
+func TestNewPanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for page size 0")
+		}
+	}()
+	New(0, nil)
+}

@@ -1,0 +1,113 @@
+// Package pqueue provides a small generic binary heap. It backs the
+// best-first traversals in this repository: the BBS skyline heap (keyed by
+// distance to the best corner), the branch-and-bound ranked search heap
+// (keyed by score upper bound), and the matchers' best-pair heaps.
+package pqueue
+
+import "prefmatch/internal/stats"
+
+// Queue is a binary heap ordered by the less function supplied at
+// construction: Pop returns the element for which less ranks first
+// (i.e. less defines "higher priority"). The zero value is not usable;
+// construct with New.
+type Queue[T any] struct {
+	items    []T
+	less     func(a, b T) bool
+	counters *stats.Counters
+}
+
+// New returns an empty queue ordered by less.
+func New[T any](less func(a, b T) bool) *Queue[T] {
+	if less == nil {
+		panic("pqueue: nil less function")
+	}
+	return &Queue[T]{less: less}
+}
+
+// SetCounters makes the queue report HeapOps to c. Pass nil to disable.
+func (q *Queue[T]) SetCounters(c *stats.Counters) { q.counters = c }
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push adds v to the queue.
+func (q *Queue[T]) Push(v T) {
+	if q.counters != nil {
+		q.counters.HeapOps++
+	}
+	q.items = append(q.items, v)
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the highest-priority element. The boolean is false
+// when the queue is empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	n := len(q.items)
+	if n == 0 {
+		return zero, false
+	}
+	if q.counters != nil {
+		q.counters.HeapOps++
+	}
+	top := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items[n-1] = zero // release reference for GC
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the highest-priority element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Clear empties the queue, retaining allocated capacity.
+func (q *Queue[T]) Clear() {
+	var zero T
+	for i := range q.items {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+}
+
+// Items returns the internal slice in heap order (not sorted). It is meant
+// for draining-style inspection in tests; callers must not mutate it.
+func (q *Queue[T]) Items() []T { return q.items }
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.items[l], q.items[smallest]) {
+			smallest = l
+		}
+		if r < n && q.less(q.items[r], q.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

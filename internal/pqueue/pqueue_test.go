@@ -1,0 +1,169 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prefmatch/internal/stats"
+)
+
+func intMin(a, b int) bool { return a < b }
+
+func TestEmptyQueue(t *testing.T) {
+	q := New(intMin)
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue returned ok")
+	}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	q := New(intMin)
+	for _, v := range []int{5, 1, 4, 1, 3, 9, 2} {
+		q.Push(v)
+	}
+	want := []int{1, 1, 2, 3, 4, 5, 9}
+	for i, w := range want {
+		got, ok := q.Pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d = %d (%v), want %d", i, got, ok, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestMaxHeapOrdering(t *testing.T) {
+	q := New(func(a, b int) bool { return a > b })
+	for _, v := range []int{3, 7, 1} {
+		q.Push(v)
+	}
+	if top, _ := q.Pop(); top != 7 {
+		t.Fatalf("max-heap pop = %d, want 7", top)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New(intMin)
+	q.Push(2)
+	q.Push(1)
+	if v, _ := q.Peek(); v != 1 {
+		t.Fatalf("Peek = %d, want 1", v)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek changed length")
+	}
+}
+
+func TestInterleavedOperationsMatchSortedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := New(intMin)
+	var model []int
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(3) != 0 || len(model) == 0 {
+			v := rng.Intn(1000)
+			q.Push(v)
+			model = append(model, v)
+			sort.Ints(model)
+		} else {
+			got, ok := q.Pop()
+			if !ok {
+				t.Fatal("Pop failed with non-empty model")
+			}
+			if got != model[0] {
+				t.Fatalf("step %d: Pop = %d, model min = %d", step, got, model[0])
+			}
+			model = model[1:]
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("len mismatch: %d vs %d", q.Len(), len(model))
+		}
+	}
+}
+
+func TestStructElementsWithTieBreak(t *testing.T) {
+	type pair struct {
+		score float64
+		id    int
+	}
+	q := New(func(a, b pair) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.id < b.id
+	})
+	q.Push(pair{1.0, 3})
+	q.Push(pair{1.0, 1})
+	q.Push(pair{2.0, 9})
+	q.Push(pair{1.0, 2})
+	wantIDs := []int{9, 1, 2, 3}
+	for _, want := range wantIDs {
+		got, _ := q.Pop()
+		if got.id != want {
+			t.Fatalf("tie-break order wrong: got id %d, want %d", got.id, want)
+		}
+	}
+}
+
+func TestClearRetainsUsability(t *testing.T) {
+	q := New(intMin)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatal("Clear left elements")
+	}
+	q.Push(42)
+	if v, _ := q.Pop(); v != 42 {
+		t.Fatal("queue unusable after Clear")
+	}
+}
+
+func TestCountersTrackHeapOps(t *testing.T) {
+	c := &stats.Counters{}
+	q := New(intMin)
+	q.SetCounters(c)
+	q.Push(1)
+	q.Push(2)
+	q.Pop()
+	if c.HeapOps != 3 {
+		t.Fatalf("HeapOps = %d, want 3", c.HeapOps)
+	}
+	q.SetCounters(nil)
+	q.Push(3)
+	if c.HeapOps != 3 {
+		t.Fatal("disabled counters still incremented")
+	}
+}
+
+func TestNewPanicsOnNilLess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](nil)
+}
+
+func TestItemsExposesHeapContents(t *testing.T) {
+	q := New(intMin)
+	for _, v := range []int{4, 2, 7} {
+		q.Push(v)
+	}
+	items := append([]int(nil), q.Items()...)
+	sort.Ints(items)
+	want := []int{2, 4, 7}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("Items contents = %v, want %v", items, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package prefs
+
+import (
+	"fmt"
+	"math"
+
+	"prefmatch/internal/vec"
+)
+
+// This file provides non-linear monotone preferences. The paper's model
+// explicitly admits "any monotone function" (§ II); the SB matcher supports
+// these through the generic Preference interface (the TA module, which
+// requires linearity, is bypassed for them). They also serve as adversarial
+// inputs for the skyline property: the top-1 object of any monotone
+// preference must lie on the skyline.
+
+// CobbDouglas is the multiplicative preference Score(p) = Π (p[i]+ε)^w[i]
+// with non-negative exponents. It models diminishing returns: an object must
+// be balanced across attributes to score well. ε guards against zero
+// coordinates collapsing the product.
+type CobbDouglas struct {
+	ID        int
+	Exponents vec.Point
+	Epsilon   float64
+}
+
+// NewCobbDouglas normalises the exponents to sum to 1 and applies a default
+// ε of 1e-9.
+func NewCobbDouglas(id int, exponents []float64) (CobbDouglas, error) {
+	f, err := NewFunction(id, exponents)
+	if err != nil {
+		return CobbDouglas{}, err
+	}
+	return CobbDouglas{ID: id, Exponents: f.Weights, Epsilon: 1e-9}, nil
+}
+
+// Score returns Π (p[i]+ε)^w[i].
+func (c CobbDouglas) Score(p vec.Point) float64 {
+	s := 1.0
+	for i, w := range c.Exponents {
+		s *= math.Pow(p[i]+c.Epsilon, w)
+	}
+	return s
+}
+
+// UpperBound returns the score of the best corner of r, which is the maximum
+// because the function is monotone in every coordinate.
+func (c CobbDouglas) UpperBound(r vec.Rect) float64 { return c.Score(r.Hi) }
+
+// String renders the preference for diagnostics.
+func (c CobbDouglas) String() string { return fmt.Sprintf("cd%d%s", c.ID, c.Exponents) }
+
+var _ Preference = CobbDouglas{}
+
+// MinScore is the egalitarian preference Score(p) = min_i w[i]·p[i] with
+// positive weights: an object is only as good as its weakest weighted
+// attribute. It is monotone non-decreasing in every coordinate.
+type MinScore struct {
+	ID      int
+	Weights vec.Point
+}
+
+// NewMinScore validates that all weights are strictly positive.
+func NewMinScore(id int, weights []float64) (MinScore, error) {
+	if len(weights) == 0 {
+		return MinScore{}, ErrNoWeights
+	}
+	for _, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return MinScore{}, fmt.Errorf("%w: %v", ErrBadWeight, w)
+		}
+		if w <= 0 {
+			return MinScore{}, fmt.Errorf("%w: MinScore needs strictly positive weights, got %v", ErrNegativeWeight, w)
+		}
+	}
+	return MinScore{ID: id, Weights: append(vec.Point(nil), weights...)}, nil
+}
+
+// Score returns min_i Weights[i]·p[i].
+func (m MinScore) Score(p vec.Point) float64 {
+	s := math.Inf(1)
+	for i, w := range m.Weights {
+		if v := w * p[i]; v < s {
+			s = v
+		}
+	}
+	return s
+}
+
+// UpperBound returns the score of r.Hi, the monotone maximum over r.
+func (m MinScore) UpperBound(r vec.Rect) float64 { return m.Score(r.Hi) }
+
+// String renders the preference for diagnostics.
+func (m MinScore) String() string { return fmt.Sprintf("min%d%s", m.ID, m.Weights) }
+
+var _ Preference = MinScore{}

@@ -1,0 +1,242 @@
+package rtree
+
+import (
+	"fmt"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/vec"
+)
+
+// orphan is an entry displaced by tree condensation, remembered together
+// with the level of the node it was removed from so it can be re-inserted
+// at the same height.
+type orphan struct {
+	e     entry
+	level int
+}
+
+// Delete removes the item (id, p). It implements Guttman's CondenseTree:
+// underflowing nodes are removed wholesale and their entries re-inserted,
+// and the root is collapsed while it has a single child. Returns
+// ErrNotFound when the item is not in the tree.
+//
+// This is the operation the Brute Force matcher performs once per emitted
+// pair ("after the pair (f,o) ... is added in the query result, o must be
+// removed from RO", § III-A), so its I/O cost is part of the experiment.
+func (t *Tree) Delete(id ObjID, p vec.Point) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("rtree: deleting dimension %d from dimension-%d tree", len(p), t.dim)
+	}
+	if t.root == pagedfile.InvalidPage {
+		return ErrNotFound
+	}
+	t.counters.TreeDeletes++
+	var orphans []orphan
+	found, _, _, err := t.deleteRec(t.root, t.height, id, p, &orphans)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNotFound
+	}
+	t.size--
+
+	// Collapse the root chain: an internal root with a single child is
+	// replaced by that child; an empty leaf root empties the tree.
+	for {
+		n, err := t.ReadNode(t.root)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			if len(n.entries) == 0 && t.size == 0 && len(orphans) == 0 {
+				t.pool.Invalidate(t.root)
+				if err := t.store.Free(t.root); err != nil {
+					return err
+				}
+				t.root = pagedfile.InvalidPage
+				t.height = 0
+			}
+			break
+		}
+		if len(n.entries) != 1 {
+			break
+		}
+		child := n.entries[0].child
+		t.pool.Invalidate(t.root)
+		if err := t.store.Free(t.root); err != nil {
+			return err
+		}
+		t.root = child
+		t.height--
+	}
+
+	// Re-insert orphans, highest level first so that subtree heights are
+	// still meaningful while lower orphans are pending.
+	for len(orphans) > 0 {
+		best := 0
+		for i := range orphans {
+			if orphans[i].level > orphans[best].level {
+				best = i
+			}
+		}
+		o := orphans[best]
+		orphans[best] = orphans[len(orphans)-1]
+		orphans = orphans[:len(orphans)-1]
+		if err := t.reinsert(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reinsert places an orphan back into the tree at its original level,
+// falling back to re-inserting the subtree's individual items when the tree
+// has shrunk below the orphan's level (rare, but possible after cascading
+// condensation).
+func (t *Tree) reinsert(o orphan) error {
+	if o.level == 1 || o.level <= t.height {
+		return t.insertEntry(o.e, o.level)
+	}
+	// The orphan roots a subtree taller than the current tree: dissolve it.
+	items, pages, err := t.collectSubtree(o.e, o.level)
+	if err != nil {
+		return err
+	}
+	for _, pg := range pages {
+		t.pool.Invalidate(pg)
+		if err := t.store.Free(pg); err != nil {
+			return err
+		}
+	}
+	for _, it := range items {
+		if err := t.insertEntry(entry{rect: vec.RectFromPoint(it.Point), obj: it.ID}, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectSubtree gathers all leaf items below the orphan entry and the pages
+// of its internal structure. For a level-1 orphan the entry itself is the
+// item.
+func (t *Tree) collectSubtree(e entry, level int) ([]Item, []pagedfile.PageID, error) {
+	if level == 1 {
+		return []Item{{ID: e.obj, Point: e.point().Clone()}}, nil, nil
+	}
+	var items []Item
+	var pages []pagedfile.PageID
+	var walk func(page pagedfile.PageID) error
+	walk = func(page pagedfile.PageID) error {
+		n, err := t.ReadNode(page)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, page)
+		if n.leaf {
+			for i := range n.entries {
+				items = append(items, Item{ID: n.entries[i].obj, Point: n.entries[i].point().Clone()})
+			}
+			return nil
+		}
+		children := make([]pagedfile.PageID, len(n.entries))
+		for i := range n.entries {
+			children[i] = n.entries[i].child
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(e.child); err != nil {
+		return nil, nil, err
+	}
+	return items, pages, nil
+}
+
+// deleteRec removes (id, p) from the subtree rooted at page (which sits at
+// the given level). It reports whether the item was found, whether the node
+// at page underflowed (so the caller must dissolve it), and the node's
+// tightened MBR (valid only when found && !underflow && the node is
+// non-empty).
+func (t *Tree) deleteRec(page pagedfile.PageID, level int, id ObjID, p vec.Point, orphans *[]orphan) (found, underflow bool, newRect vec.Rect, err error) {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return false, false, vec.Rect{}, err
+	}
+	if n.leaf {
+		idx := -1
+		for i := range n.entries {
+			if n.entries[i].obj == id && n.entries[i].point().Equal(p) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return false, false, vec.Rect{}, nil
+		}
+		n.entries = append(n.entries[:idx], n.entries[idx+1:]...)
+		t.pool.MarkDirty(page)
+		if page != t.root && len(n.entries) < t.minLeaf {
+			return true, true, vec.Rect{}, nil
+		}
+		if len(n.entries) == 0 {
+			return true, false, vec.Rect{}, nil // empty root leaf
+		}
+		return true, false, n.mbr(), nil
+	}
+
+	// Try every child whose MBR contains p (R-trees may overlap).
+	for i := 0; i < len(n.entries); i++ {
+		if !n.entries[i].rect.ContainsPoint(p) {
+			continue
+		}
+		childPage := n.entries[i].child
+		childLevel := level - 1
+		f, uf, childRect, err := t.deleteRec(childPage, childLevel, id, p, orphans)
+		if err != nil {
+			return false, false, vec.Rect{}, err
+		}
+		if !f {
+			continue
+		}
+		// Re-read n: recursion may have evicted it.
+		n, err = t.ReadNode(page)
+		if err != nil {
+			return false, false, vec.Rect{}, err
+		}
+		if uf {
+			// Dissolve the underflowing child: orphan its entries.
+			child, err := t.ReadNode(childPage)
+			if err != nil {
+				return false, false, vec.Rect{}, err
+			}
+			for j := range child.entries {
+				*orphans = append(*orphans, orphan{e: child.entries[j], level: childLevel})
+			}
+			t.pool.Invalidate(childPage)
+			if err := t.store.Free(childPage); err != nil {
+				return false, false, vec.Rect{}, err
+			}
+			// Re-read n (Invalidate does not evict others, but stay uniform).
+			n, err = t.ReadNode(page)
+			if err != nil {
+				return false, false, vec.Rect{}, err
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = childRect
+		}
+		t.pool.MarkDirty(page)
+		if page != t.root && len(n.entries) < t.minInternal {
+			return true, true, vec.Rect{}, nil
+		}
+		if len(n.entries) == 0 {
+			return true, false, vec.Rect{}, nil
+		}
+		return true, false, n.mbr(), nil
+	}
+	return false, false, vec.Rect{}, nil
+}

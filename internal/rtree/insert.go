@@ -1,0 +1,235 @@
+package rtree
+
+import (
+	"fmt"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/vec"
+)
+
+// Insert adds an (id, point) item using Guttman's algorithm: descend by
+// least enlargement, split overflowing nodes quadratically, and propagate
+// MBR adjustments and splits to the root.
+func (t *Tree) Insert(id ObjID, p vec.Point) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("rtree: inserting dimension %d into dimension-%d tree", len(p), t.dim)
+	}
+	cp := p.Clone()
+	e := entry{rect: vec.Rect{Lo: cp, Hi: cp}, obj: id}
+	if err := t.insertEntry(e, 1); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// insertEntry places e at the given level (1 = leaf). It creates a root if
+// the tree is empty and grows a new root on root split.
+func (t *Tree) insertEntry(e entry, level int) error {
+	if t.root == pagedfile.InvalidPage {
+		if level != 1 {
+			return fmt.Errorf("rtree: internal entry insert into empty tree")
+		}
+		id := t.store.Alloc()
+		if err := t.putNode(id, &Node{leaf: true, entries: []entry{e}}); err != nil {
+			return err
+		}
+		t.root = id
+		t.height = 1
+		return nil
+	}
+	split, newRect, err := t.insertAt(t.root, t.height, e, level)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Root split: grow the tree by one level.
+		oldRootEntry := entry{rect: newRect, child: t.root}
+		id := t.store.Alloc()
+		if err := t.putNode(id, &Node{leaf: false, entries: []entry{oldRootEntry, *split}}); err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+	}
+	return nil
+}
+
+// insertAt inserts e (destined for the given target level) into the subtree
+// rooted at page, which sits at nodeLevel (leaves are level 1). It returns a
+// non-nil split entry when the node split, plus the (possibly grown) MBR of
+// the node at page.
+func (t *Tree) insertAt(page pagedfile.PageID, nodeLevel int, e entry, targetLevel int) (*entry, vec.Rect, error) {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return nil, vec.Rect{}, err
+	}
+	if nodeLevel == targetLevel {
+		// Insert here (leaf, or internal re-insertion during condensation).
+		n.entries = append(n.entries, e)
+		if maxCap := t.capacityOf(n); len(n.entries) > maxCap {
+			left, right := t.splitNode(n)
+			// The existing page keeps the left group.
+			n.entries = left.entries
+			n.leaf = left.leaf
+			t.pool.MarkDirty(page)
+			rid := t.store.Alloc()
+			if err := t.putNode(rid, right); err != nil {
+				return nil, vec.Rect{}, err
+			}
+			se := entry{rect: right.mbr(), child: rid}
+			// Re-read n (putNode may have evicted it) to compute its MBR.
+			n, err = t.ReadNode(page)
+			if err != nil {
+				return nil, vec.Rect{}, err
+			}
+			return &se, n.mbr(), nil
+		}
+		t.pool.MarkDirty(page)
+		return nil, n.mbr(), nil
+	}
+
+	// Choose the child needing least enlargement (ties: smaller area, then
+	// smaller page ID for determinism).
+	best := -1
+	var bestEnl, bestArea float64
+	for i := range n.entries {
+		enl := n.entries[i].rect.EnlargementRect(e.rect)
+		area := n.entries[i].rect.Area()
+		if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) ||
+			(enl == bestEnl && area == bestArea && n.entries[i].child < n.entries[best].child) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	childPage := n.entries[best].child
+	split, childRect, err := t.insertAt(childPage, nodeLevel-1, e, targetLevel)
+	if err != nil {
+		return nil, vec.Rect{}, err
+	}
+	// Re-read n: the recursive call may have evicted/reloaded it.
+	n, err = t.ReadNode(page)
+	if err != nil {
+		return nil, vec.Rect{}, err
+	}
+	n.entries[best].rect = childRect
+	if split != nil {
+		n.entries = append(n.entries, *split)
+		if len(n.entries) > t.maxInternal {
+			left, right := t.splitNode(n)
+			n.entries = left.entries
+			n.leaf = left.leaf
+			t.pool.MarkDirty(page)
+			rid := t.store.Alloc()
+			if err := t.putNode(rid, right); err != nil {
+				return nil, vec.Rect{}, err
+			}
+			se := entry{rect: right.mbr(), child: rid}
+			n, err = t.ReadNode(page)
+			if err != nil {
+				return nil, vec.Rect{}, err
+			}
+			return &se, n.mbr(), nil
+		}
+	}
+	t.pool.MarkDirty(page)
+	return nil, n.mbr(), nil
+}
+
+func (t *Tree) capacityOf(n *Node) int {
+	if n.leaf {
+		return t.maxLeaf
+	}
+	return t.maxInternal
+}
+
+func (t *Tree) minFillOf(n *Node) int {
+	if n.leaf {
+		return t.minLeaf
+	}
+	return t.minInternal
+}
+
+// splitNode distributes n's entries into two groups using Guttman's
+// quadratic split. n must be overflowing (len == capacity+1).
+func (t *Tree) splitNode(n *Node) (left, right *Node) {
+	ents := n.entries
+	minFill := t.minFillOf(n)
+
+	// PickSeeds: the pair wasting the most area if grouped together.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			u := ents[i].rect.Union(ents[j].rect)
+			waste := u.Area() - ents[i].rect.Area() - ents[j].rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	leftEnts := []entry{ents[s1]}
+	rightEnts := []entry{ents[s2]}
+	leftRect := ents[s1].rect.Clone()
+	rightRect := ents[s2].rect.Clone()
+
+	remaining := make([]entry, 0, len(ents)-2)
+	for i := range ents {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, ents[i])
+		}
+	}
+
+	for len(remaining) > 0 {
+		// If one group must take everything left to reach min fill, do so.
+		if len(leftEnts)+len(remaining) == minFill {
+			leftEnts = append(leftEnts, remaining...)
+			for i := range remaining {
+				leftRect.ExpandRect(remaining[i].rect)
+			}
+			break
+		}
+		if len(rightEnts)+len(remaining) == minFill {
+			rightEnts = append(rightEnts, remaining...)
+			for i := range remaining {
+				rightRect.ExpandRect(remaining[i].rect)
+			}
+			break
+		}
+		// PickNext: entry with the greatest preference for one group.
+		bestIdx, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i := range remaining {
+			d1 := leftRect.EnlargementRect(remaining[i].rect)
+			d2 := rightRect.EnlargementRect(remaining[i].rect)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestD1, bestD2 = diff, i, d1, d2
+			}
+		}
+		e := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		toLeft := false
+		switch {
+		case bestD1 < bestD2:
+			toLeft = true
+		case bestD2 < bestD1:
+			toLeft = false
+		case leftRect.Area() != rightRect.Area():
+			toLeft = leftRect.Area() < rightRect.Area()
+		default:
+			toLeft = len(leftEnts) <= len(rightEnts)
+		}
+		if toLeft {
+			leftEnts = append(leftEnts, e)
+			leftRect.ExpandRect(e.rect)
+		} else {
+			rightEnts = append(rightEnts, e)
+			rightRect.ExpandRect(e.rect)
+		}
+	}
+	return &Node{leaf: n.leaf, entries: leftEnts}, &Node{leaf: n.leaf, entries: rightEnts}
+}

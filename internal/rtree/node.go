@@ -1,0 +1,197 @@
+// Package rtree implements the disk-resident R-tree that indexes the object
+// set O, matching the paper's experimental setup: fixed-size pages (default
+// 4 KiB), an LRU buffer (default 2% of the tree size), and physical-I/O
+// accounting. It supports STR bulk loading (how the experiment indexes are
+// built), Guttman insertion with quadratic split, and deletion with tree
+// condensation — deletion is what the Brute Force matcher exercises heavily.
+//
+// The skyline (BBS) and ranked-search (top-k) modules traverse the tree
+// through ReadNode, so every node access they make goes through the buffer
+// and is charged to the shared stats.Counters exactly like the paper's
+// "I/O accesses" metric.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/vec"
+)
+
+// ObjID identifies an indexed object. It is 32 bits on disk.
+type ObjID int32
+
+// Item is an (object ID, point) pair stored at the leaf level.
+type Item struct {
+	ID    ObjID
+	Point vec.Point
+}
+
+// entry is the unified in-memory node entry. Internal entries carry a child
+// page and the child's MBR; leaf entries carry an object ID and a degenerate
+// rect (Lo == Hi == the object's point).
+type entry struct {
+	rect  vec.Rect
+	child pagedfile.PageID // internal nodes only
+	obj   ObjID            // leaf nodes only
+}
+
+// point returns the object's point for a leaf entry.
+func (e *entry) point() vec.Point { return e.rect.Lo }
+
+// Node is a decoded R-tree node. Nodes are owned by the tree's buffer pool;
+// packages outside rtree only read them (via the accessor methods) and must
+// not retain them across tree mutations.
+type Node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.leaf }
+
+// Len returns the number of entries in the node.
+func (n *Node) Len() int { return len(n.entries) }
+
+// Rect returns the MBR of entry i. For leaf entries this is the degenerate
+// rectangle at the object's point.
+func (n *Node) Rect(i int) vec.Rect { return n.entries[i].rect }
+
+// ChildPage returns the child page of internal entry i.
+func (n *Node) ChildPage(i int) pagedfile.PageID {
+	if n.leaf {
+		panic("rtree: ChildPage on leaf node")
+	}
+	return n.entries[i].child
+}
+
+// Object returns the item stored at leaf entry i.
+func (n *Node) Object(i int) Item {
+	if !n.leaf {
+		panic("rtree: Object on internal node")
+	}
+	return Item{ID: n.entries[i].obj, Point: n.entries[i].point()}
+}
+
+// mbr returns the MBR of all entries in the node.
+func (n *Node) mbr() vec.Rect {
+	r := n.entries[0].rect.Clone()
+	for _, e := range n.entries[1:] {
+		r.ExpandRect(e.rect)
+	}
+	return r
+}
+
+// Page layout:
+//
+//	offset 0: flags byte (bit0: leaf)
+//	offset 1..2: uint16 entry count
+//	offset 3..7: reserved (zero)
+//	offset 8...: entries
+//
+// Leaf entry: objID int32 | D × float64 (the point).
+// Internal entry: child pageID int32 | 2·D × float64 (MBR lo then hi).
+const nodeHeaderSize = 8
+
+// leafEntrySize returns the on-disk size of one leaf entry for dimension d.
+func leafEntrySize(d int) int { return 4 + 8*d }
+
+// internalEntrySize returns the on-disk size of one internal entry.
+func internalEntrySize(d int) int { return 4 + 16*d }
+
+// leafCapacity returns how many leaf entries fit in a page.
+func leafCapacity(pageSize, d int) int { return (pageSize - nodeHeaderSize) / leafEntrySize(d) }
+
+// internalCapacity returns how many internal entries fit in a page.
+func internalCapacity(pageSize, d int) int {
+	return (pageSize - nodeHeaderSize) / internalEntrySize(d)
+}
+
+// encodeNode serialises n into page, which must be pre-sized to the page
+// size. The dimension d is fixed per tree and not stored per page.
+func encodeNode(n *Node, d int, page []byte) error {
+	capEntries := internalCapacity(len(page), d)
+	if n.leaf {
+		capEntries = leafCapacity(len(page), d)
+	}
+	if len(n.entries) > capEntries {
+		return fmt.Errorf("rtree: node with %d entries exceeds page capacity %d", len(n.entries), capEntries)
+	}
+	clear(page)
+	if n.leaf {
+		page[0] = 1
+	}
+	binary.LittleEndian.PutUint16(page[1:3], uint16(len(n.entries)))
+	off := nodeHeaderSize
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			binary.LittleEndian.PutUint32(page[off:], uint32(e.obj))
+			off += 4
+			for j := 0; j < d; j++ {
+				binary.LittleEndian.PutUint64(page[off:], math.Float64bits(e.rect.Lo[j]))
+				off += 8
+			}
+		} else {
+			binary.LittleEndian.PutUint32(page[off:], uint32(e.child))
+			off += 4
+			for j := 0; j < d; j++ {
+				binary.LittleEndian.PutUint64(page[off:], math.Float64bits(e.rect.Lo[j]))
+				off += 8
+			}
+			for j := 0; j < d; j++ {
+				binary.LittleEndian.PutUint64(page[off:], math.Float64bits(e.rect.Hi[j]))
+				off += 8
+			}
+		}
+	}
+	return nil
+}
+
+// decodeNode deserialises a node of dimension d from page.
+func decodeNode(page []byte, d int) (*Node, error) {
+	if len(page) < nodeHeaderSize {
+		return nil, fmt.Errorf("rtree: page too small (%d bytes)", len(page))
+	}
+	n := &Node{leaf: page[0]&1 == 1}
+	count := int(binary.LittleEndian.Uint16(page[1:3]))
+	capEntries := internalCapacity(len(page), d)
+	if n.leaf {
+		capEntries = leafCapacity(len(page), d)
+	}
+	if count > capEntries {
+		return nil, fmt.Errorf("rtree: corrupt page: count %d exceeds capacity %d", count, capEntries)
+	}
+	n.entries = make([]entry, count)
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		e := &n.entries[i]
+		if n.leaf {
+			e.obj = ObjID(binary.LittleEndian.Uint32(page[off:]))
+			off += 4
+			p := make(vec.Point, d)
+			for j := 0; j < d; j++ {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(page[off:]))
+				off += 8
+			}
+			e.rect = vec.Rect{Lo: p, Hi: p} // degenerate; shares storage deliberately
+		} else {
+			e.child = pagedfile.PageID(binary.LittleEndian.Uint32(page[off:]))
+			off += 4
+			lo := make(vec.Point, d)
+			for j := 0; j < d; j++ {
+				lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(page[off:]))
+				off += 8
+			}
+			hi := make(vec.Point, d)
+			for j := 0; j < d; j++ {
+				hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(page[off:]))
+				off += 8
+			}
+			e.rect = vec.Rect{Lo: lo, Hi: hi}
+		}
+	}
+	return n, nil
+}

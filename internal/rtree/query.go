@@ -1,0 +1,182 @@
+package rtree
+
+import (
+	"fmt"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/vec"
+)
+
+// Search appends to out every item whose point lies inside query and returns
+// the result. Traversal goes through the buffer, so it is charged I/O.
+func (t *Tree) Search(query vec.Rect, out []Item) ([]Item, error) {
+	if t.root == pagedfile.InvalidPage {
+		return out, nil
+	}
+	var walk func(page pagedfile.PageID) error
+	walk = func(page pagedfile.PageID) error {
+		n, err := t.ReadNode(page)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for i := range n.entries {
+				if query.ContainsPoint(n.entries[i].point()) {
+					out = append(out, Item{ID: n.entries[i].obj, Point: n.entries[i].point().Clone()})
+				}
+			}
+			return nil
+		}
+		children := make([]pagedfile.PageID, 0, len(n.entries))
+		for i := range n.entries {
+			if query.Intersects(n.entries[i].rect) {
+				children = append(children, n.entries[i].child)
+			}
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach visits every indexed item. Iteration stops early when fn returns
+// false.
+func (t *Tree) ForEach(fn func(Item) bool) error {
+	if t.root == pagedfile.InvalidPage {
+		return nil
+	}
+	stop := false
+	var walk func(page pagedfile.PageID) error
+	walk = func(page pagedfile.PageID) error {
+		if stop {
+			return nil
+		}
+		n, err := t.ReadNode(page)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for i := range n.entries {
+				if !fn(Item{ID: n.entries[i].obj, Point: n.entries[i].point().Clone()}) {
+					stop = true
+					return nil
+				}
+			}
+			return nil
+		}
+		children := make([]pagedfile.PageID, len(n.entries))
+		for i := range n.entries {
+			children[i] = n.entries[i].child
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// Items returns all indexed items (test/diagnostic helper).
+func (t *Tree) Items() ([]Item, error) {
+	items := make([]Item, 0, t.size)
+	err := t.ForEach(func(it Item) bool {
+		items = append(items, it)
+		return true
+	})
+	return items, err
+}
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found:
+//
+//   - every entry MBR exactly bounds its child's content (tight MBRs);
+//   - all leaves are at the same depth, equal to Height();
+//   - every non-root node holds between its minimum fill and capacity;
+//   - an internal root holds at least 2 entries;
+//   - the recorded size matches the number of stored items;
+//   - no page is referenced twice.
+func (t *Tree) Validate() error {
+	if t.root == pagedfile.InvalidPage {
+		if t.size != 0 || t.height != 0 {
+			return fmt.Errorf("rtree: empty root with size=%d height=%d", t.size, t.height)
+		}
+		return nil
+	}
+	seen := map[pagedfile.PageID]bool{}
+	count := 0
+	var walk func(page pagedfile.PageID, level int) (vec.Rect, error)
+	walk = func(page pagedfile.PageID, level int) (vec.Rect, error) {
+		if seen[page] {
+			return vec.Rect{}, fmt.Errorf("rtree: page %d referenced twice", page)
+		}
+		seen[page] = true
+		n, err := t.ReadNode(page)
+		if err != nil {
+			return vec.Rect{}, err
+		}
+		if n.leaf != (level == 1) {
+			return vec.Rect{}, fmt.Errorf("rtree: page %d leaf=%v at level %d", page, n.leaf, level)
+		}
+		if len(n.entries) == 0 {
+			return vec.Rect{}, fmt.Errorf("rtree: page %d is empty", page)
+		}
+		if len(n.entries) > t.capacityOf(n) {
+			return vec.Rect{}, fmt.Errorf("rtree: page %d overflows: %d > %d", page, len(n.entries), t.capacityOf(n))
+		}
+		if page != t.root && len(n.entries) < t.minFillOf(n) {
+			return vec.Rect{}, fmt.Errorf("rtree: page %d underfull: %d < %d", page, len(n.entries), t.minFillOf(n))
+		}
+		if page == t.root && !n.leaf && len(n.entries) < 2 {
+			return vec.Rect{}, fmt.Errorf("rtree: internal root has %d entries", len(n.entries))
+		}
+		if n.leaf {
+			count += len(n.entries)
+			for i := range n.entries {
+				if len(n.entries[i].point()) != t.dim {
+					return vec.Rect{}, fmt.Errorf("rtree: page %d entry %d has wrong dimension", page, i)
+				}
+			}
+			return n.mbr(), nil
+		}
+		// Snapshot entries: children traversal may evict this node.
+		type snap struct {
+			child pagedfile.PageID
+			rect  vec.Rect
+		}
+		snaps := make([]snap, len(n.entries))
+		for i := range n.entries {
+			snaps[i] = snap{child: n.entries[i].child, rect: n.entries[i].rect.Clone()}
+		}
+		total := snaps[0].rect.Clone()
+		for i, s := range snaps {
+			childRect, err := walk(s.child, level-1)
+			if err != nil {
+				return vec.Rect{}, err
+			}
+			if !childRect.Equal(s.rect) {
+				return vec.Rect{}, fmt.Errorf("rtree: page %d entry %d MBR %v is not tight (child content %v)", page, i, s.rect, childRect)
+			}
+			total.ExpandRect(s.rect)
+		}
+		return total, nil
+	}
+	if _, err := walk(t.root, t.height); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d items stored", t.size, count)
+	}
+	return nil
+}

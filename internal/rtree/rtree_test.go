@@ -1,0 +1,587 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+func randPoint(rng *rand.Rand, d int) vec.Point {
+	p := make(vec.Point, d)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+func randItems(rng *rand.Rand, n, d int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: ObjID(i), Point: randPoint(rng, d)}
+	}
+	return items
+}
+
+func mustTree(t *testing.T, d int, opts *Options) *Tree {
+	t.Helper()
+	tr, err := New(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func checkValid(t *testing.T, tr *Tree, context string) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+}
+
+func checkContents(t *testing.T, tr *Tree, want []Item, context string) {
+	t.Helper()
+	got, err := tr.Items()
+	if err != nil {
+		t.Fatalf("%s: Items: %v", context, err)
+	}
+	sortItems(got)
+	w := make([]Item, len(want))
+	copy(w, want)
+	sortItems(w)
+	if len(got) != len(w) {
+		t.Fatalf("%s: %d items stored, want %d", context, len(got), len(w))
+	}
+	for i := range w {
+		if got[i].ID != w[i].ID || !got[i].Point.Equal(w[i].Point) {
+			t.Fatalf("%s: item %d = %v/%v, want %v/%v", context, i, got[i].ID, got[i].Point, w[i].ID, w[i].Point)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	if _, err := New(3, &Options{PageSize: 32}); err == nil {
+		t.Fatal("tiny page size accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := mustTree(t, 2, nil)
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("fresh tree not empty")
+	}
+	checkValid(t, tr, "empty")
+	items, err := tr.Items()
+	if err != nil || len(items) != 0 {
+		t.Fatalf("Items on empty tree: %v, %v", items, err)
+	}
+	if err := tr.Delete(1, vec.Point{0, 0}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete on empty tree: %v", err)
+	}
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	const d = 4
+	pageSize := 512
+	rng := rand.New(rand.NewSource(1))
+	leaf := &Node{leaf: true}
+	for i := 0; i < leafCapacity(pageSize, d); i++ {
+		p := randPoint(rng, d)
+		leaf.entries = append(leaf.entries, entry{rect: vec.Rect{Lo: p, Hi: p}, obj: ObjID(i * 3)})
+	}
+	page := make([]byte, pageSize)
+	if err := encodeNode(leaf, d, page); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeNode(page, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.leaf || back.Len() != leaf.Len() {
+		t.Fatalf("leaf round trip: leaf=%v len=%d", back.leaf, back.Len())
+	}
+	for i := range leaf.entries {
+		if back.entries[i].obj != leaf.entries[i].obj || !back.entries[i].point().Equal(leaf.entries[i].point()) {
+			t.Fatalf("leaf entry %d mismatch", i)
+		}
+	}
+
+	internal := &Node{leaf: false}
+	for i := 0; i < internalCapacity(pageSize, d); i++ {
+		lo := randPoint(rng, d)
+		hi := lo.Clone()
+		for j := range hi {
+			hi[j] += rng.Float64()
+		}
+		internal.entries = append(internal.entries, entry{rect: vec.Rect{Lo: lo, Hi: hi}, child: pagedfile.PageID(17 + i)})
+	}
+	if err := encodeNode(internal, d, page); err != nil {
+		t.Fatal(err)
+	}
+	back, err = decodeNode(page, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.leaf || back.Len() != internal.Len() {
+		t.Fatalf("internal round trip: leaf=%v len=%d", back.leaf, back.Len())
+	}
+	for i := range internal.entries {
+		if back.entries[i].child != internal.entries[i].child || !back.entries[i].rect.Equal(internal.entries[i].rect) {
+			t.Fatalf("internal entry %d mismatch", i)
+		}
+	}
+}
+
+func TestNodeCodecOverflowRejected(t *testing.T) {
+	const d = 2
+	pageSize := 128
+	n := &Node{leaf: true}
+	for i := 0; i <= leafCapacity(pageSize, d); i++ {
+		p := vec.Point{0, 0}
+		n.entries = append(n.entries, entry{rect: vec.Rect{Lo: p, Hi: p}, obj: ObjID(i)})
+	}
+	if err := encodeNode(n, d, make([]byte, pageSize)); err == nil {
+		t.Fatal("overflowing encode accepted")
+	}
+}
+
+func TestDecodeCorruptCount(t *testing.T) {
+	page := make([]byte, 128)
+	page[0] = 1
+	page[1] = 0xFF
+	page[2] = 0xFF
+	if _, err := decodeNode(page, 2); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+	if _, err := decodeNode(make([]byte, 4), 2); err == nil {
+		t.Fatal("short page accepted")
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	// 4 KiB page, D=3: leaf entries are 4+24=28 bytes, internal 4+48=52.
+	if got := leafCapacity(4096, 3); got != (4096-8)/28 {
+		t.Fatalf("leafCapacity = %d", got)
+	}
+	if got := internalCapacity(4096, 3); got != (4096-8)/52 {
+		t.Fatalf("internalCapacity = %d", got)
+	}
+}
+
+func TestBulkLoadSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 10, 100, 1000, 5000} {
+		for _, d := range []int{2, 3, 5} {
+			tr := mustTree(t, d, &Options{PageSize: 512})
+			items := randItems(rng, n, d)
+			if err := tr.BulkLoad(items); err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+			if tr.Len() != n {
+				t.Fatalf("n=%d d=%d: Len=%d", n, d, tr.Len())
+			}
+			checkValid(t, tr, fmt.Sprintf("bulk n=%d d=%d", n, d))
+			checkContents(t, tr, items, fmt.Sprintf("bulk n=%d d=%d", n, d))
+		}
+	}
+}
+
+func TestBulkLoadRejectsWrongDimension(t *testing.T) {
+	tr := mustTree(t, 3, nil)
+	err := tr.BulkLoad([]Item{{ID: 1, Point: vec.Point{1, 2}}})
+	if err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
+func TestBulkLoadReplacesContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	first := randItems(rng, 200, 2)
+	if err := tr.BulkLoad(first); err != nil {
+		t.Fatal(err)
+	}
+	second := randItems(rng, 50, 2)
+	for i := range second {
+		second[i].ID += 1000
+	}
+	if err := tr.BulkLoad(second); err != nil {
+		t.Fatal(err)
+	}
+	checkContents(t, tr, second, "after second bulk load")
+	checkValid(t, tr, "after second bulk load")
+}
+
+func TestInsertBuildsValidTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, d := range []int{2, 4} {
+		tr := mustTree(t, d, &Options{PageSize: 256})
+		var items []Item
+		for i := 0; i < 800; i++ {
+			it := Item{ID: ObjID(i), Point: randPoint(rng, d)}
+			items = append(items, it)
+			if err := tr.Insert(it.ID, it.Point); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != len(items) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(items))
+		}
+		checkValid(t, tr, fmt.Sprintf("insert build d=%d", d))
+		checkContents(t, tr, items, fmt.Sprintf("insert build d=%d", d))
+		if tr.Height() < 2 {
+			t.Fatalf("800 items in 256-byte pages should be multi-level, height=%d", tr.Height())
+		}
+	}
+}
+
+func TestInsertRejectsWrongDimension(t *testing.T) {
+	tr := mustTree(t, 3, nil)
+	if err := tr.Insert(1, vec.Point{1}); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
+func TestInsertDuplicatePointsAndIDs(t *testing.T) {
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	p := vec.Point{0.5, 0.5}
+	var items []Item
+	for i := 0; i < 100; i++ {
+		items = append(items, Item{ID: ObjID(i), Point: p.Clone()})
+		if err := tr.Insert(ObjID(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkValid(t, tr, "duplicates")
+	checkContents(t, tr, items, "duplicates")
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	items := randItems(rand.New(rand.NewSource(5)), 300, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(items[42].ID, items[42].Point); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 299 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkValid(t, tr, "after one delete")
+	checkContents(t, tr, append(append([]Item{}, items[:42]...), items[43:]...), "after one delete")
+	// Deleting again must fail.
+	if err := tr.Delete(items[42].ID, items[42].Point); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// Wrong point must fail even with a valid ID.
+	if err := tr.Delete(items[0].ID, vec.Point{-1, -1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wrong point delete: %v", err)
+	}
+	if err := tr.Delete(items[0].ID, vec.Point{1, 2, 3}); err == nil {
+		t.Fatal("wrong dimension delete accepted")
+	}
+}
+
+func TestDeleteAllOneByOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, build := range []string{"bulk", "insert"} {
+		tr := mustTree(t, 3, &Options{PageSize: 256})
+		items := randItems(rng, 500, 3)
+		if build == "bulk" {
+			if err := tr.BulkLoad(items); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, it := range items {
+				if err := tr.Insert(it.ID, it.Point); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		perm := rng.Perm(len(items))
+		for k, idx := range perm {
+			if err := tr.Delete(items[idx].ID, items[idx].Point); err != nil {
+				t.Fatalf("%s: delete %d (step %d): %v", build, items[idx].ID, k, err)
+			}
+			if k%50 == 0 {
+				checkValid(t, tr, fmt.Sprintf("%s: after %d deletes", build, k+1))
+			}
+		}
+		if tr.Len() != 0 || tr.Height() != 0 {
+			t.Fatalf("%s: tree not empty: len=%d height=%d", build, tr.Len(), tr.Height())
+		}
+		checkValid(t, tr, build+": emptied")
+	}
+}
+
+// Model-based random interleaving of inserts and deletes against a map.
+func TestRandomInsertDeleteModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := mustTree(t, 3, &Options{PageSize: 256})
+	model := map[ObjID]vec.Point{}
+	nextID := ObjID(0)
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(100) < 60 || len(model) == 0 {
+			p := randPoint(rng, 3)
+			if err := tr.Insert(nextID, p); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			model[nextID] = p
+			nextID++
+		} else {
+			// Delete a random live ID.
+			var id ObjID
+			k := rng.Intn(len(model))
+			for cand := range model {
+				if k == 0 {
+					id = cand
+					break
+				}
+				k--
+			}
+			if err := tr.Delete(id, model[id]); err != nil {
+				t.Fatalf("step %d delete %d: %v", step, id, err)
+			}
+			delete(model, id)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d model=%d", step, tr.Len(), len(model))
+		}
+		if step%250 == 0 {
+			checkValid(t, tr, fmt.Sprintf("step %d", step))
+		}
+	}
+	checkValid(t, tr, "final")
+	want := make([]Item, 0, len(model))
+	for id, p := range model {
+		want = append(want, Item{ID: id, Point: p})
+	}
+	checkContents(t, tr, want, "final contents")
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := mustTree(t, 3, &Options{PageSize: 256})
+	items := randItems(rng, 1500, 3)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := randPoint(rng, 3)
+		hi := lo.Clone()
+		for i := range hi {
+			hi[i] += rng.Float64() * 0.4
+		}
+		q := vec.Rect{Lo: lo, Hi: hi}
+		got, err := tr.Search(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Item
+		for _, it := range items {
+			if q.ContainsPoint(it.Point) {
+				want = append(want, it)
+			}
+		}
+		sortItems(got)
+		sortItems(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d: result %d = %d, want %d", trial, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestSearchAfterDeletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	items := randItems(rng, 600, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	alive := map[ObjID]bool{}
+	for _, it := range items {
+		alive[it.ID] = true
+	}
+	for i := 0; i < 300; i++ {
+		idx := rng.Intn(len(items))
+		if !alive[items[idx].ID] {
+			continue
+		}
+		if err := tr.Delete(items[idx].ID, items[idx].Point); err != nil {
+			t.Fatal(err)
+		}
+		alive[items[idx].ID] = false
+	}
+	all := vec.Rect{Lo: vec.Point{0, 0}, Hi: vec.Point{1, 1}}
+	got, err := tr.Search(all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveCount := 0
+	for _, ok := range alive {
+		if ok {
+			liveCount++
+		}
+	}
+	if len(got) != liveCount {
+		t.Fatalf("search found %d, want %d", len(got), liveCount)
+	}
+	for _, it := range got {
+		if !alive[it.ID] {
+			t.Fatalf("deleted item %d still found", it.ID)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	items := randItems(rand.New(rand.NewSource(10)), 100, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	visits := 0
+	err := tr.ForEach(func(Item) bool {
+		visits++
+		return visits < 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != 7 {
+		t.Fatalf("visits = %d, want 7", visits)
+	}
+}
+
+func TestIOCountingThroughBuffer(t *testing.T) {
+	c := &stats.Counters{}
+	tr := mustTree(t, 2, &Options{PageSize: 256, Counters: c, BufferPages: 4})
+	items := randItems(rand.New(rand.NewSource(11)), 1000, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, err := tr.Search(vec.Rect{Lo: vec.Point{0, 0}, Hi: vec.Point{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	firstReads := c.PageReads
+	if firstReads == 0 {
+		t.Fatal("full scan with cold tiny buffer should do physical reads")
+	}
+	// A huge buffer must absorb repeated traversals entirely.
+	if err := tr.SetBufferPages(tr.NumPages() + 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Search(vec.Rect{Lo: vec.Point{0, 0}, Hi: vec.Point{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	warmReads := c.PageReads
+	if _, err := tr.Search(vec.Rect{Lo: vec.Point{0, 0}, Hi: vec.Point{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.PageReads != warmReads {
+		t.Fatalf("warm traversal caused %d extra reads", c.PageReads-warmReads)
+	}
+	if c.BufferHits == 0 {
+		t.Fatal("warm traversal should record buffer hits")
+	}
+}
+
+func TestSizeBufferFraction(t *testing.T) {
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	items := randItems(rand.New(rand.NewSource(12)), 2000, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	// Default policy: 2% of pages, at least 1.
+	want := max(1, int(0.02*float64(tr.NumPages())+0.999999))
+	if tr.BufferCapacity() < 1 || tr.BufferCapacity() > want+1 {
+		t.Fatalf("buffer capacity %d not near 2%% of %d pages", tr.BufferCapacity(), tr.NumPages())
+	}
+}
+
+func TestPersistenceAcrossBufferDrop(t *testing.T) {
+	tr := mustTree(t, 3, &Options{PageSize: 256})
+	rng := rand.New(rand.NewSource(13))
+	items := randItems(rng, 400, 3)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate through the buffer, then drop it: all changes must survive via
+	// flush-on-clear.
+	for i := 0; i < 100; i++ {
+		it := Item{ID: ObjID(1000 + i), Point: randPoint(rng, 3)}
+		items = append(items, it)
+		if err := tr.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Delete(items[i].ID, items[i].Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.DropBuffer(); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, tr, "after drop")
+	checkContents(t, tr, items[50:], "after drop")
+}
+
+func TestPageReuseAfterMassDeletes(t *testing.T) {
+	tr := mustTree(t, 2, &Options{PageSize: 256})
+	rng := rand.New(rand.NewSource(14))
+	items := randItems(rng, 1000, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	pagesBefore := tr.NumPages()
+	for _, it := range items {
+		if err := tr.Delete(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumPages() != 0 {
+		t.Fatalf("pages leaked: %d live after emptying", tr.NumPages())
+	}
+	// Rebuild by insertion: freed pages must be reused.
+	for _, it := range items[:500] {
+		if err := tr.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumPages() > pagesBefore+5 {
+		t.Fatalf("page reuse failed: %d pages vs %d before", tr.NumPages(), pagesBefore)
+	}
+	checkValid(t, tr, "rebuilt")
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := mustTree(t, 2, &Options{PageSize: 4096})
+	items := randItems(rand.New(rand.NewSource(15)), 20000, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	// 4 KiB pages hold ~200 2-D leaf entries, so 20k items need height 2-3.
+	if tr.Height() > 3 {
+		t.Fatalf("height %d too tall for 20k items", tr.Height())
+	}
+	checkValid(t, tr, "20k bulk")
+}

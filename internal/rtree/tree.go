@@ -1,0 +1,359 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"prefmatch/internal/buffer"
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// DefaultBufferFraction is the paper's default LRU buffer size: 2% of the
+// tree size.
+const DefaultBufferFraction = 0.02
+
+// minFillRatio is the minimum node occupancy enforced on underflow (40% of
+// capacity, the customary R-tree setting).
+const minFillRatio = 0.4
+
+// Options configures a Tree.
+type Options struct {
+	// PageSize in bytes; defaults to pagedfile.DefaultPageSize (4096).
+	PageSize int
+	// BufferPages fixes the LRU buffer capacity in pages. When zero, the
+	// buffer is sized to BufferFraction of the tree after bulk loading
+	// (and starts at a small provisional capacity before that).
+	BufferPages int
+	// BufferFraction is used when BufferPages is zero; defaults to
+	// DefaultBufferFraction.
+	BufferFraction float64
+	// Counters receives all I/O and buffer accounting; optional.
+	Counters *stats.Counters
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.PageSize == 0 {
+		out.PageSize = pagedfile.DefaultPageSize
+	}
+	if out.BufferFraction == 0 {
+		out.BufferFraction = DefaultBufferFraction
+	}
+	if out.Counters == nil {
+		out.Counters = &stats.Counters{}
+	}
+	return out
+}
+
+// Tree is a disk-resident R-tree over D-dimensional points. It is not safe
+// for concurrent use.
+type Tree struct {
+	dim      int
+	opts     Options
+	store    *pagedfile.Store
+	pool     *buffer.Pool[*Node]
+	counters *stats.Counters
+
+	root   pagedfile.PageID
+	height int // 0 = empty, 1 = root is a leaf
+	size   int // number of indexed objects
+
+	maxLeaf, maxInternal int
+	minLeaf, minInternal int
+}
+
+// ErrNotFound is returned by Delete when the item is absent.
+var ErrNotFound = errors.New("rtree: item not found")
+
+// New creates an empty tree of the given dimensionality.
+func New(dim int, opts *Options) (*Tree, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("rtree: dimension %d < 1", dim)
+	}
+	o := opts.withDefaults()
+	t := &Tree{
+		dim:         dim,
+		opts:        o,
+		counters:    o.Counters,
+		root:        pagedfile.InvalidPage,
+		maxLeaf:     leafCapacity(o.PageSize, dim),
+		maxInternal: internalCapacity(o.PageSize, dim),
+	}
+	if t.maxLeaf < 2 || t.maxInternal < 2 {
+		return nil, fmt.Errorf("rtree: page size %d too small for dimension %d", o.PageSize, dim)
+	}
+	// Minimum fill is 40% of capacity, capped at capacity/2 so that any
+	// overflowing node can always be split into two legal groups.
+	t.minLeaf = max(1, min(int(minFillRatio*float64(t.maxLeaf)), t.maxLeaf/2))
+	t.minInternal = max(1, min(int(minFillRatio*float64(t.maxInternal)), t.maxInternal/2))
+	t.store = pagedfile.New(o.PageSize, o.Counters)
+
+	bufPages := o.BufferPages
+	if bufPages <= 0 {
+		bufPages = 64 // provisional until SizeBuffer / bulk load
+	}
+	t.pool = buffer.New(bufPages, t.loadNode, t.flushNode, o.Counters)
+	return t, nil
+}
+
+func (t *Tree) loadNode(id pagedfile.PageID) (*Node, error) {
+	page := make([]byte, t.opts.PageSize)
+	if err := t.store.Read(id, page); err != nil {
+		return nil, err
+	}
+	return decodeNode(page, t.dim)
+}
+
+func (t *Tree) flushNode(id pagedfile.PageID, n *Node) error {
+	page := make([]byte, t.opts.PageSize)
+	if err := encodeNode(n, t.dim, page); err != nil {
+		return err
+	}
+	return t.store.Write(id, page)
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (0 when empty, 1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of live pages in the underlying file.
+func (t *Tree) NumPages() int { return t.store.NumPages() }
+
+// RootPage returns the page ID of the root node, or pagedfile.InvalidPage
+// when the tree is empty.
+func (t *Tree) RootPage() pagedfile.PageID { return t.root }
+
+// Counters returns the counter sink charged with this tree's I/O.
+func (t *Tree) Counters() *stats.Counters { return t.counters }
+
+// SetCounters redirects all of the tree's I/O and buffer accounting to c,
+// so a matcher can attribute every page access of a run to its own sink.
+func (t *Tree) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("rtree: nil counters")
+	}
+	t.counters = c
+	t.store.SetCounters(c)
+	t.pool.SetCounters(c)
+}
+
+// LeafCapacity returns the maximum number of entries per leaf page.
+func (t *Tree) LeafCapacity() int { return t.maxLeaf }
+
+// InternalCapacity returns the maximum number of entries per internal page.
+func (t *Tree) InternalCapacity() int { return t.maxInternal }
+
+// BufferCapacity returns the LRU buffer capacity in pages.
+func (t *Tree) BufferCapacity() int { return t.pool.Capacity() }
+
+// ReadNode returns the decoded node stored at page id, going through the LRU
+// buffer (a miss is a physical read). Callers must treat the node as
+// read-only and must not retain it across tree mutations.
+func (t *Tree) ReadNode(id pagedfile.PageID) (*Node, error) { return t.pool.Get(id) }
+
+// SizeBuffer sets the LRU buffer to max(1, fraction × current tree pages),
+// the paper's "2% of the tree size" policy.
+func (t *Tree) SizeBuffer(fraction float64) error {
+	pages := max(1, int(math.Ceil(fraction*float64(t.store.NumPages()))))
+	return t.pool.Resize(pages)
+}
+
+// SetBufferPages fixes the LRU buffer capacity in pages.
+func (t *Tree) SetBufferPages(n int) error { return t.pool.Resize(n) }
+
+// DropBuffer flushes and empties the buffer, so the next traversal starts
+// cold. Benchmarks call it between runs.
+func (t *Tree) DropBuffer() error { return t.pool.Clear() }
+
+// Flush writes back all dirty buffered nodes.
+func (t *Tree) Flush() error { return t.pool.FlushAll() }
+
+// writeNode allocates or reuses a page for n, placing it in the buffer as
+// dirty (the physical write happens on eviction or Flush, like a real
+// buffer manager).
+func (t *Tree) putNode(id pagedfile.PageID, n *Node) error {
+	return t.pool.Put(id, n, true)
+}
+
+// --- Bulk loading (STR) -----------------------------------------------
+
+// BulkLoad builds the tree from scratch using Sort-Tile-Recursive packing
+// and replaces any existing content. Points must all have dimension Dim().
+// The nodes are written straight to the page file (not through the buffer):
+// index construction is part of experimental setup, and benchmarks reset
+// the counters afterwards.
+func (t *Tree) BulkLoad(items []Item) error {
+	for i := range items {
+		if len(items[i].Point) != t.dim {
+			return fmt.Errorf("rtree: item %d has dimension %d, want %d", i, len(items[i].Point), t.dim)
+		}
+	}
+	// Reset storage.
+	t.store = pagedfile.New(t.opts.PageSize, t.counters)
+	t.pool = buffer.New(max(1, t.pool.Capacity()), t.loadNode, t.flushNode, t.counters)
+	t.root = pagedfile.InvalidPage
+	t.height = 0
+	t.size = 0
+	if len(items) == 0 {
+		return nil
+	}
+
+	// Fill leaves at ~90% so that subsequent inserts do not split
+	// immediately; STR classically packs full, but the matchers here mostly
+	// delete, for which full packing is fine too. Use full packing to match
+	// the paper's static indexes.
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+
+	leafGroups := strSplit(sorted, 0, t.dim, t.maxLeaf)
+	level := make([]entry, 0, len(leafGroups))
+	for _, g := range leafGroups {
+		n := &Node{leaf: true, entries: make([]entry, len(g))}
+		for i, it := range g {
+			p := it.Point.Clone()
+			n.entries[i] = entry{rect: vec.Rect{Lo: p, Hi: p}, obj: it.ID}
+		}
+		id := t.store.Alloc()
+		if err := t.flushNode(id, n); err != nil {
+			return err
+		}
+		level = append(level, entry{rect: n.mbr(), child: id})
+	}
+	t.height = 1
+	// Pack internal levels until a single root remains.
+	for len(level) > 1 {
+		groups := strSplitEntries(level, 0, t.dim, t.maxInternal)
+		next := make([]entry, 0, len(groups))
+		for _, g := range groups {
+			n := &Node{leaf: false, entries: g}
+			id := t.store.Alloc()
+			if err := t.flushNode(id, n); err != nil {
+				return err
+			}
+			next = append(next, entry{rect: n.mbr(), child: id})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].child
+	t.size = len(items)
+
+	if t.opts.BufferPages > 0 {
+		return t.pool.Resize(t.opts.BufferPages)
+	}
+	return t.SizeBuffer(t.opts.BufferFraction)
+}
+
+// balancedSizes partitions n elements into groups of at most capacity,
+// as evenly as possible, so that no remainder group falls below half the
+// capacity (which would violate the minimum-fill invariant).
+func balancedSizes(n, capacity int) []int {
+	groups := ceilDiv(n, capacity)
+	base := n / groups
+	extra := n % groups
+	sizes := make([]int, groups)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// strSplit recursively partitions items into leaf-sized groups using STR:
+// sort by dimension d, slice into slabs, recurse on the next dimension.
+func strSplit(items []Item, d, dim, capacity int) [][]Item {
+	if len(items) <= capacity {
+		return [][]Item{items}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Point[d] != items[j].Point[d] {
+			return items[i].Point[d] < items[j].Point[d]
+		}
+		return items[i].ID < items[j].ID
+	})
+	if d == dim-1 {
+		var out [][]Item
+		start := 0
+		for _, sz := range balancedSizes(len(items), capacity) {
+			out = append(out, items[start:start+sz])
+			start += sz
+		}
+		return out
+	}
+	pages := ceilDiv(len(items), capacity)
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
+	var out [][]Item
+	start := 0
+	for _, sz := range evenSizes(len(items), slabs) {
+		out = append(out, strSplit(items[start:start+sz], d+1, dim, capacity)...)
+		start += sz
+	}
+	return out
+}
+
+// strSplitEntries is strSplit over internal entries, keyed by MBR centers.
+func strSplitEntries(ents []entry, d, dim, capacity int) [][]entry {
+	if len(ents) <= capacity {
+		return [][]entry{ents}
+	}
+	center := func(e *entry, k int) float64 { return (e.rect.Lo[k] + e.rect.Hi[k]) / 2 }
+	sort.Slice(ents, func(i, j int) bool {
+		ci, cj := center(&ents[i], d), center(&ents[j], d)
+		if ci != cj {
+			return ci < cj
+		}
+		return ents[i].child < ents[j].child
+	})
+	if d == dim-1 {
+		var out [][]entry
+		start := 0
+		for _, sz := range balancedSizes(len(ents), capacity) {
+			out = append(out, ents[start:start+sz])
+			start += sz
+		}
+		return out
+	}
+	pages := ceilDiv(len(ents), capacity)
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
+	var out [][]entry
+	start := 0
+	for _, sz := range evenSizes(len(ents), slabs) {
+		out = append(out, strSplitEntries(ents[start:start+sz], d+1, dim, capacity)...)
+		start += sz
+	}
+	return out
+}
+
+// evenSizes splits n elements into exactly k non-empty groups (k <= n) with
+// sizes differing by at most one.
+func evenSizes(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	base := n / k
+	extra := n % k
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

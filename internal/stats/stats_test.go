@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIOAccesses(t *testing.T) {
+	c := &Counters{PageReads: 7, PageWrites: 5}
+	if got := c.IOAccesses(); got != 12 {
+		t.Fatalf("IOAccesses = %d, want 12", got)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := &Counters{PageReads: 1, Top1Searches: 2, SkylineMaxSize: 10, PairsEmitted: 3}
+	b := &Counters{PageReads: 4, Top1Searches: 5, SkylineMaxSize: 7, PairsEmitted: 6}
+	a.Add(b)
+	if a.PageReads != 5 || a.Top1Searches != 7 || a.PairsEmitted != 9 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.SkylineMaxSize != 10 {
+		t.Fatalf("SkylineMaxSize must keep the max, got %d", a.SkylineMaxSize)
+	}
+	b2 := &Counters{SkylineMaxSize: 42}
+	a.Add(b2)
+	if a.SkylineMaxSize != 42 {
+		t.Fatalf("SkylineMaxSize must take larger incoming value, got %d", a.SkylineMaxSize)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &Counters{PageReads: 9, Loops: 3}
+	c.Reset()
+	if *c != (Counters{}) {
+		t.Fatalf("Reset left %+v", c)
+	}
+}
+
+func TestObserveSkylineSize(t *testing.T) {
+	c := &Counters{}
+	c.ObserveSkylineSize(5)
+	c.ObserveSkylineSize(3)
+	c.ObserveSkylineSize(8)
+	if c.SkylineMaxSize != 8 {
+		t.Fatalf("SkylineMaxSize = %d, want 8", c.SkylineMaxSize)
+	}
+}
+
+func TestStringMentionsKeyCounters(t *testing.T) {
+	c := &Counters{PageReads: 1, PageWrites: 2, PairsEmitted: 7}
+	s := c.String()
+	for _, want := range []string{"io=3", "pairs=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	first := tm.Elapsed()
+	if first <= 0 {
+		t.Fatal("elapsed should be positive after start/stop")
+	}
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if tm.Elapsed() <= first {
+		t.Fatal("elapsed should accumulate across intervals")
+	}
+}
+
+func TestTimerIdempotentStartStop(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	tm.Start() // second start must not reset the origin
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	e := tm.Elapsed()
+	tm.Stop() // second stop must not add time
+	if tm.Elapsed() != e {
+		t.Fatal("double Stop changed elapsed")
+	}
+	tm.Reset()
+	if tm.Elapsed() != 0 {
+		t.Fatal("Reset did not zero the timer")
+	}
+}
+
+func TestTimerElapsedWhileRunning(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(time.Millisecond)
+	if tm.Elapsed() <= 0 {
+		t.Fatal("running timer should report in-flight time")
+	}
+	tm.Stop()
+}

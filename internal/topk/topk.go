@@ -1,0 +1,154 @@
+// Package topk implements branch-and-bound ranked search over the disk
+// R-tree, following Tao et al., "Branch-and-bound processing of ranked
+// queries" (reference [3] of the paper). It is the top-1 module of the Brute
+// Force and Chain matchers.
+//
+// The search is best-first on an upper-bound priority queue: an intermediate
+// entry's key is the preference's upper bound over its MBR (for monotone
+// preferences, the score of the MBR's top corner), an object's key is its
+// exact score. Objects therefore surface in exact descending score order,
+// with the deterministic function-side tie-breaks of package prefs
+// (coordinate sum, then object ID), and only the R-tree nodes whose bound
+// reaches the current frontier are read.
+package topk
+
+import (
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/pqueue"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/rtree"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Result is one ranked-search answer.
+type Result struct {
+	ID    rtree.ObjID
+	Point vec.Point
+	Score float64
+}
+
+// heapItem is either an R-tree node (isObj false) or an object.
+type heapItem struct {
+	bound float64 // node: upper bound over MBR; object: exact score
+	isObj bool
+	// object fields
+	id    rtree.ObjID
+	point vec.Point
+	sum   float64
+	// node field
+	page pagedfile.PageID
+}
+
+// better orders the search frontier: higher bound first; on a bound tie a
+// node precedes an object (the node might contain an equal-score object that
+// wins the tie-break); two objects follow the function-side preference
+// (larger coordinate sum, then smaller ID); two nodes by page for
+// determinism.
+func better(a, b heapItem) bool {
+	if a.bound != b.bound {
+		return a.bound > b.bound
+	}
+	if a.isObj != b.isObj {
+		return !a.isObj // node first
+	}
+	if !a.isObj {
+		return a.page < b.page
+	}
+	if a.sum != b.sum {
+		return a.sum > b.sum
+	}
+	return a.id < b.id
+}
+
+// IncSearch is a resumable incremental ranked search: successive Next calls
+// return objects in exact descending preference order. The search is only
+// valid while the underlying tree is not modified; after an insertion or
+// deletion a new search must be started (the Brute Force matcher re-issues
+// top-1 searches after every tree deletion for exactly this reason).
+type IncSearch struct {
+	tree     *rtree.Tree
+	pref     prefs.Preference
+	frontier *pqueue.Queue[heapItem]
+	counters *stats.Counters
+}
+
+// NewIncSearch starts an incremental ranked search for pref over t, charging
+// work to c (nil means the tree's own counters).
+func NewIncSearch(t *rtree.Tree, pref prefs.Preference, c *stats.Counters) *IncSearch {
+	if c == nil {
+		c = t.Counters()
+	}
+	s := &IncSearch{tree: t, pref: pref, frontier: pqueue.New(better), counters: c}
+	s.frontier.SetCounters(c)
+	c.Top1Searches++
+	if root := t.RootPage(); root != pagedfile.InvalidPage {
+		// The root's true bound is unknown before reading it; +Inf keeps it
+		// first without an extra I/O here.
+		s.frontier.Push(heapItem{bound: inf, page: root})
+	}
+	return s
+}
+
+const inf = 1e300 // larger than any normalised score; avoids math.Inf in keys
+
+// Next returns the next best object, or ok == false when the tree is
+// exhausted.
+func (s *IncSearch) Next() (Result, bool, error) {
+	for {
+		top, ok := s.frontier.Pop()
+		if !ok {
+			return Result{}, false, nil
+		}
+		if top.isObj {
+			return Result{ID: top.id, Point: top.point, Score: top.bound}, true, nil
+		}
+		n, err := s.tree.ReadNode(top.page)
+		if err != nil {
+			return Result{}, false, err
+		}
+		for i := 0; i < n.Len(); i++ {
+			if n.Leaf() {
+				it := n.Object(i)
+				s.counters.ScoreEvals++
+				s.frontier.Push(heapItem{
+					bound: s.pref.Score(it.Point),
+					isObj: true,
+					id:    it.ID,
+					point: it.Point,
+					sum:   it.Point.Sum(),
+				})
+			} else {
+				s.counters.ScoreEvals++
+				s.frontier.Push(heapItem{
+					bound: s.pref.UpperBound(n.Rect(i)),
+					page:  n.ChildPage(i),
+				})
+			}
+		}
+	}
+}
+
+// Top1 returns the single best object in t for pref, with ok == false when t
+// is empty.
+func Top1(t *rtree.Tree, pref prefs.Preference, c *stats.Counters) (Result, bool, error) {
+	return NewIncSearch(t, pref, c).Next()
+}
+
+// Search returns the k best objects in descending preference order (fewer
+// when the tree holds fewer than k objects).
+func Search(t *rtree.Tree, pref prefs.Preference, k int, c *stats.Counters) ([]Result, error) {
+	s := NewIncSearch(t, pref, c)
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		r, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

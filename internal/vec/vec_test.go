@@ -1,0 +1,351 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointClone(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatalf("clone not equal: %v vs %v", p, q)
+	}
+	q[0] = 99
+	if p[0] == 99 {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},
+		{Point{1, 2}, Point{1, 3}, false},
+		{Point{1, 2}, Point{1, 2, 3}, false},
+		{Point{}, Point{}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Equal(c.q); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestPointSum(t *testing.T) {
+	if got := (Point{0.25, 0.5, 0.125}).Sum(); got != 0.875 {
+		t.Fatalf("Sum = %v, want 0.875", got)
+	}
+	if got := (Point{}).Sum(); got != 0 {
+		t.Fatalf("empty Sum = %v, want 0", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{2, 2}, Point{1, 1}, true},
+		{Point{2, 1}, Point{1, 1}, true},
+		{Point{1, 1}, Point{1, 1}, false}, // equality is not dominance
+		{Point{2, 0}, Point{1, 1}, false}, // incomparable
+		{Point{1, 1}, Point{2, 2}, false},
+		{Point{1, 2, 3}, Point{1, 2, 2}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("%v.Dominates(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDominatesPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	_ = Point{1}.Dominates(Point{1, 2})
+}
+
+func TestWeaklyDominates(t *testing.T) {
+	if !(Point{1, 1}).WeaklyDominates(Point{1, 1}) {
+		t.Error("a point should weakly dominate itself")
+	}
+	if !(Point{2, 1}).WeaklyDominates(Point{1, 1}) {
+		t.Error("{2,1} should weakly dominate {1,1}")
+	}
+	if (Point{0, 2}).WeaklyDominates(Point{1, 1}) {
+		t.Error("{0,2} should not weakly dominate {1,1}")
+	}
+}
+
+// Property: dominance is irreflexive, asymmetric and transitive, and implies
+// both strictly larger coordinate sum and strictly smaller best-corner
+// distance. These are the facts SB's correctness rests on.
+func TestDominanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPoint := func(d int) Point {
+		p := make(Point, d)
+		for i := range p {
+			// Coarse grid so that ties and dominance happen often.
+			p[i] = float64(rng.Intn(5)) / 4
+		}
+		return p
+	}
+	for trial := 0; trial < 2000; trial++ {
+		d := 1 + rng.Intn(5)
+		p, q, r := randPoint(d), randPoint(d), randPoint(d)
+		if p.Dominates(p) {
+			t.Fatalf("dominance must be irreflexive: %v", p)
+		}
+		if p.Dominates(q) && q.Dominates(p) {
+			t.Fatalf("dominance must be asymmetric: %v %v", p, q)
+		}
+		if p.Dominates(q) && q.Dominates(r) && !p.Dominates(r) {
+			t.Fatalf("dominance must be transitive: %v %v %v", p, q, r)
+		}
+		if p.Dominates(q) {
+			if p.Sum() <= q.Sum() {
+				t.Fatalf("dominance must imply larger sum: %v %v", p, q)
+			}
+			if p.BestCornerDist() >= q.BestCornerDist() {
+				t.Fatalf("dominance must imply smaller best-corner distance: %v %v", p, q)
+			}
+		}
+	}
+}
+
+func TestBestCornerDist(t *testing.T) {
+	if got := (Point{1, 1, 1}).BestCornerDist(); got != 0 {
+		t.Fatalf("best corner distance of best corner = %v, want 0", got)
+	}
+	if got := (Point{0, 0}).BestCornerDist(); got != 2 {
+		t.Fatalf("best corner distance of origin = %v, want 2", got)
+	}
+	if got := (Point{0.5, 0.25}).BestCornerDist(); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("got %v, want 1.25", got)
+	}
+}
+
+func TestRectFromPointAndValid(t *testing.T) {
+	r := RectFromPoint(Point{1, 2})
+	if !r.Valid() {
+		t.Fatal("degenerate rect should be valid")
+	}
+	if !r.ContainsPoint(Point{1, 2}) {
+		t.Fatal("degenerate rect should contain its point")
+	}
+	if r.Area() != 0 {
+		t.Fatal("degenerate rect should have zero area")
+	}
+
+	bad := Rect{Lo: Point{1, 2}, Hi: Point{0, 3}}
+	if bad.Valid() {
+		t.Fatal("inverted rect should be invalid")
+	}
+	nan := Rect{Lo: Point{math.NaN()}, Hi: Point{1}}
+	if nan.Valid() {
+		t.Fatal("NaN rect should be invalid")
+	}
+	empty := Rect{}
+	if empty.Valid() {
+		t.Fatal("zero-dim rect should be invalid")
+	}
+	mismatch := Rect{Lo: Point{0}, Hi: Point{1, 1}}
+	if mismatch.Valid() {
+		t.Fatal("corner length mismatch should be invalid")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Lo: Point{0, 0}, Hi: Point{2, 2}}
+	if !r.ContainsPoint(Point{0, 0}) || !r.ContainsPoint(Point{2, 2}) || !r.ContainsPoint(Point{1, 1}) {
+		t.Fatal("boundary and interior points should be contained")
+	}
+	if r.ContainsPoint(Point{2.01, 1}) {
+		t.Fatal("outside point should not be contained")
+	}
+	if !r.ContainsRect(Rect{Lo: Point{0.5, 0.5}, Hi: Point{1.5, 1.5}}) {
+		t.Fatal("inner rect should be contained")
+	}
+	if r.ContainsRect(Rect{Lo: Point{0.5, 0.5}, Hi: Point{2.5, 1.5}}) {
+		t.Fatal("overflowing rect should not be contained")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	r := Rect{Lo: Point{0, 0}, Hi: Point{1, 1}}
+	cases := []struct {
+		s    Rect
+		want bool
+	}{
+		{Rect{Lo: Point{0.5, 0.5}, Hi: Point{2, 2}}, true},
+		{Rect{Lo: Point{1, 1}, Hi: Point{2, 2}}, true}, // corner touch
+		{Rect{Lo: Point{1.1, 0}, Hi: Point{2, 1}}, false},
+		{Rect{Lo: Point{-1, -1}, Hi: Point{2, 2}}, true}, // containment
+	}
+	for _, c := range cases {
+		if got := r.Intersects(c.s); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", r, c.s, got, c.want)
+		}
+		if got := c.s.Intersects(r); got != c.want {
+			t.Errorf("intersection must be symmetric for %v, %v", r, c.s)
+		}
+	}
+}
+
+func TestExpandAndUnion(t *testing.T) {
+	r := RectFromPoint(Point{1, 1})
+	r.ExpandPoint(Point{0, 2})
+	want := Rect{Lo: Point{0, 1}, Hi: Point{1, 2}}
+	if !r.Equal(want) {
+		t.Fatalf("after ExpandPoint: %v, want %v", r, want)
+	}
+	u := r.Union(Rect{Lo: Point{3, 3}, Hi: Point{4, 4}})
+	if !u.Equal(Rect{Lo: Point{0, 1}, Hi: Point{4, 4}}) {
+		t.Fatalf("union wrong: %v", u)
+	}
+	// Union must not mutate its operands.
+	if !r.Equal(want) {
+		t.Fatal("Union mutated receiver")
+	}
+}
+
+func TestAreaMarginCenter(t *testing.T) {
+	r := Rect{Lo: Point{0, 0, 0}, Hi: Point{2, 3, 4}}
+	if r.Area() != 24 {
+		t.Fatalf("area = %v, want 24", r.Area())
+	}
+	if r.Margin() != 9 {
+		t.Fatalf("margin = %v, want 9", r.Margin())
+	}
+	if !r.Center().Equal(Point{1, 1.5, 2}) {
+		t.Fatalf("center = %v", r.Center())
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	r := Rect{Lo: Point{0, 0}, Hi: Point{1, 1}}
+	if g := r.EnlargementPoint(Point{0.5, 0.5}); g != 0 {
+		t.Fatalf("interior point should not enlarge, got %v", g)
+	}
+	if g := r.EnlargementPoint(Point{2, 1}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("enlargement = %v, want 1", g)
+	}
+	if g := r.EnlargementRect(Rect{Lo: Point{0, 0}, Hi: Point{2, 2}}); math.Abs(g-3) > 1e-12 {
+		t.Fatalf("enlargement = %v, want 3", g)
+	}
+}
+
+func TestRectBestCornerDistAndDomination(t *testing.T) {
+	r := Rect{Lo: Point{0.1, 0.1}, Hi: Point{0.5, 0.6}}
+	want := (1 - 0.5) + (1 - 0.6)
+	if got := r.BestCornerDist(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BestCornerDist = %v, want %v", got, want)
+	}
+	if !r.DominatedBy(Point{0.6, 0.7}) {
+		t.Fatal("rect should be dominated by a point beating its Hi corner")
+	}
+	if r.DominatedBy(Point{0.5, 0.6}) {
+		t.Fatal("rect must not be dominated by its own Hi corner")
+	}
+	if r.DominatedBy(Point{0.4, 0.9}) {
+		t.Fatal("rect must not be dominated by an incomparable point")
+	}
+}
+
+// Property: an MBR's best-corner distance lower-bounds the distance of every
+// point inside it, and a dominated MBR contains no point that could escape
+// dominance. Both are required for BBS correctness.
+func TestRectBBSKeyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		d := 2 + rng.Intn(4)
+		pts := make([]Point, 1+rng.Intn(6))
+		for i := range pts {
+			pts[i] = make(Point, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.Float64()
+			}
+		}
+		mbr := MBROfPoints(pts)
+		for _, p := range pts {
+			if !mbr.ContainsPoint(p) {
+				t.Fatalf("MBR %v misses %v", mbr, p)
+			}
+			if mbr.BestCornerDist() > p.BestCornerDist()+1e-12 {
+				t.Fatalf("MBR key %v exceeds member key %v", mbr.BestCornerDist(), p.BestCornerDist())
+			}
+		}
+		// A dominator of the MBR dominates every point inside.
+		dom := make(Point, d)
+		for j := range dom {
+			dom[j] = mbr.Hi[j] + 0.01
+		}
+		if !mbr.DominatedBy(dom) {
+			t.Fatalf("constructed dominator fails: %v vs %v", dom, mbr)
+		}
+		for _, p := range pts {
+			if !dom.Dominates(p) {
+				t.Fatalf("MBR dominator must dominate members: %v vs %v", dom, p)
+			}
+		}
+	}
+}
+
+func TestMBROfPointsAndRects(t *testing.T) {
+	pts := []Point{{1, 5}, {3, 2}, {2, 4}}
+	m := MBROfPoints(pts)
+	if !m.Equal(Rect{Lo: Point{1, 2}, Hi: Point{3, 5}}) {
+		t.Fatalf("MBR = %v", m)
+	}
+	rects := []Rect{
+		{Lo: Point{0, 0}, Hi: Point{1, 1}},
+		{Lo: Point{2, -1}, Hi: Point{3, 0.5}},
+	}
+	mr := MBROfRects(rects)
+	if !mr.Equal(Rect{Lo: Point{0, -1}, Hi: Point{3, 1}}) {
+		t.Fatalf("MBR of rects = %v", mr)
+	}
+}
+
+func TestMBRPanicsOnEmpty(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"points": func() { MBROfPoints(nil) },
+		"rects":  func() { MBROfRects(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on empty input", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// quick-check: Union is commutative, associative (up to float equality on
+// these inputs), and contains both operands.
+func TestUnionQuick(t *testing.T) {
+	gen := func(vals []float64) Rect {
+		lo := Point{math.Min(vals[0], vals[1]), math.Min(vals[2], vals[3])}
+		hi := Point{math.Max(vals[0], vals[1]), math.Max(vals[2], vals[3])}
+		return Rect{Lo: lo, Hi: hi}
+	}
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		r := gen([]float64{a, b, c, d})
+		s := gen([]float64{e, g, h, i})
+		u := r.Union(s)
+		return u.Equal(s.Union(r)) && u.ContainsRect(r) && u.ContainsRect(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package prefmatch
+
+import (
+	"errors"
+	"fmt"
+
+	"prefmatch/internal/core"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Preference is a user-supplied monotone scoring function over object
+// attribute vectors: if p is at least as good as q in every attribute then
+// Score(p) >= Score(q) must hold. Linear weighted sums, Cobb-Douglas
+// products, weighted minima and any other monotone utility qualify.
+// Monotonicity is what makes skyline-restricted matching exact; violating
+// it silently produces a matching for a different (monotonised) problem.
+type Preference interface {
+	Score(values []float64) float64
+}
+
+// PreferenceQuery pairs a Preference with the user ID it belongs to.
+type PreferenceQuery struct {
+	ID         int
+	Preference Preference
+}
+
+// prefAdapter bridges the public Preference to the internal interface. The
+// upper bound over a rectangle is the score of its top corner, valid for
+// every monotone preference.
+type prefAdapter struct {
+	p Preference
+}
+
+func (a prefAdapter) Score(p vec.Point) float64 { return a.p.Score(p) }
+
+func (a prefAdapter) UpperBound(r vec.Rect) float64 { return a.p.Score(r.Hi) }
+
+var _ prefs.Preference = prefAdapter{}
+
+// MatchMonotone computes the stable matching between objects and arbitrary
+// monotone preference queries. It generalises Match beyond linear weight
+// vectors (the paper's § II model explicitly admits any monotone function).
+//
+// Supported algorithms: SkylineBased (default) and BruteForce. Chain
+// requires linear weight vectors to index and returns an error.
+func MatchMonotone(objects []Object, queries []PreferenceQuery, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if len(objects) == 0 {
+		return nil, errNoObjects
+	}
+	if len(queries) == 0 {
+		return nil, errNoQueries
+	}
+	d := len(objects[0].Values)
+	if d == 0 {
+		return nil, errors.New("prefmatch: objects need at least one attribute")
+	}
+	items, capacities, err := convertObjects(objects, d)
+	if err != nil {
+		return nil, err
+	}
+	gps := make([]core.GenericPreference, len(queries))
+	seen := make(map[int]bool, len(queries))
+	for i, q := range queries {
+		if q.Preference == nil {
+			return nil, fmt.Errorf("prefmatch: preference query %d is nil", q.ID)
+		}
+		if seen[q.ID] {
+			return nil, fmt.Errorf("prefmatch: duplicate preference query ID %d", q.ID)
+		}
+		seen[q.ID] = true
+		gps[i] = core.GenericPreference{ID: q.ID, Pref: prefAdapter{p: q.Preference}}
+	}
+	tree, c, err := buildIndex(items, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	var timer stats.Timer
+	timer.Start()
+	pairs, err := core.MatchGeneric(tree, gps, &core.Options{
+		Algorithm:        coreAlg(opts.Algorithm),
+		SkylineMode:      skyline.Mode(opts.Maintenance),
+		DisableMultiPair: opts.DisableMultiPair,
+		Capacities:       capacities,
+		Counters:         c,
+	})
+	timer.Stop()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Assignments: make([]Assignment, len(pairs))}
+	for i, p := range pairs {
+		res.Assignments[i] = Assignment{QueryID: p.FuncID, ObjectID: int(p.ObjID), Score: p.Score}
+	}
+	res.Stats = Stats{
+		IOAccesses:     c.IOAccesses(),
+		PageReads:      c.PageReads,
+		PageWrites:     c.PageWrites,
+		BufferHits:     c.BufferHits,
+		Top1Searches:   c.Top1Searches,
+		TAListAccesses: c.TAListAccesses,
+		SkylineUpdates: c.SkylineUpdates,
+		SkylineMax:     c.SkylineMaxSize,
+		Loops:          c.Loops,
+		Pairs:          c.PairsEmitted,
+		Elapsed:        timer.Elapsed(),
+	}
+	return res, nil
+}
+
+// LinearPreference adapts a weight vector to the Preference interface, for
+// mixing linear queries into MatchMonotone.
+type LinearPreference struct {
+	Weights []float64
+}
+
+// Score returns the weighted sum Σ Weights[i]·values[i].
+func (l LinearPreference) Score(values []float64) float64 {
+	s := 0.0
+	for i, w := range l.Weights {
+		s += w * values[i]
+	}
+	return s
+}

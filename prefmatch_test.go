@@ -1,0 +1,283 @@
+package prefmatch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func demoObjects(n, d int, seed int64) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]Object, n)
+	for i := range objs {
+		vals := make([]float64, d)
+		for j := range vals {
+			vals[j] = rng.Float64()
+		}
+		objs[i] = Object{ID: i + 100, Values: vals}
+	}
+	return objs
+}
+
+func demoQueries(n, d int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Query, n)
+	for i := range qs {
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.Float64() + 0.01
+		}
+		qs[i] = Query{ID: i + 1, Weights: w}
+	}
+	return qs
+}
+
+func TestMatchBasic(t *testing.T) {
+	objs := demoObjects(200, 3, 1)
+	qs := demoQueries(50, 3, 2)
+	res, err := Match(objs, qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 50 {
+		t.Fatalf("%d assignments, want 50", len(res.Assignments))
+	}
+	if err := Verify(objs, qs, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Pairs != 50 || res.Stats.Elapsed <= 0 {
+		t.Fatalf("stats wrong: %+v", res.Stats)
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	objs := demoObjects(300, 3, 3)
+	qs := demoQueries(60, 3, 4)
+	results := map[Algorithm]*Result{}
+	for _, alg := range []Algorithm{SkylineBased, BruteForce, Chain, BruteForceIncremental} {
+		res, err := Match(objs, qs, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := Verify(objs, qs, res.Assignments); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		results[alg] = res
+	}
+	byQuery := func(r *Result) map[int]int {
+		m := map[int]int{}
+		for _, a := range r.Assignments {
+			m[a.QueryID] = a.ObjectID
+		}
+		return m
+	}
+	sb := byQuery(results[SkylineBased])
+	for _, alg := range []Algorithm{BruteForce, Chain, BruteForceIncremental} {
+		other := byQuery(results[alg])
+		for q, o := range sb {
+			if other[q] != o {
+				t.Fatalf("%v assigns query %d to %d; SB to %d", alg, q, other[q], o)
+			}
+		}
+	}
+}
+
+func TestProgressiveMatcher(t *testing.T) {
+	objs := demoObjects(50, 2, 5)
+	qs := demoQueries(10, 2, 6)
+	m, err := NewMatcher(objs, qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first Assignment
+	count := 0
+	for {
+		a, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if count == 0 {
+			first = a
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	// The first emitted pair must be the globally best one.
+	full, err := Match(objs, qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Assignments[0] != first {
+		t.Fatalf("progressive first %v != batch first %v", first, full.Assignments[0])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	objs := demoObjects(5, 2, 7)
+	qs := demoQueries(3, 2, 8)
+
+	if _, err := Match(nil, qs, nil); err == nil {
+		t.Fatal("no objects accepted")
+	}
+	if _, err := Match(objs, nil, nil); err == nil {
+		t.Fatal("no queries accepted")
+	}
+
+	bad := demoObjects(5, 2, 9)
+	bad[2].Values = []float64{1}
+	if _, err := Match(bad, qs, nil); err == nil {
+		t.Fatal("ragged attributes accepted")
+	}
+
+	dup := demoObjects(5, 2, 10)
+	dup[1].ID = dup[0].ID
+	if _, err := Match(dup, qs, nil); err == nil {
+		t.Fatal("duplicate object IDs accepted")
+	}
+
+	neg := demoObjects(5, 2, 11)
+	neg[0].ID = -1
+	if _, err := Match(neg, qs, nil); err == nil {
+		t.Fatal("negative object ID accepted")
+	}
+
+	badQ := demoQueries(3, 2, 12)
+	badQ[0].Weights = []float64{-1, 2}
+	if _, err := Match(objs, badQ, nil); err == nil {
+		t.Fatal("negative weights accepted")
+	}
+
+	shortQ := demoQueries(3, 2, 13)
+	shortQ[0].Weights = []float64{1}
+	if _, err := Match(objs, shortQ, nil); err == nil {
+		t.Fatal("wrong weight count accepted")
+	}
+
+	zeroAttr := []Object{{ID: 0, Values: nil}}
+	if _, err := Match(zeroAttr, qs, nil); err == nil {
+		t.Fatal("zero-attribute objects accepted")
+	}
+}
+
+func TestOptionsRespected(t *testing.T) {
+	objs := demoObjects(2000, 3, 14)
+	qs := demoQueries(100, 3, 15)
+	// Tiny buffer forces physical I/O; huge buffer absorbs everything but
+	// compulsory misses. Brute Force re-reads pages heavily, so the buffer
+	// size must show (SB barely re-reads, so it would not).
+	small, err := Match(objs, qs, &Options{Algorithm: BruteForce, BufferPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Match(objs, qs, &Options{Algorithm: BruteForce, BufferPages: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats.IOAccesses <= big.Stats.IOAccesses {
+		t.Fatalf("buffer size had no effect: small=%d big=%d", small.Stats.IOAccesses, big.Stats.IOAccesses)
+	}
+	// Non-default page size must still work.
+	res, err := Match(objs, qs, &Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(objs, qs, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintenanceAndAblationOptions(t *testing.T) {
+	objs := demoObjects(500, 3, 16)
+	qs := demoQueries(50, 3, 17)
+	base, err := Match(objs, qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []*Options{
+		{Maintenance: MaintainRetraverse},
+		{Maintenance: MaintainRecompute},
+		{DisableMultiPair: true},
+		{DisableTightThreshold: true},
+	} {
+		res, err := Match(objs, qs, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if len(res.Assignments) != len(base.Assignments) {
+			t.Fatalf("%+v: cardinality differs", opts)
+		}
+		m := map[int]int{}
+		for _, a := range base.Assignments {
+			m[a.QueryID] = a.ObjectID
+		}
+		for _, a := range res.Assignments {
+			if m[a.QueryID] != a.ObjectID {
+				t.Fatalf("%+v: matching differs", opts)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedResult(t *testing.T) {
+	objs := demoObjects(30, 2, 18)
+	qs := demoQueries(10, 2, 19)
+	res, err := Match(objs, qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := make([]Assignment, len(res.Assignments))
+	copy(tampered, res.Assignments)
+	tampered[0], tampered[3] = Assignment{
+		QueryID:  tampered[0].QueryID,
+		ObjectID: tampered[3].ObjectID,
+		Score:    tampered[0].Score,
+	}, Assignment{
+		QueryID:  tampered[3].QueryID,
+		ObjectID: tampered[0].ObjectID,
+		Score:    tampered[3].Score,
+	}
+	if err := Verify(objs, qs, tampered); err == nil {
+		t.Fatal("tampered assignment accepted")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		SkylineBased: "SB", BruteForce: "BruteForce", Chain: "Chain",
+	} {
+		if !strings.Contains(alg.String(), want) {
+			t.Fatalf("%d.String() = %q", alg, alg.String())
+		}
+	}
+}
+
+func TestStatsShapeSB(t *testing.T) {
+	objs := demoObjects(1000, 3, 20)
+	qs := demoQueries(80, 3, 21)
+	res, err := Match(objs, qs, &Options{Algorithm: SkylineBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.SkylineUpdates == 0 || s.TAListAccesses == 0 || s.SkylineMax == 0 {
+		t.Fatalf("SB-specific stats missing: %+v", s)
+	}
+	if s.Loops > s.Pairs {
+		t.Fatalf("SB loops (%d) exceed pairs (%d)", s.Loops, s.Pairs)
+	}
+	bf, err := Match(objs, qs, &Options{Algorithm: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Stats.Top1Searches < int64(len(qs)) {
+		t.Fatalf("BF must run at least one top-1 per query: %d", bf.Stats.Top1Searches)
+	}
+	if bf.Stats.IOAccesses <= res.Stats.IOAccesses {
+		t.Fatalf("BF I/O (%d) should exceed SB I/O (%d)", bf.Stats.IOAccesses, res.Stats.IOAccesses)
+	}
+}
