@@ -1,0 +1,146 @@
+package prefmatch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBackendsProduceIdenticalMatchings is the public-API face of the
+// cross-backend equivalence property: for every algorithm, Match on the
+// Memory backend returns exactly the assignments of the default Paged
+// backend, and both verify as stable.
+func TestBackendsProduceIdenticalMatchings(t *testing.T) {
+	objects := demoObjects(400, 3, 1)
+	// Give some objects capacity > 1 to exercise the capacitated path.
+	rng := rand.New(rand.NewSource(2))
+	for i := range objects {
+		if rng.Intn(4) == 0 {
+			objects[i].Capacity = 1 + rng.Intn(3)
+		}
+	}
+	queries := demoQueries(120, 3, 3)
+	for _, alg := range []Algorithm{SkylineBased, BruteForce, BruteForceIncremental, Chain} {
+		ref, err := Match(objects, queries, &Options{Algorithm: alg, Backend: Paged})
+		if err != nil {
+			t.Fatalf("%v/paged: %v", alg, err)
+		}
+		got, err := Match(objects, queries, &Options{Algorithm: alg, Backend: Memory})
+		if err != nil {
+			t.Fatalf("%v/mem: %v", alg, err)
+		}
+		if len(ref.Assignments) != len(got.Assignments) {
+			t.Fatalf("%v: %d vs %d assignments", alg, len(ref.Assignments), len(got.Assignments))
+		}
+		for i := range ref.Assignments {
+			if ref.Assignments[i] != got.Assignments[i] {
+				t.Fatalf("%v: assignment %d differs: %v vs %v", alg, i, ref.Assignments[i], got.Assignments[i])
+			}
+		}
+		if err := Verify(objects, queries, got.Assignments); err != nil {
+			t.Fatalf("%v/mem: %v", alg, err)
+		}
+	}
+}
+
+// TestMemoryBackendReportsZeroIO pins the backend contract: the memory
+// backend performs no paged I/O, so Stats must report zero transfers while
+// still counting the algorithmic work.
+func TestMemoryBackendReportsZeroIO(t *testing.T) {
+	objects := demoObjects(300, 3, 4)
+	queries := demoQueries(60, 3, 5)
+	res, err := Match(objects, queries, &Options{Backend: Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IOAccesses != 0 || res.Stats.PageReads != 0 || res.Stats.PageWrites != 0 || res.Stats.BufferHits != 0 {
+		t.Fatalf("memory backend reported I/O: %+v", res.Stats)
+	}
+	if res.Stats.Pairs == 0 || res.Stats.Loops == 0 {
+		t.Fatalf("memory backend reported no work: %+v", res.Stats)
+	}
+	ref, err := Match(objects, queries, &Options{Backend: Paged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.IOAccesses == 0 {
+		t.Fatalf("paged backend reported zero I/O: %+v", ref.Stats)
+	}
+}
+
+// TestIndexMemoryBackend exercises the reusable Index on the Memory
+// backend: repeated Match calls over one build, identical to paged results.
+func TestIndexMemoryBackend(t *testing.T) {
+	objects := demoObjects(250, 4, 6)
+	queries := demoQueries(50, 4, 7)
+	memIx, err := BuildIndex(objects, &Options{Backend: Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memIx.Backend() != Memory {
+		t.Fatalf("Backend() = %v", memIx.Backend())
+	}
+	pagedIx, err := BuildIndex(objects, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := memIx.Match(queries, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pagedIx.Match(queries, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Assignments) != len(want.Assignments) {
+			t.Fatalf("round %d: %d vs %d assignments", round, len(got.Assignments), len(want.Assignments))
+		}
+		for i := range want.Assignments {
+			if want.Assignments[i] != got.Assignments[i] {
+				t.Fatalf("round %d: assignment %d differs", round, i)
+			}
+		}
+	}
+	if memIx.Len() != len(objects) {
+		t.Fatalf("index consumed: Len=%d", memIx.Len())
+	}
+}
+
+// TestAnalysisOnMemoryBackend covers the stand-alone primitives (Skyline,
+// TopK, MatchMonotone) on the Memory backend.
+func TestAnalysisOnMemoryBackend(t *testing.T) {
+	objects := demoObjects(200, 3, 8)
+	for _, backend := range []Backend{Paged, Memory} {
+		opts := &Options{Backend: backend}
+		sky, err := Skyline(objects, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sky) == 0 {
+			t.Fatalf("%v: empty skyline", backend)
+		}
+		top, err := TopK(objects, Query{ID: 1, Weights: []float64{1, 2, 3}}, 5, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top) != 5 {
+			t.Fatalf("%v: TopK returned %d", backend, len(top))
+		}
+		mono, err := MatchMonotone(objects, []PreferenceQuery{
+			{ID: 1, Preference: LinearPreference{Weights: []float64{1, 1, 1}}},
+			{ID: 2, Preference: LinearPreference{Weights: []float64{3, 1, 0}}},
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mono.Assignments) != 2 {
+			t.Fatalf("%v: MatchMonotone returned %d assignments", backend, len(mono.Assignments))
+		}
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if Paged.String() != "paged" || Memory.String() != "mem" {
+		t.Fatalf("backend names: %q %q", Paged, Memory)
+	}
+}

@@ -18,8 +18,10 @@ import (
 
 	"prefmatch/internal/core"
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/index/paged"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/ta"
@@ -32,26 +34,20 @@ const (
 
 var benchAlgs = []core.Algorithm{core.AlgSB, core.AlgBruteForce, core.AlgChain}
 
-// runMatch builds a fresh index (Brute Force and Chain consume it), then
-// runs one full matching with counters attached.
-func runMatch(b *testing.B, items []rtree.Item, fns []prefs.Function, d int, opts core.Options) *stats.Counters {
+// runMatch builds a fresh paged index (Brute Force and Chain consume it),
+// then runs one full matching with counters attached.
+func runMatch(b *testing.B, items []index.Item, fns []prefs.Function, d int, opts core.Options) *stats.Counters {
 	b.Helper()
 	c := &stats.Counters{}
 	b.StopTimer()
-	tree, err := rtree.New(d, &rtree.Options{Counters: c})
+	ix, err := paged.Build(d, items, &paged.Options{Counters: c})
 	if err != nil {
-		b.Fatal(err)
-	}
-	if err := tree.BulkLoad(items); err != nil {
-		b.Fatal(err)
-	}
-	if err := tree.DropBuffer(); err != nil {
 		b.Fatal(err)
 	}
 	c.Reset()
 	b.StartTimer()
 	opts.Counters = c
-	if _, err := core.Match(tree, fns, &opts); err != nil {
+	if _, err := core.Match(ix, fns, &opts); err != nil {
 		b.Fatal(err)
 	}
 	return c
@@ -181,25 +177,60 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				c := &stats.Counters{}
-				tree, err := rtree.New(3, &rtree.Options{Counters: c, BufferFraction: frac})
+				ix, err := paged.Build(3, items, &paged.Options{Counters: c, BufferFraction: frac})
 				if err != nil {
-					b.Fatal(err)
-				}
-				if err := tree.BulkLoad(items); err != nil {
-					b.Fatal(err)
-				}
-				if err := tree.DropBuffer(); err != nil {
 					b.Fatal(err)
 				}
 				c.Reset()
 				b.StartTimer()
-				if _, err := core.Match(tree, fns, &core.Options{Algorithm: core.AlgBruteForce, Counters: c}); err != nil {
+				if _, err := core.Match(ix, fns, &core.Options{Algorithm: core.AlgBruteForce, Counters: c}); err != nil {
 					b.Fatal(err)
 				}
 				total.Add(c)
 			}
 			reportCounters(b, total)
 		})
+	}
+}
+
+// BenchmarkBackends compares the two storage backends on wall-clock time
+// for the same workload and algorithm. The paged backend pays for node
+// encode/decode, LRU bookkeeping and I/O accounting on every access; the
+// memory backend reads nodes by pointer. The assignments produced are
+// identical (asserted by the cross-backend equivalence tests in
+// internal/core); what this benchmark tracks is the serving-path speedup.
+func BenchmarkBackends(b *testing.B) {
+	items := dataset.Independent(benchObjectsFig2, 4, 43)
+	fns := dataset.Functions(benchFunctions, 4, 44)
+	for _, alg := range []core.Algorithm{core.AlgSB, core.AlgBruteForce, core.AlgChain} {
+		for _, backend := range []string{"paged", "mem"} {
+			b.Run(fmt.Sprintf("%s/%s", alg, backend), func(b *testing.B) {
+				total := &stats.Counters{}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					c := &stats.Counters{}
+					var (
+						ix  index.ObjectIndex
+						err error
+					)
+					if backend == "mem" {
+						ix, err = mem.Build(4, items, &mem.Options{Counters: c})
+					} else {
+						ix, err = paged.Build(4, items, &paged.Options{Counters: c})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.Reset()
+					b.StartTimer()
+					if _, err := core.Match(ix, fns, &core.Options{Algorithm: alg, Counters: c}); err != nil {
+						b.Fatal(err)
+					}
+					total.Add(c)
+				}
+				reportCounters(b, total)
+			})
+		}
 	}
 }
 
@@ -225,9 +256,9 @@ func BenchmarkComponents(b *testing.B) {
 	items := dataset.Independent(50000, 3, 41)
 	fns := dataset.Functions(5000, 3, 42)
 
-	b.Run("rtree-bulkload-50k", func(b *testing.B) {
+	b.Run("paged-bulkload-50k", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tree, err := rtree.New(3, nil)
+			tree, err := paged.New(3, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -238,7 +269,7 @@ func BenchmarkComponents(b *testing.B) {
 	})
 
 	b.Run("skyline-compute-50k", func(b *testing.B) {
-		tree, err := rtree.New(3, nil)
+		tree, err := paged.New(3, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,6 +8,12 @@
 //	go run ./cmd/benchfig -fig 2a          # one panel (its experiment runs once)
 //	go run ./cmd/benchfig -full            # paper-scale parameters (slow!)
 //	go run ./cmd/benchfig -algs sb,bf      # subset of algorithms
+//	go run ./cmd/benchfig -backends paged  # paper mode only (skip the memory rows)
+//
+// Every algorithm runs on both storage backends by default: "paged" is the
+// paper-faithful disk simulation whose I/O panel reproduces the figures, and
+// "mem" is the in-memory serving backend (always zero I/O — its CPU column
+// tracks the serving-path wall-clock trajectory across snapshots).
 //
 // Reduced scale keeps every curve's shape while finishing in minutes;
 // -full uses the paper's |O| = 100K (up to 400K for Fig. 3) and |F| = 5000.
@@ -23,8 +29,10 @@ import (
 
 	"prefmatch/internal/core"
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/index/paged"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 )
 
@@ -58,18 +66,27 @@ type cell struct {
 	loops  int64
 }
 
+// combo is one plotted curve: an algorithm on a storage backend.
+type combo struct {
+	alg     core.Algorithm
+	backend string // "paged" | "mem"
+}
+
+func (c combo) String() string { return fmt.Sprintf("%s/%s", c.alg, c.backend) }
+
 type experiment struct {
 	name    string   // e.g. "fig2-independent"
 	panels  []string // e.g. ["2a (I/O)", "2c (CPU)"]
 	xLabel  string
 	xValues []int
-	run     func(x int, alg core.Algorithm) cell
+	run     func(x int, cb combo) cell
 }
 
 func main() {
 	fig := flag.String("fig", "all", "2a | 2b | 2c | 2d | 3a | 3b | all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow: tens of minutes)")
 	algsFlag := flag.String("algs", "sb,bf,chain", "comma-separated subset of sb,bf,chain")
+	backendsFlag := flag.String("backends", "paged,mem", "comma-separated subset of paged,mem")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -100,6 +117,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	var backends []string
+	for _, b := range strings.Split(*backendsFlag, ",") {
+		switch strings.TrimSpace(b) {
+		case "paged", "mem":
+			backends = append(backends, strings.TrimSpace(b))
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "benchfig: unknown backend %q\n", b)
+			os.Exit(2)
+		}
+	}
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfig: no backends selected")
+		os.Exit(2)
+	}
+
+	var combos []combo
+	for _, b := range backends {
+		for _, a := range algs {
+			combos = append(combos, combo{alg: a, backend: b})
+		}
+	}
+
 	experiments := buildExperiments(sc, *seed)
 	want := map[string]bool{}
 	switch *fig {
@@ -123,7 +163,7 @@ func main() {
 		if !want[ex.name] {
 			continue
 		}
-		runExperiment(ex, algs)
+		runExperiment(ex, combos)
 	}
 }
 
@@ -134,10 +174,10 @@ func buildExperiments(sc scale, seed int64) []experiment {
 			panels:  []string{"Figure 2(a): I/O vs D (independent)", "Figure 2(c): CPU vs D (independent)"},
 			xLabel:  "D",
 			xValues: sc.dims,
-			run: func(d int, alg core.Algorithm) cell {
+			run: func(d int, cb combo) cell {
 				items := dataset.Independent(sc.objectsFig2, d, seed+int64(d))
 				fns := dataset.Functions(sc.functions, d, seed+100+int64(d))
-				return runOnce(items, fns, d, alg)
+				return runOnce(items, fns, d, cb)
 			},
 		},
 		{
@@ -145,10 +185,10 @@ func buildExperiments(sc scale, seed int64) []experiment {
 			panels:  []string{"Figure 2(b): I/O vs D (anti-correlated)", "Figure 2(d): CPU vs D (anti-correlated)"},
 			xLabel:  "D",
 			xValues: sc.dims,
-			run: func(d int, alg core.Algorithm) cell {
+			run: func(d int, cb combo) cell {
 				items := dataset.AntiCorrelated(sc.objectsFig2, d, seed+200+int64(d))
 				fns := dataset.Functions(sc.functions, d, seed+300+int64(d))
-				return runOnce(items, fns, d, alg)
+				return runOnce(items, fns, d, cb)
 			},
 		},
 		{
@@ -156,71 +196,74 @@ func buildExperiments(sc scale, seed int64) []experiment {
 			panels:  []string{"Figure 3(a): I/O vs |O| (Zillow-like)", "Figure 3(b): CPU vs |O| (Zillow-like)"},
 			xLabel:  "|O|",
 			xValues: sc.objectsFig3,
-			run: func(n int, alg core.Algorithm) cell {
+			run: func(n int, cb combo) cell {
 				items := dataset.Zillow(n, seed+400)
 				fns := dataset.Functions(sc.functions, dataset.ZillowDim, seed+500)
-				return runOnce(items, fns, dataset.ZillowDim, alg)
+				return runOnce(items, fns, dataset.ZillowDim, cb)
 			},
 		},
 	}
 }
 
-// runOnce builds a fresh index (Brute Force and Chain consume it), resets
-// the counters after construction, and runs the matcher to completion.
-func runOnce(items []rtree.Item, fns []prefs.Function, d int, alg core.Algorithm) cell {
+// runOnce builds a fresh index on the combo's backend (Brute Force and
+// Chain consume it), resets the counters after construction, and runs the
+// matcher to completion.
+func runOnce(items []index.Item, fns []prefs.Function, d int, cb combo) cell {
 	c := &stats.Counters{}
-	tree, err := rtree.New(d, &rtree.Options{Counters: c})
+	var (
+		ix  index.ObjectIndex
+		err error
+	)
+	if cb.backend == "mem" {
+		ix, err = mem.Build(d, items, &mem.Options{Counters: c})
+	} else {
+		ix, err = paged.Build(d, items, &paged.Options{Counters: c})
+	}
 	if err != nil {
-		panic(err)
-	}
-	if err := tree.BulkLoad(items); err != nil {
-		panic(err)
-	}
-	if err := tree.DropBuffer(); err != nil {
 		panic(err)
 	}
 	c.Reset()
 	start := time.Now()
-	if _, err := core.Match(tree, fns, &core.Options{Algorithm: alg, Counters: c}); err != nil {
+	if _, err := core.Match(ix, fns, &core.Options{Algorithm: cb.alg, Counters: c}); err != nil {
 		panic(err)
 	}
 	elapsed := time.Since(start)
 	return cell{io: c.IOAccesses(), cpu: elapsed, top1: c.Top1Searches, skyMax: c.SkylineMaxSize, loops: c.Loops}
 }
 
-func runExperiment(ex experiment, algs []core.Algorithm) {
-	results := map[int]map[core.Algorithm]cell{}
+func runExperiment(ex experiment, combos []combo) {
+	results := map[int]map[combo]cell{}
 	for _, x := range ex.xValues {
-		results[x] = map[core.Algorithm]cell{}
-		for _, alg := range algs {
-			fmt.Fprintf(os.Stderr, "  running %s %s=%d %s ...\n", ex.name, ex.xLabel, x, alg)
-			results[x][alg] = ex.run(x, alg)
+		results[x] = map[combo]cell{}
+		for _, cb := range combos {
+			fmt.Fprintf(os.Stderr, "  running %s %s=%d %s ...\n", ex.name, ex.xLabel, x, cb)
+			results[x][cb] = ex.run(x, cb)
 		}
 	}
 	xs := append([]int(nil), ex.xValues...)
 	sort.Ints(xs)
 
 	fmt.Printf("\n== %s ==\n", ex.panels[0])
-	printTable(ex.xLabel, xs, algs, results, func(c cell) string { return fmt.Sprintf("%d", c.io) })
+	printTable(ex.xLabel, xs, combos, results, func(c cell) string { return fmt.Sprintf("%d", c.io) })
 	fmt.Printf("\n== %s ==\n", ex.panels[1])
-	printTable(ex.xLabel, xs, algs, results, func(c cell) string { return fmt.Sprintf("%.3fs", c.cpu.Seconds()) })
+	printTable(ex.xLabel, xs, combos, results, func(c cell) string { return fmt.Sprintf("%.3fs", c.cpu.Seconds()) })
 
 	fmt.Println("\nauxiliary counters:")
-	printTable(ex.xLabel, xs, algs, results, func(c cell) string {
+	printTable(ex.xLabel, xs, combos, results, func(c cell) string {
 		return fmt.Sprintf("top1=%d skyMax=%d loops=%d", c.top1, c.skyMax, c.loops)
 	})
 }
 
-func printTable(xLabel string, xs []int, algs []core.Algorithm, results map[int]map[core.Algorithm]cell, format func(cell) string) {
+func printTable(xLabel string, xs []int, combos []combo, results map[int]map[combo]cell, format func(cell) string) {
 	fmt.Printf("%-10s", xLabel)
-	for _, alg := range algs {
-		fmt.Printf(" %28s", alg)
+	for _, cb := range combos {
+		fmt.Printf(" %28s", cb)
 	}
 	fmt.Println()
 	for _, x := range xs {
 		fmt.Printf("%-10d", x)
-		for _, alg := range algs {
-			fmt.Printf(" %28s", format(results[x][alg]))
+		for _, cb := range combos {
+			fmt.Printf(" %28s", format(results[x][cb]))
 		}
 		fmt.Println()
 	}

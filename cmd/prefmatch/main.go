@@ -4,7 +4,13 @@
 //	prefmatch generate -kind zillow -n 10000 -out objects.csv
 //	prefmatch genqueries -n 500 -d 5 -out queries.csv
 //	prefmatch match -objects objects.csv -queries queries.csv -alg sb -out pairs.csv
+//	prefmatch match -objects objects.csv -queries queries.csv -backend memory -out pairs.csv
 //	prefmatch verify -objects objects.csv -queries queries.csv -pairs pairs.csv
+//
+// The match subcommand runs on the paged backend by default (the paper's
+// disk simulation, whose stderr stats report I/O accesses); -backend memory
+// selects the in-memory serving backend, which computes the identical
+// matching several times faster and reports zero I/O.
 //
 // CSV rows are "id,v1,v2,...". Run any subcommand with -h for its flags.
 package main
@@ -131,6 +137,7 @@ func cmdMatch(args []string) error {
 	objPath := fs.String("objects", "", "objects CSV (required)")
 	qPath := fs.String("queries", "", "queries CSV (required)")
 	alg := fs.String("alg", "sb", "sb | bf | chain")
+	backend := fs.String("backend", "paged", "paged (paper-metric I/O simulation) | memory (fastest wall-clock)")
 	maint := fs.String("maintenance", "plist", "plist | retraverse | recompute (sb only)")
 	pageSize := fs.Int("page", 4096, "page size in bytes")
 	bufFrac := fs.Float64("buffer-frac", 0.02, "LRU buffer fraction of tree size")
@@ -166,6 +173,14 @@ func cmdMatch(args []string) error {
 		opts.Algorithm = prefmatch.Chain
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	switch *backend {
+	case "paged":
+		opts.Backend = prefmatch.Paged
+	case "memory", "mem":
+		opts.Backend = prefmatch.Memory
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
 	}
 	switch *maint {
 	case "plist":

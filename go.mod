@@ -1,0 +1,3 @@
+module prefmatch
+
+go 1.24

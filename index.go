@@ -5,28 +5,30 @@ import (
 	"fmt"
 
 	"prefmatch/internal/core"
-	"prefmatch/internal/rtree"
+	"prefmatch/internal/index"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 )
 
-// Index is a reusable bulk-loaded object index. Building the R-tree is the
+// Index is a reusable bulk-loaded object index. Building the index is the
 // expensive part of a matching run; a server that receives waves of query
 // batches over a slow-changing inventory should build the Index once and
-// call Match on it per wave.
+// call Match on it per wave. Serving deployments typically build it on the
+// Memory backend (Options.Backend), which answers the same queries several
+// times faster in wall-clock.
 //
 // Index.Match always uses the skyline-based algorithm, which never modifies
-// the index (Brute Force and Chain consume their tree; use the package-level
-// Match for those). An Index is not safe for concurrent use.
+// the index (Brute Force and Chain consume their index; use the
+// package-level Match for those). An Index is not safe for concurrent use.
 type Index struct {
-	tree       *rtree.Tree
-	capacities map[rtree.ObjID]int
+	ix         index.ObjectIndex
+	capacities map[index.ObjID]int
 	opts       Options
 }
 
 // BuildIndex bulk-loads objects into a reusable index. Options control the
-// page size and buffer policy; the algorithm-related fields are taken per
-// Match call instead.
+// backend, page size and buffer policy; the algorithm-related fields are
+// taken per Match call instead.
 func BuildIndex(objects []Object, opts *Options) (*Index, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -42,21 +44,25 @@ func BuildIndex(objects []Object, opts *Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, _, err := buildIndex(items, d, opts)
+	oix, _, err := buildIndex(items, d, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: tree, capacities: capacities, opts: *opts}, nil
+	return &Index{ix: oix, capacities: capacities, opts: *opts}, nil
 }
 
 // Len returns the number of indexed objects.
-func (ix *Index) Len() int { return ix.tree.Len() }
+func (ix *Index) Len() int { return ix.ix.Len() }
 
 // Dim returns the number of attributes per object.
-func (ix *Index) Dim() int { return ix.tree.Dim() }
+func (ix *Index) Dim() int { return ix.ix.Dim() }
 
-// Pages returns the index size in pages (diagnostics).
-func (ix *Index) Pages() int { return ix.tree.NumPages() }
+// Pages returns the index size in pages — nodes, for the Memory backend
+// (diagnostics).
+func (ix *Index) Pages() int { return ix.ix.NumPages() }
+
+// Backend returns the storage backend the index was built on.
+func (ix *Index) Backend() Backend { return ix.opts.Backend }
 
 // Match runs a skyline-based matching of the queries against the indexed
 // objects. The index is left intact and can be matched again. opts may be
@@ -72,13 +78,15 @@ func (ix *Index) Match(queries []Query, opts *Options) (*Result, error) {
 	if len(queries) == 0 {
 		return nil, errNoQueries
 	}
-	fns, err := convertQueries(queries, ix.tree.Dim())
+	fns, err := convertQueries(queries, ix.ix.Dim())
 	if err != nil {
 		return nil, err
 	}
+	// NewMatcher redirects the index's accounting to c for the run and
+	// restores the original sink when the matching completes (the drain
+	// loop below always runs to exhaustion).
 	c := &stats.Counters{}
-	ix.tree.SetCounters(c)
-	inner, err := core.NewMatcher(ix.tree, fns, &core.Options{
+	inner, err := core.NewMatcher(ix.ix, fns, &core.Options{
 		Algorithm:             core.AlgSB,
 		SkylineMode:           skyline.Mode(opts.Maintenance),
 		DisableMultiPair:      opts.DisableMultiPair,

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/index/paged"
+	"prefmatch/internal/stats"
+)
+
+var backendNames = []string{"paged", "mem"}
+
+// buildBackend constructs the object index for the named backend with the
+// same virtual page size the paged test helper uses, so both backends get
+// identical fan-outs.
+func buildBackend(t testing.TB, backend string, items []index.Item, d int) index.ObjectIndex {
+	t.Helper()
+	c := &stats.Counters{}
+	var (
+		ix  index.ObjectIndex
+		err error
+	)
+	switch backend {
+	case "mem":
+		ix, err = mem.Build(d, items, &mem.Options{PageSize: 512, Counters: c})
+	default:
+		ix, err = paged.Build(d, items, &paged.Options{PageSize: 512, Counters: c})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	return ix
+}
+
+func assertSamePairs(t *testing.T, label string, want, got []Pair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: pair %d differs: %v vs %v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestCrossBackendEquivalence is the randomized cross-backend property: on
+// the same workload, every algorithm emits the identical assignment stream
+// (same pairs, same order, same scores) whether the object index is the
+// paged disk simulation or the in-memory serving backend — including runs
+// with capacitated objects, and despite the two backends diverging
+// structurally once the destructive algorithms start deleting.
+func TestCrossBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	algs := []Algorithm{AlgSB, AlgBruteForce, AlgBruteForceIncremental, AlgChain}
+	for trial := 0; trial < 12; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 40 + rng.Intn(160)
+		nf := 10 + rng.Intn(80)
+		var items []index.Item
+		switch trial % 3 {
+		case 0:
+			items = gridItems(rng, n, d, 5) // dense ties
+		case 1:
+			items = dataset.Independent(n, d, int64(1000+trial))
+		default:
+			items = dataset.AntiCorrelated(n, d, int64(3000+trial))
+		}
+		fns := dataset.Functions(nf, d, int64(2000+trial))
+		var caps map[index.ObjID]int
+		if trial%2 == 1 {
+			caps = randomCapacities(rng, items, 3)
+		}
+		for _, alg := range algs {
+			results := make(map[string][]Pair, len(backendNames))
+			for _, backend := range backendNames {
+				ix := buildBackend(t, backend, items, d)
+				pairs, err := Match(ix, fns, &Options{Algorithm: alg, Capacities: caps})
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: %v", trial, alg, backend, err)
+				}
+				results[backend] = pairs
+			}
+			assertSamePairs(t,
+				"trial "+alg.String(),
+				results["paged"], results["mem"])
+		}
+	}
+}
+
+// TestGenericCrossBackendEquivalence covers the monotone-preference path on
+// both backends.
+func TestGenericCrossBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	items := gridItems(rng, 120, 3, 6)
+	fns := dataset.Functions(40, 3, 18)
+	gps := make([]GenericPreference, len(fns))
+	for i, f := range fns {
+		gps[i] = GenericPreference{ID: f.ID, Pref: f}
+	}
+	for _, alg := range []Algorithm{AlgSB, AlgBruteForce} {
+		var ref []Pair
+		for _, backend := range backendNames {
+			ix := buildBackend(t, backend, items, 3)
+			pairs, err := MatchGeneric(ix, gps, &Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, backend, err)
+			}
+			if ref == nil {
+				ref = pairs
+				continue
+			}
+			assertSamePairs(t, "generic "+alg.String(), ref, pairs)
+		}
+	}
+}
+
+// TestCounterRedirectRestored pins the NewMatcher contract: passing a
+// private counter sink redirects the index's accounting for the run and
+// restores the original sink once the matcher reports completion.
+func TestCounterRedirectRestored(t *testing.T) {
+	items := dataset.Independent(300, 3, 5)
+	fns := dataset.Functions(40, 3, 6)
+	for _, backend := range backendNames {
+		for _, alg := range []Algorithm{AlgSB, AlgBruteForce, AlgChain} {
+			ix := buildBackend(t, backend, items, 3)
+			orig := ix.Counters()
+			mine := &stats.Counters{}
+			m, err := NewMatcher(ix, fns, &Options{Algorithm: alg, Counters: mine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := m.Next(); err != nil || !ok {
+				t.Fatalf("%s/%s: first Next: ok=%v err=%v", backend, alg, ok, err)
+			}
+			if ix.Counters() != mine {
+				t.Fatalf("%s/%s: counters not redirected during the run", backend, alg)
+			}
+			if _, err := MatchAll(m); err != nil {
+				t.Fatal(err)
+			}
+			if ix.Counters() != orig {
+				t.Fatalf("%s/%s: counters not restored after completion", backend, alg)
+			}
+			before := *orig
+			if _, ok, err := m.Next(); ok || err != nil {
+				t.Fatalf("%s/%s: Next after completion: ok=%v err=%v", backend, alg, ok, err)
+			}
+			if *orig != before {
+				t.Fatalf("%s/%s: original sink mutated after restore", backend, alg)
+			}
+		}
+	}
+}
+
+// TestCounterNoRedirectWhenShared pins the other side of the contract: when
+// the requested sink already is the index's sink, nothing is swapped.
+func TestCounterNoRedirectWhenShared(t *testing.T) {
+	items := dataset.Independent(100, 2, 7)
+	fns := dataset.Functions(10, 2, 8)
+	ix := buildBackend(t, "paged", items, 2)
+	shared := ix.Counters()
+	m, err := NewMatcher(ix, fns, &Options{Algorithm: AlgSB, Counters: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MatchAll(m); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Counters() != shared {
+		t.Fatal("shared sink was replaced")
+	}
+	if shared.ScoreEvals == 0 {
+		t.Fatal("no work was attributed to the shared sink")
+	}
+}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 )
@@ -23,7 +23,7 @@ import (
 // quantifies how much of classic Brute Force's cost is re-search, and it
 // still loses to SB, which bounds its working set by the skyline.
 type bfIncMatcher struct {
-	tree *rtree.Tree
+	tree index.ObjectIndex
 	fns  []prefs.Function
 	c    *stats.Counters
 
@@ -33,10 +33,10 @@ type bfIncMatcher struct {
 	cache    []bfCache
 	live     int
 	resid    *residual
-	assigned map[rtree.ObjID]bool // objects with exhausted capacity
+	assigned map[index.ObjID]bool // objects with exhausted capacity
 }
 
-func newBFIncremental(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfIncMatcher, error) {
+func newBFIncremental(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfIncMatcher, error) {
 	m := &bfIncMatcher{
 		tree:     tree,
 		fns:      fns,
@@ -46,7 +46,7 @@ func newBFIncremental(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *
 		cache:    make([]bfCache, len(fns)),
 		live:     len(fns),
 		resid:    newResidual(opts.Capacities),
-		assigned: map[rtree.ObjID]bool{},
+		assigned: map[index.ObjID]bool{},
 	}
 	for i := range m.alive {
 		m.alive[i] = true

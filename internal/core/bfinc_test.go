@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"prefmatch/internal/dataset"
-	"prefmatch/internal/rtree"
+	"prefmatch/internal/index"
 	"prefmatch/internal/stats"
 )
 
@@ -13,7 +13,7 @@ func TestBFIncrementalMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, tc := range []struct {
 		name  string
-		items []rtree.Item
+		items []index.Item
 		nFn   int
 		d     int
 	}{

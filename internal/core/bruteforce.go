@@ -1,8 +1,8 @@
 package core
 
 import (
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 	"prefmatch/internal/vec"
@@ -15,7 +15,7 @@ import (
 // whose cached top-1 was o. Worst case: O(|F|) deletions and O(|F|²) top-1
 // searches.
 type bfMatcher struct {
-	tree *rtree.Tree
+	tree index.ObjectIndex
 	fns  []prefs.Function
 	c    *stats.Counters
 
@@ -28,13 +28,13 @@ type bfMatcher struct {
 
 type bfCache struct {
 	has   bool // false once the tree is exhausted for this function
-	objID rtree.ObjID
+	objID index.ObjID
 	point vec.Point
 	sum   float64
 	score float64
 }
 
-func newBruteForce(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfMatcher, error) {
+func newBruteForce(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfMatcher, error) {
 	m := &bfMatcher{
 		tree:  tree,
 		fns:   fns,

@@ -5,14 +5,14 @@ import (
 	"testing"
 
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 )
 
 // capacitatedOracle is the exhaustive greedy reference with per-object
 // capacities: an object leaves the pool only when its capacity is spent.
-func capacitatedOracle(objs []rtree.Item, fns []prefs.Function, caps map[rtree.ObjID]int) []Pair {
-	resid := make(map[rtree.ObjID]int, len(objs))
+func capacitatedOracle(objs []index.Item, fns []prefs.Function, caps map[index.ObjID]int) []Pair {
+	resid := make(map[index.ObjID]int, len(objs))
 	total := 0
 	for _, o := range objs {
 		c, ok := caps[o.ID]
@@ -57,8 +57,8 @@ func capacitatedOracle(objs []rtree.Item, fns []prefs.Function, caps map[rtree.O
 	return out
 }
 
-func randomCapacities(rng *rand.Rand, items []rtree.Item, maxCap int) map[rtree.ObjID]int {
-	caps := map[rtree.ObjID]int{}
+func randomCapacities(rng *rand.Rand, items []index.Item, maxCap int) map[index.ObjID]int {
+	caps := map[index.ObjID]int{}
 	for _, it := range items {
 		if rng.Intn(2) == 0 {
 			caps[it.ID] = 1 + rng.Intn(maxCap)
@@ -71,7 +71,7 @@ func TestCapacitatedMatchingAgainstOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, tc := range []struct {
 		name  string
-		items []rtree.Item
+		items []index.Item
 		nFn   int
 		d     int
 	}{
@@ -103,11 +103,11 @@ func TestCapacityValidation(t *testing.T) {
 	items := dataset.Independent(10, 2, 6)
 	fns := dataset.Functions(5, 2, 7)
 	tree := buildTree(t, items, 2)
-	_, err := NewMatcher(tree, fns, &Options{Capacities: map[rtree.ObjID]int{3: 0}})
+	_, err := NewMatcher(tree, fns, &Options{Capacities: map[index.ObjID]int{3: 0}})
 	if err == nil {
 		t.Fatal("capacity 0 accepted")
 	}
-	_, err = NewMatcher(tree, fns, &Options{Capacities: map[rtree.ObjID]int{3: -2}})
+	_, err = NewMatcher(tree, fns, &Options{Capacities: map[index.ObjID]int{3: -2}})
 	if err == nil {
 		t.Fatal("negative capacity accepted")
 	}
@@ -117,7 +117,7 @@ func TestSingleObjectManyFunctions(t *testing.T) {
 	// One object with capacity 5 absorbs the 5 best-scoring functions.
 	items := dataset.Independent(1, 3, 8)
 	fns := dataset.Functions(12, 3, 9)
-	caps := map[rtree.ObjID]int{items[0].ID: 5}
+	caps := map[index.ObjID]int{items[0].ID: 5}
 	want := capacitatedOracle(items, fns, caps)
 	if len(want) != 5 {
 		t.Fatalf("oracle produced %d pairs", len(want))
@@ -139,7 +139,7 @@ func TestCapacityLargerThanDemand(t *testing.T) {
 	// per-function assignment equals the oracle's.
 	items := dataset.Independent(20, 3, 10)
 	fns := dataset.Functions(15, 3, 11)
-	caps := map[rtree.ObjID]int{}
+	caps := map[index.ObjID]int{}
 	for _, it := range items {
 		caps[it.ID] = 4
 	}
@@ -168,7 +168,7 @@ func TestCapacitatedRandomizedSweep(t *testing.T) {
 		d := 2 + rng.Intn(3)
 		nObj := 3 + rng.Intn(50)
 		nFn := 1 + rng.Intn(60)
-		var items []rtree.Item
+		var items []index.Item
 		if rng.Intn(2) == 0 {
 			items = dataset.Independent(nObj, d, seed*17+1)
 		} else {

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/memrtree"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 	"prefmatch/internal/vec"
@@ -25,14 +25,14 @@ import (
 // emitted, both members are deleted from their trees, and the walk resumes
 // from the element below them on the stack.
 type chainMatcher struct {
-	tree  *rtree.Tree
+	tree  index.ObjectIndex
 	ftree *memrtree.Tree
 	fns   []prefs.Function
 	c     *stats.Counters
 
 	started  bool
 	alive    []bool
-	assigned map[rtree.ObjID]bool // objects with exhausted capacity
+	assigned map[index.ObjID]bool // objects with exhausted capacity
 	resid    *residual
 	live     int
 	stack    []chainElem
@@ -42,13 +42,13 @@ type chainMatcher struct {
 type chainElem struct {
 	isFn  bool
 	fnIdx int
-	objID rtree.ObjID
+	objID index.ObjID
 	point vec.Point
 	sum   float64
 	score float64 // score of the hop that discovered this element
 }
 
-func newChain(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Counters) (*chainMatcher, error) {
+func newChain(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*chainMatcher, error) {
 	ftree, err := memrtree.New(tree.Dim(), opts.ChainFanOut, c)
 	if err != nil {
 		return nil, err
@@ -59,7 +59,7 @@ func newChain(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Co
 		fns:      fns,
 		c:        c,
 		alive:    make([]bool, len(fns)),
-		assigned: map[rtree.ObjID]bool{},
+		assigned: map[index.ObjID]bool{},
 		resid:    newResidual(opts.Capacities),
 		live:     len(fns),
 	}

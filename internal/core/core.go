@@ -21,8 +21,8 @@ import (
 	"errors"
 	"fmt"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 )
@@ -30,7 +30,7 @@ import (
 // Pair is one stable function-object assignment.
 type Pair struct {
 	FuncID int         // external ID of the matched function
-	ObjID  rtree.ObjID // ID of the matched object
+	ObjID  index.ObjID // ID of the matched object
 	Score  float64     // f(o)
 }
 
@@ -97,7 +97,7 @@ type Options struct {
 	// Capacities extend the greedy model naturally: an object leaves the
 	// pool only when its capacity is exhausted. All three algorithms
 	// support them.
-	Capacities map[rtree.ObjID]int
+	Capacities map[index.ObjID]int
 
 	// Counters receives all work accounting. When nil, the object tree's
 	// counter sink is used.
@@ -116,14 +116,19 @@ type Matcher interface {
 // ErrDimensionMismatch is returned when functions and objects disagree on D.
 var ErrDimensionMismatch = errors.New("core: function/object dimensionality mismatch")
 
-// NewMatcher builds the matcher selected by opts over the object tree and
+// NewMatcher builds the matcher selected by opts over the object index and
 // function set. The function IDs must be unique (they identify users in the
 // emitted pairs).
 //
 // The Brute Force and Chain matchers delete matched objects from the object
-// R-tree as they run — exactly as the paper describes — so the caller must
-// rebuild or reload the tree before reusing it. SB never modifies the tree.
-func NewMatcher(tree *rtree.Tree, fns []prefs.Function, opts *Options) (Matcher, error) {
+// index as they run — exactly as the paper describes — so the caller must
+// rebuild or reload the index before reusing it. SB never modifies it.
+//
+// When opts.Counters is a different sink than the index's, the index's
+// accounting is redirected to it for the duration of the run and restored
+// to the original sink as soon as Next reports completion (or an error).
+// A matcher abandoned before exhaustion leaves the redirect in place.
+func NewMatcher(tree index.ObjectIndex, fns []prefs.Function, opts *Options) (Matcher, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -149,43 +154,84 @@ func NewMatcher(tree *rtree.Tree, fns []prefs.Function, opts *Options) (Matcher,
 			return nil, fmt.Errorf("core: object %d has capacity %d (< 1)", id, cap)
 		}
 	}
-	c := opts.Counters
-	if c == nil {
-		c = tree.Counters()
-	} else if c != tree.Counters() {
-		// Redirect the tree's I/O into the matcher's counter sink so that
-		// every page access below is attributed to this run.
-		tree.SetCounters(c)
-	}
+	c, prev := redirectCounters(tree, opts.Counters)
+	var (
+		inner Matcher
+		err   error
+	)
 	switch opts.Algorithm {
 	case AlgSB:
-		return newSB(tree, fns, opts, c)
+		inner, err = newSB(tree, fns, opts, c)
 	case AlgBruteForce:
-		return newBruteForce(tree, fns, opts, c)
+		inner, err = newBruteForce(tree, fns, opts, c)
 	case AlgChain:
-		return newChain(tree, fns, opts, c)
+		inner, err = newChain(tree, fns, opts, c)
 	case AlgBruteForceIncremental:
-		return newBFIncremental(tree, fns, opts, c)
+		inner, err = newBFIncremental(tree, fns, opts, c)
 	default:
-		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+		err = fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
 	}
+	if err != nil {
+		if prev != nil {
+			tree.SetCounters(prev)
+		}
+		return nil, err
+	}
+	if prev != nil {
+		inner = &restoreMatcher{Matcher: inner, tree: tree, prev: prev}
+	}
+	return inner, nil
+}
+
+// redirectCounters points the index's accounting at the requested sink. It
+// returns the sink the matcher should charge and, when a redirect actually
+// happened, the index's previous sink (nil otherwise).
+func redirectCounters(tree index.ObjectIndex, requested *stats.Counters) (c, prev *stats.Counters) {
+	if requested == nil {
+		return tree.Counters(), nil
+	}
+	if requested == tree.Counters() {
+		return requested, nil
+	}
+	prev = tree.Counters()
+	tree.SetCounters(requested)
+	return requested, prev
+}
+
+// restoreMatcher reverts a counter redirect once the wrapped matcher
+// completes, so that NewMatcher does not permanently hijack the index's
+// accounting from its owner.
+type restoreMatcher struct {
+	Matcher
+	tree index.ObjectIndex
+	prev *stats.Counters
+	done bool
+}
+
+func (m *restoreMatcher) Next() (Pair, bool, error) {
+	p, ok, err := m.Matcher.Next()
+	if (!ok || err != nil) && !m.done {
+		m.done = true
+		m.tree.SetCounters(m.prev)
+	}
+	return p, ok, err
 }
 
 // residual tracks per-object remaining capacity. take decrements and
 // reports whether the object is now exhausted.
 type residual struct {
-	caps map[rtree.ObjID]int
+	caps map[index.ObjID]int
 }
 
-func newResidual(capacities map[rtree.ObjID]int) *residual {
-	r := &residual{caps: make(map[rtree.ObjID]int, len(capacities))}
+func newResidual(capacities map[index.ObjID]int) *residual {
+	r := &residual{caps: make(map[index.ObjID]int, len(capacities))}
 	for id, c := range capacities {
 		r.caps[id] = c
 	}
 	return r
 }
 
-func (r *residual) take(id rtree.ObjID) (exhausted bool) {
+func (r *residual) take(id index.ObjID) (exhausted bool) {
 	c, ok := r.caps[id]
 	if !ok {
 		c = 1
@@ -215,7 +261,7 @@ func MatchAll(m Matcher) ([]Pair, error) {
 }
 
 // Match is the one-call convenience: build the matcher and drain it.
-func Match(tree *rtree.Tree, fns []prefs.Function, opts *Options) ([]Pair, error) {
+func Match(tree index.ObjectIndex, fns []prefs.Function, opts *Options) ([]Pair, error) {
 	m, err := NewMatcher(tree, fns, opts)
 	if err != nil {
 		return nil, err

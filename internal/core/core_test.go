@@ -6,17 +6,18 @@ import (
 	"testing"
 
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/paged"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
 
-func buildTree(t testing.TB, items []rtree.Item, d int) *rtree.Tree {
+func buildTree(t testing.TB, items []index.Item, d int) paged.Index {
 	t.Helper()
 	c := &stats.Counters{}
-	tr, err := rtree.New(d, &rtree.Options{PageSize: 512, Counters: c})
+	tr, err := paged.New(d, &paged.Options{PageSize: 512, Counters: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,14 +33,14 @@ func buildTree(t testing.TB, items []rtree.Item, d int) *rtree.Tree {
 
 // gridItems produces objects on a coarse grid: many duplicates and ties,
 // the adversarial case for tie-breaking.
-func gridItems(rng *rand.Rand, n, d, grid int) []rtree.Item {
-	items := make([]rtree.Item, n)
+func gridItems(rng *rand.Rand, n, d, grid int) []index.Item {
+	items := make([]index.Item, n)
 	for i := range items {
 		p := make(vec.Point, d)
 		for j := range p {
 			p[j] = float64(rng.Intn(grid)) / float64(grid-1)
 		}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
 	return items
 }
@@ -47,7 +48,7 @@ func gridItems(rng *rand.Rand, n, d, grid int) []rtree.Item {
 // oracle is a local copy of the exhaustive greedy reference (the verify
 // package hosts the exported version; core tests keep their own to avoid an
 // import cycle in coverage tooling).
-func oracle(objs []rtree.Item, fns []prefs.Function) []Pair {
+func oracle(objs []index.Item, fns []prefs.Function) []Pair {
 	aliveO := make([]bool, len(objs))
 	aliveF := make([]bool, len(fns))
 	for i := range aliveO {
@@ -91,7 +92,7 @@ func pairSetEqual(a, b []Pair) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	m := make(map[int]rtree.ObjID, len(a))
+	m := make(map[int]index.ObjID, len(a))
 	for _, p := range a {
 		m[p.FuncID] = p.ObjID
 	}
@@ -110,12 +111,12 @@ func TestAllAlgorithmsMatchOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	type workload struct {
 		name  string
-		items []rtree.Item
+		items []index.Item
 		fns   []prefs.Function
 		d     int
 	}
 	var workloads []workload
-	add := func(name string, items []rtree.Item, fns []prefs.Function, d int) {
+	add := func(name string, items []index.Item, fns []prefs.Function, d int) {
 		workloads = append(workloads, workload{name, items, fns, d})
 	}
 	add("indep-2d", dataset.Independent(120, 2, 1), dataset.Functions(30, 2, 2), 2)
@@ -427,7 +428,7 @@ func TestRandomizedEquivalenceSweep(t *testing.T) {
 		d := 2 + rng.Intn(4)
 		nObj := 5 + rng.Intn(120)
 		nFn := 1 + rng.Intn(60)
-		var items []rtree.Item
+		var items []index.Item
 		switch rng.Intn(4) {
 		case 0:
 			items = dataset.Independent(nObj, d, seed*31+1)

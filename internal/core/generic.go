@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
@@ -31,7 +31,7 @@ type GenericPreference struct {
 // a set of monotone preferences. Algorithms: AlgSB (default) and
 // AlgBruteForce; AlgChain returns an error because it needs linear weights
 // to index.
-func MatchGeneric(tree *rtree.Tree, gps []GenericPreference, opts *Options) ([]Pair, error) {
+func MatchGeneric(tree index.ObjectIndex, gps []GenericPreference, opts *Options) ([]Pair, error) {
 	m, err := NewGenericMatcher(tree, gps, opts)
 	if err != nil {
 		return nil, err
@@ -40,7 +40,7 @@ func MatchGeneric(tree *rtree.Tree, gps []GenericPreference, opts *Options) ([]P
 }
 
 // NewGenericMatcher builds a progressive matcher over monotone preferences.
-func NewGenericMatcher(tree *rtree.Tree, gps []GenericPreference, opts *Options) (Matcher, error) {
+func NewGenericMatcher(tree index.ObjectIndex, gps []GenericPreference, opts *Options) (Matcher, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -65,29 +65,33 @@ func NewGenericMatcher(tree *rtree.Tree, gps []GenericPreference, opts *Options)
 			return nil, fmt.Errorf("core: object %d has capacity %d (< 1)", id, cap)
 		}
 	}
-	c := opts.Counters
-	if c == nil {
-		c = tree.Counters()
-	} else if c != tree.Counters() {
-		tree.SetCounters(c)
-	}
+	c, prev := redirectCounters(tree, opts.Counters)
+	var inner Matcher
 	switch opts.Algorithm {
 	case AlgSB:
-		return newGenericSB(tree, gps, opts, c), nil
+		inner = newGenericSB(tree, gps, opts, c)
 	case AlgBruteForce:
-		return newGenericBF(tree, gps, opts, c), nil
-	case AlgChain:
-		return nil, errors.New("core: Chain requires linear preferences (weight vectors to index)")
+		inner = newGenericBF(tree, gps, opts, c)
 	default:
+		if prev != nil {
+			tree.SetCounters(prev)
+		}
+		if opts.Algorithm == AlgChain {
+			return nil, errors.New("core: Chain requires linear preferences (weight vectors to index)")
+		}
 		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
 	}
+	if prev != nil {
+		inner = &restoreMatcher{Matcher: inner, tree: tree, prev: prev}
+	}
+	return inner, nil
 }
 
 // genericSB is the SB loop with a scan-based BestPair. The per-loop
 // structure, the caching discipline, and the multi-pair emission are
 // identical to the linear sbMatcher.
 type genericSB struct {
-	tree  *rtree.Tree
+	tree  index.ObjectIndex
 	gps   []GenericPreference
 	maint *skyline.Maintainer
 	c     *stats.Counters
@@ -99,12 +103,12 @@ type genericSB struct {
 	live      int
 	resid     *residual
 
-	ocache map[rtree.ObjID]obCache
+	ocache map[index.ObjID]obCache
 	fcache map[int]fnCache
 	queue  []Pair
 }
 
-func newGenericSB(tree *rtree.Tree, gps []GenericPreference, opts *Options, c *stats.Counters) *genericSB {
+func newGenericSB(tree index.ObjectIndex, gps []GenericPreference, opts *Options, c *stats.Counters) *genericSB {
 	m := &genericSB{
 		tree:      tree,
 		gps:       gps,
@@ -114,7 +118,7 @@ func newGenericSB(tree *rtree.Tree, gps []GenericPreference, opts *Options, c *s
 		alive:     make([]bool, len(gps)),
 		live:      len(gps),
 		resid:     newResidual(opts.Capacities),
-		ocache:    map[rtree.ObjID]obCache{},
+		ocache:    map[index.ObjID]obCache{},
 		fcache:    map[int]fnCache{},
 	}
 	for i := range m.alive {
@@ -241,7 +245,7 @@ func (m *genericSB) loop() error {
 	}
 
 	matchedFns := make(map[int]bool, len(pairs))
-	removedObjs := make([]rtree.ObjID, 0, len(pairs))
+	removedObjs := make([]index.ObjID, 0, len(pairs))
 	for _, p := range pairs {
 		m.queue = append(m.queue, Pair{FuncID: m.gps[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
 		m.c.PairsEmitted++
@@ -273,7 +277,7 @@ func (m *genericSB) loop() error {
 		}
 		m.ocache[o.ID] = obCache{fnIdx: idx, score: score}
 	}
-	removedSet := make(map[rtree.ObjID]bool, len(removedObjs))
+	removedSet := make(map[index.ObjID]bool, len(removedObjs))
 	for _, id := range removedObjs {
 		removedSet[id] = true
 	}
@@ -302,7 +306,7 @@ func (m *genericSB) loop() error {
 // branch-and-bound ranked search works unchanged because any monotone
 // preference bounds its score over an MBR by the score of the top corner.
 type genericBF struct {
-	tree *rtree.Tree
+	tree index.ObjectIndex
 	gps  []GenericPreference
 	c    *stats.Counters
 
@@ -313,7 +317,7 @@ type genericBF struct {
 	resid   *residual
 }
 
-func newGenericBF(tree *rtree.Tree, gps []GenericPreference, opts *Options, c *stats.Counters) *genericBF {
+func newGenericBF(tree index.ObjectIndex, gps []GenericPreference, opts *Options, c *stats.Counters) *genericBF {
 	m := &genericBF{
 		tree:  tree,
 		gps:   gps,

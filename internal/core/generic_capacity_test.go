@@ -5,14 +5,14 @@ import (
 	"testing"
 
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 )
 
 // genericCapacitatedOracle extends the generic greedy reference with
 // per-object capacities.
-func genericCapacitatedOracle(objs []rtree.Item, gps []GenericPreference, caps map[rtree.ObjID]int) []Pair {
-	resid := make(map[rtree.ObjID]int, len(objs))
+func genericCapacitatedOracle(objs []index.Item, gps []GenericPreference, caps map[index.ObjID]int) []Pair {
+	resid := make(map[index.ObjID]int, len(objs))
 	total := 0
 	for _, o := range objs {
 		c, ok := caps[o.ID]
@@ -61,7 +61,7 @@ func TestGenericCapacitatedAgainstOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	for _, tc := range []struct {
 		name  string
-		items []rtree.Item
+		items []index.Item
 		nPref int
 		d     int
 	}{
@@ -91,7 +91,7 @@ func TestGenericCapacityValidation(t *testing.T) {
 	items := dataset.Independent(10, 2, 23)
 	tree := buildTree(t, items, 2)
 	gps := mixedPreferences(rand.New(rand.NewSource(24)), 4, 2)
-	if _, err := NewGenericMatcher(tree, gps, &Options{Capacities: map[rtree.ObjID]int{1: 0}}); err == nil {
+	if _, err := NewGenericMatcher(tree, gps, &Options{Capacities: map[index.ObjID]int{1: 0}}); err == nil {
 		t.Fatal("capacity 0 accepted")
 	}
 }

@@ -5,14 +5,14 @@ import (
 	"testing"
 
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 )
 
 // genericOracle is the exhaustive greedy reference over arbitrary monotone
 // preferences.
-func genericOracle(objs []rtree.Item, gps []GenericPreference) []Pair {
+func genericOracle(objs []index.Item, gps []GenericPreference) []Pair {
 	aliveO := make([]bool, len(objs))
 	aliveF := make([]bool, len(gps))
 	for i := range aliveO {
@@ -87,7 +87,7 @@ func TestGenericMatchersAgainstOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, tc := range []struct {
 		name  string
-		items []rtree.Item
+		items []index.Item
 		d     int
 	}{
 		{"indep-3d", dataset.Independent(150, 3, 2), 3},
@@ -217,7 +217,7 @@ func TestGenericRandomizedSweep(t *testing.T) {
 		d := 2 + rng.Intn(3)
 		nObj := 5 + rng.Intn(80)
 		nPref := 1 + rng.Intn(40)
-		var items []rtree.Item
+		var items []index.Item
 		if rng.Intn(2) == 0 {
 			items = dataset.Independent(nObj, d, seed*13+1)
 		} else {

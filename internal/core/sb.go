@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/ta"
@@ -28,7 +28,7 @@ import (
 // when new objects enter the skyline), so per-loop work is proportional to
 // what actually changed.
 type sbMatcher struct {
-	tree  *rtree.Tree
+	tree  index.ObjectIndex
 	fns   []prefs.Function
 	lists *ta.Lists
 	maint *skyline.Maintainer
@@ -41,7 +41,7 @@ type sbMatcher struct {
 
 	// ocache maps a skyline object ID to its best function; entries exist
 	// for exactly the current skyline members.
-	ocache map[rtree.ObjID]obCache
+	ocache map[index.ObjID]obCache
 	// fcache maps a function index to its best object over the current
 	// skyline; entries may be stale-marked (valid=false) but never wrong.
 	fcache map[int]fnCache
@@ -60,7 +60,7 @@ type fnCache struct {
 	valid bool
 }
 
-func newSB(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Counters) (*sbMatcher, error) {
+func newSB(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*sbMatcher, error) {
 	lists, err := ta.NewLists(fns, c)
 	if err != nil {
 		return nil, err
@@ -74,7 +74,7 @@ func newSB(tree *rtree.Tree, fns []prefs.Function, opts *Options, c *stats.Count
 		c:         c,
 		multiPair: !opts.DisableMultiPair,
 		resid:     newResidual(opts.Capacities),
-		ocache:    map[rtree.ObjID]obCache{},
+		ocache:    map[index.ObjID]obCache{},
 		fcache:    map[int]fnCache{},
 	}, nil
 }
@@ -197,7 +197,7 @@ func (m *sbMatcher) loop() error {
 	// Emit; remove functions always, objects only when their capacity is
 	// exhausted (the default capacity is 1, the paper's 1-1 model).
 	matchedFns := make(map[int]bool, len(pairs))
-	removedObjs := make([]rtree.ObjID, 0, len(pairs))
+	removedObjs := make([]index.ObjID, 0, len(pairs))
 	for _, p := range pairs {
 		m.queue = append(m.queue, Pair{FuncID: m.fns[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
 		m.c.PairsEmitted++
@@ -241,7 +241,7 @@ func (m *sbMatcher) loop() error {
 
 	// Refresh fcache: invalidate entries whose best object was assigned,
 	// then challenge the surviving entries with the newly promoted objects.
-	removedSet := make(map[rtree.ObjID]bool, len(removedObjs))
+	removedSet := make(map[index.ObjID]bool, len(removedObjs))
 	for _, id := range removedObjs {
 		removedSet[id] = true
 	}

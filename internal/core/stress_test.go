@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/vec"
 )
@@ -16,14 +16,14 @@ import (
 // function). Verifies Chain's stack/staleness handling under pressure.
 func TestChainLongChains(t *testing.T) {
 	const n = 60
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	fns := make([]prefs.Function, n)
 	// Objects on a gentle gradient along dim 0 with a compensating dim 1,
 	// functions with weight vectors rotating between the dims: this creates
 	// many near-ties and long improvement chains.
 	for i := 0; i < n; i++ {
 		frac := float64(i) / float64(n-1)
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{frac, 1 - frac*frac}}
+		items[i] = index.Item{ID: index.ObjID(i), Point: vec.Point{frac, 1 - frac*frac}}
 		w := []float64{0.01 + frac, 1.01 - frac}
 		fns[i] = prefs.MustFunction(i, w)
 	}
@@ -42,9 +42,9 @@ func TestChainLongChains(t *testing.T) {
 // functions to objects in (function ID, object ID) order.
 func TestAllIdenticalObjects(t *testing.T) {
 	const n = 30
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{0.5, 0.5}}
+		items[i] = index.Item{ID: index.ObjID(i), Point: vec.Point{0.5, 0.5}}
 	}
 	fns := dataset.Functions(n, 2, 99)
 	want := oracle(items, fns)
@@ -85,9 +85,9 @@ func TestAllIdenticalFunctions(t *testing.T) {
 // so all functions are identical and the order is decided by object value).
 func TestOneDimensional(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	items := make([]rtree.Item, 25)
+	items := make([]index.Item, 25)
 	for i := range items {
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{rng.Float64()}}
+		items[i] = index.Item{ID: index.ObjID(i), Point: vec.Point{rng.Float64()}}
 	}
 	fns := make([]prefs.Function, 10)
 	for i := range fns {
@@ -192,7 +192,7 @@ func TestLargeScaleSmoke(t *testing.T) {
 		t.Fatalf("%d pairs", len(got))
 	}
 	usedF := map[int]bool{}
-	usedO := map[rtree.ObjID]bool{}
+	usedO := map[index.ObjID]bool{}
 	for _, p := range got {
 		if usedF[p.FuncID] || usedO[p.ObjID] {
 			t.Fatal("double assignment at scale")

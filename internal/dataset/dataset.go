@@ -23,22 +23,22 @@ import (
 	"math"
 	"math/rand"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/vec"
 )
 
 // Independent returns n d-dimensional objects with uniform, independent
 // attribute values — the paper's "independent" workload.
-func Independent(n, d int, seed int64) []rtree.Item {
+func Independent(n, d int, seed int64) []index.Item {
 	rng := rand.New(rand.NewSource(seed))
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
 		p := make(vec.Point, d)
 		for j := range p {
 			p[j] = rng.Float64()
 		}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
 	return items
 }
@@ -48,11 +48,11 @@ func Independent(n, d int, seed int64) []rtree.Item {
 // around the anti-diagonal plane Σxᵢ ≈ d/2 with wide spread inside the
 // plane, following the standard construction of [4]. It maximises skyline
 // size, which is the stress case for skyline-based processing.
-func AntiCorrelated(n, d int, seed int64) []rtree.Item {
+func AntiCorrelated(n, d int, seed int64) []index.Item {
 	rng := rand.New(rand.NewSource(seed))
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: antiCorrelatedPoint(rng, d)}
+		items[i] = index.Item{ID: index.ObjID(i), Point: antiCorrelatedPoint(rng, d)}
 	}
 	return items
 }
@@ -86,9 +86,9 @@ func antiCorrelatedPoint(rng *rand.Rand, d int) vec.Point {
 
 // Correlated returns n objects whose attributes are positively correlated
 // (points near the main diagonal) — skylines are tiny; used by ablations.
-func Correlated(n, d int, seed int64) []rtree.Item {
+func Correlated(n, d int, seed int64) []index.Item {
 	rng := rand.New(rand.NewSource(seed))
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
 		for {
 			v := 0.5 + rng.NormFloat64()*0.25
@@ -102,7 +102,7 @@ func Correlated(n, d int, seed int64) []rtree.Item {
 				}
 			}
 			if ok {
-				items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+				items[i] = index.Item{ID: index.ObjID(i), Point: p}
 				break
 			}
 		}
@@ -112,7 +112,7 @@ func Correlated(n, d int, seed int64) []rtree.Item {
 
 // Clustered returns n objects drawn from k Gaussian clusters with uniform
 // random centres — a common skew pattern in spatial workloads.
-func Clustered(n, d, k int, seed int64) []rtree.Item {
+func Clustered(n, d, k int, seed int64) []index.Item {
 	if k < 1 {
 		k = 1
 	}
@@ -124,14 +124,14 @@ func Clustered(n, d, k int, seed int64) []rtree.Item {
 			centres[i][j] = rng.Float64()
 		}
 	}
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
 		c := centres[rng.Intn(k)]
 		p := make(vec.Point, d)
 		for j := range p {
 			p[j] = clamp01(c[j] + rng.NormFloat64()*0.05)
 		}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
 	return items
 }
@@ -150,9 +150,9 @@ func Clustered(n, d, k int, seed int64) []rtree.Item {
 // The generator reproduces the properties that make the real dataset hard
 // for top-1-based methods (Fig. 3): heavy skew, many exact ties on the
 // discrete attributes, and strong cross-attribute correlation.
-func Zillow(n int, seed int64) []rtree.Item {
+func Zillow(n int, seed int64) []index.Item {
 	rng := rand.New(rand.NewSource(seed))
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	// Bedroom count distribution (heavily skewed toward 2-4).
 	bedCDF := []float64{0.02, 0.10, 0.32, 0.64, 0.84, 0.94, 0.98, 1.0} // 1..8 beds
 	for i := range items {
@@ -186,7 +186,7 @@ func Zillow(n int, seed int64) []rtree.Item {
 			1 - logGoodness(price, 30e3, 5e6), // price (cheaper = better)
 			logGoodness(lot, 500, 200e3),      // lot area
 		}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
 	return items
 }

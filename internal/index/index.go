@@ -1,0 +1,103 @@
+// Package index defines the backend-agnostic object index that the matching
+// engine runs against. The paper's algorithms (SB, Brute Force, Chain) are
+// defined over an abstract ranked-access index of the object set O; this
+// package captures exactly the surface they use, so that the algorithm layer
+// (internal/core, internal/skyline, internal/topk) is independent of the
+// physical organisation of the index.
+//
+// Two backends implement ObjectIndex:
+//
+//   - internal/index/paged adapts the disk-resident R-tree of internal/rtree:
+//     fixed-size pages, an LRU buffer and physical-I/O accounting. It is the
+//     paper-faithful backend — the one whose counters reproduce the "I/O
+//     accesses" metric of the evaluation.
+//   - internal/index/mem is a pure in-memory R-tree with the same node
+//     fan-outs and traversal semantics but no simulated pages, no buffer and
+//     no per-access accounting. It is the serving backend: use it when
+//     wall-clock latency matters and the I/O metric does not.
+//
+// Both backends produce the identical stable matching for every algorithm,
+// because the matchers' tie-breaks depend only on object scores, coordinate
+// sums and IDs — never on the physical node layout.
+package index
+
+import (
+	"errors"
+
+	"prefmatch/internal/pagedfile"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// ObjID identifies an indexed object. It is 32 bits in the paged backend's
+// on-disk format, so valid IDs fit in 31 bits.
+type ObjID int32
+
+// Item is an (object ID, point) pair stored at the leaf level of an index.
+type Item struct {
+	ID    ObjID
+	Point vec.Point
+}
+
+// NodeID addresses one node of an ObjectIndex. The paged backend uses it as
+// a page number; the memory backend as a slot in its node arena. The engine
+// only ever obtains NodeIDs from RootPage and Node.ChildPage and passes them
+// back to ReadNode.
+type NodeID = pagedfile.PageID
+
+// InvalidNode is the sentinel "no node" value, returned by RootPage when the
+// index is empty.
+const InvalidNode = pagedfile.InvalidPage
+
+// ErrNotFound is returned by Delete when the object is absent.
+var ErrNotFound = errors.New("index: object not found")
+
+// Node is a read-only view of one index node. Internal entries carry a child
+// node and the child's MBR; leaf entries carry indexed items (their Rect is
+// the degenerate rectangle at the item's point). Nodes are owned by the
+// index; callers must not retain them across index mutations.
+type Node interface {
+	// Leaf reports whether the node is a leaf.
+	Leaf() bool
+	// Len returns the number of entries in the node.
+	Len() int
+	// Rect returns the MBR of entry i.
+	Rect(i int) vec.Rect
+	// ChildPage returns the child node of internal entry i.
+	ChildPage(i int) NodeID
+	// Object returns the item stored at leaf entry i.
+	Object(i int) Item
+}
+
+// ObjectIndex is the ranked-access object index the engine traverses: a
+// height-balanced tree of MBR-tagged nodes over a point set, supporting
+// best-first traversal (RootPage + ReadNode), deletion of matched objects,
+// and redirectable work accounting.
+type ObjectIndex interface {
+	// Dim returns the dimensionality of the indexed points.
+	Dim() int
+	// Len returns the number of indexed objects.
+	Len() int
+	// RootPage returns the root node, or InvalidNode when the index is
+	// empty.
+	RootPage() NodeID
+	// ReadNode returns the node stored at id. In the paged backend this
+	// goes through the LRU buffer and a miss is a physical read; in the
+	// memory backend it is a pointer dereference.
+	ReadNode(id NodeID) (Node, error)
+	// Delete removes the object (id, p), returning ErrNotFound (or the
+	// backend's equivalent) when it is absent. The Brute Force and Chain
+	// matchers delete every matched object.
+	Delete(id ObjID, p vec.Point) error
+	// NumPages returns the current node count of the index (physical pages
+	// for the paged backend); a size diagnostic.
+	NumPages() int
+	// Counters returns the counter sink charged with the index's work.
+	Counters() *stats.Counters
+	// SetCounters redirects the index's work accounting to c (non-nil), so
+	// a matcher can attribute every access of a run to its own sink.
+	SetCounters(c *stats.Counters)
+	// Validate checks the backend's structural invariants (tight MBRs,
+	// uniform leaf depth, size consistency); a test and audit hook.
+	Validate() error
+}

@@ -1,0 +1,432 @@
+// Package mem implements the pure in-memory serving backend of
+// index.ObjectIndex: an STR-bulk-loaded R-tree over the object set with the
+// same node fan-outs and the same best-first traversal surface as the paged
+// backend (internal/index/paged), but with no simulated pages, no LRU buffer
+// and no per-access accounting — ReadNode is a slice lookup returning a
+// pointer into the node arena.
+//
+// Use it on the serving path, where wall-clock latency is the metric; use
+// the paged backend to reproduce the paper's I/O measurements. Both backends
+// yield the identical stable matching for every algorithm (see the
+// cross-backend equivalence tests in internal/core).
+//
+// Deletion removes the leaf entry, tightens the ancestor MBRs, dissolves
+// nodes that become empty and collapses single-child roots. Unlike the paged
+// backend it performs no minimum-fill re-insertion: under-full nodes cannot
+// affect correctness of best-first search or skyline traversal, and the
+// matchers only ever shrink the index, so rebalancing buys nothing on the
+// serving path.
+package mem
+
+import (
+	"fmt"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Options configures an Index.
+type Options struct {
+	// PageSize is the virtual page size in bytes used only to derive the
+	// node fan-outs (so the tree has the same shape as a paged index built
+	// with the same setting); no pages are allocated. Defaults to 4096.
+	PageSize int
+	// Counters receives the work accounting the backend reports (tree
+	// deletes only — the memory backend performs no I/O). Optional.
+	Counters *stats.Counters
+}
+
+// node is one arena slot. Internal nodes hold parallel rects/children
+// slices; leaves hold items (their entry rects are the degenerate
+// rectangles at the item points, materialised on demand).
+type node struct {
+	leaf     bool
+	rects    []vec.Rect     // internal entries: child MBRs
+	children []index.NodeID // internal entries
+	items    []index.Item   // leaf entries
+}
+
+var _ index.Node = (*node)(nil)
+
+func (n *node) Leaf() bool { return n.leaf }
+
+func (n *node) Len() int {
+	if n.leaf {
+		return len(n.items)
+	}
+	return len(n.children)
+}
+
+func (n *node) Rect(i int) vec.Rect {
+	if n.leaf {
+		p := n.items[i].Point
+		return vec.Rect{Lo: p, Hi: p} // degenerate; shares storage deliberately
+	}
+	return n.rects[i]
+}
+
+func (n *node) ChildPage(i int) index.NodeID {
+	if n.leaf {
+		panic("mem: ChildPage on leaf node")
+	}
+	return n.children[i]
+}
+
+func (n *node) Object(i int) index.Item {
+	if !n.leaf {
+		panic("mem: Object on internal node")
+	}
+	return n.items[i]
+}
+
+func (n *node) mbr() vec.Rect {
+	if n.leaf {
+		pts := make([]vec.Point, len(n.items))
+		for i := range n.items {
+			pts[i] = n.items[i].Point
+		}
+		return vec.MBROfPoints(pts)
+	}
+	return vec.MBROfRects(n.rects)
+}
+
+// Index is the in-memory backend. It is not safe for concurrent use.
+type Index struct {
+	dim   int
+	nodes []*node // arena; NodeID = slot; nil = freed
+	freed int     // count of freed slots (slots are never recycled)
+	root  index.NodeID
+	size  int
+	c     *stats.Counters
+
+	maxLeaf, maxInternal int
+}
+
+var _ index.ObjectIndex = (*Index)(nil)
+
+// New creates an empty in-memory index of the given dimensionality.
+func New(dim int, opts *Options) (*Index, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("mem: dimension %d < 1", dim)
+	}
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.Counters == nil {
+		o.Counters = &stats.Counters{}
+	}
+	ix := &Index{
+		dim:         dim,
+		root:        index.InvalidNode,
+		c:           o.Counters,
+		maxLeaf:     index.LeafCapacity(o.PageSize, dim),
+		maxInternal: index.InternalCapacity(o.PageSize, dim),
+	}
+	if ix.maxLeaf < 2 || ix.maxInternal < 2 {
+		return nil, fmt.Errorf("mem: page size %d too small for dimension %d", o.PageSize, dim)
+	}
+	return ix, nil
+}
+
+// Build bulk-loads items into a fresh in-memory index.
+func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
+	ix, err := New(dim, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Dim returns the index's dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.size }
+
+// NumPages returns the number of live nodes (the backend's "pages").
+func (ix *Index) NumPages() int { return len(ix.nodes) - ix.freed }
+
+// RootPage returns the root node, or index.InvalidNode when empty.
+func (ix *Index) RootPage() index.NodeID { return ix.root }
+
+// Counters returns the counter sink.
+func (ix *Index) Counters() *stats.Counters { return ix.c }
+
+// SetCounters redirects work accounting to c.
+func (ix *Index) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("mem: nil counters")
+	}
+	ix.c = c
+}
+
+// ReadNode returns the node at id. No buffer, no decode, no accounting.
+func (ix *Index) ReadNode(id index.NodeID) (index.Node, error) {
+	n, err := ix.node(id)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (ix *Index) node(id index.NodeID) (*node, error) {
+	if id < 0 || int(id) >= len(ix.nodes) || ix.nodes[id] == nil {
+		return nil, fmt.Errorf("mem: invalid node %d", id)
+	}
+	return ix.nodes[id], nil
+}
+
+func (ix *Index) alloc(n *node) index.NodeID {
+	ix.nodes = append(ix.nodes, n)
+	return index.NodeID(len(ix.nodes) - 1)
+}
+
+func (ix *Index) freeNode(id index.NodeID) {
+	ix.nodes[id] = nil
+	ix.freed++
+}
+
+// --- Bulk loading (STR) -----------------------------------------------
+
+// BulkLoad builds the index from scratch using Sort-Tile-Recursive packing,
+// replacing any existing content. It mirrors the paged backend's packing
+// (same slab recursion, same balanced group sizes, same tie-breaks) so both
+// backends traverse structurally identical trees.
+func (ix *Index) BulkLoad(items []index.Item) error {
+	for i := range items {
+		if len(items[i].Point) != ix.dim {
+			return fmt.Errorf("mem: item %d has dimension %d, want %d", i, len(items[i].Point), ix.dim)
+		}
+	}
+	ix.nodes = nil
+	ix.freed = 0
+	ix.root = index.InvalidNode
+	ix.size = 0
+	if len(items) == 0 {
+		return nil
+	}
+
+	sorted := make([]index.Item, len(items))
+	copy(sorted, items)
+
+	type levelEntry struct {
+		rect  vec.Rect
+		child index.NodeID
+	}
+	var level []levelEntry
+	for _, g := range index.STRItems(sorted, ix.dim, ix.maxLeaf) {
+		leaf := &node{leaf: true, items: append([]index.Item(nil), g...)}
+		for i := range leaf.items {
+			leaf.items[i].Point = leaf.items[i].Point.Clone()
+		}
+		id := ix.alloc(leaf)
+		level = append(level, levelEntry{rect: leaf.mbr(), child: id})
+	}
+	for len(level) > 1 {
+		lv := level
+		groups := index.STRGroups(len(lv), func(i, d int) float64 {
+			return (lv[i].rect.Lo[d] + lv[i].rect.Hi[d]) / 2
+		}, func(i int) int32 { return int32(lv[i].child) }, ix.dim, ix.maxInternal)
+		next := make([]levelEntry, 0, len(groups))
+		for _, g := range groups {
+			n := &node{leaf: false}
+			for _, idx := range g {
+				n.rects = append(n.rects, level[idx].rect)
+				n.children = append(n.children, level[idx].child)
+			}
+			id := ix.alloc(n)
+			next = append(next, levelEntry{rect: n.mbr(), child: id})
+		}
+		level = next
+	}
+	ix.root = level[0].child
+	ix.size = len(items)
+	return nil
+}
+
+// --- Deletion ----------------------------------------------------------
+
+// Delete removes the object (id, p). Ancestor MBRs are tightened, emptied
+// nodes dissolved and a single-child root chain collapsed; no minimum-fill
+// re-insertion is performed (see the package comment).
+func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("mem: deleting dimension %d from dimension-%d index", len(p), ix.dim)
+	}
+	if ix.root == index.InvalidNode {
+		return index.ErrNotFound
+	}
+	ix.c.TreeDeletes++
+	found, _, _, err := ix.deleteRec(ix.root, id, p)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return index.ErrNotFound
+	}
+	ix.size--
+
+	// Collapse the root chain: an internal root with a single child is
+	// replaced by that child; an empty leaf root empties the index.
+	for {
+		n, err := ix.node(ix.root)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			if len(n.items) == 0 {
+				ix.freeNode(ix.root)
+				ix.root = index.InvalidNode
+			}
+			return nil
+		}
+		if len(n.children) != 1 {
+			return nil
+		}
+		child := n.children[0]
+		ix.freeNode(ix.root)
+		ix.root = child
+	}
+}
+
+// deleteRec removes (id, p) from the subtree at nid. It reports whether the
+// item was found, whether the node is now empty (so the caller dissolves
+// it), and the node's tightened MBR (valid when found && !empty).
+func (ix *Index) deleteRec(nid index.NodeID, id index.ObjID, p vec.Point) (found, empty bool, newRect vec.Rect, err error) {
+	n, err := ix.node(nid)
+	if err != nil {
+		return false, false, vec.Rect{}, err
+	}
+	if n.leaf {
+		for i := range n.items {
+			if n.items[i].ID == id && n.items[i].Point.Equal(p) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				if len(n.items) == 0 {
+					return true, true, vec.Rect{}, nil
+				}
+				return true, false, n.mbr(), nil
+			}
+		}
+		return false, false, vec.Rect{}, nil
+	}
+	// Try every child whose MBR contains p (R-trees may overlap).
+	for i := 0; i < len(n.children); i++ {
+		if !n.rects[i].ContainsPoint(p) {
+			continue
+		}
+		f, childEmpty, childRect, err := ix.deleteRec(n.children[i], id, p)
+		if err != nil {
+			return false, false, vec.Rect{}, err
+		}
+		if !f {
+			continue
+		}
+		if childEmpty {
+			ix.freeNode(n.children[i])
+			n.rects = append(n.rects[:i], n.rects[i+1:]...)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+		} else {
+			n.rects[i] = childRect
+		}
+		if len(n.children) == 0 {
+			return true, true, vec.Rect{}, nil
+		}
+		return true, false, n.mbr(), nil
+	}
+	return false, false, vec.Rect{}, nil
+}
+
+// --- Validation --------------------------------------------------------
+
+// Validate checks structural invariants: tight MBRs, uniform leaf depth, no
+// node referenced twice, no overflow, and size consistency. Minimum fill is
+// deliberately not enforced (deletion dissolves empty nodes only).
+func (ix *Index) Validate() error {
+	if ix.root == index.InvalidNode {
+		if ix.size != 0 {
+			return fmt.Errorf("mem: empty root with size %d", ix.size)
+		}
+		return nil
+	}
+	seen := make(map[index.NodeID]bool, len(ix.nodes))
+	count := 0
+	depthSeen := -1
+	var walk func(id index.NodeID, depth int) (vec.Rect, error)
+	walk = func(id index.NodeID, depth int) (vec.Rect, error) {
+		if seen[id] {
+			return vec.Rect{}, fmt.Errorf("mem: node %d referenced twice", id)
+		}
+		seen[id] = true
+		n, err := ix.node(id)
+		if err != nil {
+			return vec.Rect{}, err
+		}
+		if n.Len() == 0 {
+			return vec.Rect{}, fmt.Errorf("mem: empty node %d at depth %d", id, depth)
+		}
+		if n.leaf {
+			if len(n.items) > ix.maxLeaf {
+				return vec.Rect{}, fmt.Errorf("mem: leaf %d overflows: %d > %d", id, len(n.items), ix.maxLeaf)
+			}
+			if depthSeen == -1 {
+				depthSeen = depth
+			} else if depth != depthSeen {
+				return vec.Rect{}, fmt.Errorf("mem: leaves at depths %d and %d", depthSeen, depth)
+			}
+			count += len(n.items)
+			return n.mbr(), nil
+		}
+		if len(n.children) > ix.maxInternal {
+			return vec.Rect{}, fmt.Errorf("mem: node %d overflows: %d > %d", id, len(n.children), ix.maxInternal)
+		}
+		if len(n.rects) != len(n.children) {
+			return vec.Rect{}, fmt.Errorf("mem: node %d has %d rects for %d children", id, len(n.rects), len(n.children))
+		}
+		for i := range n.children {
+			childRect, err := walk(n.children[i], depth+1)
+			if err != nil {
+				return vec.Rect{}, err
+			}
+			if !childRect.Equal(n.rects[i]) {
+				return vec.Rect{}, fmt.Errorf("mem: loose MBR at node %d entry %d", id, i)
+			}
+		}
+		return n.mbr(), nil
+	}
+	if _, err := walk(ix.root, 0); err != nil {
+		return err
+	}
+	if count != ix.size {
+		return fmt.Errorf("mem: size %d but %d items stored", ix.size, count)
+	}
+	return nil
+}
+
+// Items returns all indexed items (test helper).
+func (ix *Index) Items() []index.Item {
+	var out []index.Item
+	if ix.root == index.InvalidNode {
+		return out
+	}
+	var walk func(id index.NodeID)
+	walk = func(id index.NodeID) {
+		n := ix.nodes[id]
+		if n.leaf {
+			out = append(out, n.items...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	return out
+}

@@ -1,0 +1,63 @@
+// Package paged adapts the disk-resident R-tree of internal/rtree to the
+// backend-agnostic index.ObjectIndex interface. It is the paper-faithful
+// backend: fixed-size pages (default 4 KiB), an LRU buffer (default 2% of
+// the tree size) and physical-I/O accounting, so a matching run over it
+// reproduces the paper's "I/O accesses" metric exactly.
+//
+// The adapter is a zero-cost wrapper — every method forwards to the
+// underlying *rtree.Tree; only ReadNode is re-declared, to widen its return
+// type to the index.Node interface.
+package paged
+
+import (
+	"prefmatch/internal/index"
+	"prefmatch/internal/rtree"
+)
+
+// Options configures the paged backend; it is the R-tree's option set
+// (page size, buffer policy, counter sink).
+type Options = rtree.Options
+
+// Index adapts *rtree.Tree to index.ObjectIndex. The embedded tree is
+// exported through Tree for callers that need paged-only operations
+// (DropBuffer, SizeBuffer, BulkLoad, ...).
+type Index struct {
+	*rtree.Tree
+}
+
+var _ index.ObjectIndex = Index{}
+
+// Wrap adapts an existing tree.
+func Wrap(t *rtree.Tree) Index { return Index{Tree: t} }
+
+// New creates an empty paged index of the given dimensionality.
+func New(dim int, opts *Options) (Index, error) {
+	t, err := rtree.New(dim, opts)
+	if err != nil {
+		return Index{}, err
+	}
+	return Index{Tree: t}, nil
+}
+
+// Build bulk-loads items into a fresh paged index (STR packing), then drops
+// the buffer so the first traversal starts cold, as the paper's experiments
+// do. It does not reset the counters; callers that exclude construction from
+// the measured work reset their sink afterwards.
+func Build(dim int, items []index.Item, opts *Options) (Index, error) {
+	ix, err := New(dim, opts)
+	if err != nil {
+		return Index{}, err
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		return Index{}, err
+	}
+	if err := ix.DropBuffer(); err != nil {
+		return Index{}, err
+	}
+	return ix, nil
+}
+
+// ReadNode widens rtree.Tree.ReadNode to the interface's return type.
+func (ix Index) ReadNode(id index.NodeID) (index.Node, error) {
+	return ix.Tree.ReadNode(id)
+}

@@ -1,0 +1,150 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// This file hosts the node-layout formulas and the Sort-Tile-Recursive
+// packing shared by the backends. The cross-backend guarantee — both
+// backends build structurally identical trees from the same items and page
+// size, so every traversal tie-break resolves the same way — holds because
+// both call these exact functions; backends must not re-implement them.
+
+// NodeHeaderSize is the per-node header of the paged layout (flags byte,
+// entry count, reserved); the memory backend counts it only to derive
+// identical fan-outs.
+const NodeHeaderSize = 8
+
+// LeafEntrySize returns the on-disk size of one leaf entry for dimension d:
+// objID int32 | d × float64.
+func LeafEntrySize(d int) int { return 4 + 8*d }
+
+// InternalEntrySize returns the on-disk size of one internal entry:
+// child pageID int32 | 2·d × float64 (MBR lo then hi).
+func InternalEntrySize(d int) int { return 4 + 16*d }
+
+// LeafCapacity returns how many leaf entries fit in a page.
+func LeafCapacity(pageSize, d int) int { return (pageSize - NodeHeaderSize) / LeafEntrySize(d) }
+
+// InternalCapacity returns how many internal entries fit in a page.
+func InternalCapacity(pageSize, d int) int {
+	return (pageSize - NodeHeaderSize) / InternalEntrySize(d)
+}
+
+// STRItems partitions items into leaf-sized groups using Sort-Tile-
+// Recursive packing: sort by dimension d, slice into slabs, recurse on the
+// next dimension. Ties break on object ID for determinism. The input slice
+// is reordered in place; the returned groups alias it.
+func STRItems(items []Item, dim, capacity int) [][]Item {
+	return strItems(items, 0, dim, capacity)
+}
+
+func strItems(items []Item, d, dim, capacity int) [][]Item {
+	if len(items) <= capacity {
+		return [][]Item{items}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Point[d] != items[j].Point[d] {
+			return items[i].Point[d] < items[j].Point[d]
+		}
+		return items[i].ID < items[j].ID
+	})
+	if d == dim-1 {
+		var out [][]Item
+		start := 0
+		for _, sz := range balancedSizes(len(items), capacity) {
+			out = append(out, items[start:start+sz])
+			start += sz
+		}
+		return out
+	}
+	pages := ceilDiv(len(items), capacity)
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
+	var out [][]Item
+	start := 0
+	for _, sz := range evenSizes(len(items), slabs) {
+		out = append(out, strItems(items[start:start+sz], d+1, dim, capacity)...)
+		start += sz
+	}
+	return out
+}
+
+// STRGroups is STR over an already-built level of n entries, keyed by MBR
+// centers (center(i, d) is entry i's MBR center in dimension d) with a
+// child-ID tie-break; it returns groups of positions into the level.
+func STRGroups(n int, center func(i, d int) float64, id func(i int) int32, dim, capacity int) [][]int {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	var rec func(idxs []int, d int) [][]int
+	rec = func(idxs []int, d int) [][]int {
+		if len(idxs) <= capacity {
+			return [][]int{idxs}
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			ca, cb := center(idxs[a], d), center(idxs[b], d)
+			if ca != cb {
+				return ca < cb
+			}
+			return id(idxs[a]) < id(idxs[b])
+		})
+		if d == dim-1 {
+			var out [][]int
+			start := 0
+			for _, sz := range balancedSizes(len(idxs), capacity) {
+				out = append(out, idxs[start:start+sz])
+				start += sz
+			}
+			return out
+		}
+		pages := ceilDiv(len(idxs), capacity)
+		slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
+		var out [][]int
+		start := 0
+		for _, sz := range evenSizes(len(idxs), slabs) {
+			out = append(out, rec(idxs[start:start+sz], d+1)...)
+			start += sz
+		}
+		return out
+	}
+	return rec(idxs, 0)
+}
+
+// balancedSizes partitions n elements into groups of at most capacity, as
+// evenly as possible, so that no remainder group falls below half the
+// capacity (which would violate the paged minimum-fill invariant).
+func balancedSizes(n, capacity int) []int {
+	groups := ceilDiv(n, capacity)
+	base := n / groups
+	extra := n % groups
+	sizes := make([]int, groups)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// evenSizes splits n elements into exactly k non-empty groups (k <= n) with
+// sizes differing by at most one.
+func evenSizes(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	base := n / k
+	extra := n % k
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -16,18 +16,18 @@ import (
 	"fmt"
 	"math"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/vec"
 )
 
-// ObjID identifies an indexed object. It is 32 bits on disk.
-type ObjID int32
+// ObjID identifies an indexed object. It is 32 bits on disk. The canonical
+// definition lives in package index so that the engine layers can name the
+// type without depending on this backend.
+type ObjID = index.ObjID
 
 // Item is an (object ID, point) pair stored at the leaf level.
-type Item struct {
-	ID    ObjID
-	Point vec.Point
-}
+type Item = index.Item
 
 // entry is the unified in-memory node entry. Internal entries carry a child
 // page and the child's MBR; leaf entries carry an object ID and a degenerate
@@ -93,21 +93,15 @@ func (n *Node) mbr() vec.Rect {
 //
 // Leaf entry: objID int32 | D × float64 (the point).
 // Internal entry: child pageID int32 | 2·D × float64 (MBR lo then hi).
-const nodeHeaderSize = 8
+const nodeHeaderSize = index.NodeHeaderSize
 
-// leafEntrySize returns the on-disk size of one leaf entry for dimension d.
-func leafEntrySize(d int) int { return 4 + 8*d }
-
-// internalEntrySize returns the on-disk size of one internal entry.
-func internalEntrySize(d int) int { return 4 + 16*d }
-
-// leafCapacity returns how many leaf entries fit in a page.
-func leafCapacity(pageSize, d int) int { return (pageSize - nodeHeaderSize) / leafEntrySize(d) }
+// leafCapacity returns how many leaf entries fit in a page (the canonical
+// formula lives in package index, shared with the memory backend so both
+// derive identical fan-outs).
+func leafCapacity(pageSize, d int) int { return index.LeafCapacity(pageSize, d) }
 
 // internalCapacity returns how many internal entries fit in a page.
-func internalCapacity(pageSize, d int) int {
-	return (pageSize - nodeHeaderSize) / internalEntrySize(d)
-}
+func internalCapacity(pageSize, d int) int { return index.InternalCapacity(pageSize, d) }
 
 // encodeNode serialises n into page, which must be pre-sized to the page
 // size. The dimension d is fixed per tree and not stored per page.

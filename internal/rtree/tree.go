@@ -1,12 +1,11 @@
 package rtree
 
 import (
-	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"prefmatch/internal/buffer"
+	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
@@ -69,8 +68,9 @@ type Tree struct {
 	minLeaf, minInternal int
 }
 
-// ErrNotFound is returned by Delete when the item is absent.
-var ErrNotFound = errors.New("rtree: item not found")
+// ErrNotFound is returned by Delete when the item is absent. It wraps
+// index.ErrNotFound so backend-agnostic callers can test with errors.Is.
+var ErrNotFound = fmt.Errorf("rtree: item not found: %w", index.ErrNotFound)
 
 // New creates an empty tree of the given dimensionality.
 func New(dim int, opts *Options) (*Tree, error) {
@@ -217,7 +217,7 @@ func (t *Tree) BulkLoad(items []Item) error {
 	sorted := make([]Item, len(items))
 	copy(sorted, items)
 
-	leafGroups := strSplit(sorted, 0, t.dim, t.maxLeaf)
+	leafGroups := index.STRItems(sorted, t.dim, t.maxLeaf)
 	level := make([]entry, 0, len(leafGroups))
 	for _, g := range leafGroups {
 		n := &Node{leaf: true, entries: make([]entry, len(g))}
@@ -234,10 +234,17 @@ func (t *Tree) BulkLoad(items []Item) error {
 	t.height = 1
 	// Pack internal levels until a single root remains.
 	for len(level) > 1 {
-		groups := strSplitEntries(level, 0, t.dim, t.maxInternal)
+		lv := level
+		groups := index.STRGroups(len(lv), func(i, d int) float64 {
+			return (lv[i].rect.Lo[d] + lv[i].rect.Hi[d]) / 2
+		}, func(i int) int32 { return int32(lv[i].child) }, t.dim, t.maxInternal)
 		next := make([]entry, 0, len(groups))
 		for _, g := range groups {
-			n := &Node{leaf: false, entries: g}
+			ents := make([]entry, len(g))
+			for j, idx := range g {
+				ents[j] = lv[idx]
+			}
+			n := &Node{leaf: false, entries: ents}
 			id := t.store.Alloc()
 			if err := t.flushNode(id, n); err != nil {
 				return err
@@ -255,105 +262,3 @@ func (t *Tree) BulkLoad(items []Item) error {
 	}
 	return t.SizeBuffer(t.opts.BufferFraction)
 }
-
-// balancedSizes partitions n elements into groups of at most capacity,
-// as evenly as possible, so that no remainder group falls below half the
-// capacity (which would violate the minimum-fill invariant).
-func balancedSizes(n, capacity int) []int {
-	groups := ceilDiv(n, capacity)
-	base := n / groups
-	extra := n % groups
-	sizes := make([]int, groups)
-	for i := range sizes {
-		sizes[i] = base
-		if i < extra {
-			sizes[i]++
-		}
-	}
-	return sizes
-}
-
-// strSplit recursively partitions items into leaf-sized groups using STR:
-// sort by dimension d, slice into slabs, recurse on the next dimension.
-func strSplit(items []Item, d, dim, capacity int) [][]Item {
-	if len(items) <= capacity {
-		return [][]Item{items}
-	}
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Point[d] != items[j].Point[d] {
-			return items[i].Point[d] < items[j].Point[d]
-		}
-		return items[i].ID < items[j].ID
-	})
-	if d == dim-1 {
-		var out [][]Item
-		start := 0
-		for _, sz := range balancedSizes(len(items), capacity) {
-			out = append(out, items[start:start+sz])
-			start += sz
-		}
-		return out
-	}
-	pages := ceilDiv(len(items), capacity)
-	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
-	var out [][]Item
-	start := 0
-	for _, sz := range evenSizes(len(items), slabs) {
-		out = append(out, strSplit(items[start:start+sz], d+1, dim, capacity)...)
-		start += sz
-	}
-	return out
-}
-
-// strSplitEntries is strSplit over internal entries, keyed by MBR centers.
-func strSplitEntries(ents []entry, d, dim, capacity int) [][]entry {
-	if len(ents) <= capacity {
-		return [][]entry{ents}
-	}
-	center := func(e *entry, k int) float64 { return (e.rect.Lo[k] + e.rect.Hi[k]) / 2 }
-	sort.Slice(ents, func(i, j int) bool {
-		ci, cj := center(&ents[i], d), center(&ents[j], d)
-		if ci != cj {
-			return ci < cj
-		}
-		return ents[i].child < ents[j].child
-	})
-	if d == dim-1 {
-		var out [][]entry
-		start := 0
-		for _, sz := range balancedSizes(len(ents), capacity) {
-			out = append(out, ents[start:start+sz])
-			start += sz
-		}
-		return out
-	}
-	pages := ceilDiv(len(ents), capacity)
-	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
-	var out [][]entry
-	start := 0
-	for _, sz := range evenSizes(len(ents), slabs) {
-		out = append(out, strSplitEntries(ents[start:start+sz], d+1, dim, capacity)...)
-		start += sz
-	}
-	return out
-}
-
-// evenSizes splits n elements into exactly k non-empty groups (k <= n) with
-// sizes differing by at most one.
-func evenSizes(n, k int) []int {
-	if k > n {
-		k = n
-	}
-	base := n / k
-	extra := n % k
-	sizes := make([]int, k)
-	for i := range sizes {
-		sizes[i] = base
-		if i < extra {
-			sizes[i]++
-		}
-	}
-	return sizes
-}
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -22,9 +22,9 @@ import (
 	"fmt"
 	"math"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/pqueue"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
@@ -62,7 +62,7 @@ func (m Mode) String() string {
 
 // Object is a current skyline member together with its pruned-entry list.
 type Object struct {
-	ID    rtree.ObjID
+	ID    index.ObjID
 	Point vec.Point
 	Sum   float64 // cached coordinate sum (tie-break key)
 
@@ -78,7 +78,7 @@ func (o *Object) PlistLen() int { return len(o.plist) }
 type item struct {
 	dist  float64 // L1 distance of the entry's best point to the best corner
 	isObj bool
-	id    rtree.ObjID      // objects
+	id    index.ObjID      // objects
 	point vec.Point        // objects
 	page  pagedfile.PageID // nodes
 	rect  vec.Rect         // nodes
@@ -125,18 +125,18 @@ func less(a, b item) bool {
 // Maintainer owns the current skyline of the live objects in an R-tree and
 // keeps it consistent as objects are removed by the matcher.
 type Maintainer struct {
-	tree *rtree.Tree
+	tree index.ObjectIndex
 	c    *stats.Counters
 	mode Mode
 
 	sky      []*Object
-	index    map[rtree.ObjID]int // object ID -> position in sky
-	excluded map[rtree.ObjID]bool
+	index    map[index.ObjID]int // object ID -> position in sky
+	excluded map[index.ObjID]bool
 	computed bool
 }
 
 // New creates a maintainer over t. A nil counters uses the tree's.
-func New(t *rtree.Tree, mode Mode, c *stats.Counters) *Maintainer {
+func New(t index.ObjectIndex, mode Mode, c *stats.Counters) *Maintainer {
 	if c == nil {
 		c = t.Counters()
 	}
@@ -144,8 +144,8 @@ func New(t *rtree.Tree, mode Mode, c *stats.Counters) *Maintainer {
 		tree:     t,
 		c:        c,
 		mode:     mode,
-		index:    map[rtree.ObjID]int{},
-		excluded: map[rtree.ObjID]bool{},
+		index:    map[index.ObjID]int{},
+		excluded: map[index.ObjID]bool{},
 	}
 }
 
@@ -163,7 +163,7 @@ func (m *Maintainer) Computed() bool { return m.computed }
 // line 4) and records pruned entries into plists.
 func (m *Maintainer) Compute() error {
 	m.sky = m.sky[:0]
-	m.index = map[rtree.ObjID]int{}
+	m.index = map[index.ObjID]int{}
 	h := pqueue.New(less)
 	h.SetCounters(m.c)
 	if root := m.tree.RootPage(); root != pagedfile.InvalidPage {
@@ -181,7 +181,7 @@ func (m *Maintainer) Compute() error {
 // and restores the skyline of the remaining live objects, per the configured
 // mode. It returns the newly promoted skyline objects so the matcher can
 // refresh its caches. All ids must currently be skyline members.
-func (m *Maintainer) Remove(ids []rtree.ObjID) (added []*Object, err error) {
+func (m *Maintainer) Remove(ids []index.ObjID) (added []*Object, err error) {
 	if !m.computed {
 		return nil, fmt.Errorf("skyline: Remove before Compute")
 	}
@@ -199,7 +199,7 @@ func (m *Maintainer) Remove(ids []rtree.ObjID) (added []*Object, err error) {
 		m.excluded[id] = true
 	}
 	// Compact the skyline slice, preserving order.
-	drop := make(map[rtree.ObjID]bool, len(ids))
+	drop := make(map[index.ObjID]bool, len(ids))
 	for _, id := range ids {
 		drop[id] = true
 	}
@@ -210,7 +210,7 @@ func (m *Maintainer) Remove(ids []rtree.ObjID) (added []*Object, err error) {
 		}
 	}
 	m.sky = kept
-	m.index = make(map[rtree.ObjID]int, len(m.sky))
+	m.index = make(map[index.ObjID]int, len(m.sky))
 	for i, s := range m.sky {
 		m.index[s.ID] = i
 	}
@@ -244,7 +244,7 @@ func (m *Maintainer) Remove(ids []rtree.ObjID) (added []*Object, err error) {
 		if root := m.tree.RootPage(); root != pagedfile.InvalidPage {
 			h.Push(rootItem(root, m.tree.Dim()))
 		}
-		known := make(map[rtree.ObjID]bool, len(m.sky))
+		known := make(map[index.ObjID]bool, len(m.sky))
 		for _, s := range m.sky {
 			known[s.ID] = true
 		}
@@ -254,12 +254,12 @@ func (m *Maintainer) Remove(ids []rtree.ObjID) (added []*Object, err error) {
 	case MaintainRecompute:
 		// Full recomputation from scratch. Report as "added" only the
 		// objects that were not skyline members before this call.
-		prev := make(map[rtree.ObjID]bool, len(m.sky))
+		prev := make(map[index.ObjID]bool, len(m.sky))
 		for _, s := range m.sky {
 			prev[s.ID] = true
 		}
 		m.sky = m.sky[:0]
-		m.index = map[rtree.ObjID]int{}
+		m.index = map[index.ObjID]int{}
 		h := pqueue.New(less)
 		h.SetCounters(m.c)
 		if root := m.tree.RootPage(); root != pagedfile.InvalidPage {
@@ -289,7 +289,7 @@ func (m *Maintainer) Remove(ids []rtree.ObjID) (added []*Object, err error) {
 // promote surviving objects to the skyline; expand surviving nodes.
 // known, when non-nil, marks object IDs that are already skyline members and
 // must not be re-added (used by the re-traversal mode).
-func (m *Maintainer) run(h *pqueue.Queue[item], skipPlist bool, known map[rtree.ObjID]bool) error {
+func (m *Maintainer) run(h *pqueue.Queue[item], skipPlist bool, known map[index.ObjID]bool) error {
 	for {
 		it, ok := h.Pop()
 		if !ok {

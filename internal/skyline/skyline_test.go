@@ -6,15 +6,16 @@ import (
 	"sort"
 	"testing"
 
-	"prefmatch/internal/rtree"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/paged"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
 
 // bruteSkyline computes the skyline of the live items by exhaustive pairwise
 // dominance.
-func bruteSkyline(items []rtree.Item, excluded map[rtree.ObjID]bool) []rtree.ObjID {
-	var out []rtree.ObjID
+func bruteSkyline(items []index.Item, excluded map[index.ObjID]bool) []index.ObjID {
+	var out []index.ObjID
 	for i := range items {
 		if excluded[items[i].ID] {
 			continue
@@ -37,8 +38,8 @@ func bruteSkyline(items []rtree.Item, excluded map[rtree.ObjID]bool) []rtree.Obj
 	return out
 }
 
-func skyIDs(m *Maintainer) []rtree.ObjID {
-	ids := make([]rtree.ObjID, 0, m.Size())
+func skyIDs(m *Maintainer) []index.ObjID {
+	ids := make([]index.ObjID, 0, m.Size())
 	for _, s := range m.Skyline() {
 		ids = append(ids, s.ID)
 	}
@@ -46,7 +47,7 @@ func skyIDs(m *Maintainer) []rtree.ObjID {
 	return ids
 }
 
-func equalIDs(a, b []rtree.ObjID) bool {
+func equalIDs(a, b []index.ObjID) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -58,9 +59,9 @@ func equalIDs(a, b []rtree.ObjID) bool {
 	return true
 }
 
-func buildTree(t *testing.T, rng *rand.Rand, n, d, grid int) (*rtree.Tree, []rtree.Item, *stats.Counters) {
+func buildTree(t *testing.T, rng *rand.Rand, n, d, grid int) (paged.Index, []index.Item, *stats.Counters) {
 	t.Helper()
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
 		p := make(vec.Point, d)
 		for j := range p {
@@ -70,10 +71,10 @@ func buildTree(t *testing.T, rng *rand.Rand, n, d, grid int) (*rtree.Tree, []rtr
 				p[j] = rng.Float64()
 			}
 		}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
 	c := &stats.Counters{}
-	tr, err := rtree.New(d, &rtree.Options{PageSize: 512, Counters: c})
+	tr, err := paged.New(d, &paged.Options{PageSize: 512, Counters: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestComputeMatchesBruteForce(t *testing.T) {
 }
 
 func TestComputeOnEmptyTree(t *testing.T) {
-	tr, err := rtree.New(2, nil)
+	tr, err := paged.New(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,12 +119,12 @@ func TestComputeOnEmptyTree(t *testing.T) {
 }
 
 func TestRemoveBeforeComputeFails(t *testing.T) {
-	tr, err := rtree.New(2, nil)
+	tr, err := paged.New(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := New(tr, MaintainPlist, nil)
-	if _, err := m.Remove([]rtree.ObjID{1}); err == nil {
+	if _, err := m.Remove([]index.ObjID{1}); err == nil {
 		t.Fatal("Remove before Compute should fail")
 	}
 }
@@ -136,13 +137,13 @@ func TestRemoveNonMemberFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Find a non-skyline id.
-	member := map[rtree.ObjID]bool{}
+	member := map[index.ObjID]bool{}
 	for _, s := range m.Skyline() {
 		member[s.ID] = true
 	}
 	for _, it := range items {
 		if !member[it.ID] {
-			if _, err := m.Remove([]rtree.ObjID{it.ID}); err == nil {
+			if _, err := m.Remove([]index.ObjID{it.ID}); err == nil {
 				t.Fatal("removing a non-member should fail")
 			}
 			return
@@ -167,7 +168,7 @@ func TestRemovalSequencesMatchBruteForce(t *testing.T) {
 				if err := m.Compute(); err != nil {
 					t.Fatal(err)
 				}
-				excluded := map[rtree.ObjID]bool{}
+				excluded := map[index.ObjID]bool{}
 				step := 0
 				for m.Size() > 0 && step < 60 {
 					// Remove 1-3 skyline members per step (multi-pair loops
@@ -177,7 +178,7 @@ func TestRemovalSequencesMatchBruteForce(t *testing.T) {
 						k = m.Size()
 					}
 					perm := rng.Perm(m.Size())[:k]
-					ids := make([]rtree.ObjID, 0, k)
+					ids := make([]index.ObjID, 0, k)
 					for _, idx := range perm {
 						ids = append(ids, m.Skyline()[idx].ID)
 					}
@@ -218,16 +219,16 @@ func TestRemoveReturnsExactlyTheNewMembers(t *testing.T) {
 				t.Fatal(err)
 			}
 			for step := 0; step < 40 && m.Size() > 0; step++ {
-				before := map[rtree.ObjID]bool{}
+				before := map[index.ObjID]bool{}
 				for _, s := range m.Skyline() {
 					before[s.ID] = true
 				}
 				victim := m.Skyline()[rng.Intn(m.Size())].ID
-				added, err := m.Remove([]rtree.ObjID{victim})
+				added, err := m.Remove([]index.ObjID{victim})
 				if err != nil {
 					t.Fatal(err)
 				}
-				addedIDs := map[rtree.ObjID]bool{}
+				addedIDs := map[index.ObjID]bool{}
 				for _, a := range added {
 					addedIDs[a.ID] = true
 				}
@@ -256,7 +257,7 @@ func TestPlistOwnershipInvariant(t *testing.T) {
 	}
 	check := func(context string) {
 		seenPages := map[int32]string{}
-		seenObjs := map[rtree.ObjID]string{}
+		seenObjs := map[index.ObjID]string{}
 		for _, s := range m.Skyline() {
 			for _, e := range s.plist {
 				if !s.Point.Dominates(e.hi()) {
@@ -279,7 +280,7 @@ func TestPlistOwnershipInvariant(t *testing.T) {
 	check("after compute")
 	for step := 0; step < 30 && m.Size() > 0; step++ {
 		victim := m.Skyline()[rng.Intn(m.Size())].ID
-		if _, err := m.Remove([]rtree.ObjID{victim}); err != nil {
+		if _, err := m.Remove([]index.ObjID{victim}); err != nil {
 			t.Fatal(err)
 		}
 		check(fmt.Sprintf("after removal %d", step))
@@ -301,7 +302,7 @@ func TestDrainEntireDataset(t *testing.T) {
 			removedCount := 0
 			for m.Size() > 0 {
 				victim := m.Skyline()[rng.Intn(m.Size())].ID
-				if _, err := m.Remove([]rtree.ObjID{victim}); err != nil {
+				if _, err := m.Remove([]index.ObjID{victim}); err != nil {
 					t.Fatal(err)
 				}
 				removedCount++
@@ -321,12 +322,12 @@ func TestDrainEntireDataset(t *testing.T) {
 func TestMaintenanceIOOrdering(t *testing.T) {
 	run := func(mode Mode) int64 {
 		rng := rand.New(rand.NewSource(7))
-		items := make([]rtree.Item, 20000)
+		items := make([]index.Item, 20000)
 		for i := range items {
-			items[i] = rtree.Item{ID: rtree.ObjID(i), Point: vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}}
+			items[i] = index.Item{ID: index.ObjID(i), Point: vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}}
 		}
 		c := &stats.Counters{}
-		tr, err := rtree.New(3, &rtree.Options{Counters: c})
+		tr, err := paged.New(3, &paged.Options{Counters: c})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -351,7 +352,7 @@ func TestMaintenanceIOOrdering(t *testing.T) {
 					victim = s.ID
 				}
 			}
-			if _, err := m.Remove([]rtree.ObjID{victim}); err != nil {
+			if _, err := m.Remove([]index.ObjID{victim}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -382,7 +383,7 @@ func TestSkylineSizeCounter(t *testing.T) {
 	if c.SkylineUpdates != 0 {
 		t.Fatal("no updates should be counted yet")
 	}
-	if _, err := m.Remove([]rtree.ObjID{m.Skyline()[0].ID}); err != nil {
+	if _, err := m.Remove([]index.ObjID{m.Skyline()[0].ID}); err != nil {
 		t.Fatal(err)
 	}
 	if c.SkylineUpdates != 1 {
@@ -410,7 +411,7 @@ func TestTop1OfMonotoneFunctionsOnSkyline(t *testing.T) {
 	if err := m.Compute(); err != nil {
 		t.Fatal(err)
 	}
-	member := map[rtree.ObjID]bool{}
+	member := map[index.ObjID]bool{}
 	for _, s := range m.Skyline() {
 		member[s.ID] = true
 	}
@@ -423,7 +424,7 @@ func TestTop1OfMonotoneFunctionsOnSkyline(t *testing.T) {
 		// Pick the best object under the dominance-consistent order
 		// (score, then coordinate sum, then ID).
 		best := 0
-		bestScore := func(it rtree.Item) float64 {
+		bestScore := func(it index.Item) float64 {
 			s := 0.0
 			for i, x := range it.Point {
 				s += w[i] * x

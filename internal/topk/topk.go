@@ -13,17 +13,17 @@
 package topk
 
 import (
+	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/pqueue"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
 
 // Result is one ranked-search answer.
 type Result struct {
-	ID    rtree.ObjID
+	ID    index.ObjID
 	Point vec.Point
 	Score float64
 }
@@ -33,7 +33,7 @@ type heapItem struct {
 	bound float64 // node: upper bound over MBR; object: exact score
 	isObj bool
 	// object fields
-	id    rtree.ObjID
+	id    index.ObjID
 	point vec.Point
 	sum   float64
 	// node field
@@ -67,7 +67,7 @@ func better(a, b heapItem) bool {
 // deletion a new search must be started (the Brute Force matcher re-issues
 // top-1 searches after every tree deletion for exactly this reason).
 type IncSearch struct {
-	tree     *rtree.Tree
+	tree     index.ObjectIndex
 	pref     prefs.Preference
 	frontier *pqueue.Queue[heapItem]
 	counters *stats.Counters
@@ -75,7 +75,7 @@ type IncSearch struct {
 
 // NewIncSearch starts an incremental ranked search for pref over t, charging
 // work to c (nil means the tree's own counters).
-func NewIncSearch(t *rtree.Tree, pref prefs.Preference, c *stats.Counters) *IncSearch {
+func NewIncSearch(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) *IncSearch {
 	if c == nil {
 		c = t.Counters()
 	}
@@ -131,13 +131,13 @@ func (s *IncSearch) Next() (Result, bool, error) {
 
 // Top1 returns the single best object in t for pref, with ok == false when t
 // is empty.
-func Top1(t *rtree.Tree, pref prefs.Preference, c *stats.Counters) (Result, bool, error) {
+func Top1(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) (Result, bool, error) {
 	return NewIncSearch(t, pref, c).Next()
 }
 
 // Search returns the k best objects in descending preference order (fewer
 // when the tree holds fewer than k objects).
-func Search(t *rtree.Tree, pref prefs.Preference, k int, c *stats.Counters) ([]Result, error) {
+func Search(t index.ObjectIndex, pref prefs.Preference, k int, c *stats.Counters) ([]Result, error) {
 	s := NewIncSearch(t, pref, c)
 	out := make([]Result, 0, k)
 	for len(out) < k {

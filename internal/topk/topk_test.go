@@ -5,24 +5,25 @@ import (
 	"sort"
 	"testing"
 
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/paged"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
 
-func buildTree(t *testing.T, rng *rand.Rand, n, d int) (*rtree.Tree, []rtree.Item) {
+func buildTree(t *testing.T, rng *rand.Rand, n, d int) (paged.Index, []index.Item) {
 	t.Helper()
-	items := make([]rtree.Item, n)
+	items := make([]index.Item, n)
 	for i := range items {
 		p := make(vec.Point, d)
 		for j := range p {
 			// Coarse grid to provoke score ties.
 			p[j] = float64(rng.Intn(20)) / 19
 		}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
-	tr, err := rtree.New(d, &rtree.Options{PageSize: 512})
+	tr, err := paged.New(d, &paged.Options{PageSize: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +43,8 @@ func randFunc(rng *rand.Rand, id, d int) prefs.Function {
 }
 
 // referenceOrder sorts items by the exact function-side preference order.
-func referenceOrder(items []rtree.Item, f prefs.Preference) []rtree.Item {
-	out := make([]rtree.Item, len(items))
+func referenceOrder(items []index.Item, f prefs.Preference) []index.Item {
+	out := make([]index.Item, len(items))
 	copy(out, items)
 	sort.Slice(out, func(i, j int) bool {
 		si, sj := f.Score(out[i].Point), f.Score(out[j].Point)
@@ -126,7 +127,7 @@ func TestSearchK(t *testing.T) {
 }
 
 func TestEmptyTree(t *testing.T) {
-	tr, err := rtree.New(2, nil)
+	tr, err := paged.New(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestTop1AfterDeletions(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	tr, items := buildTree(t, rng, 300, 3)
 	f := randFunc(rng, 0, 3)
-	alive := make(map[rtree.ObjID]bool, len(items))
+	alive := make(map[index.ObjID]bool, len(items))
 	for _, it := range items {
 		alive[it.ID] = true
 	}
@@ -177,7 +178,7 @@ func TestTop1AfterDeletions(t *testing.T) {
 		if !ok {
 			t.Fatal("tree exhausted early")
 		}
-		var want *rtree.Item
+		var want *index.Item
 		for i := range items {
 			if !alive[items[i].ID] {
 				continue
@@ -202,12 +203,12 @@ func TestSearchIsIOBounded(t *testing.T) {
 	// A top-1 search must read far fewer pages than the whole tree.
 	rng := rand.New(rand.NewSource(6))
 	c := &stats.Counters{}
-	items := make([]rtree.Item, 20000)
+	items := make([]index.Item, 20000)
 	for i := range items {
 		p := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
-		items[i] = rtree.Item{ID: rtree.ObjID(i), Point: p}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
 	}
-	tr, err := rtree.New(3, &rtree.Options{Counters: c})
+	tr, err := paged.New(3, &paged.Options{Counters: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,13 +236,13 @@ func TestSearchIsIOBounded(t *testing.T) {
 
 func TestTiesResolvedByObjectSumThenID(t *testing.T) {
 	// Objects with identical score under f but different sums and IDs.
-	items := []rtree.Item{
+	items := []index.Item{
 		{ID: 10, Point: vec.Point{1, 0}}, // score .5 with equal weights, sum 1
 		{ID: 3, Point: vec.Point{0.5, 0.5}},
 		{ID: 4, Point: vec.Point{0.5, 0.5}},
 		{ID: 5, Point: vec.Point{0.25, 0.75}},
 	}
-	tr, err := rtree.New(2, nil)
+	tr, err := paged.New(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,10 +251,8 @@ func TestTiesResolvedByObjectSumThenID(t *testing.T) {
 	}
 	f := prefs.MustFunction(0, []float64{1, 1}) // normalised to (.5, .5): all score 0.5
 	s := NewIncSearch(tr, f, nil)
-	wantOrder := []rtree.ObjID{3, 4, 5, 10}
-	_ = wantOrder
 	// All score 0.5; all sums are 1.0, so order is purely by ID: 3,4,5,10.
-	for _, want := range []rtree.ObjID{3, 4, 5, 10} {
+	for _, want := range []index.ObjID{3, 4, 5, 10} {
 		r, ok, err := s.Next()
 		if err != nil || !ok {
 			t.Fatalf("Next: %v %v", ok, err)

@@ -8,8 +8,8 @@ import (
 	"fmt"
 
 	"prefmatch/internal/core"
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 )
 
 // GreedyOracle computes the stable matching by the definition in § II:
@@ -17,7 +17,7 @@ import (
 // deterministic global order) among the remaining functions and objects,
 // removing both, until either set is exhausted. O(|F|·|O|) per pair —
 // reference use only.
-func GreedyOracle(objs []rtree.Item, fns []prefs.Function) []core.Pair {
+func GreedyOracle(objs []index.Item, fns []prefs.Function) []core.Pair {
 	aliveO := make([]bool, len(objs))
 	for i := range aliveO {
 		aliveO[i] = true
@@ -63,7 +63,7 @@ func GreedyOracle(objs []rtree.Item, fns []prefs.Function) []core.Pair {
 // object is strictly preferred by f over o (function-side order). It also
 // checks structural sanity: no double assignment, known IDs, correct scores,
 // and the complete cardinality min(|F|, |O|).
-func CheckProgressive(objs []rtree.Item, fns []prefs.Function, pairs []core.Pair) error {
+func CheckProgressive(objs []index.Item, fns []prefs.Function, pairs []core.Pair) error {
 	return CheckProgressiveCapacitated(objs, fns, nil, pairs)
 }
 
@@ -72,10 +72,10 @@ func CheckProgressive(objs []rtree.Item, fns []prefs.Function, pairs []core.Pair
 // = 1) and stays available — hence a potential spoiler for later pairs —
 // until its capacity is spent. The expected cardinality is
 // min(Σ capacities, |F|).
-func CheckProgressiveCapacitated(objs []rtree.Item, fns []prefs.Function, caps map[rtree.ObjID]int, pairs []core.Pair) error {
-	objByID := make(map[rtree.ObjID]rtree.Item, len(objs))
+func CheckProgressiveCapacitated(objs []index.Item, fns []prefs.Function, caps map[index.ObjID]int, pairs []core.Pair) error {
+	objByID := make(map[index.ObjID]index.Item, len(objs))
 	totalCap := 0
-	resid := make(map[rtree.ObjID]int, len(objs))
+	resid := make(map[index.ObjID]int, len(objs))
 	for _, o := range objs {
 		objByID[o.ID] = o
 		c, ok := caps[o.ID]
@@ -159,7 +159,7 @@ func SamePairSet(a, b []core.Pair) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	m := make(map[int]rtree.ObjID, len(a))
+	m := make(map[int]index.ObjID, len(a))
 	for _, p := range a {
 		m[p.FuncID] = p.ObjID
 	}

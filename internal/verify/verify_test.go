@@ -5,15 +5,16 @@ import (
 
 	"prefmatch/internal/core"
 	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/paged"
 	"prefmatch/internal/prefs"
-	"prefmatch/internal/rtree"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
 
-func buildTree(t *testing.T, items []rtree.Item, d int) *rtree.Tree {
+func buildTree(t *testing.T, items []index.Item, d int) paged.Index {
 	t.Helper()
-	tr, err := rtree.New(d, &rtree.Options{PageSize: 512, Counters: &stats.Counters{}})
+	tr, err := paged.New(d, &paged.Options{PageSize: 512, Counters: &stats.Counters{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func buildTree(t *testing.T, items []rtree.Item, d int) *rtree.Tree {
 }
 
 func TestOracleBasics(t *testing.T) {
-	objs := []rtree.Item{
+	objs := []index.Item{
 		{ID: 0, Point: vec.Point{1, 0}},
 		{ID: 1, Point: vec.Point{0, 1}},
 		{ID: 2, Point: vec.Point{0.5, 0.5}},
@@ -37,7 +38,7 @@ func TestOracleBasics(t *testing.T) {
 	if len(pairs) != 2 {
 		t.Fatalf("%d pairs", len(pairs))
 	}
-	want := map[int]rtree.ObjID{0: 0, 1: 1}
+	want := map[int]index.ObjID{0: 0, 1: 1}
 	for _, p := range pairs {
 		if want[p.FuncID] != p.ObjID {
 			t.Fatalf("pair %v unexpected", p)
@@ -50,7 +51,7 @@ func TestOracleBasics(t *testing.T) {
 
 func TestOracleCompetition(t *testing.T) {
 	// Both functions want o0 most; the higher-scoring pair wins it.
-	objs := []rtree.Item{
+	objs := []index.Item{
 		{ID: 0, Point: vec.Point{1, 1}},
 		{ID: 1, Point: vec.Point{0.9, 0}},
 	}
@@ -88,7 +89,7 @@ func TestCheckProgressiveAcceptsAllAlgorithms(t *testing.T) {
 }
 
 func TestCheckProgressiveRejectsWrongCount(t *testing.T) {
-	objs := []rtree.Item{{ID: 0, Point: vec.Point{1, 1}}}
+	objs := []index.Item{{ID: 0, Point: vec.Point{1, 1}}}
 	fns := []prefs.Function{prefs.MustFunction(0, []float64{1, 1})}
 	if err := CheckProgressive(objs, fns, nil); err == nil {
 		t.Fatal("missing pairs accepted")
@@ -96,7 +97,7 @@ func TestCheckProgressiveRejectsWrongCount(t *testing.T) {
 }
 
 func TestCheckProgressiveRejectsDoubleAssignment(t *testing.T) {
-	objs := []rtree.Item{
+	objs := []index.Item{
 		{ID: 0, Point: vec.Point{1, 1}},
 		{ID: 1, Point: vec.Point{0.5, 0.5}},
 	}
@@ -121,7 +122,7 @@ func TestCheckProgressiveRejectsDoubleAssignment(t *testing.T) {
 }
 
 func TestCheckProgressiveRejectsUnknownIDs(t *testing.T) {
-	objs := []rtree.Item{{ID: 0, Point: vec.Point{1, 1}}}
+	objs := []index.Item{{ID: 0, Point: vec.Point{1, 1}}}
 	fns := []prefs.Function{prefs.MustFunction(0, []float64{1, 1})}
 	if err := CheckProgressive(objs, fns, []core.Pair{{FuncID: 9, ObjID: 0, Score: 1}}); err == nil {
 		t.Fatal("unknown function accepted")
@@ -132,7 +133,7 @@ func TestCheckProgressiveRejectsUnknownIDs(t *testing.T) {
 }
 
 func TestCheckProgressiveRejectsWrongScore(t *testing.T) {
-	objs := []rtree.Item{{ID: 0, Point: vec.Point{1, 1}}}
+	objs := []index.Item{{ID: 0, Point: vec.Point{1, 1}}}
 	fns := []prefs.Function{prefs.MustFunction(0, []float64{1, 1})}
 	if err := CheckProgressive(objs, fns, []core.Pair{{FuncID: 0, ObjID: 0, Score: 0.123}}); err == nil {
 		t.Fatal("wrong score accepted")
@@ -142,7 +143,7 @@ func TestCheckProgressiveRejectsWrongScore(t *testing.T) {
 func TestCheckProgressiveRejectsUnstableOrder(t *testing.T) {
 	// o0 strictly dominates o1 for both functions; assigning the weaker
 	// object to the stronger claimant first is unstable.
-	objs := []rtree.Item{
+	objs := []index.Item{
 		{ID: 0, Point: vec.Point{1, 1}},
 		{ID: 1, Point: vec.Point{0.2, 0.2}},
 	}
