@@ -1,12 +1,13 @@
 package prefmatch
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
+	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 	"prefmatch/internal/vec"
 )
@@ -15,6 +16,50 @@ import (
 // stand-alone operations, because they are useful on their own: the skyline
 // of an object set (the candidates that can win under *some* monotone
 // preference) and the top-k objects for a single preference query.
+//
+// The package-level functions build a throwaway index per call; Server
+// offers the same primitives against an index built once, via the shared
+// *Over helpers below.
+
+// skylineOver computes the sorted skyline IDs of an already-built index.
+func skylineOver(tree index.ObjectIndex, c *stats.Counters) ([]int, error) {
+	m := skyline.New(tree, skyline.MaintainPlist, c)
+	if err := m.Compute(); err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, m.Size())
+	for _, s := range m.Skyline() {
+		out = append(out, int(s.ID))
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// topkOver runs ranked search for a validated preference over an
+// already-built index, labelling results with the query ID.
+func topkOver(tree index.ObjectIndex, qid int, p prefs.Preference, k int, c *stats.Counters) ([]Assignment, error) {
+	results, err := topk.Search(tree, p, k, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assignment, len(results))
+	for i, r := range results {
+		out[i] = Assignment{QueryID: qid, ObjectID: int(r.ID), Score: r.Score}
+	}
+	return out, nil
+}
+
+// linearPref validates a linear query against dimensionality d.
+func linearPref(query Query, d int) (prefs.Function, error) {
+	f, err := prefs.NewFunction(query.ID, query.Weights)
+	if err != nil {
+		return prefs.Function{}, fmt.Errorf("prefmatch: query %d: %w", query.ID, err)
+	}
+	if f.Dim() != d {
+		return prefs.Function{}, fmt.Errorf("prefmatch: query %d has %d weights, want %d", query.ID, f.Dim(), d)
+	}
+	return f, nil
+}
 
 // Skyline returns the IDs of the objects not dominated by any other object:
 // for every non-skyline object there is a skyline object at least as good
@@ -28,11 +73,7 @@ func Skyline(objects []Object, opts *Options) ([]int, error) {
 	if len(objects) == 0 {
 		return nil, nil
 	}
-	d := len(objects[0].Values)
-	if d == 0 {
-		return nil, errors.New("prefmatch: objects need at least one attribute")
-	}
-	items, _, err := convertObjects(objects, d)
+	d, items, _, err := convertObjectSet(objects)
 	if err != nil {
 		return nil, err
 	}
@@ -40,16 +81,7 @@ func Skyline(objects []Object, opts *Options) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := skyline.New(tree, skyline.MaintainPlist, c)
-	if err := m.Compute(); err != nil {
-		return nil, err
-	}
-	out := make([]int, 0, m.Size())
-	for _, s := range m.Skyline() {
-		out = append(out, int(s.ID))
-	}
-	sort.Ints(out)
-	return out, nil
+	return skylineOver(tree, c)
 }
 
 // TopK returns the k best objects for a single query, best first, using
@@ -65,18 +97,11 @@ func TopK(objects []Object, query Query, k int, opts *Options) ([]Assignment, er
 	if len(objects) == 0 || k == 0 {
 		return nil, nil
 	}
-	d := len(objects[0].Values)
-	if d == 0 {
-		return nil, errors.New("prefmatch: objects need at least one attribute")
-	}
-	f, err := prefs.NewFunction(query.ID, query.Weights)
+	d, items, _, err := convertObjectSet(objects)
 	if err != nil {
-		return nil, fmt.Errorf("prefmatch: query %d: %w", query.ID, err)
+		return nil, err
 	}
-	if f.Dim() != d {
-		return nil, fmt.Errorf("prefmatch: query %d has %d weights, want %d", query.ID, f.Dim(), d)
-	}
-	items, _, err := convertObjects(objects, d)
+	f, err := linearPref(query, d)
 	if err != nil {
 		return nil, err
 	}
@@ -84,15 +109,7 @@ func TopK(objects []Object, query Query, k int, opts *Options) ([]Assignment, er
 	if err != nil {
 		return nil, err
 	}
-	results, err := topk.Search(tree, f, k, c)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Assignment, len(results))
-	for i, r := range results {
-		out[i] = Assignment{QueryID: query.ID, ObjectID: int(r.ID), Score: r.Score}
-	}
-	return out, nil
+	return topkOver(tree, query.ID, f, k, c)
 }
 
 // TopKMonotone is TopK for an arbitrary monotone preference.
@@ -109,11 +126,7 @@ func TopKMonotone(objects []Object, query PreferenceQuery, k int, opts *Options)
 	if len(objects) == 0 || k == 0 {
 		return nil, nil
 	}
-	d := len(objects[0].Values)
-	if d == 0 {
-		return nil, errors.New("prefmatch: objects need at least one attribute")
-	}
-	items, _, err := convertObjects(objects, d)
+	d, items, _, err := convertObjectSet(objects)
 	if err != nil {
 		return nil, err
 	}
@@ -121,15 +134,7 @@ func TopKMonotone(objects []Object, query PreferenceQuery, k int, opts *Options)
 	if err != nil {
 		return nil, err
 	}
-	results, err := topk.Search(tree, prefAdapter{p: query.Preference}, k, c)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Assignment, len(results))
-	for i, r := range results {
-		out[i] = Assignment{QueryID: query.ID, ObjectID: int(r.ID), Score: r.Score}
-	}
-	return out, nil
+	return topkOver(tree, query.ID, prefAdapter{p: query.Preference}, k, c)
 }
 
 // Dominates reports whether object a dominates object b: at least as good

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"prefmatch"
 	"prefmatch/internal/core"
 	"prefmatch/internal/dataset"
 	"prefmatch/internal/index"
@@ -25,6 +26,7 @@ import (
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/ta"
+	"prefmatch/internal/topk"
 )
 
 const (
@@ -247,6 +249,94 @@ func BenchmarkAblationIncrementalBF(b *testing.B) {
 				total.Add(runMatch(b, items, fns, 3, core.Options{Algorithm: alg}))
 			}
 			reportCounters(b, total)
+		})
+	}
+}
+
+// BenchmarkServeTopK measures serving throughput: one shared memory index
+// (prefmatch.Server) answers independent top-1 queries across worker
+// counts, against the paged single-threaded baseline. The queries/s metric
+// is the headline; >1 worker beating 1 worker is the point of the
+// snapshot-based concurrency layer.
+func BenchmarkServeTopK(b *testing.B) {
+	const d = 4
+	items := dataset.Independent(benchObjectsFig2, d, 51)
+	fns := dataset.Functions(2000, d, 52)
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+	srv, err := prefmatch.NewServer(objects, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.TopKMany(queries, 1, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+	b.Run("paged-single-thread", func(b *testing.B) {
+		c := &stats.Counters{}
+		pix, err := paged.Build(d, items, &paged.Options{Counters: c})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fns {
+				if _, err := topk.Search(pix, f, 1, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
+// BenchmarkServeMatchWaves measures full-matching throughput: independent
+// SB waves (each a complete stable matching of 50 queries against the full
+// object set) fanned across workers over one shared memory index.
+func BenchmarkServeMatchWaves(b *testing.B) {
+	const (
+		d        = 3
+		waveSize = 50
+		nWaves   = 8
+	)
+	items := dataset.Independent(benchObjectsFig2, d, 53)
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	waves := make([][]prefmatch.Query, nWaves)
+	for w := range waves {
+		fns := dataset.Functions(waveSize, d, int64(54+w))
+		qs := make([]prefmatch.Query, len(fns))
+		for i, f := range fns {
+			qs[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+		}
+		waves[w] = qs
+	}
+	srv, err := prefmatch.NewServer(objects, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.MatchMany(waves, nil, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nWaves)*float64(b.N)/b.Elapsed().Seconds(), "waves/s")
 		})
 	}
 }

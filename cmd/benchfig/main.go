@@ -9,6 +9,14 @@
 //	go run ./cmd/benchfig -full            # paper-scale parameters (slow!)
 //	go run ./cmd/benchfig -algs sb,bf      # subset of algorithms
 //	go run ./cmd/benchfig -backends paged  # paper mode only (skip the memory rows)
+//	go run ./cmd/benchfig -serve           # serving throughput vs worker count
+//
+// -serve runs the concurrency experiment instead of the paper figures: one
+// shared in-memory index (prefmatch.Server) answers independent top-1
+// queries and full matching waves across 1..8 worker goroutines, against a
+// single-threaded paged baseline. The columns are throughput (queries/sec,
+// waves/sec); the point is the scaling curve, which the paper's
+// single-threaded setup cannot show.
 //
 // Every algorithm runs on both storage backends by default: "paged" is the
 // paper-faithful disk simulation whose I/O panel reproduces the figures, and
@@ -27,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"prefmatch"
 	"prefmatch/internal/core"
 	"prefmatch/internal/dataset"
 	"prefmatch/internal/index"
@@ -34,6 +43,7 @@ import (
 	"prefmatch/internal/index/paged"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
 )
 
 type scale struct {
@@ -87,6 +97,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow: tens of minutes)")
 	algsFlag := flag.String("algs", "sb,bf,chain", "comma-separated subset of sb,bf,chain")
 	backendsFlag := flag.String("backends", "paged,mem", "comma-separated subset of paged,mem")
+	serve := flag.Bool("serve", false, "run the serving-throughput experiment instead of the paper figures")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -95,6 +106,11 @@ func main() {
 	if *full {
 		sc = fullScale
 		label = "paper scale"
+	}
+
+	if *serve {
+		runServing(sc, *seed)
+		return
 	}
 
 	var algs []core.Algorithm
@@ -165,6 +181,90 @@ func main() {
 		}
 		runExperiment(ex, combos)
 	}
+}
+
+// runServing measures serving throughput on one shared in-memory index:
+// independent top-1 queries and full SB matching waves fanned across worker
+// goroutines, with a single-threaded paged run as the baseline. SB never
+// mutates the object index, so every worker traverses a read-only snapshot
+// of the same tree.
+func runServing(sc scale, seed int64) {
+	const d = 4
+	nObjects := sc.objectsFig2
+	nQueries := 4 * sc.functions
+	items := dataset.Independent(nObjects, d, seed)
+	fns := dataset.Functions(nQueries, d, seed+1)
+
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+	srv, err := prefmatch.NewServer(objects, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("benchfig: serving throughput — |O| = %d, |Q| = %d, D = %d\n", nObjects, nQueries, d)
+
+	fmt.Println("\n== Top-1 queries/sec vs workers (mem Server) ==")
+	fmt.Printf("%-10s %14s %14s\n", "workers", "elapsed", "queries/s")
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		if _, err := srv.TopKMany(queries, 1, w); err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-10d %14v %14.0f\n", w, el.Round(time.Millisecond), float64(nQueries)/el.Seconds())
+	}
+	// Baseline: the same queries answered sequentially against the paged
+	// backend, which cannot be shared across goroutines (its LRU buffer
+	// mutates on every read).
+	c := &stats.Counters{}
+	pix, err := paged.Build(d, items, &paged.Options{Counters: c})
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for _, f := range fns {
+		if _, err := topk.Search(pix, f, 1, c); err != nil {
+			panic(err)
+		}
+	}
+	el := time.Since(start)
+	fmt.Printf("%-10s %14v %14.0f\n", "paged(1)", el.Round(time.Millisecond), float64(nQueries)/el.Seconds())
+
+	fmt.Println("\n== SB matching waves/sec vs workers (mem Server) ==")
+	const waveSize = 50
+	var waves [][]prefmatch.Query
+	for i := 0; i+waveSize <= len(queries); i += waveSize {
+		waves = append(waves, queries[i:i+waveSize])
+	}
+	fmt.Printf("%-10s %14s %14s\n", "workers", "elapsed", "waves/s")
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		if _, err := srv.MatchMany(waves, nil, w); err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-10d %14v %14.2f\n", w, el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
+	}
+	// Paged baseline: one reusable index, waves matched sequentially.
+	pixWave, err := prefmatch.BuildIndex(objects, nil)
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	for _, wv := range waves {
+		if _, err := pixWave.Match(wv, nil); err != nil {
+			panic(err)
+		}
+	}
+	el = time.Since(start)
+	fmt.Printf("%-10s %14v %14.2f\n", "paged(1)", el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
 }
 
 func buildExperiments(sc scale, seed int64) []experiment {

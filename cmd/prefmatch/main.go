@@ -5,12 +5,18 @@
 //	prefmatch genqueries -n 500 -d 5 -out queries.csv
 //	prefmatch match -objects objects.csv -queries queries.csv -alg sb -out pairs.csv
 //	prefmatch match -objects objects.csv -queries queries.csv -backend memory -out pairs.csv
+//	prefmatch topk -objects objects.csv -queries queries.csv -k 5 -parallel 8 -out top.csv
 //	prefmatch verify -objects objects.csv -queries queries.csv -pairs pairs.csv
 //
 // The match subcommand runs on the paged backend by default (the paper's
 // disk simulation, whose stderr stats report I/O accesses); -backend memory
 // selects the in-memory serving backend, which computes the identical
 // matching several times faster and reports zero I/O.
+//
+// The topk subcommand is the serving workload: every query independently
+// gets its personal top-k ranking over one shared in-memory index, fanned
+// across -parallel worker goroutines (0 = all CPUs). It reports throughput
+// in queries/sec on stderr.
 //
 // CSV rows are "id,v1,v2,...". Run any subcommand with -h for its flags.
 package main
@@ -19,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"prefmatch"
 	"prefmatch/internal/csvio"
@@ -38,6 +46,8 @@ func main() {
 		err = cmdGenQueries(os.Args[2:])
 	case "match":
 		err = cmdMatch(os.Args[2:])
+	case "topk":
+		err = cmdTopK(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -60,6 +70,7 @@ subcommands:
   generate    generate an object dataset (independent, anti, correlated, clustered, zillow)
   genqueries  generate linear preference queries
   match       compute the stable matching between objects and queries
+  topk        answer each query's top-k independently over one shared index
   verify      check that a pairs file is the stable matching
   help        show this message`)
 }
@@ -208,6 +219,59 @@ func cmdMatch(args []string) error {
 	fmt.Fprintf(os.Stderr, "pairs=%d io=%d (r=%d w=%d hits=%d) top1=%d ta=%d skyUpdates=%d skyMax=%d loops=%d elapsed=%v\n",
 		s.Pairs, s.IOAccesses, s.PageReads, s.PageWrites, s.BufferHits,
 		s.Top1Searches, s.TAListAccesses, s.SkylineUpdates, s.SkylineMax, s.Loops, s.Elapsed)
+	return nil
+}
+
+func cmdTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ExitOnError)
+	objPath := fs.String("objects", "", "objects CSV (required)")
+	qPath := fs.String("queries", "", "queries CSV (required)")
+	k := fs.Int("k", 1, "results per query")
+	parallel := fs.Int("parallel", 1, "worker goroutines (0 = all CPUs)")
+	pageSize := fs.Int("page", 4096, "virtual page size (node fan-outs)")
+	out := fs.String("out", "", "results CSV output (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *objPath == "" || *qPath == "" {
+		return fmt.Errorf("topk: -objects and -queries are required")
+	}
+	objects, err := readObjects(*objPath)
+	if err != nil {
+		return err
+	}
+	queries, err := readQueries(*qPath)
+	if err != nil {
+		return err
+	}
+	srv, err := prefmatch.NewServer(objects, &prefmatch.Options{PageSize: *pageSize})
+	if err != nil {
+		return err
+	}
+	workers := *parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	results, err := srv.TopKMany(queries, *k, workers)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	flat := make([]prefmatch.Assignment, 0, len(queries)**k)
+	for _, rs := range results {
+		flat = append(flat, rs...)
+	}
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	if err := csvio.WriteAssignments(w, flat); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "queries=%d k=%d workers=%d elapsed=%v throughput=%.0f queries/s\n",
+		len(queries), *k, workers, elapsed, float64(len(queries))/elapsed.Seconds())
 	return nil
 }
 

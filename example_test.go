@@ -53,6 +53,68 @@ func ExampleNewMatcher() {
 	// first: user 7 gets room 1
 }
 
+// Streaming consumers can stop early and report progress via Emitted.
+func ExampleMatcher_Emitted() {
+	rooms := []prefmatch.Object{
+		{ID: 1, Values: []float64{0.9, 0.2}},
+		{ID: 2, Values: []float64{0.4, 0.9}},
+		{ID: 3, Values: []float64{0.7, 0.6}},
+	}
+	users := []prefmatch.Query{
+		{ID: 1, Weights: []float64{9, 1}},
+		{ID: 2, Weights: []float64{1, 9}},
+		{ID: 3, Weights: []float64{5, 5}},
+	}
+	m, err := prefmatch.NewMatcher(rooms, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stream only the two most contested assignments.
+	for m.Emitted() < 2 {
+		if _, ok, err := m.Next(); err != nil {
+			log.Fatal(err)
+		} else if !ok {
+			break
+		}
+	}
+	fmt.Printf("streamed %d of %d assignments\n", m.Emitted(), len(users))
+	// Output:
+	// streamed 2 of 3 assignments
+}
+
+// A Server indexes the inventory once and serves independent requests
+// concurrently: matching waves, per-user top-k, skyline.
+func ExampleServer() {
+	rooms := []prefmatch.Object{
+		{ID: 101, Values: []float64{0.9, 0.2}},
+		{ID: 102, Values: []float64{0.4, 0.9}},
+		{ID: 103, Values: []float64{0.7, 0.6}},
+	}
+	srv, err := prefmatch.NewServer(rooms, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two independent user populations, matched as parallel waves over the
+	// same shared index.
+	waves := [][]prefmatch.Query{
+		{{ID: 1, Weights: []float64{9, 1}}, {ID: 2, Weights: []float64{1, 9}}},
+		{{ID: 1, Weights: []float64{5, 5}}},
+	}
+	results, err := srv.MatchMany(waves, nil, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for w, res := range results {
+		for _, a := range res.Assignments {
+			fmt.Printf("wave %d: user %d -> room %d\n", w, a.QueryID, a.ObjectID)
+		}
+	}
+	// Output:
+	// wave 0: user 2 -> room 102
+	// wave 0: user 1 -> room 101
+	// wave 1: user 1 -> room 102
+}
+
 // The skyline is the set of objects that can win under some monotone
 // preference; dominated objects never appear in any matching's top picks.
 func ExampleSkyline() {

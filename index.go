@@ -1,7 +1,6 @@
 package prefmatch
 
 import (
-	"errors"
 	"fmt"
 
 	"prefmatch/internal/core"
@@ -19,7 +18,8 @@ import (
 //
 // Index.Match always uses the skyline-based algorithm, which never modifies
 // the index (Brute Force and Chain consume their index; use the
-// package-level Match for those). An Index is not safe for concurrent use.
+// package-level Match for those). An Index is not safe for concurrent use
+// on either backend; Server is the concurrent counterpart.
 type Index struct {
 	ix         index.ObjectIndex
 	capacities map[index.ObjID]int
@@ -36,11 +36,7 @@ func BuildIndex(objects []Object, opts *Options) (*Index, error) {
 	if len(objects) == 0 {
 		return nil, errNoObjects
 	}
-	d := len(objects[0].Values)
-	if d == 0 {
-		return nil, errors.New("prefmatch: objects need at least one attribute")
-	}
-	items, capacities, err := convertObjects(objects, d)
+	d, items, capacities, err := convertObjectSet(objects)
 	if err != nil {
 		return nil, err
 	}
@@ -66,43 +62,55 @@ func (ix *Index) Backend() Backend { return ix.opts.Backend }
 
 // Match runs a skyline-based matching of the queries against the indexed
 // objects. The index is left intact and can be matched again. opts may be
-// nil; its Algorithm field is ignored (always SkylineBased) and its storage
+// nil; its Algorithm field must be SkylineBased (the zero value — the
+// destructive algorithms are rejected with an error) and its storage
 // fields are ignored (fixed at BuildIndex time).
 func (ix *Index) Match(queries []Query, opts *Options) (*Result, error) {
+	res, _, err := matchWave(ix.ix, ix.capacities, queries, opts)
+	return res, err
+}
+
+// matchWave runs one skyline-based matching wave of queries against an
+// already-built index, which is never mutated: SB keeps the skyline of
+// remaining objects on the side, so the same tree can serve the next wave —
+// or, through read-only snapshots, other waves running concurrently. The
+// counters charged with the run are returned alongside the result so
+// callers can aggregate across waves.
+func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries []Query, opts *Options) (*Result, *stats.Counters, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
 	if coreAlg(opts.Algorithm) != core.AlgSB {
-		return nil, fmt.Errorf("prefmatch: Index.Match supports only SkylineBased (got %v); destructive algorithms need a fresh index", opts.Algorithm)
+		return nil, nil, fmt.Errorf("prefmatch: only SkylineBased can match against a shared index (got %v); destructive algorithms need a fresh index", opts.Algorithm)
 	}
 	if len(queries) == 0 {
-		return nil, errNoQueries
+		return nil, nil, errNoQueries
 	}
-	fns, err := convertQueries(queries, ix.ix.Dim())
+	fns, err := convertQueries(queries, tree.Dim())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// NewMatcher redirects the index's accounting to c for the run and
 	// restores the original sink when the matching completes (the drain
 	// loop below always runs to exhaustion).
 	c := &stats.Counters{}
-	inner, err := core.NewMatcher(ix.ix, fns, &core.Options{
+	inner, err := core.NewMatcher(tree, fns, &core.Options{
 		Algorithm:             core.AlgSB,
 		SkylineMode:           skyline.Mode(opts.Maintenance),
 		DisableMultiPair:      opts.DisableMultiPair,
 		DisableTightThreshold: opts.DisableTightThreshold,
-		Capacities:            ix.capacities,
+		Capacities:            capacities,
 		Counters:              c,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := &Matcher{inner: inner, c: c}
 	res := &Result{}
 	for {
 		a, ok, err := m.Next()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !ok {
 			break
@@ -110,5 +118,5 @@ func (ix *Index) Match(queries []Query, opts *Options) (*Result, error) {
 		res.Assignments = append(res.Assignments, a)
 	}
 	res.Stats = m.Stats()
-	return res, nil
+	return res, c, nil
 }

@@ -19,6 +19,25 @@
 // Both backends produce the identical stable matching for every algorithm,
 // because the matchers' tie-breaks depend only on object scores, coordinate
 // sums and IDs — never on the physical node layout.
+//
+// # Concurrency
+//
+// An ObjectIndex is single-goroutine by default. This is not an
+// implementation accident but part of the contract: ReadNode may mutate
+// internal state (the paged backend's LRU buffer reorders and evicts on
+// every access), Delete restructures the tree, and SetCounters swaps the
+// accounting sink that every operation writes through.
+//
+// Backends whose node reads are pure — the memory backend's ReadNode is a
+// slice lookup with no accounting — additionally implement Snapshotter.
+// Snapshot returns a read-only view that shares the node storage but owns
+// its counter sink, so N snapshots can serve N goroutines concurrently: the
+// paper's SB algorithm never mutates the object index (it maintains the
+// skyline of remaining objects on the side), which makes one index legally
+// shareable across parallel matching waves. The freeze contract is the
+// caller's obligation: while any snapshot is in use, no goroutine may call
+// Delete or rebuild the parent index. Delete on a snapshot itself fails
+// with ErrReadOnly.
 package index
 
 import (
@@ -52,6 +71,11 @@ const InvalidNode = pagedfile.InvalidPage
 // ErrNotFound is returned by Delete when the object is absent.
 var ErrNotFound = errors.New("index: object not found")
 
+// ErrReadOnly is returned by Delete on read-only views obtained from
+// Snapshotter.Snapshot. Algorithms that consume their index (Brute Force,
+// Chain) cannot run against a snapshot.
+var ErrReadOnly = errors.New("index: index is read-only")
+
 // Node is a read-only view of one index node. Internal entries carry a child
 // node and the child's MBR; leaf entries carry indexed items (their Rect is
 // the degenerate rectangle at the item's point). Nodes are owned by the
@@ -73,6 +97,10 @@ type Node interface {
 // height-balanced tree of MBR-tagged nodes over a point set, supporting
 // best-first traversal (RootPage + ReadNode), deletion of matched objects,
 // and redirectable work accounting.
+//
+// An ObjectIndex is not safe for concurrent use: even read paths may mutate
+// backend state (see the package comment's Concurrency section). Backends
+// that support concurrent read-only traversal expose it via Snapshotter.
 type ObjectIndex interface {
 	// Dim returns the dimensionality of the indexed points.
 	Dim() int
@@ -100,4 +128,18 @@ type ObjectIndex interface {
 	// Validate checks the backend's structural invariants (tight MBRs,
 	// uniform leaf depth, size consistency); a test and audit hook.
 	Validate() error
+}
+
+// Snapshotter is implemented by backends whose node reads are free of side
+// effects and can therefore hand out concurrent read-only views. The memory
+// backend implements it; the paged backend does not (its LRU buffer makes
+// every read a mutation).
+type Snapshotter interface {
+	// Snapshot returns a read-only view of the index as of the call: it
+	// shares the node storage with its parent but owns a fresh counter
+	// sink, so each concurrent reader gets private work accounting.
+	// Delete on the view returns ErrReadOnly. The view is valid only
+	// while the parent index is not mutated (no Delete, no rebuild) —
+	// readers and writers are never synchronised by the backend.
+	Snapshot() ObjectIndex
 }

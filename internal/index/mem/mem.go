@@ -16,6 +16,17 @@
 // affect correctness of best-first search or skyline traversal, and the
 // matchers only ever shrink the index, so rebalancing buys nothing on the
 // serving path.
+//
+// # Concurrency
+//
+// An *Index is not safe for concurrent use directly — Delete and BulkLoad
+// restructure the arena and SetCounters swaps the sink. But because ReadNode
+// performs no accounting and no buffering, traversal is pure, and the
+// backend implements index.Snapshotter: Snapshot returns a read-only view
+// sharing the node arena with a private counter sink. Any number of
+// goroutines may traverse their own snapshots concurrently as long as no
+// goroutine mutates the parent index (the freeze contract of the
+// Snapshotter interface). Delete on a snapshot returns index.ErrReadOnly.
 package mem
 
 import (
@@ -91,7 +102,9 @@ func (n *node) mbr() vec.Rect {
 	return vec.MBROfRects(n.rects)
 }
 
-// Index is the in-memory backend. It is not safe for concurrent use.
+// Index is the in-memory backend. It is not safe for concurrent use
+// directly; concurrent readers each take a Snapshot (see the package
+// comment's Concurrency section).
 type Index struct {
 	dim   int
 	nodes []*node // arena; NodeID = slot; nil = freed
@@ -193,6 +206,65 @@ func (ix *Index) freeNode(id index.NodeID) {
 	ix.nodes[id] = nil
 	ix.freed++
 }
+
+// --- Snapshots ---------------------------------------------------------
+
+// snapshot is a read-only view of an Index: it captures the root and size at
+// creation time, shares the node arena, and owns its counter sink. All
+// traversal methods delegate to the parent without touching shared mutable
+// state, so concurrent snapshots never race with each other.
+type snapshot struct {
+	ix   *Index
+	root index.NodeID
+	size int
+	c    *stats.Counters
+}
+
+var (
+	_ index.ObjectIndex = (*snapshot)(nil)
+	_ index.Snapshotter = (*Index)(nil)
+)
+
+// Snapshot returns a read-only view of the index with a fresh counter sink,
+// safe for concurrent traversal alongside other snapshots. The view is valid
+// while the parent index is not mutated (Snapshotter's freeze contract).
+func (ix *Index) Snapshot() index.ObjectIndex {
+	return &snapshot{ix: ix, root: ix.root, size: ix.size, c: &stats.Counters{}}
+}
+
+func (s *snapshot) Dim() int                  { return s.ix.dim }
+func (s *snapshot) Len() int                  { return s.size }
+func (s *snapshot) RootPage() index.NodeID    { return s.root }
+func (s *snapshot) NumPages() int             { return s.ix.NumPages() }
+func (s *snapshot) Counters() *stats.Counters { return s.c }
+
+// SetCounters redirects the snapshot's accounting only; the parent index's
+// sink is untouched, which is what lets one frozen index serve many matchers
+// that each insist on their own counters.
+func (s *snapshot) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("mem: nil counters")
+	}
+	s.c = c
+}
+
+// ReadNode returns the node at id, exactly like the parent's ReadNode: a
+// pure arena lookup.
+func (s *snapshot) ReadNode(id index.NodeID) (index.Node, error) {
+	n, err := s.ix.node(id)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Delete always fails: snapshots are read-only.
+func (s *snapshot) Delete(id index.ObjID, p vec.Point) error {
+	return index.ErrReadOnly
+}
+
+// Validate delegates to the parent (a read-only walk).
+func (s *snapshot) Validate() error { return s.ix.Validate() }
 
 // --- Bulk loading (STR) -----------------------------------------------
 

@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/stats"
+)
+
+// collectIDs walks an ObjectIndex and returns the set of stored object IDs.
+func collectIDs(t *testing.T, ix index.ObjectIndex) map[index.ObjID]bool {
+	t.Helper()
+	out := map[index.ObjID]bool{}
+	root := ix.RootPage()
+	if root == index.InvalidNode {
+		return out
+	}
+	var walk func(id index.NodeID)
+	walk = func(id index.NodeID) {
+		n, err := ix.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n.Len(); i++ {
+			if n.Leaf() {
+				out[n.Object(i).ID] = true
+			} else {
+				walk(n.ChildPage(i))
+			}
+		}
+	}
+	walk(root)
+	return out
+}
+
+func TestSnapshotIsReadOnlyView(t *testing.T) {
+	items := dataset.Independent(500, 3, 11)
+	ix, err := Build(3, items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ix.Snapshot()
+	if snap.Dim() != ix.Dim() || snap.Len() != ix.Len() || snap.RootPage() != ix.RootPage() {
+		t.Fatalf("snapshot shape differs: dim %d/%d len %d/%d root %d/%d",
+			snap.Dim(), ix.Dim(), snap.Len(), ix.Len(), snap.RootPage(), ix.RootPage())
+	}
+	if err := snap.Delete(items[0].ID, items[0].Point); !errors.Is(err, index.ErrReadOnly) {
+		t.Fatalf("snapshot Delete = %v, want ErrReadOnly", err)
+	}
+	if snap.Len() != 500 || ix.Len() != 500 {
+		t.Fatal("failed Delete changed a size")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectIDs(t, snap)
+	if len(got) != 500 {
+		t.Fatalf("snapshot holds %d objects, want 500", len(got))
+	}
+}
+
+func TestSnapshotCountersAreIsolated(t *testing.T) {
+	items := dataset.Independent(100, 2, 12)
+	parentSink := &stats.Counters{}
+	ix, err := Build(2, items, &Options{Counters: parentSink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ix.Snapshot()
+	if snap.Counters() == parentSink {
+		t.Fatal("snapshot shares the parent's counter sink")
+	}
+	// Redirecting the snapshot's accounting must not touch the parent.
+	mine := &stats.Counters{}
+	snap.SetCounters(mine)
+	if snap.Counters() != mine {
+		t.Fatal("SetCounters did not take on the snapshot")
+	}
+	if ix.Counters() != parentSink {
+		t.Fatal("SetCounters on a snapshot redirected the parent index")
+	}
+	// Two snapshots never share a sink.
+	if a, b := ix.Snapshot(), ix.Snapshot(); a.Counters() == b.Counters() {
+		t.Fatal("two snapshots share one counter sink")
+	}
+}
+
+// TestSnapshotConcurrentTraversal exercises the concurrency contract under
+// the race detector: many goroutines traverse their own snapshots of one
+// frozen index and must all observe the identical object set.
+func TestSnapshotConcurrentTraversal(t *testing.T) {
+	items := dataset.Independent(2000, 3, 13)
+	ix, err := Build(3, items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectIDs(t, ix)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				snap := ix.Snapshot()
+				got := map[index.ObjID]bool{}
+				var walk func(id index.NodeID) error
+				walk = func(id index.NodeID) error {
+					n, err := snap.ReadNode(id)
+					if err != nil {
+						return err
+					}
+					for i := 0; i < n.Len(); i++ {
+						if n.Leaf() {
+							got[n.Object(i).ID] = true
+						} else if err := walk(n.ChildPage(i)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				if err := walk(snap.RootPage()); err != nil {
+					errs[g] = err.Error()
+					return
+				}
+				if len(got) != len(want) {
+					errs[g] = "object set size mismatch"
+					return
+				}
+				for id := range want {
+					if !got[id] {
+						errs[g] = "missing object in snapshot traversal"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Fatalf("goroutine %d: %s", g, e)
+		}
+	}
+}

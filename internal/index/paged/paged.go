@@ -7,6 +7,14 @@
 // The adapter is a zero-cost wrapper — every method forwards to the
 // underlying *rtree.Tree; only ReadNode is re-declared, to widen its return
 // type to the index.Node interface.
+//
+// # Concurrency
+//
+// The paged backend is strictly single-threaded and deliberately does not
+// implement index.Snapshotter: every ReadNode goes through the LRU buffer,
+// which reorders its recency list and may evict a page on each access, so
+// even "read-only" traversal mutates shared state. Concurrent serving is
+// the memory backend's job (internal/index/mem).
 package paged
 
 import (

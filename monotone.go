@@ -45,10 +45,17 @@ var _ prefs.Preference = prefAdapter{}
 // vectors (the paper's § II model explicitly admits any monotone function).
 //
 // Supported algorithms: SkylineBased (default) and BruteForce. Chain
-// requires linear weight vectors to index and returns an error.
+// requires linear weight vectors to index and returns an error. Setting
+// Options.DisableTightThreshold is also an error: the tight/naive TA
+// threshold distinction only exists for linear functions (the generic
+// engine finds best pairs by scanning the skyline, not by TA), so rather
+// than silently ignoring the ablation flag, MatchMonotone rejects it.
 func MatchMonotone(objects []Object, queries []PreferenceQuery, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if opts.DisableTightThreshold {
+		return nil, errors.New("prefmatch: DisableTightThreshold is not supported by MatchMonotone: the generic engine scans the skyline directly and has no TA threshold to loosen")
 	}
 	if len(objects) == 0 {
 		return nil, errNoObjects
@@ -56,11 +63,7 @@ func MatchMonotone(objects []Object, queries []PreferenceQuery, opts *Options) (
 	if len(queries) == 0 {
 		return nil, errNoQueries
 	}
-	d := len(objects[0].Values)
-	if d == 0 {
-		return nil, errors.New("prefmatch: objects need at least one attribute")
-	}
-	items, capacities, err := convertObjects(objects, d)
+	d, items, capacities, err := convertObjectSet(objects)
 	if err != nil {
 		return nil, err
 	}
@@ -97,19 +100,7 @@ func MatchMonotone(objects []Object, queries []PreferenceQuery, opts *Options) (
 	for i, p := range pairs {
 		res.Assignments[i] = Assignment{QueryID: p.FuncID, ObjectID: int(p.ObjID), Score: p.Score}
 	}
-	res.Stats = Stats{
-		IOAccesses:     c.IOAccesses(),
-		PageReads:      c.PageReads,
-		PageWrites:     c.PageWrites,
-		BufferHits:     c.BufferHits,
-		Top1Searches:   c.Top1Searches,
-		TAListAccesses: c.TAListAccesses,
-		SkylineUpdates: c.SkylineUpdates,
-		SkylineMax:     c.SkylineMaxSize,
-		Loops:          c.Loops,
-		Pairs:          c.PairsEmitted,
-		Elapsed:        timer.Elapsed(),
-	}
+	res.Stats = statsFromCounters(c, timer.Elapsed())
 	return res, nil
 }
 

@@ -1,0 +1,263 @@
+// Tests for the concurrent serving layer: parallel waves over one shared
+// memory index must be race-clean (run with -race; CI does) and produce
+// results bit-identical to sequential evaluation.
+package prefmatch_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"prefmatch"
+	"prefmatch/internal/dataset"
+)
+
+// serveObjects converts a generated dataset to public objects, giving every
+// 25th object capacity 2 so the capacitated path is exercised too.
+func serveObjects(n, d int, seed int64) []prefmatch.Object {
+	items := dataset.Independent(n, d, seed)
+	objs := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objs[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+		if i%25 == 0 {
+			objs[i].Capacity = 2
+		}
+	}
+	return objs
+}
+
+// serveQueries converts generated preference functions to public queries.
+func serveQueries(n, d int, seed int64) []prefmatch.Query {
+	fns := dataset.Functions(n, d, seed)
+	qs := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		qs[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+	return qs
+}
+
+func TestServerMatchManyEqualsSequential(t *testing.T) {
+	const (
+		d      = 3
+		nWaves = 12
+		perW   = 20
+	)
+	objs := serveObjects(1500, d, 71)
+	srv, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Len() != 1500 || srv.Dim() != d {
+		t.Fatalf("server shape: len=%d dim=%d", srv.Len(), srv.Dim())
+	}
+	waves := make([][]prefmatch.Query, nWaves)
+	for w := range waves {
+		waves[w] = serveQueries(perW, d, int64(72+w))
+	}
+
+	// Sequential reference: an independent from-scratch Match per wave on
+	// the memory backend. The parallel path must be bit-identical —
+	// same assignments, same order, same float scores.
+	want := make([]*prefmatch.Result, nWaves)
+	for w := range waves {
+		res, err := prefmatch.Match(objs, waves[w], &prefmatch.Options{Backend: prefmatch.Memory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[w] = res
+	}
+
+	got, err := srv.MatchMany(waves, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range waves {
+		if !reflect.DeepEqual(got[w].Assignments, want[w].Assignments) {
+			t.Fatalf("wave %d: parallel assignments differ from sequential\nparallel:   %v\nsequential: %v",
+				w, got[w].Assignments, want[w].Assignments)
+		}
+		if err := prefmatch.Verify(objs, waves[w], got[w].Assignments); err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+	}
+	if srv.Len() != 1500 {
+		t.Fatal("serving consumed the shared index")
+	}
+	if srv.Served() != nWaves {
+		t.Fatalf("Served() = %d, want %d", srv.Served(), nWaves)
+	}
+	if s := srv.Stats(); s.Pairs == 0 || s.Loops == 0 {
+		t.Fatalf("merged stats empty: %+v", s)
+	}
+}
+
+func TestServerTopKManyEqualsSequential(t *testing.T) {
+	const d = 4
+	objs := serveObjects(1200, d, 81)
+	qs := serveQueries(150, d, 82)
+	srv, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.TopKMany(qs, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("%d result slices for %d queries", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want, err := prefmatch.TopK(objs, q, 3, &prefmatch.Options{Backend: prefmatch.Memory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("query %d: parallel top-k %v, sequential %v", q.ID, got[i], want)
+		}
+	}
+}
+
+// TestServerConcurrentMixedOps hammers one server with interleaved skyline,
+// top-k and matching requests from many goroutines; every response must
+// equal the precomputed sequential answer. Primarily a -race target.
+func TestServerConcurrentMixedOps(t *testing.T) {
+	const d = 3
+	objs := serveObjects(800, d, 91)
+	wave := serveQueries(25, d, 92)
+	topq := serveQueries(1, d, 93)[0]
+	srv, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSky, err := prefmatch.Skyline(objs, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop, err := prefmatch.TopK(objs, topq, 5, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatch, err := prefmatch.Match(objs, wave, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	fail := make([]string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				switch (g + round) % 3 {
+				case 0:
+					sky, err := srv.Skyline()
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if !reflect.DeepEqual(sky, wantSky) {
+						fail[g] = "skyline mismatch"
+						return
+					}
+				case 1:
+					top, err := srv.TopK(topq, 5)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if !reflect.DeepEqual(top, wantTop) {
+						fail[g] = "top-k mismatch"
+						return
+					}
+				default:
+					res, err := srv.Match(wave, nil)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if !reflect.DeepEqual(res.Assignments, wantMatch.Assignments) {
+						fail[g] = "matching mismatch"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if fail[g] != "" {
+			t.Fatalf("goroutine %d: %s", g, fail[g])
+		}
+	}
+}
+
+func TestServerRejectsDestructiveAlgorithms(t *testing.T) {
+	objs := serveObjects(100, 2, 95)
+	qs := serveQueries(5, 2, 96)
+	srv, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []prefmatch.Algorithm{prefmatch.BruteForce, prefmatch.Chain, prefmatch.BruteForceIncremental} {
+		if _, err := srv.Match(qs, &prefmatch.Options{Algorithm: alg}); err == nil {
+			t.Fatalf("%v accepted by Server.Match", alg)
+		}
+	}
+	if _, err := srv.MatchMany([][]prefmatch.Query{qs}, &prefmatch.Options{Algorithm: prefmatch.BruteForce}, 2); err == nil {
+		t.Fatal("BruteForce accepted by Server.MatchMany")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := prefmatch.NewServer(nil, nil); err == nil {
+		t.Fatal("empty objects accepted")
+	}
+	objs := serveObjects(50, 2, 97)
+	srv, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Match(nil, nil); err == nil {
+		t.Fatal("empty queries accepted")
+	}
+	if _, err := srv.Match(serveQueries(5, 3, 98), nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := srv.TopK(prefmatch.Query{ID: 1, Weights: []float64{1, 2, 3}}, 2); err == nil {
+		t.Fatal("top-k dimension mismatch accepted")
+	}
+	if _, err := srv.TopK(prefmatch.Query{ID: 1, Weights: []float64{1, 2}}, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if out, err := srv.TopK(prefmatch.Query{ID: 1, Weights: []float64{1, 2}}, 0); err != nil || out != nil {
+		t.Fatalf("k=0: got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestServerTopKMonotone(t *testing.T) {
+	objs := serveObjects(400, 3, 99)
+	srv, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := prefmatch.PreferenceQuery{ID: 7, Preference: prefmatch.LinearPreference{Weights: []float64{0.2, 0.3, 0.5}}}
+	got, err := srv.TopKMonotone(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prefmatch.TopKMonotone(objs, q, 4, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("server monotone top-k %v, sequential %v", got, want)
+	}
+	if _, err := srv.TopKMonotone(prefmatch.PreferenceQuery{ID: 8}, 2); err == nil {
+		t.Fatal("nil preference accepted")
+	}
+}

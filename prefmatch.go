@@ -37,6 +37,22 @@
 //
 // Both backends produce the identical stable matching for every algorithm.
 //
+// # Concurrency
+//
+// The one-shot entry points (Match, MatchMonotone, TopK, Skyline, Verify)
+// are safe to call from any number of goroutines — each call builds its own
+// private index. The reusable types are split by backend capability:
+//
+//   - Matcher and Index are single-goroutine, on either backend: the paged
+//     backend's LRU buffer mutates on every read, and a matcher carries
+//     un-synchronised per-run state.
+//   - Server is the concurrent serving layer. It indexes the objects once
+//     on the Memory backend — whose reads are pure, and which SB never
+//     mutates — and hands each request a read-only snapshot with private
+//     work counters, so parallel matching waves, top-k queries and skyline
+//     computations can share one index. All Server methods are safe for
+//     concurrent use.
+//
 // # Quick start
 //
 //	objects := []prefmatch.Object{
@@ -228,7 +244,8 @@ type Result struct {
 }
 
 // Matcher computes assignments progressively: each Next call returns the
-// next stable pair, so callers can stream results or stop early.
+// next stable pair, so callers can stream results or stop early. A Matcher
+// is not safe for concurrent use.
 type Matcher struct {
 	inner   core.Matcher
 	c       *stats.Counters
@@ -252,12 +269,7 @@ func NewMatcher(objects []Object, queries []Query, opts *Options) (*Matcher, err
 	if len(queries) == 0 {
 		return nil, errNoQueries
 	}
-	d := len(objects[0].Values)
-	if d == 0 {
-		return nil, errors.New("prefmatch: objects need at least one attribute")
-	}
-
-	items, capacities, err := convertObjects(objects, d)
+	d, items, capacities, err := convertObjectSet(objects)
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +295,23 @@ func NewMatcher(objects []Object, queries []Query, opts *Options) (*Matcher, err
 		return nil, err
 	}
 	return &Matcher{inner: inner, c: c}, nil
+}
+
+// convertObjectSet is the shared validation prologue for every entry point
+// that takes a non-empty object set: the dimensionality is fixed by the
+// first object, then the set is converted to index items plus a capacity
+// map. Centralised so that Match, MatchMonotone, Verify, BuildIndex and
+// NewServer cannot drift on what counts as a valid object set.
+func convertObjectSet(objects []Object) (d int, items []index.Item, capacities map[index.ObjID]int, err error) {
+	d = len(objects[0].Values)
+	if d == 0 {
+		return 0, nil, nil, errors.New("prefmatch: objects need at least one attribute")
+	}
+	items, capacities, err = convertObjects(objects, d)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return d, items, capacities, nil
 }
 
 // convertObjects validates objects and converts them to index items plus a
@@ -320,6 +349,7 @@ func convertObjects(objects []Object, d int) ([]index.Item, map[index.ObjID]int,
 // preference functions of dimension d.
 func convertQueries(queries []Query, d int) ([]prefs.Function, error) {
 	fns := make([]prefs.Function, len(queries))
+	seen := make(map[int]bool, len(queries))
 	for i, q := range queries {
 		f, err := prefs.NewFunction(q.ID, q.Weights)
 		if err != nil {
@@ -328,6 +358,10 @@ func convertQueries(queries []Query, d int) ([]prefs.Function, error) {
 		if f.Dim() != d {
 			return nil, fmt.Errorf("prefmatch: query %d has %d weights, want %d", q.ID, f.Dim(), d)
 		}
+		if seen[q.ID] {
+			return nil, fmt.Errorf("prefmatch: duplicate query ID %d", q.ID)
+		}
+		seen[q.ID] = true
 		fns[i] = f
 	}
 	return fns, nil
@@ -376,20 +410,30 @@ func (m *Matcher) Next() (a Assignment, ok bool, err error) {
 	return Assignment{QueryID: p.FuncID, ObjectID: int(p.ObjID), Score: p.Score}, true, nil
 }
 
+// Emitted returns the number of assignments produced so far — a progress
+// gauge for streaming consumers that stop early or report while draining.
+func (m *Matcher) Emitted() int64 { return m.emitted }
+
 // Stats returns the work performed so far.
 func (m *Matcher) Stats() Stats {
+	return statsFromCounters(m.c, m.timer.Elapsed())
+}
+
+// statsFromCounters projects an internal counter sink onto the public Stats
+// struct; the single place where the two vocabularies meet.
+func statsFromCounters(c *stats.Counters, elapsed time.Duration) Stats {
 	return Stats{
-		IOAccesses:     m.c.IOAccesses(),
-		PageReads:      m.c.PageReads,
-		PageWrites:     m.c.PageWrites,
-		BufferHits:     m.c.BufferHits,
-		Top1Searches:   m.c.Top1Searches,
-		TAListAccesses: m.c.TAListAccesses,
-		SkylineUpdates: m.c.SkylineUpdates,
-		SkylineMax:     m.c.SkylineMaxSize,
-		Loops:          m.c.Loops,
-		Pairs:          m.c.PairsEmitted,
-		Elapsed:        m.timer.Elapsed(),
+		IOAccesses:     c.IOAccesses(),
+		PageReads:      c.PageReads,
+		PageWrites:     c.PageWrites,
+		BufferHits:     c.BufferHits,
+		Top1Searches:   c.Top1Searches,
+		TAListAccesses: c.TAListAccesses,
+		SkylineUpdates: c.SkylineUpdates,
+		SkylineMax:     c.SkylineMaxSize,
+		Loops:          c.Loops,
+		Pairs:          c.PairsEmitted,
+		Elapsed:        elapsed,
 	}
 }
 
@@ -419,25 +463,25 @@ func Match(objects []Object, queries []Query, opts *Options) (*Result, error) {
 // over-assignment (each object at most Capacity times, each query once),
 // complete cardinality, and Property 1 stability at every emission step.
 // It is O(n·(|objects|+|queries|)) and intended for tests and audits.
+//
+// Verify applies the same input validation as Match — duplicate or
+// out-of-range object IDs, negative capacities, dimension mismatches and
+// invalid weights are rejected with the same errors — so a (objects,
+// queries) pair accepted by one is accepted by the other.
 func Verify(objects []Object, queries []Query, assignments []Assignment) error {
-	items := make([]index.Item, len(objects))
-	caps := map[index.ObjID]int{}
-	for i, o := range objects {
-		items[i] = index.Item{ID: index.ObjID(o.ID), Point: vec.Point(o.Values)}
-		if o.Capacity < 0 {
-			return fmt.Errorf("prefmatch: object %d has negative capacity", o.ID)
-		}
-		if o.Capacity > 1 {
-			caps[index.ObjID(o.ID)] = o.Capacity
-		}
+	if len(objects) == 0 {
+		return errNoObjects
 	}
-	fns := make([]prefs.Function, len(queries))
-	for i, q := range queries {
-		f, err := prefs.NewFunction(q.ID, q.Weights)
-		if err != nil {
-			return err
-		}
-		fns[i] = f
+	if len(queries) == 0 {
+		return errNoQueries
+	}
+	d, items, caps, err := convertObjectSet(objects)
+	if err != nil {
+		return err
+	}
+	fns, err := convertQueries(queries, d)
+	if err != nil {
+		return err
 	}
 	pairs := make([]core.Pair, len(assignments))
 	for i, a := range assignments {

@@ -1,0 +1,235 @@
+package prefmatch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/stats"
+)
+
+// Server indexes a slow-changing object inventory once and serves many
+// preference evaluations against it concurrently: full matching waves
+// (Match, MatchMany), per-user top-k queries (TopK, TopKMany,
+// TopKMonotone) and skyline computations.
+//
+// A Server always runs on the Memory backend — the only backend whose node
+// reads are free of side effects — and hands every request a read-only
+// snapshot of the index with its own work counters, so requests never
+// synchronise with each other on the hot path. The only shared write is the
+// merge of each request's counters into the server totals (Stats) after the
+// request completes. All methods are safe for concurrent use.
+//
+// Matching waves are restricted to the skyline-based algorithm, which never
+// mutates the object index; requesting BruteForce or Chain returns an
+// error, as does deleting from a snapshot (index.ErrReadOnly) if an
+// internal invariant ever let one through.
+type Server struct {
+	ix         *mem.Index
+	capacities map[index.ObjID]int
+
+	mu      sync.Mutex
+	agg     stats.Counters
+	elapsed time.Duration
+	served  int64
+}
+
+// NewServer validates and indexes the objects for concurrent serving.
+// Options may be nil. Only PageSize is honoured at build time (it sets the
+// node fan-outs); the storage fields Backend, BufferFraction and
+// BufferPages are ignored, because a Server is by definition the Memory
+// backend. The algorithm-related fields are taken per Match call instead.
+func NewServer(objects []Object, opts *Options) (*Server, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if len(objects) == 0 {
+		return nil, errNoObjects
+	}
+	d, items, capacities, err := convertObjectSet(objects)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := mem.Build(d, items, &mem.Options{PageSize: opts.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{ix: ix, capacities: capacities}, nil
+}
+
+// Len returns the number of indexed objects.
+func (s *Server) Len() int { return s.ix.Len() }
+
+// Dim returns the number of attributes per object.
+func (s *Server) Dim() int { return s.ix.Dim() }
+
+// record merges one completed request's accounting into the server totals.
+func (s *Server) record(c *stats.Counters, elapsed time.Duration) {
+	s.mu.Lock()
+	s.agg.Add(c)
+	s.elapsed += elapsed
+	s.served++
+	s.mu.Unlock()
+}
+
+// Stats returns the cumulative work of every request served so far, merged
+// from the per-request counters. Elapsed is the sum of per-request wall
+// clock, not the server's lifetime — with W workers it can exceed real time
+// by up to a factor of W.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return statsFromCounters(&s.agg, s.elapsed)
+}
+
+// Served returns the number of requests completed so far.
+func (s *Server) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Match runs one skyline-based matching wave of queries against the shared
+// index, exactly like Index.Match but safe to call concurrently: the wave
+// runs against a read-only snapshot with private counters. opts may be nil;
+// the Algorithm field must be SkylineBased (the zero value) and storage
+// fields are ignored.
+func (s *Server) Match(queries []Query, opts *Options) (*Result, error) {
+	res, c, err := matchWave(s.ix.Snapshot(), s.capacities, queries, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.record(c, res.Stats.Elapsed)
+	return res, nil
+}
+
+// MatchMany evaluates independent matching waves across workers goroutines
+// (0 or negative means GOMAXPROCS) and returns one Result per wave, in wave
+// order. Each wave is a complete stable matching of its queries against the
+// full object set, identical to what a sequential Match of that wave
+// returns. If any wave fails, the joined errors are returned and the
+// results are discarded.
+func (s *Server) MatchMany(waves [][]Query, opts *Options, workers int) ([]*Result, error) {
+	results := make([]*Result, len(waves))
+	errs := make([]error, len(waves))
+	fanOut(len(waves), workers, func(i int) {
+		results[i], errs[i] = s.Match(waves[i], opts)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// serve runs one read-only request against a fresh snapshot of the index
+// and, on success, merges the request's accounting into the server totals.
+// The single place that implements the snapshot-per-request discipline.
+func serve[T any](s *Server, req func(snap index.ObjectIndex, c *stats.Counters) (T, error)) (T, error) {
+	snap := s.ix.Snapshot()
+	var timer stats.Timer
+	timer.Start()
+	out, err := req(snap, snap.Counters())
+	timer.Stop()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	s.record(snap.Counters(), timer.Elapsed())
+	return out, nil
+}
+
+// TopK returns the k best objects for one linear query, best first, without
+// rebuilding the index (compare the package-level TopK, which bulk-loads a
+// throwaway index per call). Safe for concurrent use.
+func (s *Server) TopK(query Query, k int) ([]Assignment, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("prefmatch: negative k %d", k)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	f, err := linearPref(query, s.ix.Dim())
+	if err != nil {
+		return nil, err
+	}
+	return serve(s, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
+		return topkOver(snap, query.ID, f, k, c)
+	})
+}
+
+// TopKMonotone is TopK for an arbitrary monotone preference.
+func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("prefmatch: negative k %d", k)
+	}
+	if query.Preference == nil {
+		return nil, fmt.Errorf("prefmatch: preference query %d is nil", query.ID)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	return serve(s, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
+		return topkOver(snap, query.ID, prefAdapter{p: query.Preference}, k, c)
+	})
+}
+
+// TopKMany answers independent top-k queries across workers goroutines (0
+// or negative means GOMAXPROCS), one result slice per query, in query
+// order. The workload of the paper's serving framing: many users, one
+// object set, every user wants their personal ranking.
+func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, error) {
+	results := make([][]Assignment, len(queries))
+	errs := make([]error, len(queries))
+	fanOut(len(queries), workers, func(i int) {
+		results[i], errs[i] = s.TopK(queries[i], k)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Skyline returns the ascending IDs of the non-dominated objects, computed
+// over a snapshot. Safe for concurrent use.
+func (s *Server) Skyline() ([]int, error) {
+	return serve(s, skylineOver)
+}
+
+// fanOut runs jobs 0..n-1 across workers goroutines (0 or negative means
+// GOMAXPROCS), pulling indices from a shared atomic cursor so fast workers
+// absorb slow jobs.
+func fanOut(n, workers int, job func(int)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
