@@ -302,6 +302,58 @@ func BenchmarkServeTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedTopK compares per-user top-k serving on the sharded
+// composite against the unsharded memory server, on clustered data (the
+// workload spatial partitioning is built for). The spatial rows additionally
+// report pruned/op — whole shards skipped by MBR pruning per query; the
+// hash rows cannot prune (every hash shard spans the whole space). Results
+// are bit-identical across rows (enforced by the cross-shard equivalence
+// tests).
+func BenchmarkShardedTopK(b *testing.B) {
+	const (
+		d = 4
+		k = 10
+	)
+	items := dataset.Clustered(benchObjectsFig2, d, 8, 61)
+	fns := dataset.Functions(500, d, 62)
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+	configs := []struct {
+		name    string
+		shards  int
+		shardBy prefmatch.ShardBy
+	}{
+		{name: "unsharded"},
+		{name: "spatial-2", shards: 2, shardBy: prefmatch.ShardSpatial},
+		{name: "spatial-4", shards: 4, shardBy: prefmatch.ShardSpatial},
+		{name: "spatial-8", shards: 8, shardBy: prefmatch.ShardSpatial},
+		{name: "hash-4", shards: 4, shardBy: prefmatch.ShardHash},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			srv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: cfg.shards, ShardBy: cfg.shardBy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.TopKMany(queries, k, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queriesRun := float64(len(queries)) * float64(b.N)
+			b.ReportMetric(queriesRun/b.Elapsed().Seconds(), "queries/s")
+			b.ReportMetric(float64(srv.Stats().ShardsPruned)/queriesRun, "pruned/op")
+		})
+	}
+}
+
 // BenchmarkServeMatchWaves measures full-matching throughput: independent
 // SB waves (each a complete stable matching of 50 queries against the full
 // object set) fanned across workers over one shared memory index.

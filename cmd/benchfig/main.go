@@ -10,6 +10,7 @@
 //	go run ./cmd/benchfig -algs sb,bf      # subset of algorithms
 //	go run ./cmd/benchfig -backends paged  # paper mode only (skip the memory rows)
 //	go run ./cmd/benchfig -serve           # serving throughput vs worker count
+//	go run ./cmd/benchfig -sharded         # sharded vs unsharded serving
 //
 // -serve runs the concurrency experiment instead of the paper figures: one
 // shared in-memory index (prefmatch.Server) answers independent top-1
@@ -17,6 +18,14 @@
 // single-threaded paged baseline. The columns are throughput (queries/sec,
 // waves/sec); the point is the scaling curve, which the paper's
 // single-threaded setup cannot show.
+//
+// -sharded runs the sharded-composite experiment: the same clustered object
+// set served unsharded and split across 2/4/8 shards by the spatial and
+// hash partitioners, answering per-user top-k queries and SB matching
+// waves. The columns are throughput plus the whole shards skipped by MBR
+// pruning — the spatial rows prune, the hash rows cannot, and every
+// configuration returns bit-identical results (enforced by the equivalence
+// tests; re-checked here on a sample).
 //
 // Every algorithm runs on both storage backends by default: "paged" is the
 // paper-faithful disk simulation whose I/O panel reproduces the figures, and
@@ -98,6 +107,7 @@ func main() {
 	algsFlag := flag.String("algs", "sb,bf,chain", "comma-separated subset of sb,bf,chain")
 	backendsFlag := flag.String("backends", "paged,mem", "comma-separated subset of paged,mem")
 	serve := flag.Bool("serve", false, "run the serving-throughput experiment instead of the paper figures")
+	shardedExp := flag.Bool("sharded", false, "run the sharded vs unsharded serving experiment instead of the paper figures")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -110,6 +120,10 @@ func main() {
 
 	if *serve {
 		runServing(sc, *seed)
+		return
+	}
+	if *shardedExp {
+		runSharded(sc, *seed)
 		return
 	}
 
@@ -265,6 +279,109 @@ func runServing(sc scale, seed int64) {
 	}
 	el = time.Since(start)
 	fmt.Printf("%-10s %14v %14.2f\n", "paged(1)", el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
+}
+
+// runSharded measures the sharded composite against the unsharded memory
+// server on a clustered object set (the workload spatial partitioning is
+// built for): per-user top-k queries answered shard by shard with MBR
+// pruning (single-threaded — a worker budget of 1 isolates the pruning
+// effect), and SB matching waves over the composite snapshot. Each row
+// is one configuration; shardsPruned counts whole shards skipped by MBR
+// pruning across the run (the spatial partitioner's whole point — hash and
+// rr shards span the full space and can never prune).
+func runSharded(sc scale, seed int64) {
+	const (
+		d        = 4
+		k        = 10
+		waveSize = 50
+	)
+	nObjects := sc.objectsFig2
+	nQueries := 2 * sc.functions
+	items := dataset.Clustered(nObjects, d, 8, seed)
+	fns := dataset.Functions(nQueries, d, seed+1)
+
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+	var waves [][]prefmatch.Query
+	for i := 0; i+waveSize <= len(queries) && len(waves) < 8; i += waveSize {
+		waves = append(waves, queries[i:i+waveSize])
+	}
+
+	type config struct {
+		name    string
+		shards  int
+		shardBy prefmatch.ShardBy
+	}
+	configs := []config{{name: "unsharded"}}
+	for _, n := range []int{2, 4, 8} {
+		for _, by := range []prefmatch.ShardBy{prefmatch.ShardSpatial, prefmatch.ShardHash} {
+			configs = append(configs, config{name: fmt.Sprintf("%v/%d", by, n), shards: n, shardBy: by})
+		}
+	}
+
+	fmt.Printf("benchfig: sharded vs unsharded serving — |O| = %d (clustered), |Q| = %d, D = %d, k = %d\n",
+		nObjects, nQueries, d, k)
+
+	var reference [][]prefmatch.Assignment
+	fmt.Printf("\n== Top-%d queries/sec by shard configuration ==\n", k)
+	fmt.Printf("%-14s %14s %14s %14s\n", "config", "elapsed", "queries/s", "shardsPruned")
+	for _, cfg := range configs {
+		srv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: cfg.shards, ShardBy: cfg.shardBy})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		results, err := srv.TopKMany(queries, k, 1)
+		el := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
+		if reference == nil {
+			reference = results
+		} else {
+			for i := range results {
+				if !equalAssignments(results[i], reference[i]) {
+					panic(fmt.Sprintf("sharded config %s diverged from unsharded on query %d", cfg.name, queries[i].ID))
+				}
+			}
+		}
+		fmt.Printf("%-14s %14v %14.0f %14d\n",
+			cfg.name, el.Round(time.Millisecond), float64(nQueries)/el.Seconds(), srv.Stats().ShardsPruned)
+	}
+
+	fmt.Println("\n== SB matching waves/sec by shard configuration ==")
+	fmt.Printf("%-14s %14s %14s\n", "config", "elapsed", "waves/s")
+	for _, cfg := range configs {
+		srv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: cfg.shards, ShardBy: cfg.shardBy})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if _, err := srv.MatchMany(waves, nil, 1); err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-14s %14v %14.2f\n", cfg.name, el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
+	}
+}
+
+// equalAssignments reports bit-identical assignment slices.
+func equalAssignments(a, b []prefmatch.Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func buildExperiments(sc scale, seed int64) []experiment {

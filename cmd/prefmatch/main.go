@@ -18,6 +18,14 @@
 // across -parallel worker goroutines (0 = all CPUs). It reports throughput
 // in queries/sec on stderr.
 //
+// Both match and topk accept -shards N -shard-by spatial|hash|rr to split
+// the object index across N sub-indexes (the sharded composite backend);
+// topk then answers each query shard by shard with MBR-based whole-shard
+// pruning, reported as shardsPruned on stderr. -parallel is the total
+// worker budget: spent across queries first, with any surplus fanned
+// across each query's shards. The results are bit-identical to the
+// unsharded run.
+//
 // CSV rows are "id,v1,v2,...". Run any subcommand with -h for its flags.
 package main
 
@@ -154,6 +162,8 @@ func cmdMatch(args []string) error {
 	bufFrac := fs.Float64("buffer-frac", 0.02, "LRU buffer fraction of tree size")
 	noMulti := fs.Bool("no-multipair", false, "disable multi-pair emission (sb only)")
 	naiveTA := fs.Bool("naive-threshold", false, "use the naive TA threshold (sb only)")
+	shards := fs.Int("shards", 0, "shard the object index across N sub-indexes (0 = single index)")
+	shardBy := fs.String("shard-by", "spatial", "spatial | hash | rr (partitioner when -shards > 0)")
 	out := fs.String("out", "", "pairs CSV output (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,6 +213,10 @@ func cmdMatch(args []string) error {
 	default:
 		return fmt.Errorf("unknown maintenance mode %q", *maint)
 	}
+	opts.Shards = *shards
+	if opts.ShardBy, err = parseShardBy(*shardBy); err != nil {
+		return err
+	}
 	res, err := prefmatch.Match(objects, queries, opts)
 	if err != nil {
 		return err
@@ -229,6 +243,8 @@ func cmdTopK(args []string) error {
 	k := fs.Int("k", 1, "results per query")
 	parallel := fs.Int("parallel", 1, "worker goroutines (0 = all CPUs)")
 	pageSize := fs.Int("page", 4096, "virtual page size (node fan-outs)")
+	shards := fs.Int("shards", 0, "shard the index across N sub-indexes with MBR-pruned per-shard search (0 = single index)")
+	shardBy := fs.String("shard-by", "spatial", "spatial | hash | rr (partitioner when -shards > 0)")
 	out := fs.String("out", "", "results CSV output (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -244,7 +260,11 @@ func cmdTopK(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := prefmatch.NewServer(objects, &prefmatch.Options{PageSize: *pageSize})
+	sopts := &prefmatch.Options{PageSize: *pageSize, Shards: *shards}
+	if sopts.ShardBy, err = parseShardBy(*shardBy); err != nil {
+		return err
+	}
+	srv, err := prefmatch.NewServer(objects, sopts)
 	if err != nil {
 		return err
 	}
@@ -270,9 +290,24 @@ func cmdTopK(args []string) error {
 	if err := csvio.WriteAssignments(w, flat); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "queries=%d k=%d workers=%d elapsed=%v throughput=%.0f queries/s\n",
-		len(queries), *k, workers, elapsed, float64(len(queries))/elapsed.Seconds())
+	fmt.Fprintf(os.Stderr, "queries=%d k=%d workers=%d shards=%d elapsed=%v throughput=%.0f queries/s shardsPruned=%d\n",
+		len(queries), *k, workers, *shards, elapsed, float64(len(queries))/elapsed.Seconds(),
+		srv.Stats().ShardsPruned)
 	return nil
+}
+
+// parseShardBy maps the -shard-by flag to the public selector.
+func parseShardBy(s string) (prefmatch.ShardBy, error) {
+	switch s {
+	case "spatial":
+		return prefmatch.ShardSpatial, nil
+	case "hash":
+		return prefmatch.ShardHash, nil
+	case "rr", "roundrobin":
+		return prefmatch.ShardRoundRobin, nil
+	default:
+		return 0, fmt.Errorf("unknown shard partitioner %q", s)
+	}
 }
 
 func cmdVerify(args []string) error {

@@ -19,7 +19,9 @@ import (
 // Index.Match always uses the skyline-based algorithm, which never modifies
 // the index (Brute Force and Chain consume their index; use the
 // package-level Match for those). An Index is not safe for concurrent use
-// on either backend; Server is the concurrent counterpart.
+// on any backend; Server is the concurrent counterpart, and
+// NewServerFromIndex upgrades a memory-built Index to concurrent serving
+// without re-indexing.
 type Index struct {
 	ix         index.ObjectIndex
 	capacities map[index.ObjID]int
@@ -27,8 +29,8 @@ type Index struct {
 }
 
 // BuildIndex bulk-loads objects into a reusable index. Options control the
-// backend, page size and buffer policy; the algorithm-related fields are
-// taken per Match call instead.
+// backend, sharding (Shards/ShardBy), page size and buffer policy; the
+// algorithm-related fields are taken per Match call instead.
 func BuildIndex(objects []Object, opts *Options) (*Index, error) {
 	if opts == nil {
 		opts = &Options{}

@@ -5,7 +5,7 @@
 // (internal/core, internal/skyline, internal/topk) is independent of the
 // physical organisation of the index.
 //
-// Two backends implement ObjectIndex:
+// Three backend families implement ObjectIndex:
 //
 //   - internal/index/paged adapts the disk-resident R-tree of internal/rtree:
 //     fixed-size pages, an LRU buffer and physical-I/O accounting. It is the
@@ -15,8 +15,13 @@
 //     fan-outs and traversal semantics but no simulated pages, no buffer and
 //     no per-access accounting. It is the serving backend: use it when
 //     wall-clock latency matters and the I/O metric does not.
+//   - internal/index/sharded is the composite backend: it partitions the
+//     object set across N sub-indexes of either base family and joins them
+//     under a synthetic root whose entries carry the shard bounding boxes,
+//     so branch-and-bound traversals prune whole shards, and ranked
+//     searches can fan out across shards in parallel.
 //
-// Both backends produce the identical stable matching for every algorithm,
+// All backends produce the identical stable matching for every algorithm,
 // because the matchers' tie-breaks depend only on object scores, coordinate
 // sums and IDs — never on the physical node layout.
 //

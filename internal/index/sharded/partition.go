@@ -1,0 +1,145 @@
+package sharded
+
+import (
+	"math"
+	"sort"
+
+	"prefmatch/internal/index"
+)
+
+// Partitioner splits an object set across shards. Implementations must be
+// deterministic (same items, same n, same groups), must neither drop nor
+// duplicate items, and must return exactly n groups — empty groups are legal
+// (fewer items than shards, hash holes). Groups may alias the input slice,
+// and the input may be reordered in place; callers that need the original
+// order pass a copy.
+type Partitioner interface {
+	// Name returns a short stable label ("spatial", "hash", "rr") for flags,
+	// experiment tables and diagnostics.
+	Name() string
+	// Partition splits items into exactly n groups.
+	Partition(items []index.Item, n int) [][]index.Item
+}
+
+// RoundRobin deals items to shards by input position: item i goes to shard
+// i mod n. The simplest baseline — perfectly balanced, no spatial locality,
+// so every shard's MBR spans the whole data space and MBR pruning never
+// fires.
+type RoundRobin struct{}
+
+// Name returns "rr".
+func (RoundRobin) Name() string { return "rr" }
+
+// Partition deals items round-robin across n groups.
+func (RoundRobin) Partition(items []index.Item, n int) [][]index.Item {
+	groups := make([][]index.Item, n)
+	for i, it := range items {
+		groups[i%n] = append(groups[i%n], it)
+	}
+	return groups
+}
+
+// Hash routes each item to shard splitmix64(ID) mod n: the placement a
+// shard-per-machine deployment would use, stable under reordering of the
+// input and under growth of the object set. Like RoundRobin it is a
+// no-locality baseline for MBR pruning.
+type Hash struct{}
+
+// Name returns "hash".
+func (Hash) Name() string { return "hash" }
+
+// Partition routes items by hashed object ID across n groups.
+func (Hash) Partition(items []index.Item, n int) [][]index.Item {
+	groups := make([][]index.Item, n)
+	for _, it := range items {
+		g := splitmix64(uint64(uint32(it.ID))) % uint64(n)
+		groups[g] = append(groups[g], it)
+	}
+	return groups
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed integer hash, so consecutive object IDs spread evenly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Spatial tiles the data space with the same Sort-Tile-Recursive recursion
+// the backends use for bulk loading, but with the shard count as the target:
+// sort along one axis, cut into slabs, recurse on the next axis. Each shard
+// covers one tile, so its MBR is tight and disjoint from its siblings along
+// the cut axes — the partitioner that makes whole-shard MBR pruning
+// effective for top-k and threshold consumers.
+type Spatial struct{}
+
+// Name returns "spatial".
+func (Spatial) Name() string { return "spatial" }
+
+// Partition tiles items into exactly n spatially coherent groups.
+func (Spatial) Partition(items []index.Item, n int) [][]index.Item {
+	out := make([][]index.Item, 0, n)
+	spatialRec(items, n, 0, &out)
+	return out
+}
+
+// spatialRec appends exactly n groups covering items to out. d is the
+// recursion depth; the sort axis is d modulo the dimensionality, so deep
+// recursions (large n, low dim) keep cutting, cycling through the axes.
+func spatialRec(items []index.Item, n, d int, out *[][]index.Item) {
+	if n <= 1 {
+		*out = append(*out, items)
+		return
+	}
+	if len(items) == 0 {
+		for i := 0; i < n; i++ {
+			*out = append(*out, nil)
+		}
+		return
+	}
+	dim := len(items[0].Point)
+	axis := d % dim
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Point[axis] != items[j].Point[axis] {
+			return items[i].Point[axis] < items[j].Point[axis]
+		}
+		return items[i].ID < items[j].ID
+	})
+	// Number of slabs along this axis: the STR rule n^(1/remaining dims),
+	// degenerating to n slabs on the last axis (and past it).
+	slabs := n
+	if remaining := dim - d; remaining > 1 {
+		slabs = int(math.Ceil(math.Pow(float64(n), 1/float64(remaining))))
+		if slabs > n {
+			slabs = n
+		}
+		if slabs < 1 {
+			slabs = 1
+		}
+	}
+	// Distribute the n shards across the slabs as evenly as possible, and
+	// the items across the slabs proportionally to their shard counts, so
+	// every shard ends up with ±1 of the mean.
+	start, cum := 0, 0
+	for _, sc := range evenSplit(n, slabs) {
+		cum += sc
+		end := len(items) * cum / n
+		spatialRec(items[start:end], sc, d+1, out)
+		start = end
+	}
+}
+
+// evenSplit splits n units into k groups whose sizes differ by at most one.
+func evenSplit(n, k int) []int {
+	base, extra := n/k, n%k
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}

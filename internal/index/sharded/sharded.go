@@ -1,0 +1,650 @@
+// Package sharded implements the composite backend of index.ObjectIndex: the
+// object set is split across N sub-indexes (shards) by a pluggable
+// Partitioner, each shard is an ObjectIndex of its own (memory or paged), and
+// the composite presents them as one index again.
+//
+// The composite's tree is the shards' trees joined under one synthetic root:
+// an internal node with one entry per non-empty shard, whose MBR is the
+// shard's bounding box and whose child is the shard's root. Node IDs are the
+// shard-local IDs tagged with the shard number in the high bits, so the
+// engine's best-first traversals run unmodified — and because every entry of
+// the synthetic root carries the shard MBR, branch-and-bound consumers
+// (ranked search, skyline, SB matching) prune whole shards exactly like any
+// other subtree: a shard whose MBR cannot beat the current threshold is
+// never read. Reading the synthetic root itself costs nothing (it is a
+// routing table, not a page).
+//
+// All result-level guarantees of the other backends carry over: the
+// matchers' tie-breaks depend only on object scores, coordinate sums and
+// IDs, never on the physical node layout, so every algorithm returns the
+// identical assignments and scores it returns on a single index, for any
+// shard count and any partitioner (enforced by the cross-shard equivalence
+// tests).
+//
+// Beyond the plain ObjectIndex surface, the composite offers SearchTopK: a
+// ranked fan-out that searches the shards concurrently — one read-only
+// snapshot per shard — merges the per-shard streams through a score-ordered
+// heap, and skips shards whose MBR upper bound cannot beat the current k-th
+// result (counted in stats.Counters.ShardsPruned).
+//
+// # Concurrency
+//
+// Like every backend, the composite is single-goroutine by default. It
+// implements index.Snapshotter by composing per-shard snapshots when every
+// shard supports snapshots (memory shards do, paged shards do not); use
+// CanSnapshot to check before calling Snapshot, which panics on
+// snapshot-incapable shards.
+package sharded
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/pqueue"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// Node-ID layout: the low localBits carry the shard-local node ID, the bits
+// above carry the shard number, and the synthetic root gets the one ID no
+// (shard, local) pair can produce. Everything stays within the positive
+// int32 range of index.NodeID.
+const (
+	localBits = 22
+	maxLocal  = 1<<localBits - 1
+
+	// MaxShards is the largest supported shard count (the widest shard tag
+	// that keeps composite node IDs positive 31-bit values).
+	MaxShards = 1 << 8
+
+	rootID = index.NodeID(1) << 30
+)
+
+func encode(shard int, local index.NodeID) index.NodeID {
+	if local < 0 || local > maxLocal {
+		panic(fmt.Sprintf("sharded: shard %d node %d outside the %d-bit local ID space", shard, local, localBits))
+	}
+	return index.NodeID(shard)<<localBits | local
+}
+
+func decode(id index.NodeID) (shard int, local index.NodeID) {
+	return int(id >> localBits), id & maxLocal
+}
+
+// BuildShardFunc bulk-loads one shard from its slice of the partition.
+// Implementations choose the backend (and its page size, buffer and counter
+// sink); the default builds memory shards.
+type BuildShardFunc func(dim int, items []index.Item) (index.ObjectIndex, error)
+
+// Options configures a composite index.
+type Options struct {
+	// Shards is the number of sub-indexes, 1..MaxShards. Required.
+	Shards int
+	// Partitioner splits the object set across the shards. Defaults to
+	// Spatial (tight per-shard MBRs; see Partitioner for the baselines).
+	Partitioner Partitioner
+	// BuildShard bulk-loads one shard. Defaults to memory shards with the
+	// given PageSize and Counters.
+	BuildShard BuildShardFunc
+	// PageSize is passed to the default shard builder (node fan-outs).
+	// Ignored when BuildShard is set.
+	PageSize int
+	// Counters is the composite's work sink, shared with every shard (a
+	// single-goroutine index charges one sink). Optional.
+	Counters *stats.Counters
+}
+
+// rootEntry is one entry of the synthetic root: a non-empty shard, its
+// current MBR and its current root, pre-encoded.
+type rootEntry struct {
+	shard int
+	rect  vec.Rect
+	child index.NodeID
+}
+
+// rootNode adapts a rootEntry slice to index.Node.
+type rootNode []rootEntry
+
+var _ index.Node = rootNode(nil)
+
+func (n rootNode) Leaf() bool                   { return false }
+func (n rootNode) Len() int                     { return len(n) }
+func (n rootNode) Rect(i int) vec.Rect          { return n[i].rect }
+func (n rootNode) ChildPage(i int) index.NodeID { return n[i].child }
+func (n rootNode) Object(i int) index.Item      { panic("sharded: Object on the synthetic root") }
+
+// shardNode wraps a shard's node so that child IDs leave tagged with the
+// shard number.
+type shardNode struct {
+	index.Node
+	shard int32
+}
+
+func (n shardNode) ChildPage(i int) index.NodeID {
+	return encode(int(n.shard), n.Node.ChildPage(i))
+}
+
+// Index is the composite backend. It is not safe for concurrent use
+// directly; concurrent readers each take a Snapshot when the shards allow it
+// (see the package comment's Concurrency section).
+type Index struct {
+	dim     int
+	shards  []index.ObjectIndex
+	entries []rootEntry         // synthetic-root entries, non-empty shards in shard order
+	byID    map[index.ObjID]int // object -> shard, for Delete routing
+	size    int
+	c       *stats.Counters
+	canSnap bool
+	part    string
+}
+
+var (
+	_ index.ObjectIndex = (*Index)(nil)
+	_ index.Snapshotter = (*Index)(nil)
+)
+
+// Build partitions items across opts.Shards sub-indexes and assembles the
+// composite. The items slice is not modified (the partitioner works on a
+// copy).
+func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("sharded: dimension %d < 1", dim)
+	}
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Shards < 1 || o.Shards > MaxShards {
+		return nil, fmt.Errorf("sharded: shard count %d outside 1..%d", o.Shards, MaxShards)
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = Spatial{}
+	}
+	if o.Counters == nil {
+		o.Counters = &stats.Counters{}
+	}
+	if o.BuildShard == nil {
+		pageSize, c := o.PageSize, o.Counters
+		o.BuildShard = func(dim int, items []index.Item) (index.ObjectIndex, error) {
+			return mem.Build(dim, items, &mem.Options{PageSize: pageSize, Counters: c})
+		}
+	}
+	for i := range items {
+		if len(items[i].Point) != dim {
+			return nil, fmt.Errorf("sharded: item %d has dimension %d, want %d", i, len(items[i].Point), dim)
+		}
+	}
+
+	scratch := make([]index.Item, len(items))
+	copy(scratch, items)
+	groups := o.Partitioner.Partition(scratch, o.Shards)
+	if len(groups) != o.Shards {
+		return nil, fmt.Errorf("sharded: partitioner %q returned %d groups for %d shards", o.Partitioner.Name(), len(groups), o.Shards)
+	}
+
+	ix := &Index{
+		dim:     dim,
+		shards:  make([]index.ObjectIndex, o.Shards),
+		byID:    make(map[index.ObjID]int, len(items)),
+		c:       o.Counters,
+		canSnap: true,
+		part:    o.Partitioner.Name(),
+	}
+	for s, g := range groups {
+		shard, err := o.BuildShard(dim, g)
+		if err != nil {
+			return nil, fmt.Errorf("sharded: shard %d: %w", s, err)
+		}
+		if shard.NumPages() > maxLocal {
+			return nil, fmt.Errorf("sharded: shard %d has %d nodes, beyond the %d-bit local ID space", s, shard.NumPages(), localBits)
+		}
+		ix.shards[s] = shard
+		if _, ok := shard.(index.Snapshotter); !ok {
+			ix.canSnap = false
+		}
+		for _, it := range g {
+			if prev, dup := ix.byID[it.ID]; dup {
+				return nil, fmt.Errorf("sharded: partitioner %q placed object %d in shards %d and %d", o.Partitioner.Name(), it.ID, prev, s)
+			}
+			ix.byID[it.ID] = s
+		}
+		ix.size += len(g)
+	}
+	if ix.size != len(items) {
+		return nil, fmt.Errorf("sharded: partitioner %q kept %d of %d items", o.Partitioner.Name(), ix.size, len(items))
+	}
+	for s := range ix.shards {
+		e, ok, err := ix.computeEntry(s)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			ix.entries = append(ix.entries, e)
+		}
+	}
+	return ix, nil
+}
+
+// computeEntry derives shard s's synthetic-root entry — current root plus
+// MBR — by reading the shard's root node. ok is false for an empty shard.
+func (ix *Index) computeEntry(s int) (rootEntry, bool, error) {
+	root := ix.shards[s].RootPage()
+	if root == index.InvalidNode {
+		return rootEntry{}, false, nil
+	}
+	n, err := ix.shards[s].ReadNode(root)
+	if err != nil {
+		return rootEntry{}, false, err
+	}
+	rects := make([]vec.Rect, n.Len())
+	for i := range rects {
+		rects[i] = n.Rect(i)
+	}
+	return rootEntry{shard: s, rect: vec.MBROfRects(rects), child: encode(s, root)}, true, nil
+}
+
+// refreshEntry re-derives shard s's entry after a mutation, dropping it when
+// the shard emptied.
+func (ix *Index) refreshEntry(s int) error {
+	e, ok, err := ix.computeEntry(s)
+	if err != nil {
+		return err
+	}
+	for i := range ix.entries {
+		if ix.entries[i].shard != s {
+			continue
+		}
+		if ok {
+			ix.entries[i] = e
+		} else {
+			ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+		}
+		return nil
+	}
+	if ok {
+		return fmt.Errorf("sharded: shard %d missing from the synthetic root", s)
+	}
+	return nil
+}
+
+// Dim returns the dimensionality of the indexed points.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of indexed objects across all shards.
+func (ix *Index) Len() int { return ix.size }
+
+// NumShards returns the shard count.
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// PartitionerName returns the Name of the partitioner the composite was
+// built with.
+func (ix *Index) PartitionerName() string { return ix.part }
+
+// ShardSizes returns the current object count of every shard (diagnostics,
+// balance tables).
+func (ix *Index) ShardSizes() []int {
+	sizes := make([]int, len(ix.shards))
+	for i, s := range ix.shards {
+		sizes[i] = s.Len()
+	}
+	return sizes
+}
+
+// NumPages returns the total node count across shards (the synthetic root is
+// a routing table, not a page).
+func (ix *Index) NumPages() int {
+	n := 0
+	for _, s := range ix.shards {
+		n += s.NumPages()
+	}
+	return n
+}
+
+// RootPage returns the synthetic root, or index.InvalidNode when every shard
+// is empty.
+func (ix *Index) RootPage() index.NodeID {
+	if len(ix.entries) == 0 {
+		return index.InvalidNode
+	}
+	return rootID
+}
+
+// Counters returns the composite's counter sink.
+func (ix *Index) Counters() *stats.Counters { return ix.c }
+
+// SetCounters redirects the composite's and every shard's accounting to c,
+// so a matcher that hijacks the index sink captures shard-level work (I/O,
+// deletes) too.
+func (ix *Index) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("sharded: nil counters")
+	}
+	ix.c = c
+	for _, s := range ix.shards {
+		s.SetCounters(c)
+	}
+}
+
+// ReadNode resolves the synthetic root, or routes to the owning shard and
+// re-tags the returned node's children.
+func (ix *Index) ReadNode(id index.NodeID) (index.Node, error) {
+	return readNode(ix.shards, ix.entries, id)
+}
+
+func readNode(shards []index.ObjectIndex, entries []rootEntry, id index.NodeID) (index.Node, error) {
+	if id == rootID {
+		return rootNode(entries), nil
+	}
+	shard, local := decode(id)
+	if shard < 0 || shard >= len(shards) {
+		return nil, fmt.Errorf("sharded: invalid node %d", id)
+	}
+	n, err := shards[shard].ReadNode(local)
+	if err != nil {
+		return nil, err
+	}
+	return shardNode{Node: n, shard: int32(shard)}, nil
+}
+
+// Delete routes the deletion to the shard that holds the object and tightens
+// that shard's synthetic-root entry (dropping it when the shard empties).
+func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("sharded: deleting dimension %d from dimension-%d index", len(p), ix.dim)
+	}
+	s, ok := ix.byID[id]
+	if !ok {
+		return index.ErrNotFound
+	}
+	if err := ix.shards[s].Delete(id, p); err != nil {
+		return err
+	}
+	delete(ix.byID, id)
+	ix.size--
+	return ix.refreshEntry(s)
+}
+
+// Validate checks every shard's invariants plus the composite's own: one
+// synthetic-root entry per non-empty shard, each with the shard's live root
+// and tight MBR, and size consistency with the routing map.
+func (ix *Index) Validate() error {
+	for s, shard := range ix.shards {
+		if err := shard.Validate(); err != nil {
+			return fmt.Errorf("sharded: shard %d: %w", s, err)
+		}
+	}
+	byShard := make(map[int]rootEntry, len(ix.entries))
+	for _, e := range ix.entries {
+		if _, dup := byShard[e.shard]; dup {
+			return fmt.Errorf("sharded: shard %d listed twice in the synthetic root", e.shard)
+		}
+		byShard[e.shard] = e
+	}
+	total := 0
+	for s, shard := range ix.shards {
+		total += shard.Len()
+		e, ok, err := ix.computeEntry(s)
+		if err != nil {
+			return err
+		}
+		have, listed := byShard[s]
+		if ok != listed {
+			return fmt.Errorf("sharded: shard %d: empty=%v but listed=%v", s, !ok, listed)
+		}
+		if ok && (have.child != e.child || !have.rect.Equal(e.rect)) {
+			return fmt.Errorf("sharded: shard %d: stale synthetic-root entry", s)
+		}
+	}
+	if total != ix.size {
+		return fmt.Errorf("sharded: size %d but shards hold %d items", ix.size, total)
+	}
+	if len(ix.byID) != ix.size {
+		return fmt.Errorf("sharded: size %d but routing map holds %d objects", ix.size, len(ix.byID))
+	}
+	return nil
+}
+
+// --- Snapshots ---------------------------------------------------------
+
+// CanSnapshot reports whether every shard implements index.Snapshotter —
+// the precondition of Snapshot and SearchTopK. Memory shards qualify; paged
+// shards do not.
+func (ix *Index) CanSnapshot() bool { return ix.canSnap }
+
+// Snapshot composes per-shard snapshots into a read-only view of the
+// composite with one fresh shared counter sink. It panics when the shards
+// cannot snapshot; gate calls with CanSnapshot.
+func (ix *Index) Snapshot() index.ObjectIndex {
+	if !ix.canSnap {
+		panic("sharded: Snapshot on shards that do not implement index.Snapshotter (check CanSnapshot)")
+	}
+	c := &stats.Counters{}
+	shards := make([]index.ObjectIndex, len(ix.shards))
+	for i, s := range ix.shards {
+		snap := s.(index.Snapshotter).Snapshot()
+		snap.SetCounters(c)
+		shards[i] = snap
+	}
+	return &snapshot{
+		dim:     ix.dim,
+		shards:  shards,
+		entries: append([]rootEntry(nil), ix.entries...),
+		size:    ix.size,
+		c:       c,
+	}
+}
+
+// snapshot is the composite read-only view: per-shard snapshots plus the
+// synthetic-root entries captured at snapshot time, all charging one private
+// sink.
+type snapshot struct {
+	dim     int
+	shards  []index.ObjectIndex
+	entries []rootEntry
+	size    int
+	c       *stats.Counters
+}
+
+var _ index.ObjectIndex = (*snapshot)(nil)
+
+func (s *snapshot) Dim() int { return s.dim }
+func (s *snapshot) Len() int { return s.size }
+
+func (s *snapshot) NumPages() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.NumPages()
+	}
+	return n
+}
+
+func (s *snapshot) RootPage() index.NodeID {
+	if len(s.entries) == 0 {
+		return index.InvalidNode
+	}
+	return rootID
+}
+
+func (s *snapshot) Counters() *stats.Counters { return s.c }
+
+// SetCounters redirects the snapshot's accounting — its own sink and every
+// shard snapshot's — leaving the parent composite untouched.
+func (s *snapshot) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("sharded: nil counters")
+	}
+	s.c = c
+	for _, sh := range s.shards {
+		sh.SetCounters(c)
+	}
+}
+
+func (s *snapshot) ReadNode(id index.NodeID) (index.Node, error) {
+	return readNode(s.shards, s.entries, id)
+}
+
+// Delete always fails: snapshots are read-only.
+func (s *snapshot) Delete(id index.ObjID, p vec.Point) error {
+	return index.ErrReadOnly
+}
+
+// Validate delegates to the shard snapshots (read-only walks).
+func (s *snapshot) Validate() error {
+	for i, sh := range s.shards {
+		if err := sh.Validate(); err != nil {
+			return fmt.Errorf("sharded: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// --- Parallel ranked fan-out -------------------------------------------
+
+// SearchTopK returns the k best objects for pref, best first, by fanning
+// ranked search across the shards and merging through a score-ordered heap.
+// Each shard is searched on its own read-only snapshot with its own counter
+// sink — workers goroutines process shards concurrently (0 or negative
+// means GOMAXPROCS, more than the shard count is clamped) — and the
+// per-shard counters are merged into c afterwards (nil means the
+// composite's own sink).
+//
+// Shards are claimed in descending order of the preference's upper bound
+// over their MBR; a shard whose bound cannot beat the current k-th result
+// is skipped entirely (counted in c.ShardsPruned), and a shard search stops
+// as soon as its next result cannot beat the current k-th. Both cuts are
+// exact: the result is always the same as searching one combined index.
+func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Counters) ([]topk.Result, error) {
+	if c == nil {
+		c = ix.c
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if !ix.canSnap {
+		return nil, fmt.Errorf("sharded: ranked fan-out needs read-only shard views, but the shards do not implement index.Snapshotter (build the shards on the memory backend)")
+	}
+
+	type job struct {
+		shard int
+		bound float64
+	}
+	jobs := make([]job, len(ix.entries))
+	for i, e := range ix.entries {
+		jobs[i] = job{shard: e.shard, bound: pref.UpperBound(e.rect)}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].bound != jobs[j].bound {
+			return jobs[i].bound > jobs[j].bound
+		}
+		return jobs[i].shard < jobs[j].shard
+	})
+
+	var (
+		mu  sync.Mutex
+		acc = pqueue.New(func(a, b topk.Result) bool { return topk.Better(b, a) }) // Pop/Peek = current worst
+	)
+	sinks := make([]*stats.Counters, len(jobs))
+	errs := make([]error, len(jobs))
+	runShard := func(j int) {
+		sink := &stats.Counters{}
+		sinks[j] = sink
+		// Whole-shard MBR pruning: with k results on the heap already, a
+		// shard whose bound is below the k-th score holds no winner. A
+		// bound *equal* to the k-th score must still be searched — an
+		// equal-score object can win on the sum/ID tie-break.
+		mu.Lock()
+		full := acc.Len() == k
+		var worst topk.Result
+		if full {
+			worst, _ = acc.Peek()
+		}
+		mu.Unlock()
+		if full && jobs[j].bound < worst.Score {
+			sink.ShardsPruned++
+			return
+		}
+		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
+		snap.SetCounters(sink)
+		search := topk.NewIncSearch(snap, pref, sink)
+		// A shard contributes at most its own k best: its stream is exactly
+		// descending, so result k+1 cannot displace anything its first k
+		// could not.
+		for taken := 0; taken < k; taken++ {
+			r, ok, err := search.Next()
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			if !ok {
+				return
+			}
+			mu.Lock()
+			if acc.Len() < k {
+				acc.Push(r)
+			} else {
+				worst, _ := acc.Peek()
+				if !topk.Better(r, worst) {
+					// The stream is descending, so no later result of this
+					// shard can beat the (only improving) k-th either.
+					mu.Unlock()
+					return
+				}
+				acc.Pop()
+				acc.Push(r)
+			}
+			mu.Unlock()
+		}
+	}
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for j := range jobs {
+			runShard(j)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(jobs) {
+						return
+					}
+					runShard(j)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, sink := range sinks {
+		if sink != nil {
+			c.Add(sink)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	out := make([]topk.Result, acc.Len())
+	for i := acc.Len() - 1; i >= 0; i-- {
+		r, _ := acc.Pop()
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+package sharded
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/index/paged"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+)
+
+func sortedIDs(items []index.Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = int(it.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TestPartitioners checks the Partitioner contract for every implementation:
+// exactly n groups, no item dropped or duplicated, and deterministic output.
+func TestPartitioners(t *testing.T) {
+	items := dataset.Independent(500, 3, 11)
+	want := sortedIDs(items)
+	for _, p := range []Partitioner{RoundRobin{}, Hash{}, Spatial{}} {
+		for _, n := range []int{1, 2, 3, 7, 64, 501} {
+			scratch := append([]index.Item(nil), items...)
+			groups := p.Partition(scratch, n)
+			if len(groups) != n {
+				t.Fatalf("%s: %d groups for n=%d", p.Name(), len(groups), n)
+			}
+			var union []index.Item
+			for _, g := range groups {
+				union = append(union, g...)
+			}
+			if got := sortedIDs(union); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s n=%d: partition does not preserve the item set", p.Name(), n)
+			}
+			again := p.Partition(append([]index.Item(nil), items...), n)
+			for i := range groups {
+				if !reflect.DeepEqual(sortedIDs(groups[i]), sortedIDs(again[i])) {
+					t.Fatalf("%s n=%d: non-deterministic partition (group %d)", p.Name(), n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionBalance checks that the position- and hash-based partitioners
+// spread items evenly (round-robin exactly, hash within a loose bound), and
+// that spatial shard sizes differ by at most one (proportional tiling).
+func TestPartitionBalance(t *testing.T) {
+	items := dataset.Independent(1000, 2, 12)
+	for _, n := range []int{2, 3, 7} {
+		rr := RoundRobin{}.Partition(append([]index.Item(nil), items...), n)
+		for _, g := range rr {
+			if len(g) < len(items)/n || len(g) > len(items)/n+1 {
+				t.Fatalf("rr n=%d: group size %d", n, len(g))
+			}
+		}
+		sp := Spatial{}.Partition(append([]index.Item(nil), items...), n)
+		for _, g := range sp {
+			if len(g) < len(items)/n-1 || len(g) > len(items)/n+2 {
+				t.Fatalf("spatial n=%d: group size %d far from mean %d", n, len(g), len(items)/n)
+			}
+		}
+		hash := Hash{}.Partition(append([]index.Item(nil), items...), n)
+		for _, g := range hash {
+			if len(g) < len(items)/n/2 || len(g) > 2*len(items)/n {
+				t.Fatalf("hash n=%d: group size %d implausibly skewed (mean %d)", n, len(g), len(items)/n)
+			}
+		}
+	}
+}
+
+// collectItems walks the composite through its public traversal surface.
+func collectItems(t *testing.T, ix index.ObjectIndex) []index.Item {
+	t.Helper()
+	var out []index.Item
+	root := ix.RootPage()
+	if root == index.InvalidNode {
+		return out
+	}
+	var walk func(id index.NodeID)
+	walk = func(id index.NodeID) {
+		n, err := ix.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n.Len(); i++ {
+			if n.Leaf() {
+				out = append(out, n.Object(i))
+			} else {
+				if !n.Rect(i).Valid() {
+					t.Fatalf("invalid MBR at node %d entry %d", id, i)
+				}
+				walk(n.ChildPage(i))
+			}
+		}
+	}
+	walk(root)
+	return out
+}
+
+func TestCompositeTraversal(t *testing.T) {
+	items := dataset.Independent(800, 3, 13)
+	for _, p := range []Partitioner{Spatial{}, Hash{}, RoundRobin{}} {
+		for _, n := range []int{1, 2, 3, 7} {
+			ix, err := Build(3, items, &Options{Shards: n, Partitioner: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.Len() != len(items) || ix.Dim() != 3 || ix.NumShards() != n {
+				t.Fatalf("%s/%d: shape len=%d dim=%d shards=%d", p.Name(), n, ix.Len(), ix.Dim(), ix.NumShards())
+			}
+			if err := ix.Validate(); err != nil {
+				t.Fatalf("%s/%d: %v", p.Name(), n, err)
+			}
+			got := collectItems(t, ix)
+			if !reflect.DeepEqual(sortedIDs(got), sortedIDs(items)) {
+				t.Fatalf("%s/%d: traversal does not reach every item", p.Name(), n)
+			}
+			sizes := ix.ShardSizes()
+			total := 0
+			for _, s := range sizes {
+				total += s
+			}
+			if total != len(items) {
+				t.Fatalf("%s/%d: shard sizes %v sum to %d", p.Name(), n, sizes, total)
+			}
+		}
+	}
+}
+
+func TestCompositeDelete(t *testing.T) {
+	items := dataset.Independent(300, 2, 14)
+	ix, err := Build(2, items, &Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absent object.
+	if err := ix.Delete(99999, items[0].Point); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("absent delete: %v", err)
+	}
+	// Present ID with the wrong point is not found either (and stays routed).
+	wrong := append([]float64(nil), items[0].Point...)
+	wrong[0] += 0.5
+	if err := ix.Delete(items[0].ID, wrong); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("wrong-point delete: %v", err)
+	}
+	// Delete everything, validating as the entries tighten and shards empty.
+	for i, it := range items {
+		if err := ix.Delete(it.ID, it.Point); err != nil {
+			t.Fatalf("delete %d: %v", it.ID, err)
+		}
+		if ix.Len() != len(items)-i-1 {
+			t.Fatalf("Len after %d deletes: %d", i+1, ix.Len())
+		}
+		if i%37 == 0 {
+			if err := ix.Validate(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+		// Double delete must fail.
+		if err := ix.Delete(it.ID, it.Point); !errors.Is(err, index.ErrNotFound) {
+			t.Fatalf("double delete %d: %v", it.ID, err)
+		}
+	}
+	if ix.RootPage() != index.InvalidNode {
+		t.Fatal("empty composite still has a root")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeCounters(t *testing.T) {
+	items := dataset.Independent(200, 2, 15)
+	c := &stats.Counters{}
+	ix, err := Build(2, items, &Options{Shards: 2, Counters: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Counters() != c {
+		t.Fatal("composite does not report the configured sink")
+	}
+	// Redirect and confirm shard work (a delete) lands in the new sink.
+	c2 := &stats.Counters{}
+	ix.SetCounters(c2)
+	if err := ix.Delete(items[0].ID, items[0].Point); err != nil {
+		t.Fatal(err)
+	}
+	if c2.TreeDeletes == 0 {
+		t.Fatal("shard delete not charged to the redirected sink")
+	}
+	if c.TreeDeletes != 0 {
+		t.Fatal("shard delete leaked into the old sink")
+	}
+}
+
+func TestCompositeSnapshot(t *testing.T) {
+	items := dataset.Independent(400, 3, 16)
+	ix, err := Build(3, items, &Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.CanSnapshot() {
+		t.Fatal("memory shards must snapshot")
+	}
+	snap := ix.Snapshot()
+	if snap.Len() != ix.Len() || snap.Dim() != ix.Dim() {
+		t.Fatalf("snapshot shape: len=%d dim=%d", snap.Len(), snap.Dim())
+	}
+	if err := snap.Delete(items[0].ID, items[0].Point); !errors.Is(err, index.ErrReadOnly) {
+		t.Fatalf("snapshot delete: %v", err)
+	}
+	if snap.Counters() == ix.Counters() {
+		t.Fatal("snapshot shares the parent's counter sink")
+	}
+	got := collectItems(t, snap)
+	if !reflect.DeepEqual(sortedIDs(got), sortedIDs(items)) {
+		t.Fatal("snapshot traversal does not reach every item")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Paged shards cannot snapshot; the composite must say so.
+	pix, err := Build(3, items, &Options{Shards: 2, BuildShard: func(dim int, g []index.Item) (index.ObjectIndex, error) {
+		return paged.Build(dim, g, nil)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pix.CanSnapshot() {
+		t.Fatal("paged shards reported as snapshot-capable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot on paged shards did not panic")
+		}
+	}()
+	pix.Snapshot()
+}
+
+// TestSearchTopKEquivalence: the fan-out/merge answer must be bit-identical
+// to ranked search over one combined memory index, for every partitioner,
+// shard count, k and worker count.
+func TestSearchTopKEquivalence(t *testing.T) {
+	const d = 3
+	items := dataset.Clustered(900, d, 6, 17)
+	fns := dataset.Functions(25, d, 18)
+	single, err := mem.Build(d, items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Partitioner{Spatial{}, Hash{}} {
+		for _, n := range []int{1, 2, 3, 7} {
+			ix, err := Build(d, items, &Options{Shards: n, Partitioner: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, 950} {
+				for _, workers := range []int{1, 4} {
+					for _, f := range fns {
+						want, err := topk.Search(single, f, k, &stats.Counters{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						c := &stats.Counters{}
+						got, err := ix.SearchTopK(f, k, workers, c)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(want) == 0 {
+							want = nil
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s/%d k=%d w=%d fn=%d: fan-out differs from single index\ngot  %v\nwant %v",
+								p.Name(), n, k, workers, f.ID, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchTopKPruning: on spatially tiled shards a small k must skip whole
+// shards, and the pruned count must land in the caller's sink.
+func TestSearchTopKPruning(t *testing.T) {
+	const d = 2
+	items := dataset.Clustered(2000, d, 8, 19)
+	ix, err := Build(d, items, &Options{Shards: 8, Partitioner: Spatial{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := dataset.Functions(10, d, 20)
+	c := &stats.Counters{}
+	for _, f := range fns {
+		if _, err := ix.SearchTopK(f, 1, 1, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.ShardsPruned == 0 {
+		t.Fatal("spatial shards with k=1 never pruned a shard")
+	}
+}
+
+func TestSearchTopKEdgeCases(t *testing.T) {
+	items := dataset.Independent(100, 2, 21)
+	ix, err := Build(2, items, &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dataset.Functions(1, 2, 22)[0]
+	if out, err := ix.SearchTopK(f, 0, 1, nil); err != nil || out != nil {
+		t.Fatalf("k=0: (%v, %v)", out, err)
+	}
+	// Paged shards: descriptive error, naming Snapshotter.
+	pix, err := Build(2, items, &Options{Shards: 2, BuildShard: func(dim int, g []index.Item) (index.ObjectIndex, error) {
+		return paged.Build(dim, g, nil)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pix.SearchTopK(f, 3, 2, nil); err == nil {
+		t.Fatal("fan-out over paged shards accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	items := dataset.Independent(50, 2, 23)
+	if _, err := Build(2, items, &Options{Shards: 0}); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := Build(2, items, &Options{Shards: MaxShards + 1}); err == nil {
+		t.Fatal("too many shards accepted")
+	}
+	if _, err := Build(0, items, &Options{Shards: 2}); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	bad := append([]index.Item(nil), items...)
+	bad[3].Point = bad[3].Point[:1]
+	if _, err := Build(2, bad, &Options{Shards: 2}); err == nil {
+		t.Fatal("ragged item accepted")
+	}
+	// More shards than items: empty shards are fine.
+	ix, err := Build(2, items[:3], &Options{Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty composite.
+	empty, err := Build(2, nil, &Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.RootPage() != index.InvalidNode || empty.Len() != 0 {
+		t.Fatal("empty composite has a root")
+	}
+}

@@ -34,6 +34,7 @@ type Counters struct {
 	Loops           int64 // outer loops of the matcher
 	PairsEmitted    int64 // stable pairs reported
 	TreeDeletes     int64 // object deletions from the disk R-tree
+	ShardsPruned    int64 // whole shards skipped by MBR pruning in the sharded ranked fan-out
 }
 
 // IOAccesses returns the total physical I/O (reads + writes), the quantity
@@ -57,6 +58,7 @@ func (c *Counters) Add(o *Counters) {
 	c.Loops += o.Loops
 	c.PairsEmitted += o.PairsEmitted
 	c.TreeDeletes += o.TreeDeletes
+	c.ShardsPruned += o.ShardsPruned
 }
 
 // Reset zeroes all counters.
@@ -74,8 +76,8 @@ func (c *Counters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "io=%d (r=%d w=%d hits=%d)", c.IOAccesses(), c.PageReads, c.PageWrites, c.BufferHits)
 	fmt.Fprintf(&b, " top1=%d ta=%d scores=%d dom=%d", c.Top1Searches, c.TAListAccesses, c.ScoreEvals, c.DominanceChecks)
-	fmt.Fprintf(&b, " skyUpd=%d skyMax=%d loops=%d pairs=%d del=%d",
-		c.SkylineUpdates, c.SkylineMaxSize, c.Loops, c.PairsEmitted, c.TreeDeletes)
+	fmt.Fprintf(&b, " skyUpd=%d skyMax=%d loops=%d pairs=%d del=%d shardsPruned=%d",
+		c.SkylineUpdates, c.SkylineMaxSize, c.Loops, c.PairsEmitted, c.TreeDeletes, c.ShardsPruned)
 	return b.String()
 }
 

@@ -28,6 +28,21 @@ type Result struct {
 	Score float64
 }
 
+// Better is the total order of ranked results: higher score first, then
+// larger coordinate sum, then smaller object ID (the deterministic
+// function-side preference of package prefs). It is the order Search emits
+// — and therefore the order any merger of per-partition result streams
+// must use to stay bit-identical to a single search.
+func Better(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if sa, sb := a.Point.Sum(), b.Point.Sum(); sa != sb {
+		return sa > sb
+	}
+	return a.ID < b.ID
+}
+
 // heapItem is either an R-tree node (isObj false) or an object.
 type heapItem struct {
 	bound float64 // node: upper bound over MBR; object: exact score
@@ -42,9 +57,10 @@ type heapItem struct {
 
 // better orders the search frontier: higher bound first; on a bound tie a
 // node precedes an object (the node might contain an equal-score object that
-// wins the tie-break); two objects follow the function-side preference
-// (larger coordinate sum, then smaller ID); two nodes by page for
-// determinism.
+// wins the tie-break); two objects follow the canonical result order of
+// Better, using the sum cached at push time instead of recomputing it per
+// sift (the agreement is enforced by TestFrontierOrderAgreesWithBetter);
+// two nodes by page for determinism.
 func better(a, b heapItem) bool {
 	if a.bound != b.bound {
 		return a.bound > b.bound

@@ -262,3 +262,31 @@ func TestTiesResolvedByObjectSumThenID(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontierOrderAgreesWithBetter pins the frontier heap's object
+// tie-break (cached sums, better) to the exported canonical result order
+// (Better, recomputed sums): any divergence would silently break the
+// bit-identity of merged per-shard streams with a single search.
+func TestFrontierOrderAgreesWithBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randItem := func() heapItem {
+		p := vec.Point{rng.Float64(), float64(rng.Intn(3)) / 2}
+		// Coarse scores and coordinates force frequent ties on every key.
+		return heapItem{
+			bound: float64(rng.Intn(4)) / 4,
+			isObj: true,
+			id:    index.ObjID(rng.Intn(8)),
+			point: p,
+			sum:   p.Sum(),
+		}
+	}
+	toResult := func(it heapItem) Result {
+		return Result{ID: it.id, Point: it.point, Score: it.bound}
+	}
+	for i := 0; i < 10000; i++ {
+		a, b := randItem(), randItem()
+		if better(a, b) != Better(toResult(a), toResult(b)) {
+			t.Fatalf("frontier order and Better disagree on %+v vs %+v", a, b)
+		}
+	}
+}

@@ -237,6 +237,11 @@ func TestServerValidation(t *testing.T) {
 	if out, err := srv.TopK(prefmatch.Query{ID: 1, Weights: []float64{1, 2}}, 0); err != nil || out != nil {
 		t.Fatalf("k=0: got (%v, %v), want (nil, nil)", out, err)
 	}
+	// k = 0 must not change what is accepted: an invalid query is rejected
+	// whether or not any results were requested.
+	if _, err := srv.TopK(prefmatch.Query{ID: 1, Weights: []float64{1, 2, 3}}, 0); err == nil {
+		t.Fatal("k=0 skipped query validation")
+	}
 }
 
 func TestServerTopKMonotone(t *testing.T) {

@@ -21,7 +21,7 @@
 // # Storage backends
 //
 // The algorithms run against a backend-agnostic object index
-// (internal/index.ObjectIndex) with two implementations, selected by
+// (internal/index.ObjectIndex) with two base implementations, selected by
 // Options.Backend:
 //
 //   - Paged (the default) simulates the paper's experimental setup: the
@@ -35,7 +35,13 @@
 //     and reports zero I/O. Use it when latency matters and the I/O
 //     metric does not.
 //
-// Both backends produce the identical stable matching for every algorithm.
+// A third, composite family shards the object set across N sub-indexes of
+// either base backend (Options.Shards, Options.ShardBy): the shards are
+// joined under a synthetic root whose entries carry the shard bounding
+// boxes, so branch-and-bound consumers skip whole shards that cannot beat
+// their threshold, and Server fans ranked searches across the shards in
+// parallel. All backends and shard counts produce the identical stable
+// matching for every algorithm.
 //
 // # Concurrency
 //
@@ -79,6 +85,7 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/index/paged"
+	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
@@ -172,6 +179,52 @@ func (b Backend) String() string {
 	}
 }
 
+// ShardBy selects how the sharded composite backend partitions the object
+// set across its sub-indexes (see Options.Shards).
+type ShardBy int
+
+const (
+	// ShardSpatial tiles the data space with an STR-style recursion, giving
+	// every shard a tight bounding box so whole shards are skipped when
+	// their MBR cannot beat the current threshold. The default.
+	ShardSpatial ShardBy = iota
+	// ShardHash routes objects by hashed ID — the placement a
+	// shard-per-machine deployment would use. Balanced, but every shard
+	// spans the whole space, so MBR pruning never fires.
+	ShardHash
+	// ShardRoundRobin deals objects to shards by input position; the
+	// simplest balanced baseline, also without spatial locality.
+	ShardRoundRobin
+)
+
+// String names the partitioner for labels and flags.
+func (s ShardBy) String() string {
+	switch s {
+	case ShardSpatial:
+		return "spatial"
+	case ShardHash:
+		return "hash"
+	case ShardRoundRobin:
+		return "rr"
+	default:
+		return fmt.Sprintf("ShardBy(%d)", int(s))
+	}
+}
+
+// partitioner maps the public selector to the internal implementation.
+func (s ShardBy) partitioner() (sharded.Partitioner, error) {
+	switch s {
+	case ShardSpatial:
+		return sharded.Spatial{}, nil
+	case ShardHash:
+		return sharded.Hash{}, nil
+	case ShardRoundRobin:
+		return sharded.RoundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("prefmatch: unknown ShardBy %d", int(s))
+	}
+}
+
 // MaintenanceMode selects how SB maintains the skyline after removals.
 type MaintenanceMode int
 
@@ -219,6 +272,17 @@ type Options struct {
 	// BufferPages fixes the LRU buffer capacity in pages. Paged backend
 	// only (see BufferFraction).
 	BufferPages int
+
+	// Shards partitions the object index across this many sub-indexes of
+	// the selected Backend, joined by the sharded composite backend. 0 (the
+	// default) builds a single index; 1 builds a one-shard composite
+	// (useful for measuring the composite's overhead); larger values split
+	// the object set. At most sharded.MaxShards (256).
+	Shards int
+
+	// ShardBy selects the partitioner of the sharded composite backend.
+	// Setting it without Shards is an error, not a silent no-op.
+	ShardBy ShardBy
 }
 
 // Stats reports the work a run performed, mirroring the measurements in the
@@ -234,6 +298,7 @@ type Stats struct {
 	SkylineMax     int64         // largest skyline encountered
 	Loops          int64         // matcher loops
 	Pairs          int64         // assignments produced
+	ShardsPruned   int64         // whole shards skipped by MBR pruning (sharded fan-out only)
 	Elapsed        time.Duration // wall-clock time of the matching phase
 }
 
@@ -367,27 +432,41 @@ func convertQueries(queries []Query, d int) ([]prefs.Function, error) {
 	return fns, nil
 }
 
-// buildIndex bulk-loads the object index on the backend selected by opts
+// buildIndex bulk-loads the object index on the backend selected by opts —
+// a single paged or memory index, or the sharded composite over either —
 // and resets the counters so that index construction is excluded from the
 // measured work.
 func buildIndex(items []index.Item, d int, opts *Options) (index.ObjectIndex, *stats.Counters, error) {
 	c := &stats.Counters{}
+	if opts.Shards < 0 {
+		return nil, nil, fmt.Errorf("prefmatch: negative shard count %d", opts.Shards)
+	}
+	if opts.Shards > sharded.MaxShards {
+		return nil, nil, fmt.Errorf("prefmatch: shard count %d exceeds the maximum %d", opts.Shards, sharded.MaxShards)
+	}
 	var (
 		ix  index.ObjectIndex
 		err error
 	)
-	switch opts.Backend {
-	case Memory:
-		ix, err = mem.Build(d, items, &mem.Options{
-			PageSize: opts.PageSize,
-			Counters: c,
-		})
-	default:
-		ix, err = paged.Build(d, items, &paged.Options{
-			PageSize:       opts.PageSize,
-			BufferFraction: opts.BufferFraction,
-			BufferPages:    opts.BufferPages,
-			Counters:       c,
+	if opts.Shards == 0 {
+		// Reject a partitioner choice that would silently do nothing.
+		if opts.ShardBy != ShardSpatial {
+			return nil, nil, fmt.Errorf("prefmatch: ShardBy %v set without Shards; enable sharding with Options.Shards >= 1", opts.ShardBy)
+		}
+		ix, err = buildSingle(items, d, opts, c)
+	} else {
+		var part sharded.Partitioner
+		part, err = opts.ShardBy.partitioner()
+		if err != nil {
+			return nil, nil, err
+		}
+		ix, err = sharded.Build(d, items, &sharded.Options{
+			Shards:      opts.Shards,
+			Partitioner: part,
+			Counters:    c,
+			BuildShard: func(dim int, group []index.Item) (index.ObjectIndex, error) {
+				return buildSingle(group, dim, opts, c)
+			},
 		})
 	}
 	if err != nil {
@@ -395,6 +474,25 @@ func buildIndex(items []index.Item, d int, opts *Options) (index.ObjectIndex, *s
 	}
 	c.Reset()
 	return ix, c, nil
+}
+
+// buildSingle bulk-loads one paged or memory index per opts.Backend — a
+// whole object set or one shard of it — charging construction to c.
+func buildSingle(items []index.Item, d int, opts *Options, c *stats.Counters) (index.ObjectIndex, error) {
+	switch opts.Backend {
+	case Memory:
+		return mem.Build(d, items, &mem.Options{
+			PageSize: opts.PageSize,
+			Counters: c,
+		})
+	default:
+		return paged.Build(d, items, &paged.Options{
+			PageSize:       opts.PageSize,
+			BufferFraction: opts.BufferFraction,
+			BufferPages:    opts.BufferPages,
+			Counters:       c,
+		})
+	}
 }
 
 // Next returns the next stable assignment; ok is false once the matching is
@@ -433,6 +531,7 @@ func statsFromCounters(c *stats.Counters, elapsed time.Duration) Stats {
 		SkylineMax:     c.SkylineMaxSize,
 		Loops:          c.Loops,
 		Pairs:          c.PairsEmitted,
+		ShardsPruned:   c.ShardsPruned,
 		Elapsed:        elapsed,
 	}
 }

@@ -9,7 +9,8 @@ import (
 	"time"
 
 	"prefmatch/internal/index"
-	"prefmatch/internal/index/mem"
+	"prefmatch/internal/index/sharded"
+	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
 )
 
@@ -18,19 +19,26 @@ import (
 // (Match, MatchMany), per-user top-k queries (TopK, TopKMany,
 // TopKMonotone) and skyline computations.
 //
-// A Server always runs on the Memory backend — the only backend whose node
-// reads are free of side effects — and hands every request a read-only
-// snapshot of the index with its own work counters, so requests never
-// synchronise with each other on the hot path. The only shared write is the
-// merge of each request's counters into the server totals (Stats) after the
-// request completes. All methods are safe for concurrent use.
+// A Server always runs on the Memory backend family — the only backends
+// whose node reads are free of side effects — and hands every request a
+// read-only snapshot of the index with its own work counters, so requests
+// never synchronise with each other on the hot path. The only shared write
+// is the merge of each request's counters into the server totals (Stats)
+// after the request completes. All methods are safe for concurrent use.
+//
+// With Options.Shards set, the server runs on the sharded composite over
+// memory shards: matching waves and skyline requests traverse a composite
+// snapshot, while top-k requests fan out across per-shard snapshot workers
+// and merge, skipping shards whose bounding box cannot reach the current
+// k-th result (Stats.ShardsPruned counts them).
 //
 // Matching waves are restricted to the skyline-based algorithm, which never
 // mutates the object index; requesting BruteForce or Chain returns an
 // error, as does deleting from a snapshot (index.ErrReadOnly) if an
 // internal invariant ever let one through.
 type Server struct {
-	ix         *mem.Index
+	ix         servingIndex
+	sh         *sharded.Index // non-nil for a sharded index: enables the per-shard ranked fan-out
 	capacities map[index.ObjID]int
 
 	mu      sync.Mutex
@@ -39,11 +47,33 @@ type Server struct {
 	served  int64
 }
 
+// servingIndex is what a Server needs from its backend: the traversal
+// surface plus concurrent read-only snapshots.
+type servingIndex interface {
+	index.ObjectIndex
+	index.Snapshotter
+}
+
+// asServing checks that ix can hand out concurrent read-only views,
+// returning a descriptive error — never a silent fallback — when it cannot.
+func asServing(ix index.ObjectIndex) (servingIndex, error) {
+	type snapProbe interface{ CanSnapshot() bool }
+	if p, ok := ix.(snapProbe); ok && !p.CanSnapshot() {
+		return nil, fmt.Errorf("prefmatch: %T cannot serve concurrently: its shards do not implement index.Snapshotter (paged shards mutate their LRU buffer on every read; build the shards on the Memory backend)", ix)
+	}
+	s, ok := ix.(servingIndex)
+	if !ok {
+		return nil, fmt.Errorf("prefmatch: %T cannot serve concurrently: it does not implement index.Snapshotter (the paged backend mutates its LRU buffer on every read; build on the Memory backend)", ix)
+	}
+	return s, nil
+}
+
 // NewServer validates and indexes the objects for concurrent serving.
-// Options may be nil. Only PageSize is honoured at build time (it sets the
-// node fan-outs); the storage fields Backend, BufferFraction and
-// BufferPages are ignored, because a Server is by definition the Memory
-// backend. The algorithm-related fields are taken per Match call instead.
+// Options may be nil. PageSize sets the node fan-outs and Shards/ShardBy
+// select the sharded composite over memory shards; the storage fields
+// Backend, BufferFraction and BufferPages are ignored, because a Server is
+// by definition the Memory backend family (the only one whose reads are
+// pure). The algorithm-related fields are taken per Match call instead.
 func NewServer(objects []Object, opts *Options) (*Server, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -55,11 +85,35 @@ func NewServer(objects []Object, opts *Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := mem.Build(d, items, &mem.Options{PageSize: opts.PageSize})
+	sopts := *opts
+	sopts.Backend = Memory
+	ix, _, err := buildIndex(items, d, &sopts)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{ix: ix, capacities: capacities}, nil
+	return newServer(ix, capacities)
+}
+
+// NewServerFromIndex serves over an already-built reusable Index, sharing
+// its storage instead of re-indexing the objects. The index must be able to
+// hand out read-only snapshots — it must have been built on the Memory
+// backend (sharded or not); a paged-built index returns a descriptive
+// error. The caller must not mutate or rebuild the index while the server
+// is in use (the Snapshotter freeze contract).
+func NewServerFromIndex(ix *Index) (*Server, error) {
+	return newServer(ix.ix, ix.capacities)
+}
+
+func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int) (*Server, error) {
+	serving, err := asServing(ix)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ix: serving, capacities: capacities}
+	if sh, ok := ix.(*sharded.Index); ok {
+		s.sh = sh
+	}
+	return s, nil
 }
 
 // Len returns the number of indexed objects.
@@ -145,21 +199,58 @@ func serve[T any](s *Server, req func(snap index.ObjectIndex, c *stats.Counters)
 
 // TopK returns the k best objects for one linear query, best first, without
 // rebuilding the index (compare the package-level TopK, which bulk-loads a
-// throwaway index per call). Safe for concurrent use.
+// throwaway index per call). On a sharded server the request fans out
+// across all CPUs' worth of per-shard snapshot workers. Safe for concurrent
+// use.
 func (s *Server) TopK(query Query, k int) ([]Assignment, error) {
+	return s.topK(query, k, 0)
+}
+
+// topK implements TopK with an explicit shard-worker budget: 0 lets a lone
+// request fan out across GOMAXPROCS shard workers, while TopKMany passes 1
+// so the outer per-query fan-out owns the parallelism and requests do not
+// multiply into workers × shards goroutines. The query is validated before
+// the k == 0 short-circuit, so k never changes what is accepted.
+func (s *Server) topK(query Query, k, shardWorkers int) ([]Assignment, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("prefmatch: negative k %d", k)
-	}
-	if k == 0 {
-		return nil, nil
 	}
 	f, err := linearPref(query, s.ix.Dim())
 	if err != nil {
 		return nil, err
 	}
+	if k == 0 {
+		return nil, nil
+	}
+	if s.sh != nil {
+		return s.topKSharded(query.ID, f, k, shardWorkers)
+	}
 	return serve(s, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
 		return topkOver(snap, query.ID, f, k, c)
 	})
+}
+
+// topKSharded answers one top-k request on a sharded index by fanning ranked
+// search across shardWorkers per-shard snapshot workers and merging through
+// the score-ordered heap, with whole-shard MBR pruning. The per-shard
+// counters are merged into one request sink and recorded into the server
+// totals, exactly like any other request. Results are bit-identical to the
+// unsharded path.
+func (s *Server) topKSharded(qid int, p prefs.Preference, k, shardWorkers int) ([]Assignment, error) {
+	c := &stats.Counters{}
+	var timer stats.Timer
+	timer.Start()
+	results, err := s.sh.SearchTopK(p, k, shardWorkers, c)
+	timer.Stop()
+	if err != nil {
+		return nil, err
+	}
+	s.record(c, timer.Elapsed())
+	out := make([]Assignment, len(results))
+	for i, r := range results {
+		out[i] = Assignment{QueryID: qid, ObjectID: int(r.ID), Score: r.Score}
+	}
+	return out, nil
 }
 
 // TopKMonotone is TopK for an arbitrary monotone preference.
@@ -173,6 +264,9 @@ func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error
 	if k == 0 {
 		return nil, nil
 	}
+	if s.sh != nil {
+		return s.topKSharded(query.ID, prefAdapter{p: query.Preference}, k, 0)
+	}
 	return serve(s, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
 		return topkOver(snap, query.ID, prefAdapter{p: query.Preference}, k, c)
 	})
@@ -182,11 +276,25 @@ func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error
 // or negative means GOMAXPROCS), one result slice per query, in query
 // order. The workload of the paper's serving framing: many users, one
 // object set, every user wants their personal ranking.
+//
+// On a sharded server, workers is the total parallelism budget: it is
+// spent on the per-query fan-out first, and whatever the query count
+// leaves unused goes to each request's per-shard fan-out (a one-query
+// batch with workers=0 fans across all CPUs' worth of shard workers;
+// workers=1 stays fully sequential).
 func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, error) {
 	results := make([][]Assignment, len(queries))
 	errs := make([]error, len(queries))
-	fanOut(len(queries), workers, func(i int) {
-		results[i], errs[i] = s.TopK(queries[i], k)
+	budget := workers
+	if budget < 1 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	shardWorkers := 1
+	if outer := clampWorkers(budget, len(queries)); outer > 0 && budget/outer > 1 {
+		shardWorkers = budget / outer
+	}
+	fanOut(len(queries), budget, func(i int) {
+		results[i], errs[i] = s.topK(queries[i], k, shardWorkers)
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
@@ -200,16 +308,28 @@ func (s *Server) Skyline() ([]int, error) {
 	return serve(s, skylineOver)
 }
 
-// fanOut runs jobs 0..n-1 across workers goroutines (0 or negative means
-// GOMAXPROCS), pulling indices from a shared atomic cursor so fast workers
-// absorb slow jobs.
-func fanOut(n, workers int, job func(int)) {
+// clampWorkers normalises a worker-count option against a job count: zero
+// or negative means GOMAXPROCS, and more workers than jobs is clamped to
+// jobs, so no spawned goroutine can be idle from the start. The single
+// place this package interprets worker counts — MatchMany, TopKMany and
+// fanOut all route through it and must not re-derive the rule.
+// (sharded.SearchTopK applies the same rule to its own shard-level
+// workers; the two budgets never nest, see topK.)
+func clampWorkers(workers, jobs int) int {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > jobs {
+		workers = jobs
 	}
+	return workers
+}
+
+// fanOut runs jobs 0..n-1 across workers goroutines (normalised by
+// clampWorkers), pulling indices from a shared atomic cursor so fast
+// workers absorb slow jobs.
+func fanOut(n, workers int, job func(int)) {
+	workers = clampWorkers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			job(i)

@@ -1,0 +1,51 @@
+// White-box tests for the server's worker-count normalisation: one helper,
+// one rule, exercised at the edges.
+package prefmatch
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestClampWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, jobs, want int
+	}{
+		{workers: 0, jobs: 1 << 20, want: gmp},           // 0 → GOMAXPROCS
+		{workers: -3, jobs: 1 << 20, want: gmp},          // negative → GOMAXPROCS
+		{workers: 8, jobs: 3, want: 3},                   // more workers than jobs → jobs
+		{workers: 3, jobs: 8, want: 3},                   // fewer workers than jobs → untouched
+		{workers: 1, jobs: 1, want: 1},                   // exact fit
+		{workers: 5, jobs: 0, want: 0},                   // no jobs → no workers
+		{workers: 0, jobs: 0, want: 0},                   // degenerate: both defaults collapse to 0
+		{workers: -1, jobs: 1, want: 1},                  // GOMAXPROCS then clamped to the single job
+		{workers: 1 << 20, jobs: 7, want: 7},             // huge request clamped
+		{workers: gmp + 1, jobs: gmp + 2, want: gmp + 1}, // above GOMAXPROCS is the caller's right
+	}
+	for _, c := range cases {
+		if got := clampWorkers(c.workers, c.jobs); got != c.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", c.workers, c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestFanOutUsesClamp checks the consumer side: every job runs exactly once
+// for worker counts at and around the edges.
+func TestFanOutUsesClamp(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 50} {
+		const n = 37
+		hits := make([]int32, n)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			fanOut(n, workers, func(i int) { hits[i]++ })
+		}()
+		<-done
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}

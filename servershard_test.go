@@ -1,0 +1,122 @@
+// Tests for the sharded Server: counter merging under concurrent requests
+// must be race-clean (CI runs -race) and lossless — the server totals are
+// exactly the sum of the per-request counters.
+package prefmatch_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"prefmatch"
+)
+
+// TestServerStatsMergeConcurrentSharded fires matching waves at a sharded
+// server from many goroutines, then checks that every additive Stats field
+// equals the sum over the per-request results — nothing lost, nothing
+// double-counted in the merge.
+func TestServerStatsMergeConcurrentSharded(t *testing.T) {
+	const (
+		d      = 3
+		nWaves = 16
+		perW   = 15
+	)
+	objs := serveObjects(700, d, 321)
+	srv, err := prefmatch.NewServer(objs, &prefmatch.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waves := make([][]prefmatch.Query, nWaves)
+	for w := range waves {
+		waves[w] = serveQueries(perW, d, int64(322+w))
+	}
+	results, err := srv.MatchMany(waves, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pairs, loops, ta, skyUpd, top1 int64
+	var elapsed time.Duration
+	for _, res := range results {
+		pairs += res.Stats.Pairs
+		loops += res.Stats.Loops
+		ta += res.Stats.TAListAccesses
+		skyUpd += res.Stats.SkylineUpdates
+		top1 += res.Stats.Top1Searches
+		elapsed += res.Stats.Elapsed
+	}
+	got := srv.Stats()
+	if got.Pairs != pairs || got.Loops != loops || got.TAListAccesses != ta ||
+		got.SkylineUpdates != skyUpd || got.Top1Searches != top1 {
+		t.Fatalf("merged totals differ from the sum of per-request counters:\nserver %+v\nsums   pairs=%d loops=%d ta=%d skyUpd=%d top1=%d",
+			got, pairs, loops, ta, skyUpd, top1)
+	}
+	if got.Elapsed != elapsed {
+		t.Fatalf("merged elapsed %v, sum of request elapsed %v", got.Elapsed, elapsed)
+	}
+	if srv.Served() != nWaves {
+		t.Fatalf("Served() = %d, want %d", srv.Served(), nWaves)
+	}
+	if pairs == 0 {
+		t.Fatal("degenerate run: no pairs emitted")
+	}
+}
+
+// TestServerShardedTopKConcurrent hammers the per-shard fan-out path from
+// many goroutines (each request spawns its own shard workers) and checks
+// that the request count and the pruning counter survive the merge.
+// Primarily a -race target for the nested parallelism.
+func TestServerShardedTopKConcurrent(t *testing.T) {
+	const d = 3
+	objs := serveObjects(900, d, 331)
+	qs := serveQueries(40, d, 332)
+	srv, err := prefmatch.NewServer(objs, &prefmatch.Options{Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]prefmatch.Assignment, len(qs))
+	for i, q := range qs {
+		if want[i], err = prefmatch.TopK(objs, q, 3, &prefmatch.Options{Backend: prefmatch.Memory}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, q := range qs {
+				got, err := srv.TopK(q, 3)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						errs[g] = errMismatch
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if srv.Served() != int64(8*len(qs)) {
+		t.Fatalf("Served() = %d, want %d", srv.Served(), 8*len(qs))
+	}
+	if s := srv.Stats(); s.ShardsPruned < 0 || s.Top1Searches == 0 {
+		t.Fatalf("implausible merged stats: %+v", s)
+	}
+}
+
+var errMismatch = errConst("sharded top-k differs from the sequential answer")
+
+type errConst string
+
+func (e errConst) Error() string { return string(e) }

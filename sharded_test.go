@@ -1,0 +1,254 @@
+// Cross-shard equivalence suite: for shard counts {1, 2, 3, 7} and every
+// partitioner, all four matching algorithms plus MatchMonotone, TopK and
+// Skyline must return bit-identical assignments and scores to the
+// single-index path. The guarantee is structural: every tie-break in the
+// engine depends only on object scores, coordinate sums and IDs — never on
+// the node layout — so re-arranging the same points under a synthetic root
+// cannot change any result.
+package prefmatch_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"prefmatch"
+)
+
+var (
+	shardCounts  = []int{1, 2, 3, 7}
+	partitioners = []prefmatch.ShardBy{prefmatch.ShardSpatial, prefmatch.ShardHash, prefmatch.ShardRoundRobin}
+)
+
+func TestShardedMatchEquivalence(t *testing.T) {
+	const d = 3
+	objs := serveObjects(900, d, 301)
+	qs := serveQueries(60, d, 302)
+	algorithms := []prefmatch.Algorithm{
+		prefmatch.SkylineBased,
+		prefmatch.BruteForce,
+		prefmatch.Chain,
+		prefmatch.BruteForceIncremental,
+	}
+	for _, alg := range algorithms {
+		want, err := prefmatch.Match(objs, qs, &prefmatch.Options{Backend: prefmatch.Memory, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prefmatch.Verify(objs, qs, want.Assignments); err != nil {
+			t.Fatalf("%v reference: %v", alg, err)
+		}
+		for _, n := range shardCounts {
+			for _, by := range partitioners {
+				got, err := prefmatch.Match(objs, qs, &prefmatch.Options{
+					Backend:   prefmatch.Memory,
+					Algorithm: alg,
+					Shards:    n,
+					ShardBy:   by,
+				})
+				if err != nil {
+					t.Fatalf("%v shards=%d by=%v: %v", alg, n, by, err)
+				}
+				if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+					t.Fatalf("%v shards=%d by=%v: assignments differ from the single-index run", alg, n, by)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPagedEquivalence repeats the check with paged shards: the
+// composite composes either base backend.
+func TestShardedPagedEquivalence(t *testing.T) {
+	const d = 3
+	objs := serveObjects(600, d, 303)
+	qs := serveQueries(40, d, 304)
+	for _, alg := range []prefmatch.Algorithm{prefmatch.SkylineBased, prefmatch.BruteForce} {
+		want, err := prefmatch.Match(objs, qs, &prefmatch.Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prefmatch.Match(objs, qs, &prefmatch.Options{Algorithm: alg, Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+			t.Fatalf("%v: paged-sharded assignments differ from single paged index", alg)
+		}
+	}
+}
+
+func TestShardedMatchMonotoneEquivalence(t *testing.T) {
+	const d = 3
+	objs := serveObjects(500, d, 305)
+	var pqs []prefmatch.PreferenceQuery
+	for _, q := range serveQueries(30, d, 306) {
+		pqs = append(pqs, prefmatch.PreferenceQuery{ID: q.ID, Preference: prefmatch.LinearPreference{Weights: q.Weights}})
+	}
+	want, err := prefmatch.MatchMonotone(objs, pqs, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range shardCounts {
+		for _, by := range partitioners {
+			got, err := prefmatch.MatchMonotone(objs, pqs, &prefmatch.Options{
+				Backend: prefmatch.Memory,
+				Shards:  n,
+				ShardBy: by,
+			})
+			if err != nil {
+				t.Fatalf("shards=%d by=%v: %v", n, by, err)
+			}
+			if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+				t.Fatalf("shards=%d by=%v: monotone assignments differ", n, by)
+			}
+		}
+	}
+}
+
+// TestShardedTopKEquivalence covers both sharded top-k paths: the engine
+// running over the composite index (package-level TopK) and the Server's
+// per-shard parallel fan-out.
+func TestShardedTopKEquivalence(t *testing.T) {
+	const d = 4
+	objs := serveObjects(1100, d, 307)
+	qs := serveQueries(25, d, 308)
+	ks := []int{1, 7, 2000}
+	type key struct{ q, k int }
+	want := map[key][]prefmatch.Assignment{}
+	for _, q := range qs {
+		for _, k := range ks {
+			res, err := prefmatch.TopK(objs, q, k, &prefmatch.Options{Backend: prefmatch.Memory})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{q.ID, k}] = res
+		}
+	}
+	for _, n := range shardCounts {
+		for _, by := range partitioners {
+			opts := &prefmatch.Options{Backend: prefmatch.Memory, Shards: n, ShardBy: by}
+			srv, err := prefmatch.NewServer(objs, &prefmatch.Options{Shards: n, ShardBy: by})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range qs {
+				for _, k := range ks {
+					direct, err := prefmatch.TopK(objs, q, k, opts)
+					if err != nil {
+						t.Fatalf("shards=%d by=%v: %v", n, by, err)
+					}
+					if !reflect.DeepEqual(direct, want[key{q.ID, k}]) {
+						t.Fatalf("shards=%d by=%v q=%d k=%d: engine-over-composite differs", n, by, q.ID, k)
+					}
+					served, err := srv.TopK(q, k)
+					if err != nil {
+						t.Fatalf("shards=%d by=%v: %v", n, by, err)
+					}
+					if len(served) == 0 {
+						served = nil
+					}
+					if !reflect.DeepEqual(served, want[key{q.ID, k}]) {
+						t.Fatalf("shards=%d by=%v q=%d k=%d: server fan-out differs", n, by, q.ID, k)
+					}
+				}
+			}
+			if s := srv.Stats(); s.ShardsPruned < 0 {
+				t.Fatalf("negative pruned count %d", s.ShardsPruned)
+			}
+		}
+	}
+}
+
+func TestShardedSkylineEquivalence(t *testing.T) {
+	const d = 3
+	objs := serveObjects(800, d, 309)
+	want, err := prefmatch.Skyline(objs, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range shardCounts {
+		for _, by := range partitioners {
+			got, err := prefmatch.Skyline(objs, &prefmatch.Options{Backend: prefmatch.Memory, Shards: n, ShardBy: by})
+			if err != nil {
+				t.Fatalf("shards=%d by=%v: %v", n, by, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d by=%v: skyline differs", n, by)
+			}
+		}
+	}
+}
+
+func TestShardedOptionValidation(t *testing.T) {
+	objs := serveObjects(50, 2, 310)
+	qs := serveQueries(5, 2, 311)
+	if _, err := prefmatch.Match(objs, qs, &prefmatch.Options{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := prefmatch.Match(objs, qs, &prefmatch.Options{Shards: 100000}); err == nil {
+		t.Fatal("absurd shard count accepted")
+	}
+	// A partitioner choice without sharding must not be silently dropped.
+	if _, err := prefmatch.Match(objs, qs, &prefmatch.Options{ShardBy: prefmatch.ShardHash}); err == nil {
+		t.Fatal("ShardBy without Shards accepted")
+	}
+	if _, err := prefmatch.Match(objs, qs, &prefmatch.Options{Shards: 2, ShardBy: prefmatch.ShardBy(99)}); err == nil {
+		t.Fatal("unknown ShardBy accepted")
+	}
+}
+
+// TestNewServerSnapshotError: a backend that cannot hand out read-only
+// snapshots must be rejected with an error naming Snapshotter — not fall
+// back silently, not panic.
+func TestNewServerSnapshotError(t *testing.T) {
+	objs := serveObjects(120, 2, 312)
+	for name, opts := range map[string]*prefmatch.Options{
+		"paged":         nil, // BuildIndex default is the paged backend
+		"paged-sharded": {Shards: 2},
+	} {
+		ix, err := prefmatch.BuildIndex(objs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = prefmatch.NewServerFromIndex(ix)
+		if err == nil {
+			t.Fatalf("%s: snapshot-incapable index accepted for serving", name)
+		}
+		if !strings.Contains(err.Error(), "Snapshotter") {
+			t.Fatalf("%s: error does not name Snapshotter: %v", name, err)
+		}
+	}
+}
+
+// TestNewServerFromIndex: a memory-built Index (sharded or not) serves
+// without re-indexing, with results identical to a freshly built server.
+func TestNewServerFromIndex(t *testing.T) {
+	const d = 3
+	objs := serveObjects(400, d, 313)
+	q := serveQueries(1, d, 314)[0]
+	want, err := prefmatch.TopK(objs, q, 5, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]*prefmatch.Options{
+		"mem":         {Backend: prefmatch.Memory},
+		"mem-sharded": {Backend: prefmatch.Memory, Shards: 3},
+	} {
+		ix, err := prefmatch.BuildIndex(objs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := prefmatch.NewServerFromIndex(ix)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := srv.TopK(q, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: served top-k differs from direct computation", name)
+		}
+	}
+}
