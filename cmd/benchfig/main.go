@@ -11,6 +11,7 @@
 //	go run ./cmd/benchfig -backends paged  # paper mode only (skip the memory rows)
 //	go run ./cmd/benchfig -serve           # serving throughput vs worker count
 //	go run ./cmd/benchfig -sharded         # sharded vs unsharded serving
+//	go run ./cmd/benchfig -alloc           # steady-state serving allocs/op and B/op
 //
 // -serve runs the concurrency experiment instead of the paper figures: one
 // shared in-memory index (prefmatch.Server) answers independent top-1
@@ -42,6 +43,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"prefmatch"
@@ -108,6 +110,7 @@ func main() {
 	backendsFlag := flag.String("backends", "paged,mem", "comma-separated subset of paged,mem")
 	serve := flag.Bool("serve", false, "run the serving-throughput experiment instead of the paper figures")
 	shardedExp := flag.Bool("sharded", false, "run the sharded vs unsharded serving experiment instead of the paper figures")
+	alloc := flag.Bool("alloc", false, "run the allocation experiment: steady-state serving ns/op, B/op and allocs/op")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -124,6 +127,10 @@ func main() {
 	}
 	if *shardedExp {
 		runSharded(sc, *seed)
+		return
+	}
+	if *alloc {
+		runAlloc(sc, *seed)
 		return
 	}
 
@@ -279,6 +286,100 @@ func runServing(sc scale, seed int64) {
 	}
 	el = time.Since(start)
 	fmt.Printf("%-10s %14v %14.2f\n", "paged(1)", el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
+}
+
+// runAlloc measures the steady-state allocation profile of the serving
+// path: ns/op, B/op and allocs/op per top-k query, from the raw pooled
+// ranked search over a memory snapshot (the zero-alloc layer, pinned at 0
+// allocs/op by TestZeroAllocSteadyState) up through the public Server
+// surface (which adds the per-request snapshot and the returned assignment
+// slice) and the sharded fan-out. The CI bench smoke step runs this mode so
+// the allocation trajectory is visible on every change.
+func runAlloc(sc scale, seed int64) {
+	const (
+		d = 4
+		k = 10
+	)
+	nObjects := sc.objectsFig2
+	items := dataset.Independent(nObjects, d, seed)
+	fns := dataset.Functions(sc.functions, d, seed+1)
+
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+
+	ix, err := mem.Build(d, items, nil)
+	if err != nil {
+		panic(err)
+	}
+	snap := ix.Snapshot()
+	prefsBoxed := make([]prefs.Preference, len(fns))
+	for i, f := range fns {
+		prefsBoxed[i] = f
+	}
+	srv, err := prefmatch.NewServer(objects, nil)
+	if err != nil {
+		panic(err)
+	}
+	shsrv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: 4, ShardBy: prefmatch.ShardSpatial})
+	if err != nil {
+		panic(err)
+	}
+
+	rows := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"topk/Top1 (pooled, mem snapshot)", func(b *testing.B) {
+			c := &stats.Counters{}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := topk.Top1(snap, prefsBoxed[i%len(prefsBoxed)], c); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("topk/SearchAppend k=%d (reused buffer)", k), func(b *testing.B) {
+			c := &stats.Counters{}
+			buf := make([]topk.Result, 0, k)
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = topk.SearchAppend(buf[:0], snap, prefsBoxed[i%len(prefsBoxed)], k, c)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Server.TopK k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Server.TopK k=%d (spatial/4)", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shsrv.TopK(queries[i%len(queries)], k); err != nil {
+					panic(err)
+				}
+			}
+		}},
+	}
+
+	fmt.Printf("benchfig: steady-state serving allocations — |O| = %d, |Q| = %d, D = %d, k = %d\n\n",
+		nObjects, len(queries), d, k)
+	fmt.Printf("%-42s %14s %12s %12s\n", "path", "ns/op", "B/op", "allocs/op")
+	for _, row := range rows {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			row.run(b)
+		})
+		fmt.Printf("%-42s %14d %12d %12d\n", row.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
 }
 
 // runSharded measures the sharded composite against the unsharded memory

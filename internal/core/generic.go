@@ -104,22 +104,25 @@ type genericSB struct {
 	resid     *residual
 
 	ocache map[index.ObjID]obCache
-	fcache map[int]fnCache
-	queue  []Pair
+	fcache []fnCache // dense, indexed by preference position (see sbMatcher)
+	queue  pairQueue
+
+	loopScratch // per-loop reusable state, shared shape with sbMatcher
 }
 
 func newGenericSB(tree index.ObjectIndex, gps []GenericPreference, opts *Options, c *stats.Counters) *genericSB {
 	m := &genericSB{
-		tree:      tree,
-		gps:       gps,
-		maint:     skyline.New(tree, opts.SkylineMode, c),
-		c:         c,
-		multiPair: !opts.DisableMultiPair,
-		alive:     make([]bool, len(gps)),
-		live:      len(gps),
-		resid:     newResidual(opts.Capacities),
-		ocache:    map[index.ObjID]obCache{},
-		fcache:    map[int]fnCache{},
+		tree:        tree,
+		gps:         gps,
+		maint:       skyline.New(tree, opts.SkylineMode, c),
+		c:           c,
+		multiPair:   !opts.DisableMultiPair,
+		alive:       make([]bool, len(gps)),
+		live:        len(gps),
+		resid:       newResidual(opts.Capacities),
+		ocache:      map[index.ObjID]obCache{},
+		fcache:      make([]fnCache, len(gps)),
+		loopScratch: newLoopScratch(len(gps)),
 	}
 	for i := range m.alive {
 		m.alive[i] = true
@@ -151,9 +154,7 @@ func (m *genericSB) bestPrefFor(o *skyline.Object) (int, float64, bool) {
 }
 
 func (m *genericSB) Next() (Pair, bool, error) {
-	if len(m.queue) > 0 {
-		p := m.queue[0]
-		m.queue = m.queue[1:]
+	if p, ok := m.queue.pop(); ok {
 		return p, true, nil
 	}
 	if m.done {
@@ -172,7 +173,7 @@ func (m *genericSB) Next() (Pair, bool, error) {
 		}
 		m.started = true
 	}
-	for len(m.queue) == 0 {
+	for m.queue.len() == 0 {
 		if m.live == 0 || m.maint.Size() == 0 {
 			m.done = true
 			return Pair{}, false, nil
@@ -181,30 +182,29 @@ func (m *genericSB) Next() (Pair, bool, error) {
 			return Pair{}, false, err
 		}
 	}
-	p := m.queue[0]
-	m.queue = m.queue[1:]
+	p, _ := m.queue.pop()
 	return p, true, nil
 }
 
 func (m *genericSB) loop() error {
 	m.c.Loops++
+	m.gen++
 	sky := m.maint.Skyline()
 
-	fbestOrder := make([]int, 0, len(sky))
-	inFbest := make(map[int]bool, len(sky))
+	fbestOrder := m.fbest[:0]
 	for _, o := range sky {
 		oc, ok := m.ocache[o.ID]
 		if !ok {
 			return fmt.Errorf("core: missing ocache for skyline object %d", o.ID)
 		}
-		if !inFbest[oc.fnIdx] {
-			inFbest[oc.fnIdx] = true
+		if m.fbestGen[oc.fnIdx] != m.gen {
+			m.fbestGen[oc.fnIdx] = m.gen
 			fbestOrder = append(fbestOrder, oc.fnIdx)
 		}
 	}
+	m.fbest = fbestOrder
 	for _, fIdx := range fbestOrder {
-		fc, ok := m.fcache[fIdx]
-		if ok && fc.valid {
+		if m.fcache[fIdx].valid {
 			continue
 		}
 		best := (*skyline.Object)(nil)
@@ -220,18 +220,14 @@ func (m *genericSB) loop() error {
 		m.fcache[fIdx] = fnCache{obj: best, score: bestScore, valid: true}
 	}
 
-	type matched struct {
-		fIdx  int
-		obj   *skyline.Object
-		score float64
-	}
-	var pairs []matched
+	pairs := m.pairs[:0]
 	for _, fIdx := range fbestOrder {
 		fc := m.fcache[fIdx]
 		if m.ocache[fc.obj.ID].fnIdx == fIdx {
-			pairs = append(pairs, matched{fIdx: fIdx, obj: fc.obj, score: fc.score})
+			pairs = append(pairs, matchedPair{fIdx: fIdx, obj: fc.obj, score: fc.score})
 		}
 	}
+	m.pairs = pairs
 	if len(pairs) == 0 {
 		return fmt.Errorf("core: no stable pair found in generic loop %d", m.c.Loops)
 	}
@@ -244,20 +240,20 @@ func (m *genericSB) loop() error {
 		pairs = pairs[:1]
 	}
 
-	matchedFns := make(map[int]bool, len(pairs))
-	removedObjs := make([]index.ObjID, 0, len(pairs))
+	removedObjs := m.removed[:0]
 	for _, p := range pairs {
-		m.queue = append(m.queue, Pair{FuncID: m.gps[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
+		m.queue.push(Pair{FuncID: m.gps[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
 		m.c.PairsEmitted++
-		matchedFns[p.fIdx] = true
+		m.matchedGen[p.fIdx] = m.gen
 		m.alive[p.fIdx] = false
 		m.live--
-		delete(m.fcache, p.fIdx)
+		m.fcache[p.fIdx] = fnCache{}
 		if m.resid.take(p.obj.ID) {
 			removedObjs = append(removedObjs, p.obj.ID)
 			delete(m.ocache, p.obj.ID)
 		}
 	}
+	m.removed = removedObjs
 
 	added, err := m.maint.Remove(removedObjs)
 	if err != nil {
@@ -268,7 +264,7 @@ func (m *genericSB) loop() error {
 	}
 	for _, o := range m.maint.Skyline() {
 		oc, ok := m.ocache[o.ID]
-		if ok && !matchedFns[oc.fnIdx] {
+		if ok && m.matchedGen[oc.fnIdx] != m.gen {
 			continue
 		}
 		idx, score, okBest := m.bestPrefFor(o)
@@ -277,15 +273,13 @@ func (m *genericSB) loop() error {
 		}
 		m.ocache[o.ID] = obCache{fnIdx: idx, score: score}
 	}
-	removedSet := make(map[index.ObjID]bool, len(removedObjs))
-	for _, id := range removedObjs {
-		removedSet[id] = true
-	}
-	for fIdx, fc := range m.fcache {
+	m.removedQ.reset(removedObjs)
+	for fIdx := range m.fcache {
+		fc := m.fcache[fIdx]
 		if !fc.valid {
 			continue
 		}
-		if removedSet[fc.obj.ID] {
+		if m.removedQ.has(fc.obj.ID) {
 			fc.valid = false
 			m.fcache[fIdx] = fc
 			continue

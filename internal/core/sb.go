@@ -42,11 +42,15 @@ type sbMatcher struct {
 	// ocache maps a skyline object ID to its best function; entries exist
 	// for exactly the current skyline members.
 	ocache map[index.ObjID]obCache
-	// fcache maps a function index to its best object over the current
-	// skyline; entries may be stale-marked (valid=false) but never wrong.
-	fcache map[int]fnCache
+	// fcache holds, per function position, the function's best object over
+	// the current skyline; entries may be stale-marked (valid=false) but
+	// never wrong. Dense indexing keeps the refresh pass in function order
+	// (a map would iterate randomly) and allocation-free.
+	fcache []fnCache
 
-	queue []Pair // emitted but not yet returned by Next
+	queue pairQueue // emitted but not yet returned by Next
+
+	loopScratch // per-loop reusable state, shared shape with genericSB
 }
 
 type obCache struct {
@@ -67,24 +71,23 @@ func newSB(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats
 	}
 	lists.TightThreshold = !opts.DisableTightThreshold
 	return &sbMatcher{
-		tree:      tree,
-		fns:       fns,
-		lists:     lists,
-		maint:     skyline.New(tree, opts.SkylineMode, c),
-		c:         c,
-		multiPair: !opts.DisableMultiPair,
-		resid:     newResidual(opts.Capacities),
-		ocache:    map[index.ObjID]obCache{},
-		fcache:    map[int]fnCache{},
+		tree:        tree,
+		fns:         fns,
+		lists:       lists,
+		maint:       skyline.New(tree, opts.SkylineMode, c),
+		c:           c,
+		multiPair:   !opts.DisableMultiPair,
+		resid:       newResidual(opts.Capacities),
+		ocache:      map[index.ObjID]obCache{},
+		fcache:      make([]fnCache, len(fns)),
+		loopScratch: newLoopScratch(len(fns)),
 	}, nil
 }
 
 func (m *sbMatcher) Counters() *stats.Counters { return m.c }
 
 func (m *sbMatcher) Next() (Pair, bool, error) {
-	if len(m.queue) > 0 {
-		p := m.queue[0]
-		m.queue = m.queue[1:]
+	if p, ok := m.queue.pop(); ok {
 		return p, true, nil
 	}
 	if m.done {
@@ -95,7 +98,7 @@ func (m *sbMatcher) Next() (Pair, bool, error) {
 			return Pair{}, false, err
 		}
 	}
-	for len(m.queue) == 0 {
+	for m.queue.len() == 0 {
 		if m.lists.AliveCount() == 0 || m.maint.Size() == 0 {
 			m.done = true
 			return Pair{}, false, nil
@@ -104,8 +107,7 @@ func (m *sbMatcher) Next() (Pair, bool, error) {
 			return Pair{}, false, err
 		}
 	}
-	p := m.queue[0]
-	m.queue = m.queue[1:]
+	p, _ := m.queue.pop()
 	return p, true, nil
 }
 
@@ -129,27 +131,27 @@ func (m *sbMatcher) start() error {
 // into the queue.
 func (m *sbMatcher) loop() error {
 	m.c.Loops++
+	m.gen++
 	sky := m.maint.Skyline()
 
 	// Fbest: the distinct best functions over the skyline, in deterministic
 	// (skyline discovery) order.
-	fbestOrder := make([]int, 0, len(sky))
-	inFbest := make(map[int]bool, len(sky))
+	fbestOrder := m.fbest[:0]
 	for _, o := range sky {
 		oc, ok := m.ocache[o.ID]
 		if !ok {
 			return fmt.Errorf("core: missing ocache for skyline object %d", o.ID)
 		}
-		if !inFbest[oc.fnIdx] {
-			inFbest[oc.fnIdx] = true
+		if m.fbestGen[oc.fnIdx] != m.gen {
+			m.fbestGen[oc.fnIdx] = m.gen
 			fbestOrder = append(fbestOrder, oc.fnIdx)
 		}
 	}
+	m.fbest = fbestOrder
 
 	// Ensure every f in Fbest has a valid best object over the skyline.
 	for _, fIdx := range fbestOrder {
-		fc, ok := m.fcache[fIdx]
-		if ok && fc.valid {
+		if m.fcache[fIdx].valid {
 			continue
 		}
 		best := (*skyline.Object)(nil)
@@ -168,18 +170,14 @@ func (m *sbMatcher) loop() error {
 	// Collect the mutually-best pairs (§ IV-C). Each is stable by
 	// Property 1. Without multi-pair (ablation), keep only the globally
 	// best one.
-	type matched struct {
-		fIdx  int
-		obj   *skyline.Object
-		score float64
-	}
-	var pairs []matched
+	pairs := m.pairs[:0]
 	for _, fIdx := range fbestOrder {
 		fc := m.fcache[fIdx]
 		if m.ocache[fc.obj.ID].fnIdx == fIdx {
-			pairs = append(pairs, matched{fIdx: fIdx, obj: fc.obj, score: fc.score})
+			pairs = append(pairs, matchedPair{fIdx: fIdx, obj: fc.obj, score: fc.score})
 		}
 	}
+	m.pairs = pairs
 	if len(pairs) == 0 {
 		return fmt.Errorf("core: no stable pair found in loop %d (invariant violation)", m.c.Loops)
 	}
@@ -196,16 +194,15 @@ func (m *sbMatcher) loop() error {
 
 	// Emit; remove functions always, objects only when their capacity is
 	// exhausted (the default capacity is 1, the paper's 1-1 model).
-	matchedFns := make(map[int]bool, len(pairs))
-	removedObjs := make([]index.ObjID, 0, len(pairs))
+	removedObjs := m.removed[:0]
 	for _, p := range pairs {
-		m.queue = append(m.queue, Pair{FuncID: m.fns[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
+		m.queue.push(Pair{FuncID: m.fns[p.fIdx].ID, ObjID: p.obj.ID, Score: p.score})
 		m.c.PairsEmitted++
-		matchedFns[p.fIdx] = true
+		m.matchedGen[p.fIdx] = m.gen
 		if err := m.lists.Remove(p.fIdx); err != nil {
 			return err
 		}
-		delete(m.fcache, p.fIdx)
+		m.fcache[p.fIdx] = fnCache{}
 		if m.resid.take(p.obj.ID) {
 			removedObjs = append(removedObjs, p.obj.ID)
 			delete(m.ocache, p.obj.ID)
@@ -213,6 +210,7 @@ func (m *sbMatcher) loop() error {
 		// A surviving object keeps its skyline slot; its ocache entry
 		// points at the just-matched function and is refreshed below.
 	}
+	m.removed = removedObjs
 
 	// Skyline maintenance (§ IV-B): promote what the removed objects were
 	// exclusively dominating.
@@ -229,7 +227,7 @@ func (m *sbMatcher) loop() error {
 	// new reverse top-1; new skyline members need their first one.
 	for _, o := range m.maint.Skyline() {
 		oc, ok := m.ocache[o.ID]
-		if ok && !matchedFns[oc.fnIdx] {
+		if ok && m.matchedGen[oc.fnIdx] != m.gen {
 			continue
 		}
 		idx, score, okTA := m.lists.ReverseTop1(o.Point)
@@ -241,15 +239,15 @@ func (m *sbMatcher) loop() error {
 
 	// Refresh fcache: invalidate entries whose best object was assigned,
 	// then challenge the surviving entries with the newly promoted objects.
-	removedSet := make(map[index.ObjID]bool, len(removedObjs))
-	for _, id := range removedObjs {
-		removedSet[id] = true
-	}
-	for fIdx, fc := range m.fcache {
+	// Dense iteration runs in function order — the map it replaced iterated
+	// randomly.
+	m.removedQ.reset(removedObjs)
+	for fIdx := range m.fcache {
+		fc := m.fcache[fIdx]
 		if !fc.valid {
 			continue
 		}
-		if removedSet[fc.obj.ID] {
+		if m.removedQ.has(fc.obj.ID) {
 			fc.valid = false
 			m.fcache[fIdx] = fc
 			continue

@@ -98,6 +98,26 @@ type Node interface {
 	Object(i int) Item
 }
 
+// FlatLeaf is an optional extension of Node for backends whose leaf storage
+// is columnar: all of a leaf's entries live in two contiguous parallel
+// arrays, an object-ID slab and a dim-strided coordinate slab (entry i's
+// point occupies coords[i*d:(i+1)*d]). Hot loops — ranked-search scoring,
+// BBS key computation — type-assert for it once per node and then run over
+// the flat arrays with no per-entry interface dispatch and no per-entry
+// allocation. Only meaningful when Leaf() is true; the slices are owned by
+// the index and must not be mutated or appended to.
+type FlatLeaf interface {
+	FlatItems() (ids []ObjID, coords []float64)
+}
+
+// FlatInternal is the internal-node counterpart of FlatLeaf: the node's
+// entry MBRs live in two contiguous dim-strided slabs (entry i's corners
+// occupy lo[i*d:(i+1)*d] and hi[i*d:(i+1)*d]). Only meaningful when Leaf()
+// is false; the slices are owned by the index and must not be mutated.
+type FlatInternal interface {
+	FlatRects() (lo, hi []float64)
+}
+
 // ObjectIndex is the ranked-access object index the engine traverses: a
 // height-balanced tree of MBR-tagged nodes over a point set, supporting
 // best-first traversal (RootPage + ReadNode), deletion of matched objects,

@@ -10,12 +10,28 @@
 // yield the identical stable matching for every algorithm (see the
 // cross-backend equivalence tests in internal/core).
 //
+// # Storage layout
+//
+// The arena is columnar: nodes are values in one flat []node slice (NodeID =
+// slot), and node payloads are windows into contiguous per-level slabs built
+// by BulkLoad — one dim-strided coordinate slab plus one object-ID slab
+// shared by every leaf (leaf entry rects are degenerate views of the same
+// coordinates), and flat dim-strided lo/hi slabs plus a child slab shared by
+// every internal node of a level. Traversal is therefore sequential memory,
+// BulkLoad performs O(levels) large allocations instead of O(nodes) small
+// ones, and snapshots share the slabs. Nodes additionally implement
+// index.FlatLeaf and index.FlatInternal, so scoring loops can run over the
+// raw slabs with no per-entry interface dispatch.
+//
 // Deletion removes the leaf entry, tightens the ancestor MBRs, dissolves
 // nodes that become empty and collapses single-child roots. Unlike the paged
 // backend it performs no minimum-fill re-insertion: under-full nodes cannot
 // affect correctness of best-first search or skyline traversal, and the
 // matchers only ever shrink the index, so rebalancing buys nothing on the
-// serving path.
+// serving path. A mutated node's payload is rebuilt copy-on-write rather
+// than edited in place, so points and rects previously handed out (which
+// alias the slabs) stay intact — the same guarantee the pointer-arena
+// layout gave for free.
 //
 // # Concurrency
 //
@@ -48,33 +64,51 @@ type Options struct {
 	Counters *stats.Counters
 }
 
-// node is one arena slot. Internal nodes hold parallel rects/children
-// slices; leaves hold items (their entry rects are the degenerate
-// rectangles at the item points, materialised on demand).
+// node is one arena slot, a value in the Index's flat []node arena. Leaves
+// hold parallel id/coordinate windows into the leaf slabs (ids[i]'s point is
+// the dim-strided pts[i*dim:(i+1)*dim]; its entry rect is the degenerate
+// rectangle over the same storage). Internal nodes hold dim-strided lo/hi
+// MBR windows plus a child window into their level's slabs. A dead node
+// (freed by Delete) has no payload.
 type node struct {
-	leaf     bool
-	rects    []vec.Rect     // internal entries: child MBRs
-	children []index.NodeID // internal entries
-	items    []index.Item   // leaf entries
+	leaf bool
+	dead bool
+	dim  int32
+
+	// leaf payload
+	ids []index.ObjID
+	pts []float64
+
+	// internal payload
+	lo, hi   []float64
+	children []index.NodeID
 }
 
-var _ index.Node = (*node)(nil)
+var (
+	_ index.Node         = (*node)(nil)
+	_ index.FlatLeaf     = (*node)(nil)
+	_ index.FlatInternal = (*node)(nil)
+)
 
 func (n *node) Leaf() bool { return n.leaf }
 
 func (n *node) Len() int {
 	if n.leaf {
-		return len(n.items)
+		return len(n.ids)
 	}
 	return len(n.children)
 }
 
 func (n *node) Rect(i int) vec.Rect {
+	d := int(n.dim)
 	if n.leaf {
-		p := n.items[i].Point
+		p := vec.Point(n.pts[i*d : (i+1)*d : (i+1)*d])
 		return vec.Rect{Lo: p, Hi: p} // degenerate; shares storage deliberately
 	}
-	return n.rects[i]
+	return vec.Rect{
+		Lo: vec.Point(n.lo[i*d : (i+1)*d : (i+1)*d]),
+		Hi: vec.Point(n.hi[i*d : (i+1)*d : (i+1)*d]),
+	}
 }
 
 func (n *node) ChildPage(i int) index.NodeID {
@@ -88,18 +122,21 @@ func (n *node) Object(i int) index.Item {
 	if !n.leaf {
 		panic("mem: Object on internal node")
 	}
-	return n.items[i]
+	d := int(n.dim)
+	return index.Item{ID: n.ids[i], Point: vec.Point(n.pts[i*d : (i+1)*d : (i+1)*d])}
 }
+
+// FlatItems exposes the leaf's columnar payload (index.FlatLeaf).
+func (n *node) FlatItems() ([]index.ObjID, []float64) { return n.ids, n.pts }
+
+// FlatRects exposes the internal node's columnar MBRs (index.FlatInternal).
+func (n *node) FlatRects() ([]float64, []float64) { return n.lo, n.hi }
 
 func (n *node) mbr() vec.Rect {
 	if n.leaf {
-		pts := make([]vec.Point, len(n.items))
-		for i := range n.items {
-			pts[i] = n.items[i].Point
-		}
-		return vec.MBROfPoints(pts)
+		return vec.MBROfFlatPoints(n.pts, int(n.dim))
 	}
-	return vec.MBROfRects(n.rects)
+	return vec.MBROfFlatRects(n.lo, n.hi, int(n.dim))
 }
 
 // Index is the in-memory backend. It is not safe for concurrent use
@@ -107,8 +144,8 @@ func (n *node) mbr() vec.Rect {
 // comment's Concurrency section).
 type Index struct {
 	dim   int
-	nodes []*node // arena; NodeID = slot; nil = freed
-	freed int     // count of freed slots (slots are never recycled)
+	nodes []node // flat value arena; NodeID = slot; dead = freed
+	freed int    // count of freed slots (slots are never recycled)
 	root  index.NodeID
 	size  int
 	c     *stats.Counters
@@ -191,28 +228,31 @@ func (ix *Index) ReadNode(id index.NodeID) (index.Node, error) {
 }
 
 func (ix *Index) node(id index.NodeID) (*node, error) {
-	if id < 0 || int(id) >= len(ix.nodes) || ix.nodes[id] == nil {
+	if id < 0 || int(id) >= len(ix.nodes) || ix.nodes[id].dead {
 		return nil, fmt.Errorf("mem: invalid node %d", id)
 	}
-	return ix.nodes[id], nil
+	return &ix.nodes[id], nil
 }
 
-func (ix *Index) alloc(n *node) index.NodeID {
+// alloc appends a node to the arena. Only BulkLoad allocates, so pointers
+// handed out by ReadNode are never invalidated by arena growth.
+func (ix *Index) alloc(n node) index.NodeID {
 	ix.nodes = append(ix.nodes, n)
 	return index.NodeID(len(ix.nodes) - 1)
 }
 
 func (ix *Index) freeNode(id index.NodeID) {
-	ix.nodes[id] = nil
+	ix.nodes[id] = node{dead: true}
 	ix.freed++
 }
 
 // --- Snapshots ---------------------------------------------------------
 
 // snapshot is a read-only view of an Index: it captures the root and size at
-// creation time, shares the node arena, and owns its counter sink. All
-// traversal methods delegate to the parent without touching shared mutable
-// state, so concurrent snapshots never race with each other.
+// creation time, shares the node arena (and therefore the slabs), and owns
+// its counter sink. All traversal methods delegate to the parent without
+// touching shared mutable state, so concurrent snapshots never race with
+// each other.
 type snapshot struct {
 	ix   *Index
 	root index.NodeID
@@ -271,11 +311,15 @@ func (s *snapshot) Validate() error { return s.ix.Validate() }
 // BulkLoad builds the index from scratch using Sort-Tile-Recursive packing,
 // replacing any existing content. It mirrors the paged backend's packing
 // (same slab recursion, same balanced group sizes, same tie-breaks) so both
-// backends traverse structurally identical trees.
+// backends traverse structurally identical trees. Storage is columnar: each
+// level's node payloads are windows into exactly-sized contiguous slabs, so
+// loading n items costs O(levels) large allocations, not O(nodes) small
+// ones.
 func (ix *Index) BulkLoad(items []index.Item) error {
+	d := ix.dim
 	for i := range items {
-		if len(items[i].Point) != ix.dim {
-			return fmt.Errorf("mem: item %d has dimension %d, want %d", i, len(items[i].Point), ix.dim)
+		if len(items[i].Point) != d {
+			return fmt.Errorf("mem: item %d has dimension %d, want %d", i, len(items[i].Point), d)
 		}
 	}
 	ix.nodes = nil
@@ -288,31 +332,64 @@ func (ix *Index) BulkLoad(items []index.Item) error {
 
 	sorted := make([]index.Item, len(items))
 	copy(sorted, items)
+	groups := index.STRItems(sorted, d, ix.maxLeaf)
+
+	// Leaf level: one object-ID slab and one dim-strided coordinate slab
+	// shared by every leaf. Copying the coordinates into the slab also
+	// detaches the index from the caller's point storage.
+	idSlab := make([]index.ObjID, len(items))
+	ptSlab := make([]float64, len(items)*d)
+	ix.nodes = make([]node, 0, 2*len(groups)+1)
 
 	type levelEntry struct {
 		rect  vec.Rect
 		child index.NodeID
 	}
-	var level []levelEntry
-	for _, g := range index.STRItems(sorted, ix.dim, ix.maxLeaf) {
-		leaf := &node{leaf: true, items: append([]index.Item(nil), g...)}
-		for i := range leaf.items {
-			leaf.items[i].Point = leaf.items[i].Point.Clone()
+	level := make([]levelEntry, 0, len(groups))
+	off := 0
+	for _, g := range groups {
+		start := off
+		for _, it := range g {
+			idSlab[off] = it.ID
+			copy(ptSlab[off*d:(off+1)*d], it.Point)
+			off++
 		}
-		id := ix.alloc(leaf)
-		level = append(level, levelEntry{rect: leaf.mbr(), child: id})
+		n := node{
+			leaf: true,
+			dim:  int32(d),
+			ids:  idSlab[start:off:off],
+			pts:  ptSlab[start*d : off*d : off*d],
+		}
+		id := ix.alloc(n)
+		level = append(level, levelEntry{rect: n.mbr(), child: id})
 	}
 	for len(level) > 1 {
 		lv := level
-		groups := index.STRGroups(len(lv), func(i, d int) float64 {
-			return (lv[i].rect.Lo[d] + lv[i].rect.Hi[d]) / 2
-		}, func(i int) int32 { return int32(lv[i].child) }, ix.dim, ix.maxInternal)
+		groups := index.STRGroups(len(lv), func(i, dm int) float64 {
+			return (lv[i].rect.Lo[dm] + lv[i].rect.Hi[dm]) / 2
+		}, func(i int) int32 { return int32(lv[i].child) }, d, ix.maxInternal)
+		// Internal level: exactly-sized flat lo/hi/child slabs shared by the
+		// level's nodes (one entry per node of the level below).
+		loSlab := make([]float64, len(lv)*d)
+		hiSlab := make([]float64, len(lv)*d)
+		kidSlab := make([]index.NodeID, len(lv))
 		next := make([]levelEntry, 0, len(groups))
+		off := 0
 		for _, g := range groups {
-			n := &node{leaf: false}
+			start := off
 			for _, idx := range g {
-				n.rects = append(n.rects, level[idx].rect)
-				n.children = append(n.children, level[idx].child)
+				e := lv[idx]
+				copy(loSlab[off*d:(off+1)*d], e.rect.Lo)
+				copy(hiSlab[off*d:(off+1)*d], e.rect.Hi)
+				kidSlab[off] = e.child
+				off++
+			}
+			n := node{
+				leaf:     false,
+				dim:      int32(d),
+				lo:       loSlab[start*d : off*d : off*d],
+				hi:       hiSlab[start*d : off*d : off*d],
+				children: kidSlab[start:off:off],
 			}
 			id := ix.alloc(n)
 			next = append(next, levelEntry{rect: n.mbr(), child: id})
@@ -328,7 +405,9 @@ func (ix *Index) BulkLoad(items []index.Item) error {
 
 // Delete removes the object (id, p). Ancestor MBRs are tightened, emptied
 // nodes dissolved and a single-child root chain collapsed; no minimum-fill
-// re-insertion is performed (see the package comment).
+// re-insertion is performed (see the package comment). Mutated nodes are
+// rebuilt copy-on-write so previously handed-out points and rects (which
+// alias the slabs) stay intact.
 func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
 	if len(p) != ix.dim {
 		return fmt.Errorf("mem: deleting dimension %d from dimension-%d index", len(p), ix.dim)
@@ -354,7 +433,7 @@ func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
 			return err
 		}
 		if n.leaf {
-			if len(n.items) == 0 {
+			if len(n.ids) == 0 {
 				ix.freeNode(ix.root)
 				ix.root = index.InvalidNode
 			}
@@ -377,13 +456,19 @@ func (ix *Index) deleteRec(nid index.NodeID, id index.ObjID, p vec.Point) (found
 	if err != nil {
 		return false, false, vec.Rect{}, err
 	}
+	d := ix.dim
 	if n.leaf {
-		for i := range n.items {
-			if n.items[i].ID == id && n.items[i].Point.Equal(p) {
-				n.items = append(n.items[:i], n.items[i+1:]...)
-				if len(n.items) == 0 {
+		for i := range n.ids {
+			if n.ids[i] == id && p.Equal(vec.Point(n.pts[i*d:(i+1)*d])) {
+				if len(n.ids) == 1 {
+					n.ids, n.pts = nil, nil
 					return true, true, vec.Rect{}, nil
 				}
+				ids := make([]index.ObjID, 0, len(n.ids)-1)
+				ids = append(append(ids, n.ids[:i]...), n.ids[i+1:]...)
+				pts := make([]float64, 0, len(n.pts)-d)
+				pts = append(append(pts, n.pts[:i*d]...), n.pts[(i+1)*d:]...)
+				n.ids, n.pts = ids, pts
 				return true, false, n.mbr(), nil
 			}
 		}
@@ -391,7 +476,7 @@ func (ix *Index) deleteRec(nid index.NodeID, id index.ObjID, p vec.Point) (found
 	}
 	// Try every child whose MBR contains p (R-trees may overlap).
 	for i := 0; i < len(n.children); i++ {
-		if !n.rects[i].ContainsPoint(p) {
+		if !n.Rect(i).ContainsPoint(p) {
 			continue
 		}
 		f, childEmpty, childRect, err := ix.deleteRec(n.children[i], id, p)
@@ -403,10 +488,19 @@ func (ix *Index) deleteRec(nid index.NodeID, id index.ObjID, p vec.Point) (found
 		}
 		if childEmpty {
 			ix.freeNode(n.children[i])
-			n.rects = append(n.rects[:i], n.rects[i+1:]...)
-			n.children = append(n.children[:i], n.children[i+1:]...)
+			children := make([]index.NodeID, 0, len(n.children)-1)
+			children = append(append(children, n.children[:i]...), n.children[i+1:]...)
+			lo := make([]float64, 0, len(n.lo)-d)
+			lo = append(append(lo, n.lo[:i*d]...), n.lo[(i+1)*d:]...)
+			hi := make([]float64, 0, len(n.hi)-d)
+			hi = append(append(hi, n.hi[:i*d]...), n.hi[(i+1)*d:]...)
+			n.children, n.lo, n.hi = children, lo, hi
 		} else {
-			n.rects[i] = childRect
+			lo := append([]float64(nil), n.lo...)
+			hi := append([]float64(nil), n.hi...)
+			copy(lo[i*d:(i+1)*d], childRect.Lo)
+			copy(hi[i*d:(i+1)*d], childRect.Hi)
+			n.lo, n.hi = lo, hi
 		}
 		if len(n.children) == 0 {
 			return true, true, vec.Rect{}, nil
@@ -419,8 +513,9 @@ func (ix *Index) deleteRec(nid index.NodeID, id index.ObjID, p vec.Point) (found
 // --- Validation --------------------------------------------------------
 
 // Validate checks structural invariants: tight MBRs, uniform leaf depth, no
-// node referenced twice, no overflow, and size consistency. Minimum fill is
-// deliberately not enforced (deletion dissolves empty nodes only).
+// node referenced twice, no overflow, consistent columnar payloads, and size
+// consistency. Minimum fill is deliberately not enforced (deletion dissolves
+// empty nodes only).
 func (ix *Index) Validate() error {
 	if ix.root == index.InvalidNode {
 		if ix.size != 0 {
@@ -428,6 +523,7 @@ func (ix *Index) Validate() error {
 		}
 		return nil
 	}
+	d := ix.dim
 	seen := make(map[index.NodeID]bool, len(ix.nodes))
 	count := 0
 	depthSeen := -1
@@ -444,30 +540,36 @@ func (ix *Index) Validate() error {
 		if n.Len() == 0 {
 			return vec.Rect{}, fmt.Errorf("mem: empty node %d at depth %d", id, depth)
 		}
+		if int(n.dim) != d {
+			return vec.Rect{}, fmt.Errorf("mem: node %d has dimension %d, want %d", id, n.dim, d)
+		}
 		if n.leaf {
-			if len(n.items) > ix.maxLeaf {
-				return vec.Rect{}, fmt.Errorf("mem: leaf %d overflows: %d > %d", id, len(n.items), ix.maxLeaf)
+			if len(n.ids) > ix.maxLeaf {
+				return vec.Rect{}, fmt.Errorf("mem: leaf %d overflows: %d > %d", id, len(n.ids), ix.maxLeaf)
+			}
+			if len(n.pts) != len(n.ids)*d {
+				return vec.Rect{}, fmt.Errorf("mem: leaf %d has %d coordinates for %d items", id, len(n.pts), len(n.ids))
 			}
 			if depthSeen == -1 {
 				depthSeen = depth
 			} else if depth != depthSeen {
 				return vec.Rect{}, fmt.Errorf("mem: leaves at depths %d and %d", depthSeen, depth)
 			}
-			count += len(n.items)
+			count += len(n.ids)
 			return n.mbr(), nil
 		}
 		if len(n.children) > ix.maxInternal {
 			return vec.Rect{}, fmt.Errorf("mem: node %d overflows: %d > %d", id, len(n.children), ix.maxInternal)
 		}
-		if len(n.rects) != len(n.children) {
-			return vec.Rect{}, fmt.Errorf("mem: node %d has %d rects for %d children", id, len(n.rects), len(n.children))
+		if len(n.lo) != len(n.children)*d || len(n.hi) != len(n.children)*d {
+			return vec.Rect{}, fmt.Errorf("mem: node %d has %d/%d MBR coordinates for %d children", id, len(n.lo), len(n.hi), len(n.children))
 		}
 		for i := range n.children {
 			childRect, err := walk(n.children[i], depth+1)
 			if err != nil {
 				return vec.Rect{}, err
 			}
-			if !childRect.Equal(n.rects[i]) {
+			if !childRect.Equal(n.Rect(i)) {
 				return vec.Rect{}, fmt.Errorf("mem: loose MBR at node %d entry %d", id, i)
 			}
 		}
@@ -490,9 +592,11 @@ func (ix *Index) Items() []index.Item {
 	}
 	var walk func(id index.NodeID)
 	walk = func(id index.NodeID) {
-		n := ix.nodes[id]
+		n := &ix.nodes[id]
 		if n.leaf {
-			out = append(out, n.items...)
+			for i := range n.ids {
+				out = append(out, n.Object(i))
+			}
 			return
 		}
 		for _, c := range n.children {

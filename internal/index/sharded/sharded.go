@@ -132,6 +132,29 @@ func (n shardNode) ChildPage(i int) index.NodeID {
 	return encode(int(n.shard), n.Node.ChildPage(i))
 }
 
+// flatNode is a node exposing both columnar payloads (the memory backend's
+// nodes do).
+type flatNode interface {
+	index.FlatLeaf
+	index.FlatInternal
+}
+
+// flatShardNode additionally forwards the wrapped node's columnar payload,
+// so the engine's flat fast paths (ranked-search scoring, BBS keys) survive
+// the shard wrapper. Forwarding is safe: object IDs are global and entry
+// MBRs carry no child IDs — ChildPage remains the tagging override.
+type flatShardNode struct {
+	shardNode
+}
+
+func (n flatShardNode) FlatItems() ([]index.ObjID, []float64) {
+	return n.Node.(index.FlatLeaf).FlatItems()
+}
+
+func (n flatShardNode) FlatRects() ([]float64, []float64) {
+	return n.Node.(index.FlatInternal).FlatRects()
+}
+
 // Index is the composite backend. It is not safe for concurrent use
 // directly; concurrent readers each take a Snapshot when the shards allow it
 // (see the package comment's Concurrency section).
@@ -351,7 +374,11 @@ func readNode(shards []index.ObjectIndex, entries []rootEntry, id index.NodeID) 
 	if err != nil {
 		return nil, err
 	}
-	return shardNode{Node: n, shard: int32(shard)}, nil
+	sn := shardNode{Node: n, shard: int32(shard)}
+	if _, ok := n.(flatNode); ok {
+		return flatShardNode{sn}, nil
+	}
+	return sn, nil
 }
 
 // Delete routes the deletion to the shard that holds the object and tightens
@@ -573,7 +600,8 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		}
 		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
 		snap.SetCounters(sink)
-		search := topk.NewIncSearch(snap, pref, sink)
+		search := topk.AcquireSearcher(snap, pref, sink)
+		defer search.Release()
 		// A shard contributes at most its own k best: its stream is exactly
 		// descending, so result k+1 cannot displace anything its first k
 		// could not.

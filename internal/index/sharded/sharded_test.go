@@ -371,3 +371,66 @@ func TestBuildValidation(t *testing.T) {
 		t.Fatal("empty composite has a root")
 	}
 }
+
+// TestShardNodesForwardFlatPayloads pins the fast-path plumbing: nodes read
+// through the composite over memory shards must still satisfy the columnar
+// interfaces (index.FlatLeaf / index.FlatInternal), so the engine's
+// devirtualized scoring survives the shard wrapper. Method promotion through
+// an embedded interface would silently drop them — this test is what catches
+// that regression.
+func TestShardNodesForwardFlatPayloads(t *testing.T) {
+	items := dataset.Independent(3000, 3, 17)
+	ix, err := Build(3, items, &Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	var walk func(id index.NodeID)
+	walk = func(id index.NodeID) {
+		n, err := ix.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == ix.RootPage() {
+			// The synthetic root is a routing table, not a shard node.
+			for i := 0; i < n.Len(); i++ {
+				walk(n.ChildPage(i))
+			}
+			return
+		}
+		if n.Leaf() {
+			fl, ok := n.(index.FlatLeaf)
+			if !ok {
+				t.Fatalf("leaf node %d read through the composite lost index.FlatLeaf", id)
+			}
+			ids, pts := fl.FlatItems()
+			if len(ids) != n.Len() || len(pts) != n.Len()*3 {
+				t.Fatalf("node %d: flat payload %d ids / %d coords for %d entries", id, len(ids), len(pts), n.Len())
+			}
+			for i := range ids {
+				obj := n.Object(i)
+				if obj.ID != ids[i] || !obj.Point.Equal(pts[i*3:(i+1)*3]) {
+					t.Fatalf("node %d entry %d: flat payload disagrees with Object", id, i)
+				}
+			}
+			seen += len(ids)
+			return
+		}
+		fi, ok := n.(index.FlatInternal)
+		if !ok {
+			t.Fatalf("internal node %d read through the composite lost index.FlatInternal", id)
+		}
+		lo, hi := fi.FlatRects()
+		for i := 0; i < n.Len(); i++ {
+			r := n.Rect(i)
+			if !r.Lo.Equal(lo[i*3:(i+1)*3]) || !r.Hi.Equal(hi[i*3:(i+1)*3]) {
+				t.Fatalf("node %d entry %d: flat MBR disagrees with Rect", id, i)
+			}
+			walk(n.ChildPage(i))
+		}
+	}
+	walk(ix.RootPage())
+	if seen != len(items) {
+		t.Fatalf("walk saw %d items, want %d", seen, len(items))
+	}
+}

@@ -24,6 +24,29 @@ func New[T any](less func(a, b T) bool) *Queue[T] {
 	return &Queue[T]{less: less}
 }
 
+// Init readies a queue in place, ordered by less, emptying any previous
+// content while retaining the backing array. It makes an embedded zero
+// Queue usable without the pointer indirection of New — the reusable
+// searcher in internal/topk embeds its frontier this way.
+func (q *Queue[T]) Init(less func(a, b T) bool) {
+	if less == nil {
+		panic("pqueue: nil less function")
+	}
+	q.less = less
+	q.Reset()
+}
+
+// Reset empties the queue for reuse, retaining the backing array so a
+// steady-state caller stops allocating. Elements are zeroed first so the
+// retained array cannot leak references.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := range q.items {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+}
+
 // SetCounters makes the queue report HeapOps to c. Pass nil to disable.
 func (q *Queue[T]) SetCounters(c *stats.Counters) { q.counters = c }
 
@@ -69,14 +92,9 @@ func (q *Queue[T]) Peek() (T, bool) {
 	return q.items[0], true
 }
 
-// Clear empties the queue, retaining allocated capacity.
-func (q *Queue[T]) Clear() {
-	var zero T
-	for i := range q.items {
-		q.items[i] = zero
-	}
-	q.items = q.items[:0]
-}
+// Clear empties the queue, retaining allocated capacity. It is Reset under
+// its historical name.
+func (q *Queue[T]) Clear() { q.Reset() }
 
 // Items returns the internal slice in heap order (not sorted). It is meant
 // for draining-style inspection in tests; callers must not mutate it.

@@ -125,6 +125,16 @@ func (f Function) String() string {
 
 var _ Preference = Function{}
 
+// Linear reports whether p is the concrete linear Function type, returning
+// it unboxed. Hot paths use it to devirtualize scoring: a linear preference
+// can be evaluated as a tight dot-product loop over a backend's flat
+// coordinate slab (vec.Dot / vec.DotSum) instead of an interface call per
+// entry, with bit-identical results.
+func Linear(p Preference) (Function, bool) {
+	f, ok := p.(Function)
+	return f, ok
+}
+
 // BetterFunc reports whether function (scoreA, idA) is preferred by an
 // object over function (scoreB, idB): higher score first, then smaller
 // function ID.

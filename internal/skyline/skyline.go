@@ -317,6 +317,9 @@ func (m *Maintainer) run(h *pqueue.Queue[item], skipPlist bool, known map[index.
 		if err != nil {
 			return err
 		}
+		if m.expandFlat(n, h, skipPlist) {
+			continue
+		}
 		for i := 0; i < n.Len(); i++ {
 			var child item
 			if n.Leaf() {
@@ -338,6 +341,61 @@ func (m *Maintainer) run(h *pqueue.Queue[item], skipPlist bool, known map[index.
 			h.Push(child)
 		}
 	}
+}
+
+// expandFlat is the columnar-storage fast path of the BBS expansion loop:
+// when the backend exposes flat node payloads (index.FlatLeaf /
+// index.FlatInternal — the memory backend does), the entry points and MBR
+// corners are read straight off the dim-strided slabs, with one interface
+// assertion per node instead of an Object/Rect dispatch per entry. The heap
+// keys are computed by the same Point.BestCornerDist accumulation as the
+// generic path, so the traversal (and every tie-break) is bit-identical.
+// Reports false when the node has no flat payload.
+func (m *Maintainer) expandFlat(n index.Node, h *pqueue.Queue[item], skipPlist bool) bool {
+	d := m.tree.Dim()
+	if n.Leaf() {
+		fl, ok := n.(index.FlatLeaf)
+		if !ok {
+			return false
+		}
+		ids, pts := fl.FlatItems()
+		for i, id := range ids {
+			if m.excluded[id] {
+				continue
+			}
+			p := vec.Point(pts[i*d : i*d+d : i*d+d])
+			child := item{dist: p.BestCornerDist(), isObj: true, id: id, point: p}
+			if owner := m.dominator(p); owner != nil {
+				if !skipPlist {
+					owner.plist = append(owner.plist, child)
+				}
+				continue
+			}
+			h.Push(child)
+		}
+		return true
+	}
+	fi, ok := n.(index.FlatInternal)
+	if !ok {
+		return false
+	}
+	lo, hi := fi.FlatRects()
+	for i := 0; i < n.Len(); i++ {
+		hiP := vec.Point(hi[i*d : i*d+d : i*d+d])
+		child := item{
+			dist: hiP.BestCornerDist(),
+			page: n.ChildPage(i),
+			rect: vec.Rect{Lo: vec.Point(lo[i*d : i*d+d : i*d+d]), Hi: hiP},
+		}
+		if owner := m.dominator(hiP); owner != nil {
+			if !skipPlist {
+				owner.plist = append(owner.plist, child)
+			}
+			continue
+		}
+		h.Push(child)
+	}
+	return true
 }
 
 // dominator returns the first current skyline object dominating p, or nil.

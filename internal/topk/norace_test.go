@@ -1,0 +1,6 @@
+//go:build !race
+
+package topk
+
+// raceEnabled: see race_test.go.
+const raceEnabled = false

@@ -10,9 +10,22 @@
 // with the deterministic function-side tie-breaks of package prefs
 // (coordinate sum, then object ID), and only the R-tree nodes whose bound
 // reaches the current frontier are read.
+//
+// # Serving path
+//
+// Searcher is resettable: Reset rebinds it to a (tree, preference) pair
+// while keeping the frontier's backing array, so a steady-state caller
+// performs zero allocations per query. AcquireSearcher/Release pool
+// searchers across goroutines; Top1, Search and SearchAppend route through
+// the pool. When the preference is a linear prefs.Function and the backend
+// exposes columnar node storage (index.FlatLeaf / index.FlatInternal — the
+// memory backend does), scoring runs devirtualized over the flat slabs with
+// no per-entry interface dispatch. All paths produce bit-identical results.
 package topk
 
 import (
+	"sync"
+
 	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/pqueue"
@@ -77,25 +90,61 @@ func better(a, b heapItem) bool {
 	return a.id < b.id
 }
 
-// IncSearch is a resumable incremental ranked search: successive Next calls
+// Searcher is a resumable incremental ranked search: successive Next calls
 // return objects in exact descending preference order. The search is only
 // valid while the underlying tree is not modified; after an insertion or
-// deletion a new search must be started (the Brute Force matcher re-issues
-// top-1 searches after every tree deletion for exactly this reason).
-type IncSearch struct {
+// deletion a new search must be started via Reset (the Brute Force matcher
+// re-issues top-1 searches after every tree deletion for exactly this
+// reason).
+//
+// A Searcher is reusable: Reset rebinds it to a new (tree, preference) pair
+// while keeping the frontier's backing array, so steady-state ranked search
+// allocates nothing. Use AcquireSearcher/Release to share searchers through
+// the package pool, or NewSearcher for a private long-lived one (the
+// incremental Brute Force matcher keeps one live per function).
+type Searcher struct {
 	tree     index.ObjectIndex
 	pref     prefs.Preference
-	frontier *pqueue.Queue[heapItem]
+	lin      prefs.Function // devirtualized copy of pref when linear
+	isLinear bool
+	frontier pqueue.Queue[heapItem]
 	counters *stats.Counters
+}
+
+// IncSearch is the historical name of Searcher.
+type IncSearch = Searcher
+
+// NewSearcher returns an unbound reusable searcher; call Reset before Next.
+func NewSearcher() *Searcher {
+	s := &Searcher{}
+	s.frontier.Init(better)
+	return s
 }
 
 // NewIncSearch starts an incremental ranked search for pref over t, charging
 // work to c (nil means the tree's own counters).
 func NewIncSearch(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) *IncSearch {
+	s := NewSearcher()
+	s.Reset(t, pref, c)
+	return s
+}
+
+// Reset rebinds the searcher to a fresh ranked search for pref over t,
+// charging work to c (nil means the tree's own counters). The frontier's
+// backing array is retained, so a warmed searcher performs no allocations.
+func (s *Searcher) Reset(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) {
 	if c == nil {
 		c = t.Counters()
 	}
-	s := &IncSearch{tree: t, pref: pref, frontier: pqueue.New(better), counters: c}
+	s.tree, s.pref, s.counters = t, pref, c
+	s.lin, s.isLinear = prefs.Linear(pref)
+	if s.isLinear && s.lin.Dim() != t.Dim() {
+		// A dimension-mismatched function cannot stride the flat slabs;
+		// take the generic path, which degrades exactly like Function.Score
+		// (scoring the first len(Weights) coordinates).
+		s.isLinear = false
+	}
+	s.frontier.Reset()
 	s.frontier.SetCounters(c)
 	c.Top1Searches++
 	if root := t.RootPage(); root != pagedfile.InvalidPage {
@@ -103,14 +152,37 @@ func NewIncSearch(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters)
 		// first without an extra I/O here.
 		s.frontier.Push(heapItem{bound: inf, page: root})
 	}
+}
+
+// searcherPool recycles warmed searchers across queries and goroutines: the
+// serving path (Server.TopK/TopKMany, the sharded per-shard fan-out) would
+// otherwise allocate a frontier per query.
+var searcherPool = sync.Pool{New: func() any { return NewSearcher() }}
+
+// AcquireSearcher returns a pooled searcher already Reset for (t, pref, c).
+// The caller must Release it when the search is abandoned or exhausted, and
+// must not use it afterwards.
+func AcquireSearcher(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) *Searcher {
+	s := searcherPool.Get().(*Searcher)
+	s.Reset(t, pref, c)
 	return s
+}
+
+// Release drops the searcher's references (so a pooled searcher cannot pin
+// a tree or its arena) and returns it to the pool.
+func (s *Searcher) Release() {
+	s.tree, s.pref, s.counters = nil, nil, nil
+	s.lin, s.isLinear = prefs.Function{}, false
+	s.frontier.Reset()
+	s.frontier.SetCounters(nil)
+	searcherPool.Put(s)
 }
 
 const inf = 1e300 // larger than any normalised score; avoids math.Inf in keys
 
 // Next returns the next best object, or ok == false when the tree is
 // exhausted.
-func (s *IncSearch) Next() (Result, bool, error) {
+func (s *Searcher) Next() (Result, bool, error) {
 	for {
 		top, ok := s.frontier.Pop()
 		if !ok {
@@ -122,6 +194,9 @@ func (s *IncSearch) Next() (Result, bool, error) {
 		n, err := s.tree.ReadNode(top.page)
 		if err != nil {
 			return Result{}, false, err
+		}
+		if s.isLinear && s.expandLinear(n) {
+			continue
 		}
 		for i := 0; i < n.Len(); i++ {
 			if n.Leaf() {
@@ -145,26 +220,88 @@ func (s *IncSearch) Next() (Result, bool, error) {
 	}
 }
 
+// expandLinear pushes n's entries scoring the devirtualized linear function
+// over the backend's flat columnar storage — no interface dispatch, no Rect
+// or Item materialisation per entry. It reports false when the node does not
+// expose flat storage (the caller falls back to the generic path). Scores,
+// bounds and sums are accumulated in the same order as Function.Score /
+// Point.Sum, so results are bit-identical to the generic path.
+func (s *Searcher) expandLinear(n index.Node) bool {
+	w := s.lin.Weights
+	d := len(w)
+	if n.Leaf() {
+		fl, ok := n.(index.FlatLeaf)
+		if !ok {
+			return false
+		}
+		ids, pts := fl.FlatItems()
+		for i, id := range ids {
+			p := pts[i*d : i*d+d : i*d+d]
+			dot, sum := vec.DotSum(w, p)
+			s.counters.ScoreEvals++
+			s.frontier.Push(heapItem{
+				bound: dot,
+				isObj: true,
+				id:    id,
+				point: vec.Point(p),
+				sum:   sum,
+			})
+		}
+		return true
+	}
+	fi, ok := n.(index.FlatInternal)
+	if !ok {
+		return false
+	}
+	_, hi := fi.FlatRects() // a monotone bound over an MBR needs the top corner only
+	for i := 0; i < n.Len(); i++ {
+		s.counters.ScoreEvals++
+		s.frontier.Push(heapItem{
+			bound: vec.Dot(w, hi[i*d:i*d+d]),
+			page:  n.ChildPage(i),
+		})
+	}
+	return true
+}
+
 // Top1 returns the single best object in t for pref, with ok == false when t
 // is empty.
 func Top1(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) (Result, bool, error) {
-	return NewIncSearch(t, pref, c).Next()
+	s := AcquireSearcher(t, pref, c)
+	r, ok, err := s.Next()
+	s.Release()
+	return r, ok, err
 }
 
 // Search returns the k best objects in descending preference order (fewer
-// when the tree holds fewer than k objects).
+// when the tree holds fewer than k objects). A non-positive k returns
+// (nil, nil).
 func Search(t index.ObjectIndex, pref prefs.Preference, k int, c *stats.Counters) ([]Result, error) {
-	s := NewIncSearch(t, pref, c)
-	out := make([]Result, 0, k)
-	for len(out) < k {
+	if k <= 0 {
+		return nil, nil
+	}
+	return SearchAppend(make([]Result, 0, k), t, pref, k, c)
+}
+
+// SearchAppend appends the up-to-k best objects to dst, best first, and
+// returns the extended slice — the allocation-free form of Search for
+// callers that reuse a result buffer across queries. A non-positive k
+// returns dst unchanged.
+func SearchAppend(dst []Result, t index.ObjectIndex, pref prefs.Preference, k int, c *stats.Counters) ([]Result, error) {
+	if k <= 0 {
+		return dst, nil
+	}
+	s := AcquireSearcher(t, pref, c)
+	defer s.Release()
+	for taken := 0; taken < k; taken++ {
 		r, ok, err := s.Next()
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if !ok {
 			break
 		}
-		out = append(out, r)
+		dst = append(dst, r)
 	}
-	return out, nil
+	return dst, nil
 }

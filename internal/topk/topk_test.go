@@ -126,6 +126,32 @@ func TestSearchK(t *testing.T) {
 	}
 }
 
+// TestSearchNonPositiveK is the regression test for the negative-k panic:
+// Search used to run make([]Result, 0, k) unguarded, so k < 0 crashed with
+// "makeslice: cap out of range". Non-positive k now returns (nil, nil).
+func TestSearchNonPositiveK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr, _ := buildTree(t, rng, 50, 2)
+	f := randFunc(rng, 0, 2)
+	for _, k := range []int{0, -1, -1000} {
+		got, err := Search(tr, f, k, nil)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != nil {
+			t.Fatalf("k=%d: got %d results, want nil", k, len(got))
+		}
+	}
+	buf := make([]Result, 0, 4)
+	out, err := SearchAppend(buf, tr, f, -3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("SearchAppend with negative k appended %d results", len(out))
+	}
+}
+
 func TestEmptyTree(t *testing.T) {
 	tr, err := paged.New(2, nil)
 	if err != nil {

@@ -94,6 +94,33 @@ func (p Point) BestCornerDist() float64 {
 	return d
 }
 
+// Dot returns Σ w[i]·x[i] over the first len(w) coordinates of x,
+// accumulated in ascending index order — bit-identical to scoring the same
+// coordinates through prefs.Function.Score. x is typically a dim-strided
+// window of a backend's flat point slab (see index.FlatLeaf), re-sliced up
+// front so the loop body carries no bounds checks.
+func Dot(w Point, x []float64) float64 {
+	x = x[:len(w)]
+	s := 0.0
+	for i, wi := range w {
+		s += wi * x[i]
+	}
+	return s
+}
+
+// DotSum returns Dot(w, x) and the coordinate sum of the same window in one
+// pass. Both accumulate in ascending index order, so dot is bit-identical to
+// Dot and sum to Point.Sum over the same coordinates.
+func DotSum(w Point, x []float64) (dot, sum float64) {
+	x = x[:len(w)]
+	for i, wi := range w {
+		v := x[i]
+		dot += wi * v
+		sum += v
+	}
+	return dot, sum
+}
+
 // String renders p as "(v0, v1, ...)" with compact float formatting.
 func (p Point) String() string {
 	var b strings.Builder
@@ -298,6 +325,56 @@ func MBROfPoints(pts []Point) Rect {
 		r.ExpandPoint(p)
 	}
 	return r
+}
+
+// MBROfFlatPoints returns the minimum bounding rectangle of the n = len(coords)/d
+// dim-strided points stored in coords (point i occupies coords[i*d:(i+1)*d]).
+// It panics if coords is empty. The returned corners are freshly allocated.
+func MBROfFlatPoints(coords []float64, d int) Rect {
+	if len(coords) == 0 || d < 1 {
+		panic("vec: MBR of empty flat point set")
+	}
+	lo := make(Point, d)
+	hi := make(Point, d)
+	copy(lo, coords[:d])
+	copy(hi, coords[:d])
+	for off := d; off < len(coords); off += d {
+		for i := 0; i < d; i++ {
+			v := coords[off+i]
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// MBROfFlatRects returns the minimum bounding rectangle of the dim-strided
+// rectangles stored columnar in lo and hi (rect i's corners occupy
+// lo[i*d:(i+1)*d] and hi[i*d:(i+1)*d]). It panics if the slabs are empty.
+// The returned corners are freshly allocated.
+func MBROfFlatRects(lo, hi []float64, d int) Rect {
+	if len(lo) == 0 || d < 1 {
+		panic("vec: MBR of empty flat rect set")
+	}
+	outLo := make(Point, d)
+	outHi := make(Point, d)
+	copy(outLo, lo[:d])
+	copy(outHi, hi[:d])
+	for off := d; off < len(lo); off += d {
+		for i := 0; i < d; i++ {
+			if v := lo[off+i]; v < outLo[i] {
+				outLo[i] = v
+			}
+			if v := hi[off+i]; v > outHi[i] {
+				outHi[i] = v
+			}
+		}
+	}
+	return Rect{Lo: outLo, Hi: outHi}
 }
 
 // MBROfRects returns the minimum bounding rectangle of the given rectangles.
