@@ -22,6 +22,7 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/index/paged"
+	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
@@ -389,6 +390,89 @@ func BenchmarkServeMatchWaves(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(nWaves)*float64(b.N)/b.Elapsed().Seconds(), "waves/s")
+		})
+	}
+}
+
+// BenchmarkShardedMatchWave measures the shard-parallel matching wave
+// (sharded.MatchWave) on clustered data: SB waves served through the
+// sharded Server (which routes Match through the wave), and one BruteForce
+// wave over the composite with pruned/op — candidate streams never opened
+// because their shard MBR bound could not reach the function's best head.
+// Results are bit-identical across rows (enforced by the cross-shard wave
+// equivalence tests).
+func BenchmarkShardedMatchWave(b *testing.B) {
+	const (
+		d        = 3
+		waveSize = 50
+		nWaves   = 4
+	)
+	items := dataset.Clustered(benchObjectsFig2, d, 8, 63)
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	waves := make([][]prefmatch.Query, nWaves)
+	for w := range waves {
+		fns := dataset.Functions(waveSize, d, int64(64+w))
+		qs := make([]prefmatch.Query, len(fns))
+		for i, f := range fns {
+			qs[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+		}
+		waves[w] = qs
+	}
+	configs := []struct {
+		name    string
+		shards  int
+		shardBy prefmatch.ShardBy
+	}{
+		{name: "unsharded"},
+		{name: "spatial-2", shards: 2, shardBy: prefmatch.ShardSpatial},
+		{name: "spatial-4", shards: 4, shardBy: prefmatch.ShardSpatial},
+		{name: "spatial-8", shards: 8, shardBy: prefmatch.ShardSpatial},
+		{name: "hash-4", shards: 4, shardBy: prefmatch.ShardHash},
+	}
+	for _, cfg := range configs {
+		b.Run("SB/"+cfg.name, func(b *testing.B) {
+			srv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: cfg.shards, ShardBy: cfg.shardBy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.MatchMany(waves, nil, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nWaves)*float64(b.N)/b.Elapsed().Seconds(), "waves/s")
+		})
+	}
+	bfFns := dataset.Functions(benchFunctions, d, 68)
+	for _, cfg := range configs {
+		if cfg.shards == 0 {
+			continue
+		}
+		b.Run("BF/"+cfg.name, func(b *testing.B) {
+			var part sharded.Partitioner = sharded.Spatial{}
+			if cfg.shardBy == prefmatch.ShardHash {
+				part = sharded.Hash{}
+			}
+			ix, err := sharded.Build(d, items, &sharded.Options{Shards: cfg.shards, Partitioner: part})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := &stats.Counters{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pairs, err := ix.MatchWave(bfFns, &core.Options{Algorithm: core.AlgBruteForce}, 1, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pairs) != len(bfFns) {
+					b.Fatalf("%d pairs for %d functions", len(pairs), len(bfFns))
+				}
+			}
+			b.ReportMetric(float64(c.ShardsPruned)/float64(b.N), "pruned/op")
 		})
 	}
 }

@@ -52,10 +52,16 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/index/paged"
+	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 )
+
+// benchSnapshot names the latest committed snapshot of the bench
+// trajectory; every mode's output header points at it so a table can be
+// compared against the recorded numbers without digging through git.
+const benchSnapshot = "BENCH_1.json"
 
 type scale struct {
 	objectsFig2 int
@@ -111,6 +117,7 @@ func main() {
 	serve := flag.Bool("serve", false, "run the serving-throughput experiment instead of the paper figures")
 	shardedExp := flag.Bool("sharded", false, "run the sharded vs unsharded serving experiment instead of the paper figures")
 	alloc := flag.Bool("alloc", false, "run the allocation experiment: steady-state serving ns/op, B/op and allocs/op")
+	check := flag.Bool("check", false, "with -alloc: exit non-zero if a pooled steady-state path reports > 0 allocs/op (the CI regression gate)")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -130,7 +137,7 @@ func main() {
 		return
 	}
 	if *alloc {
-		runAlloc(sc, *seed)
+		runAlloc(sc, *seed, *check)
 		return
 	}
 
@@ -195,7 +202,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("benchfig: %s — |F| = %d\n", label, sc.functions)
+	fmt.Printf("benchfig: %s — |F| = %d (bench trajectory: %s)\n", label, sc.functions, benchSnapshot)
 	for _, ex := range experiments {
 		if !want[ex.name] {
 			continue
@@ -229,7 +236,7 @@ func runServing(sc scale, seed int64) {
 		panic(err)
 	}
 
-	fmt.Printf("benchfig: serving throughput — |O| = %d, |Q| = %d, D = %d\n", nObjects, nQueries, d)
+	fmt.Printf("benchfig: serving throughput — |O| = %d, |Q| = %d, D = %d (bench trajectory: %s)\n", nObjects, nQueries, d, benchSnapshot)
 
 	fmt.Println("\n== Top-1 queries/sec vs workers (mem Server) ==")
 	fmt.Printf("%-10s %14s %14s\n", "workers", "elapsed", "queries/s")
@@ -294,8 +301,10 @@ func runServing(sc scale, seed int64) {
 // allocs/op by TestZeroAllocSteadyState) up through the public Server
 // surface (which adds the per-request snapshot and the returned assignment
 // slice) and the sharded fan-out. The CI bench smoke step runs this mode so
-// the allocation trajectory is visible on every change.
-func runAlloc(sc scale, seed int64) {
+// the allocation trajectory is visible on every change; with check set the
+// pooled rows become a regression gate — any allocation on a pooled
+// steady-state path exits non-zero.
+func runAlloc(sc scale, seed int64, check bool) {
 	const (
 		d = 4
 		k = 10
@@ -333,9 +342,10 @@ func runAlloc(sc scale, seed int64) {
 
 	rows := []struct {
 		name string
+		gate bool // pooled steady-state path: must stay at 0 allocs/op
 		run  func(b *testing.B)
 	}{
-		{"topk/Top1 (pooled, mem snapshot)", func(b *testing.B) {
+		{"topk/Top1 (pooled, mem snapshot)", true, func(b *testing.B) {
 			c := &stats.Counters{}
 			for i := 0; i < b.N; i++ {
 				if _, _, err := topk.Top1(snap, prefsBoxed[i%len(prefsBoxed)], c); err != nil {
@@ -343,7 +353,7 @@ func runAlloc(sc scale, seed int64) {
 				}
 			}
 		}},
-		{fmt.Sprintf("topk/SearchAppend k=%d (reused buffer)", k), func(b *testing.B) {
+		{fmt.Sprintf("topk/SearchAppend k=%d (reused buffer)", k), true, func(b *testing.B) {
 			c := &stats.Counters{}
 			buf := make([]topk.Result, 0, k)
 			for i := 0; i < b.N; i++ {
@@ -354,14 +364,14 @@ func runAlloc(sc scale, seed int64) {
 				}
 			}
 		}},
-		{fmt.Sprintf("Server.TopK k=%d", k), func(b *testing.B) {
+		{fmt.Sprintf("Server.TopK k=%d", k), false, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
 					panic(err)
 				}
 			}
 		}},
-		{fmt.Sprintf("Server.TopK k=%d (spatial/4)", k), func(b *testing.B) {
+		{fmt.Sprintf("Server.TopK k=%d (spatial/4)", k), false, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := shsrv.TopK(queries[i%len(queries)], k); err != nil {
 					panic(err)
@@ -370,15 +380,26 @@ func runAlloc(sc scale, seed int64) {
 		}},
 	}
 
-	fmt.Printf("benchfig: steady-state serving allocations — |O| = %d, |Q| = %d, D = %d, k = %d\n\n",
-		nObjects, len(queries), d, k)
+	fmt.Printf("benchfig: steady-state serving allocations — |O| = %d, |Q| = %d, D = %d, k = %d (bench trajectory: %s)\n\n",
+		nObjects, len(queries), d, k, benchSnapshot)
 	fmt.Printf("%-42s %14s %12s %12s\n", "path", "ns/op", "B/op", "allocs/op")
+	failed := false
 	for _, row := range rows {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			row.run(b)
 		})
 		fmt.Printf("%-42s %14d %12d %12d\n", row.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		if check && row.gate && r.AllocsPerOp() > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchfig: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n", row.name, r.AllocsPerOp())
+		}
+	}
+	if check {
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("\nalloc gate: every pooled steady-state path at 0 allocs/op")
 	}
 }
 
@@ -386,10 +407,14 @@ func runAlloc(sc scale, seed int64) {
 // server on a clustered object set (the workload spatial partitioning is
 // built for): per-user top-k queries answered shard by shard with MBR
 // pruning (single-threaded — a worker budget of 1 isolates the pruning
-// effect), and SB matching waves over the composite snapshot. Each row
-// is one configuration; shardsPruned counts whole shards skipped by MBR
-// pruning across the run (the spatial partitioner's whole point — hash and
-// rr shards span the full space and can never prune).
+// effect), SB matching waves compared between the single-threaded composite
+// traversal and the shard-parallel wave (sharded.MatchWave, the Server's
+// path), and a BruteForce wave against a fresh single index. Each row is
+// one configuration; shardsPruned counts whole shards (or candidate
+// streams) skipped by MBR pruning across the run (the spatial partitioner's
+// whole point — hash and rr shards span the full space and can never
+// prune). Every configuration's assignments are re-checked against the
+// unsharded reference inline.
 func runSharded(sc scale, seed int64) {
 	const (
 		d        = 4
@@ -426,8 +451,8 @@ func runSharded(sc scale, seed int64) {
 		}
 	}
 
-	fmt.Printf("benchfig: sharded vs unsharded serving — |O| = %d (clustered), |Q| = %d, D = %d, k = %d\n",
-		nObjects, nQueries, d, k)
+	fmt.Printf("benchfig: sharded vs unsharded serving — |O| = %d (clustered), |Q| = %d, D = %d, k = %d (bench trajectory: %s)\n",
+		nObjects, nQueries, d, k, benchSnapshot)
 
 	var reference [][]prefmatch.Assignment
 	fmt.Printf("\n== Top-%d queries/sec by shard configuration ==\n", k)
@@ -456,19 +481,97 @@ func runSharded(sc scale, seed int64) {
 			cfg.name, el.Round(time.Millisecond), float64(nQueries)/el.Seconds(), srv.Stats().ShardsPruned)
 	}
 
-	fmt.Println("\n== SB matching waves/sec by shard configuration ==")
-	fmt.Printf("%-14s %14s %14s\n", "config", "elapsed", "waves/s")
+	fmt.Println("\n== SB matching waves/sec: composite traversal vs shard-parallel wave ==")
+	fmt.Printf("%-14s %14s %14s\n", "config", "composite w/s", "wave w/s")
+	var waveRef []*prefmatch.Result
 	for _, cfg := range configs {
-		srv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: cfg.shards, ShardBy: cfg.shardBy})
+		// Composite traversal: the reusable Index runs SB over the
+		// synthetic root single-threaded (the pre-wave path).
+		bix, err := prefmatch.BuildIndex(objects, &prefmatch.Options{Backend: prefmatch.Memory, Shards: cfg.shards, ShardBy: cfg.shardBy})
 		if err != nil {
 			panic(err)
 		}
 		start := time.Now()
-		if _, err := srv.MatchMany(waves, nil, 1); err != nil {
+		for _, wv := range waves {
+			if _, err := bix.Match(wv, nil); err != nil {
+				panic(err)
+			}
+		}
+		compEl := time.Since(start)
+		// Shard-parallel wave: a sharded Server routes Match through
+		// sharded.MatchWave automatically.
+		srv, err := prefmatch.NewServer(objects, &prefmatch.Options{Shards: cfg.shards, ShardBy: cfg.shardBy})
+		if err != nil {
 			panic(err)
 		}
+		start = time.Now()
+		res, err := srv.MatchMany(waves, nil, 0)
+		waveEl := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
+		if waveRef == nil {
+			waveRef = res
+		} else {
+			for i := range res {
+				if !equalAssignments(res[i].Assignments, waveRef[i].Assignments) {
+					panic(fmt.Sprintf("sharded config %s diverged from unsharded on wave %d", cfg.name, i))
+				}
+			}
+		}
+		fmt.Printf("%-14s %14.2f %14.2f\n", cfg.name,
+			float64(len(waves))/compEl.Seconds(), float64(len(waves))/waveEl.Seconds())
+	}
+
+	// BruteForce cannot run against a shared single index (it consumes it);
+	// the shard-parallel wave removes objects only logically, so it serves
+	// the same composite wave after wave. One wave, timed against a fresh
+	// single-index run.
+	bfFns := fns
+	if len(bfFns) > 400 {
+		bfFns = bfFns[:400]
+	}
+	singleIx, err := mem.Build(d, items, nil)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	refPairs, err := core.Match(singleIx, bfFns, &core.Options{Algorithm: core.AlgBruteForce, Counters: &stats.Counters{}})
+	if err != nil {
+		panic(err)
+	}
+	singleEl := time.Since(start)
+	fmt.Printf("\n== BruteForce matching, one wave of |Q| = %d: fresh single index vs shard-parallel wave ==\n", len(bfFns))
+	fmt.Printf("%-14s %14s %14s\n", "config", "elapsed", "shardsPruned")
+	fmt.Printf("%-14s %14v %14s\n", "single(fresh)", singleEl.Round(time.Millisecond), "-")
+	for _, cfg := range configs {
+		if cfg.shards == 0 {
+			continue
+		}
+		var part sharded.Partitioner = sharded.Spatial{}
+		if cfg.shardBy == prefmatch.ShardHash {
+			part = sharded.Hash{}
+		}
+		six, err := sharded.Build(d, items, &sharded.Options{Shards: cfg.shards, Partitioner: part})
+		if err != nil {
+			panic(err)
+		}
+		c := &stats.Counters{}
+		start := time.Now()
+		pairs, err := six.MatchWave(bfFns, &core.Options{Algorithm: core.AlgBruteForce}, 0, c)
 		el := time.Since(start)
-		fmt.Printf("%-14s %14v %14.2f\n", cfg.name, el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
+		if err != nil {
+			panic(err)
+		}
+		if len(pairs) != len(refPairs) {
+			panic(fmt.Sprintf("BF wave %s emitted %d pairs, single index %d", cfg.name, len(pairs), len(refPairs)))
+		}
+		for i := range pairs {
+			if pairs[i] != refPairs[i] {
+				panic(fmt.Sprintf("BF wave %s diverged from the single index at pair %d", cfg.name, i))
+			}
+		}
+		fmt.Printf("%-14s %14v %14d\n", cfg.name, el.Round(time.Millisecond), c.ShardsPruned)
 	}
 }
 

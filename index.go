@@ -1,10 +1,13 @@
 package prefmatch
 
 import (
+	"errors"
 	"fmt"
 
 	"prefmatch/internal/core"
 	"prefmatch/internal/index"
+	"prefmatch/internal/index/sharded"
+	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
 	"prefmatch/internal/stats"
 )
@@ -72,13 +75,13 @@ func (ix *Index) Match(queries []Query, opts *Options) (*Result, error) {
 	return res, err
 }
 
-// matchWave runs one skyline-based matching wave of queries against an
-// already-built index, which is never mutated: SB keeps the skyline of
-// remaining objects on the side, so the same tree can serve the next wave —
-// or, through read-only snapshots, other waves running concurrently. The
-// counters charged with the run are returned alongside the result so
-// callers can aggregate across waves.
-func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries []Query, opts *Options) (*Result, *stats.Counters, error) {
+// waveInputs is the shared validation prologue of a shared-index matching
+// wave: only the skyline-based algorithm may run against a shared index
+// (the single place Index.Match and Server.Match agree on that contract),
+// the queries must be non-empty and convert to dimension-d functions, and
+// the ablation switches map onto the core options. Capacities and counters
+// are added by the caller.
+func waveInputs(dim int, queries []Query, opts *Options) ([]prefs.Function, *core.Options, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -88,22 +91,55 @@ func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries [
 	if len(queries) == 0 {
 		return nil, nil, errNoQueries
 	}
-	fns, err := convertQueries(queries, tree.Dim())
+	fns, err := convertQueries(queries, dim)
 	if err != nil {
 		return nil, nil, err
 	}
-	// NewMatcher redirects the index's accounting to c for the run and
-	// restores the original sink when the matching completes (the drain
-	// loop below always runs to exhaustion).
-	c := &stats.Counters{}
-	inner, err := core.NewMatcher(tree, fns, &core.Options{
+	return fns, &core.Options{
 		Algorithm:             core.AlgSB,
 		SkylineMode:           skyline.Mode(opts.Maintenance),
 		DisableMultiPair:      opts.DisableMultiPair,
 		DisableTightThreshold: opts.DisableTightThreshold,
-		Capacities:            capacities,
-		Counters:              c,
-	})
+	}, nil
+}
+
+// matchWave runs one skyline-based matching wave of queries against an
+// already-built index, which is never mutated: SB keeps the skyline of
+// remaining objects on the side, so the same tree can serve the next wave —
+// or, through read-only snapshots, other waves running concurrently. With
+// opts.ShardMatch set and a sharded index, the wave fans across per-shard
+// snapshots (sharded.MatchWave) instead of traversing the composite
+// single-threaded — same assignments, same order, same scores. The counters
+// charged with the run are returned alongside the result so callers can
+// aggregate across waves.
+func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries []Query, opts *Options) (*Result, *stats.Counters, error) {
+	fns, copts, err := waveInputs(tree.Dim(), queries, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	copts.Capacities = capacities
+	c := &stats.Counters{}
+	if opts != nil && opts.ShardMatch {
+		sh, ok := tree.(*sharded.Index)
+		if !ok {
+			return nil, nil, errShardMatchUnsharded
+		}
+		var timer stats.Timer
+		timer.Start()
+		pairs, err := sh.MatchWave(fns, copts, 0, c)
+		timer.Stop()
+		if err != nil {
+			return nil, nil, err
+		}
+		res := &Result{Assignments: assignmentsFromPairs(pairs)}
+		res.Stats = statsFromCounters(c, timer.Elapsed())
+		return res, c, nil
+	}
+	// NewMatcher redirects the index's accounting to c for the run and
+	// restores the original sink when the matching completes (the drain
+	// loop below always runs to exhaustion).
+	copts.Counters = c
+	inner, err := core.NewMatcher(tree, fns, copts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -121,4 +157,17 @@ func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries [
 	}
 	res.Stats = m.Stats()
 	return res, c, nil
+}
+
+// errShardMatchUnsharded rejects the shard-parallel flag on an index that
+// has no shards to fan across.
+var errShardMatchUnsharded = errors.New("prefmatch: ShardMatch requires a sharded index; enable sharding with Options.Shards >= 1")
+
+// assignmentsFromPairs projects core pairs onto the public assignment type.
+func assignmentsFromPairs(pairs []core.Pair) []Assignment {
+	out := make([]Assignment, len(pairs))
+	for i, p := range pairs {
+		out[i] = Assignment{QueryID: p.FuncID, ObjectID: int(p.ObjID), Score: p.Score}
+	}
+	return out
 }

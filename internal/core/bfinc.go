@@ -4,123 +4,25 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
-	"prefmatch/internal/topk"
 )
 
-// bfIncMatcher is an improved Brute Force variant built on *incremental*
+// newBFIncremental is the improved Brute Force variant built on *incremental*
 // ranked search, the adaptation style the paper's introduction sketches for
 // [2] ("replacing the progressive NN search by incremental top-k search,
 // e.g., using the method of [3]").
 //
-// Instead of deleting assigned objects from the R-tree and re-running top-1
-// searches from scratch (§ III-A), every function keeps a resumable
-// IncSearch over the unmodified tree; when a function's current candidate
-// is assigned to someone else, the search simply advances to the next
-// unassigned object. No tree deletions, no restarted searches — each object
-// of each function's ranking is produced at most once.
+// It is the same greedy wave loop as classic Brute Force (candidateMatcher)
+// with the incremental ObjectSource plugged in: instead of deleting assigned
+// objects from the R-tree and re-running top-1 searches from scratch
+// (§ III-A), every function keeps a resumable stream over the unmodified
+// tree; when a function's current candidate is assigned to someone else, the
+// stream simply advances to the next unassigned object. No tree deletions,
+// no restarted searches — each object of each function's ranking is produced
+// at most once.
 //
 // The variant exists as an ablation (AlgBruteForceIncremental): it
 // quantifies how much of classic Brute Force's cost is re-search, and it
 // still loses to SB, which bounds its working set by the skyline.
-type bfIncMatcher struct {
-	tree index.ObjectIndex
-	fns  []prefs.Function
-	c    *stats.Counters
-
-	started  bool
-	alive    []bool
-	searches []*topk.IncSearch
-	cache    []bfCache
-	live     int
-	resid    *residual
-	assigned map[index.ObjID]bool // objects with exhausted capacity
-}
-
-func newBFIncremental(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfIncMatcher, error) {
-	m := &bfIncMatcher{
-		tree:     tree,
-		fns:      fns,
-		c:        c,
-		alive:    make([]bool, len(fns)),
-		searches: make([]*topk.IncSearch, len(fns)),
-		cache:    make([]bfCache, len(fns)),
-		live:     len(fns),
-		resid:    newResidual(opts.Capacities),
-		assigned: map[index.ObjID]bool{},
-	}
-	for i := range m.alive {
-		m.alive[i] = true
-	}
-	return m, nil
-}
-
-func (m *bfIncMatcher) Counters() *stats.Counters { return m.c }
-
-// advance moves function i's incremental search to its best not-yet-
-// exhausted object.
-func (m *bfIncMatcher) advance(i int) error {
-	for {
-		res, ok, err := m.searches[i].Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			m.cache[i] = bfCache{}
-			return nil
-		}
-		if m.assigned[res.ID] {
-			continue
-		}
-		m.cache[i] = bfCache{has: true, objID: res.ID, point: res.Point, sum: res.Point.Sum(), score: res.Score}
-		return nil
-	}
-}
-
-func (m *bfIncMatcher) Next() (Pair, bool, error) {
-	if !m.started {
-		for i := range m.fns {
-			m.searches[i] = topk.NewIncSearch(m.tree, m.fns[i], m.c)
-			if err := m.advance(i); err != nil {
-				return Pair{}, false, err
-			}
-		}
-		m.started = true
-	}
-	if m.live == 0 {
-		return Pair{}, false, nil
-	}
-	best := -1
-	for i := range m.fns {
-		if !m.alive[i] || !m.cache[i].has {
-			continue
-		}
-		if best == -1 {
-			best = i
-			continue
-		}
-		a := prefs.PairKey{Score: m.cache[i].score, ObjSum: m.cache[i].sum, FuncID: m.fns[i].ID, ObjID: int(m.cache[i].objID)}
-		b := prefs.PairKey{Score: m.cache[best].score, ObjSum: m.cache[best].sum, FuncID: m.fns[best].ID, ObjID: int(m.cache[best].objID)}
-		if a.Better(b) {
-			best = i
-		}
-	}
-	if best == -1 {
-		return Pair{}, false, nil // objects exhausted
-	}
-	won := m.cache[best]
-	m.alive[best] = false
-	m.live--
-	m.c.PairsEmitted++
-	m.c.Loops++
-	if m.resid.take(won.objID) {
-		m.assigned[won.objID] = true
-		for i := range m.fns {
-			if m.alive[i] && m.cache[i].has && m.cache[i].objID == won.objID {
-				if err := m.advance(i); err != nil {
-					return Pair{}, false, err
-				}
-			}
-		}
-	}
-	return Pair{FuncID: m.fns[best].ID, ObjID: won.objID, Score: won.score}, true, nil
+func newBFIncremental(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*candidateMatcher, error) {
+	return newCandidateMatcher(newIncSource(tree, fns, c), fns, opts, c), nil
 }

@@ -4,87 +4,121 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
-	"prefmatch/internal/topk"
-	"prefmatch/internal/vec"
 )
 
-// bfMatcher is the Brute Force baseline of § III-A: every function holds a
-// cached top-1 object obtained by branch-and-bound ranked search; the pair
-// with the globally highest score is stable. After emitting (f, o), o is
-// deleted from the R-tree and top-1 search is re-applied for every function
-// whose cached top-1 was o. Worst case: O(|F|) deletions and O(|F|²) top-1
-// searches.
-type bfMatcher struct {
-	tree index.ObjectIndex
-	fns  []prefs.Function
-	c    *stats.Counters
+// candidateMatcher is the greedy wave loop shared by the Brute Force family
+// (§ III-A and its incremental ablation): every function holds a cached
+// candidate — its best remaining object, obtained from the ObjectSource —
+// and the pair with the globally highest priority is stable (o is f's top-1,
+// and no other function can score o higher, or it would head a cached pair
+// with a higher priority). After emitting (f, o), o is withdrawn from the
+// source once its capacity is exhausted and the candidates of every function
+// whose cached best was o are refreshed.
+//
+// The loop itself never touches the object index: classic Brute Force plugs
+// in the restarting source (top-1 re-search after every tree deletion, the
+// paper's § III-A cost profile), the incremental ablation plugs in resumable
+// streams, and the sharded composite plugs in a merge of per-shard streams —
+// all three emit the identical assignment stream because the loop's
+// decisions depend only on the candidate values. Capacities are resolved
+// here, at the merge point, so sources stay capacity-oblivious.
+type candidateMatcher struct {
+	src ObjectSource
+	fns []prefs.Function
+	c   *stats.Counters
 
-	started bool
-	alive   []bool
-	cache   []bfCache
-	live    int
-	resid   *residual
+	started  bool
+	alive    []bool
+	cache    []Candidate
+	has      []bool
+	live     int
+	resid    *residual
+	affected []int // reusable scratch for the post-removal refresh set
 }
 
-type bfCache struct {
-	has   bool // false once the tree is exhausted for this function
-	objID index.ObjID
-	point vec.Point
-	sum   float64
-	score float64
+func newBruteForce(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*candidateMatcher, error) {
+	return newCandidateMatcher(newRestartSource(tree, fns, c), fns, opts, c), nil
 }
 
-func newBruteForce(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*bfMatcher, error) {
-	m := &bfMatcher{
-		tree:  tree,
+func newCandidateMatcher(src ObjectSource, fns []prefs.Function, opts *Options, c *stats.Counters) *candidateMatcher {
+	m := &candidateMatcher{
+		src:   src,
 		fns:   fns,
 		c:     c,
 		alive: make([]bool, len(fns)),
-		cache: make([]bfCache, len(fns)),
+		cache: make([]Candidate, len(fns)),
+		has:   make([]bool, len(fns)),
 		live:  len(fns),
 		resid: newResidual(opts.Capacities),
 	}
 	for i := range m.alive {
 		m.alive[i] = true
 	}
-	return m, nil
+	return m
 }
 
-func (m *bfMatcher) Counters() *stats.Counters { return m.c }
+func (m *candidateMatcher) Counters() *stats.Counters { return m.c }
 
-func (m *bfMatcher) Next() (Pair, bool, error) {
+// refresh re-reads function i's candidate from the source.
+func (m *candidateMatcher) refresh(i int) error {
+	cand, ok, err := m.src.Best(i)
+	if err != nil {
+		return err
+	}
+	m.cache[i], m.has[i] = cand, ok
+	return nil
+}
+
+// refreshAll refreshes the given functions, batch-priming the source first
+// when it supports it (the sharded source fans the priming across a shard
+// worker pool; the single-index sources answer one Best at a time).
+func (m *candidateMatcher) refreshAll(idxs []int) error {
+	if p, ok := m.src.(BatchPrimer); ok && len(idxs) > 1 {
+		if err := p.Prime(idxs); err != nil {
+			return err
+		}
+	}
+	for _, i := range idxs {
+		if err := m.refresh(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *candidateMatcher) Next() (Pair, bool, error) {
 	if !m.started {
-		for i := range m.fns {
-			if err := m.research(i); err != nil {
-				return Pair{}, false, err
-			}
+		idxs := make([]int, len(m.fns))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		if err := m.refreshAll(idxs); err != nil {
+			return Pair{}, false, err
 		}
 		m.started = true
 	}
-	if m.live == 0 || m.tree.Len() == 0 {
+	if m.live == 0 || m.src.Len() == 0 {
 		return Pair{}, false, nil
 	}
 
-	// The highest-scoring cached pair is stable (§ III-A): o is f's top-1,
-	// and no other function can score o higher, or it would head a cached
-	// pair with a higher score.
+	// The highest-priority cached pair is stable (§ III-A).
 	best := -1
 	for i := range m.fns {
-		if !m.alive[i] || !m.cache[i].has {
+		if !m.alive[i] || !m.has[i] {
 			continue
 		}
 		if best == -1 {
 			best = i
 			continue
 		}
-		a := prefs.PairKey{Score: m.cache[i].score, ObjSum: m.cache[i].sum, FuncID: m.fns[i].ID, ObjID: int(m.cache[i].objID)}
-		b := prefs.PairKey{Score: m.cache[best].score, ObjSum: m.cache[best].sum, FuncID: m.fns[best].ID, ObjID: int(m.cache[best].objID)}
+		a := prefs.PairKey{Score: m.cache[i].Score, ObjSum: m.cache[i].Sum, FuncID: m.fns[i].ID, ObjID: int(m.cache[i].ObjID)}
+		b := prefs.PairKey{Score: m.cache[best].Score, ObjSum: m.cache[best].Sum, FuncID: m.fns[best].ID, ObjID: int(m.cache[best].ObjID)}
 		if a.Better(b) {
 			best = i
 		}
 	}
 	if best == -1 {
-		return Pair{}, false, nil
+		return Pair{}, false, nil // objects exhausted
 	}
 	won := m.cache[best]
 	m.alive[best] = false
@@ -92,35 +126,23 @@ func (m *bfMatcher) Next() (Pair, bool, error) {
 	m.c.PairsEmitted++
 	m.c.Loops++
 
-	// When the object's capacity is exhausted, remove it from the tree and
-	// re-run top-1 for every function whose cached best was o. While it has
+	// When the object's capacity is exhausted, withdraw it from the source
+	// and refresh every function whose cached best was o. While it has
 	// residual capacity the caches remain valid.
-	if m.resid.take(won.objID) {
-		if err := m.tree.Delete(won.objID, won.point); err != nil {
+	if m.resid.take(won.ObjID) {
+		if err := m.src.Remove(won.ObjID, won.Point); err != nil {
 			return Pair{}, false, err
 		}
+		affected := m.affected[:0]
 		for i := range m.fns {
-			if m.alive[i] && m.cache[i].has && m.cache[i].objID == won.objID {
-				if err := m.research(i); err != nil {
-					return Pair{}, false, err
-				}
+			if m.alive[i] && m.has[i] && m.cache[i].ObjID == won.ObjID {
+				affected = append(affected, i)
 			}
 		}
+		m.affected = affected
+		if err := m.refreshAll(affected); err != nil {
+			return Pair{}, false, err
+		}
 	}
-	return Pair{FuncID: m.fns[best].ID, ObjID: won.objID, Score: won.score}, true, nil
-}
-
-// research refreshes function i's cached top-1 by a ranked search on the
-// current tree.
-func (m *bfMatcher) research(i int) error {
-	res, ok, err := topk.Top1(m.tree, m.fns[i], m.c)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		m.cache[i] = bfCache{}
-		return nil
-	}
-	m.cache[i] = bfCache{has: true, objID: res.ID, point: res.Point, sum: res.Point.Sum(), score: res.Score}
-	return nil
+	return Pair{FuncID: m.fns[best].ID, ObjID: won.ObjID, Score: won.Score}, true, nil
 }

@@ -7,7 +7,6 @@ import (
 	"prefmatch/internal/memrtree"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
-	"prefmatch/internal/topk"
 	"prefmatch/internal/vec"
 )
 
@@ -22,10 +21,17 @@ import (
 // function → ...). Because every hop is a strict improvement in the global
 // pair order unless it returns to the previous element, the chain reaches a
 // mutually-best — hence stable — pair in finitely many hops. The pair is
-// emitted, both members are deleted from their trees, and the walk resumes
-// from the element below them on the stack.
+// emitted, the function leaves its tree (and the object its source, once
+// its capacity is exhausted), and the walk resumes from the element below
+// them on the stack.
+//
+// The object side goes through ObjectSource: classic Chain uses the
+// restarting source (top-1 re-search against a tree the matcher deletes
+// from, the paper's § V cost profile); the sharded wave plugs in the
+// per-shard merge instead. The walk only consumes candidate values, so both
+// emit the identical stream.
 type chainMatcher struct {
-	tree  index.ObjectIndex
+	src   ObjectSource
 	ftree *memrtree.Tree
 	fns   []prefs.Function
 	c     *stats.Counters
@@ -49,12 +55,16 @@ type chainElem struct {
 }
 
 func newChain(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*chainMatcher, error) {
-	ftree, err := memrtree.New(tree.Dim(), opts.ChainFanOut, c)
+	return newChainOver(newRestartSource(tree, fns, c), fns, opts, c)
+}
+
+func newChainOver(src ObjectSource, fns []prefs.Function, opts *Options, c *stats.Counters) (*chainMatcher, error) {
+	ftree, err := memrtree.New(src.Dim(), opts.ChainFanOut, c)
 	if err != nil {
 		return nil, err
 	}
 	m := &chainMatcher{
-		tree:     tree,
+		src:      src,
 		ftree:    ftree,
 		fns:      fns,
 		c:        c,
@@ -81,13 +91,13 @@ func (m *chainMatcher) Next() (Pair, bool, error) {
 		m.started = true
 	}
 	for {
-		if m.live == 0 || m.tree.Len() == 0 {
+		if m.live == 0 || m.src.Len() == 0 {
 			return Pair{}, false, nil
 		}
 		// An element can occur twice in one chain; after its first
 		// occurrence is matched, later occurrences are stale. Pop them
 		// before they are processed (they cannot trigger false matches
-		// below the top, because matched members are gone from both trees).
+		// below the top, because matched members are gone from both sides).
 		for len(m.stack) > 0 {
 			top := m.stack[len(m.stack)-1]
 			if (top.isFn && !m.alive[top.fnIdx]) || (!top.isFn && m.assigned[top.objID]) {
@@ -108,7 +118,7 @@ func (m *chainMatcher) Next() (Pair, bool, error) {
 		}
 		top := m.stack[len(m.stack)-1]
 		if top.isFn {
-			res, ok, err := topk.Top1(m.tree, m.fns[top.fnIdx], m.c)
+			cand, ok, err := m.src.Best(top.fnIdx)
 			if err != nil {
 				return Pair{}, false, err
 			}
@@ -116,13 +126,13 @@ func (m *chainMatcher) Next() (Pair, bool, error) {
 				// Objects exhausted: no further pairs are possible.
 				return Pair{}, false, nil
 			}
-			if n := len(m.stack); n >= 2 && !m.stack[n-2].isFn && m.stack[n-2].objID == res.ID {
+			if n := len(m.stack); n >= 2 && !m.stack[n-2].isFn && m.stack[n-2].objID == cand.ObjID {
 				// Mutual best: f's best object is the object that proposed f.
 				return m.emit(top.fnIdx, m.stack[n-2])
 			}
 			m.c.Loops++
 			m.stack = append(m.stack, chainElem{
-				objID: res.ID, point: res.Point, sum: res.Point.Sum(), score: res.Score,
+				objID: cand.ObjID, point: cand.Point, sum: cand.Sum, score: cand.Score,
 			})
 			continue
 		}
@@ -139,7 +149,7 @@ func (m *chainMatcher) Next() (Pair, bool, error) {
 }
 
 // emit reports the mutually-best pair (fnIdx, obj), removes the function
-// from its tree (and the object from its tree once its capacity is
+// from its tree (and the object from its source once its capacity is
 // exhausted), and pops the chain back to the last still-available element.
 func (m *chainMatcher) emit(fnIdx int, obj chainElem) (Pair, bool, error) {
 	// The pair's score: the function applied to the object.
@@ -148,7 +158,7 @@ func (m *chainMatcher) emit(fnIdx int, obj chainElem) (Pair, bool, error) {
 
 	exhausted := m.resid.take(obj.objID)
 	if exhausted {
-		if err := m.tree.Delete(obj.objID, obj.point); err != nil {
+		if err := m.src.Remove(obj.objID, obj.point); err != nil {
 			return Pair{}, false, err
 		}
 		m.assigned[obj.objID] = true

@@ -135,24 +135,8 @@ func NewMatcher(tree index.ObjectIndex, fns []prefs.Function, opts *Options) (Ma
 	if tree == nil {
 		return nil, errors.New("core: nil object tree")
 	}
-	if len(fns) == 0 {
-		return nil, errors.New("core: empty function set")
-	}
-	seen := make(map[int]bool, len(fns))
-	for i := range fns {
-		if fns[i].Dim() != tree.Dim() {
-			return nil, fmt.Errorf("%w: function %d has dim %d, tree has %d",
-				ErrDimensionMismatch, fns[i].ID, fns[i].Dim(), tree.Dim())
-		}
-		if seen[fns[i].ID] {
-			return nil, fmt.Errorf("core: duplicate function ID %d", fns[i].ID)
-		}
-		seen[fns[i].ID] = true
-	}
-	for id, cap := range opts.Capacities {
-		if cap < 1 {
-			return nil, fmt.Errorf("core: object %d has capacity %d (< 1)", id, cap)
-		}
+	if err := validateMatchInputs(tree.Dim(), fns, opts); err != nil {
+		return nil, err
 	}
 	c, prev := redirectCounters(tree, opts.Counters)
 	var (

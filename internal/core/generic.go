@@ -306,7 +306,8 @@ type genericBF struct {
 
 	started bool
 	alive   []bool
-	cache   []bfCache
+	cache   []Candidate
+	has     []bool
 	live    int
 	resid   *residual
 }
@@ -317,7 +318,8 @@ func newGenericBF(tree index.ObjectIndex, gps []GenericPreference, opts *Options
 		gps:   gps,
 		c:     c,
 		alive: make([]bool, len(gps)),
-		cache: make([]bfCache, len(gps)),
+		cache: make([]Candidate, len(gps)),
+		has:   make([]bool, len(gps)),
 		live:  len(gps),
 		resid: newResidual(opts.Capacities),
 	}
@@ -335,10 +337,11 @@ func (m *genericBF) research(i int) error {
 		return err
 	}
 	if !ok {
-		m.cache[i] = bfCache{}
+		m.cache[i], m.has[i] = Candidate{}, false
 		return nil
 	}
-	m.cache[i] = bfCache{has: true, objID: res.ID, point: res.Point, sum: res.Point.Sum(), score: res.Score}
+	m.cache[i] = Candidate{ObjID: res.ID, Point: res.Point, Sum: res.Point.Sum(), Score: res.Score}
+	m.has[i] = true
 	return nil
 }
 
@@ -356,15 +359,15 @@ func (m *genericBF) Next() (Pair, bool, error) {
 	}
 	best := -1
 	for i := range m.gps {
-		if !m.alive[i] || !m.cache[i].has {
+		if !m.alive[i] || !m.has[i] {
 			continue
 		}
 		if best == -1 {
 			best = i
 			continue
 		}
-		a := prefs.PairKey{Score: m.cache[i].score, ObjSum: m.cache[i].sum, FuncID: m.gps[i].ID, ObjID: int(m.cache[i].objID)}
-		b := prefs.PairKey{Score: m.cache[best].score, ObjSum: m.cache[best].sum, FuncID: m.gps[best].ID, ObjID: int(m.cache[best].objID)}
+		a := prefs.PairKey{Score: m.cache[i].Score, ObjSum: m.cache[i].Sum, FuncID: m.gps[i].ID, ObjID: int(m.cache[i].ObjID)}
+		b := prefs.PairKey{Score: m.cache[best].Score, ObjSum: m.cache[best].Sum, FuncID: m.gps[best].ID, ObjID: int(m.cache[best].ObjID)}
 		if a.Better(b) {
 			best = i
 		}
@@ -377,17 +380,17 @@ func (m *genericBF) Next() (Pair, bool, error) {
 	m.live--
 	m.c.PairsEmitted++
 	m.c.Loops++
-	if m.resid.take(won.objID) {
-		if err := m.tree.Delete(won.objID, won.point); err != nil {
+	if m.resid.take(won.ObjID) {
+		if err := m.tree.Delete(won.ObjID, won.Point); err != nil {
 			return Pair{}, false, err
 		}
 		for i := range m.gps {
-			if m.alive[i] && m.cache[i].has && m.cache[i].objID == won.objID {
+			if m.alive[i] && m.has[i] && m.cache[i].ObjID == won.ObjID {
 				if err := m.research(i); err != nil {
 					return Pair{}, false, err
 				}
 			}
 		}
 	}
-	return Pair{FuncID: m.gps[best].ID, ObjID: won.objID, Score: won.score}, true, nil
+	return Pair{FuncID: m.gps[best].ID, ObjID: won.ObjID, Score: won.Score}, true, nil
 }

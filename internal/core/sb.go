@@ -28,10 +28,9 @@ import (
 // when new objects enter the skyline), so per-loop work is proportional to
 // what actually changed.
 type sbMatcher struct {
-	tree  index.ObjectIndex
 	fns   []prefs.Function
 	lists *ta.Lists
-	maint *skyline.Maintainer
+	maint SkylineSource
 	c     *stats.Counters
 
 	multiPair bool
@@ -65,16 +64,25 @@ type fnCache struct {
 }
 
 func newSB(tree index.ObjectIndex, fns []prefs.Function, opts *Options, c *stats.Counters) (*sbMatcher, error) {
+	return newSBOver(skyline.New(tree, opts.SkylineMode, c), fns, opts, c)
+}
+
+// newSBOver builds the SB loop over an explicit skyline source: the
+// single-index skyline.Maintainer, or the sharded cross-shard merge. The
+// loop's emissions depend only on the skyline *sets* the source reports
+// (every per-loop decision is resolved by the deterministic preference
+// orders, never by discovery order), so any source that maintains the
+// correct skyline of the remaining objects yields the identical stream.
+func newSBOver(src SkylineSource, fns []prefs.Function, opts *Options, c *stats.Counters) (*sbMatcher, error) {
 	lists, err := ta.NewLists(fns, c)
 	if err != nil {
 		return nil, err
 	}
 	lists.TightThreshold = !opts.DisableTightThreshold
 	return &sbMatcher{
-		tree:        tree,
 		fns:         fns,
 		lists:       lists,
-		maint:       skyline.New(tree, opts.SkylineMode, c),
+		maint:       src,
 		c:           c,
 		multiPair:   !opts.DisableMultiPair,
 		resid:       newResidual(opts.Capacities),

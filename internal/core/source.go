@@ -1,0 +1,145 @@
+package core
+
+import (
+	"prefmatch/internal/index"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// This file factors the object-index side of the candidate-driven matchers
+// (Brute Force, Brute Force Incremental, Chain) behind ObjectSource: the
+// matchers' global decision loops only ever ask "what is function f's best
+// remaining object?" and "object o's capacity is exhausted, withdraw it".
+// Everything else — restarted top-1 searches on a mutated tree, resumable
+// incremental streams over a frozen one, or per-shard streams merged across
+// a sharded composite — is a source strategy. Capacities stay out of the
+// sources on purpose: the residual bookkeeping lives in the merge-level
+// loop, so a shard-local source never needs cross-shard state.
+
+// Candidate is one mergeable candidate pair: a function's best remaining
+// object together with everything the global pair order needs (score,
+// coordinate sum, ID).
+type Candidate struct {
+	ObjID index.ObjID
+	Point vec.Point
+	Sum   float64
+	Score float64
+}
+
+// ObjectSource is the remaining-object view consumed by the candidate-driven
+// matchers. Best must return function fnIdx's best remaining object under
+// the canonical ranked order (topk.Better: score desc, then coordinate sum
+// desc, then object ID asc), ok == false when no object remains; Remove
+// withdraws an object whose capacity the merge loop has exhausted; Len
+// counts the remaining objects. Implementations are free to answer Best by
+// restarted search, resumable streams, or a merge of per-shard streams — the
+// matchers only depend on the returned values, which is what makes every
+// strategy emit the identical assignment stream.
+type ObjectSource interface {
+	Dim() int
+	Len() int
+	Best(fnIdx int) (Candidate, bool, error)
+	Remove(id index.ObjID, p vec.Point) error
+}
+
+// BatchPrimer is optionally implemented by an ObjectSource that can refresh
+// several functions' candidates more efficiently than one Best at a time
+// (the sharded fan-out primes them across a shard-worker pool). After a
+// successful Prime, Best(fnIdx) for every primed index must be answerable
+// without further index work. Sources that do not implement it are simply
+// asked one function at a time.
+type BatchPrimer interface {
+	Prime(fnIdxs []int) error
+}
+
+// restartSource is the § III-A access pattern: every Best issues a fresh
+// branch-and-bound top-1 search, and Remove physically deletes the object
+// from the tree — exactly the work profile the paper charges to classic
+// Brute Force (and to Chain's object side).
+type restartSource struct {
+	tree index.ObjectIndex
+	fns  []prefs.Function
+	c    *stats.Counters
+}
+
+func newRestartSource(tree index.ObjectIndex, fns []prefs.Function, c *stats.Counters) *restartSource {
+	return &restartSource{tree: tree, fns: fns, c: c}
+}
+
+func (s *restartSource) Dim() int { return s.tree.Dim() }
+func (s *restartSource) Len() int { return s.tree.Len() }
+
+func (s *restartSource) Best(fnIdx int) (Candidate, bool, error) {
+	res, ok, err := topk.Top1(s.tree, s.fns[fnIdx], s.c)
+	if err != nil || !ok {
+		return Candidate{}, false, err
+	}
+	return Candidate{ObjID: res.ID, Point: res.Point, Sum: res.Point.Sum(), Score: res.Score}, true, nil
+}
+
+func (s *restartSource) Remove(id index.ObjID, p vec.Point) error {
+	return s.tree.Delete(id, p)
+}
+
+// incSource is the incremental strategy: every function keeps a resumable
+// ranked stream over the unmodified tree, Remove is logical (a removed set
+// the streams skip), and each object of each function's ranking is produced
+// at most once. No tree deletions, no restarted searches.
+type incSource struct {
+	tree     index.ObjectIndex
+	fns      []prefs.Function
+	c        *stats.Counters
+	searches []*topk.IncSearch
+	cand     []Candidate // current head per function (valid while has[i])
+	has      []bool
+	removed  map[index.ObjID]bool
+	gone     int // objects logically removed
+}
+
+func newIncSource(tree index.ObjectIndex, fns []prefs.Function, c *stats.Counters) *incSource {
+	return &incSource{
+		tree:     tree,
+		fns:      fns,
+		c:        c,
+		searches: make([]*topk.IncSearch, len(fns)),
+		cand:     make([]Candidate, len(fns)),
+		has:      make([]bool, len(fns)),
+		removed:  map[index.ObjID]bool{},
+	}
+}
+
+func (s *incSource) Dim() int { return s.tree.Dim() }
+func (s *incSource) Len() int { return s.tree.Len() - s.gone }
+
+func (s *incSource) Best(fnIdx int) (Candidate, bool, error) {
+	if s.searches[fnIdx] == nil {
+		s.searches[fnIdx] = topk.NewIncSearch(s.tree, s.fns[fnIdx], s.c)
+	} else if s.has[fnIdx] && !s.removed[s.cand[fnIdx].ObjID] {
+		// The cached head is still live; the stream need not advance.
+		return s.cand[fnIdx], true, nil
+	}
+	for {
+		res, ok, err := s.searches[fnIdx].Next()
+		if err != nil {
+			return Candidate{}, false, err
+		}
+		if !ok {
+			s.has[fnIdx] = false
+			return Candidate{}, false, nil
+		}
+		if s.removed[res.ID] {
+			continue
+		}
+		s.cand[fnIdx] = Candidate{ObjID: res.ID, Point: res.Point, Sum: res.Point.Sum(), Score: res.Score}
+		s.has[fnIdx] = true
+		return s.cand[fnIdx], true, nil
+	}
+}
+
+func (s *incSource) Remove(id index.ObjID, p vec.Point) error {
+	s.removed[id] = true
+	s.gone++
+	return nil
+}

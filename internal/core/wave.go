@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/skyline"
+	"prefmatch/internal/stats"
+)
+
+// This file is the shard-parallel seam of the matching engine. NewMatcher
+// binds each algorithm to its single-index access strategy; NewWaveMatcher
+// binds the same global decision loops to caller-supplied sources, so a
+// composite backend can answer the object-index side with per-shard
+// snapshots searched concurrently while the loop — and the capacity
+// bookkeeping — runs once, globally, at the merge point. Because every
+// loop's decisions depend only on the values the sources report (candidate
+// pairs under the canonical ranked order, skyline sets), a wave matcher
+// emits the bit-identical assignment stream of its single-index sibling.
+
+// SkylineSource abstracts the skyline machinery the SB loop consumes: the
+// initial computation, the current skyline of the remaining objects, and
+// removal maintenance reporting the newly promoted members.
+// *skyline.Maintainer is the single-index implementation; the sharded
+// composite merges per-shard maintainers. Implementations must report the
+// exact skyline set of the remaining objects in a deterministic order.
+type SkylineSource interface {
+	Compute() error
+	Skyline() []*skyline.Object
+	Size() int
+	Remove(ids []index.ObjID) (added []*skyline.Object, err error)
+}
+
+var _ SkylineSource = (*skyline.Maintainer)(nil)
+
+// WaveSources bundles the merged views a wave matcher runs on. Exactly the
+// source the selected algorithm consumes must be set: Skyline for AlgSB,
+// Objects for the candidate-driven algorithms (AlgBruteForce,
+// AlgBruteForceIncremental, AlgChain).
+type WaveSources struct {
+	Skyline SkylineSource
+	Objects ObjectSource
+}
+
+// validateMatchInputs is the input validation shared by NewMatcher and
+// NewWaveMatcher — the single place the two entry points agree on what a
+// well-formed wave is: a non-empty function set of the index's
+// dimensionality with unique IDs, and capacities of at least 1.
+func validateMatchInputs(dim int, fns []prefs.Function, opts *Options) error {
+	if len(fns) == 0 {
+		return errors.New("core: empty function set")
+	}
+	seen := make(map[int]bool, len(fns))
+	for i := range fns {
+		if fns[i].Dim() != dim {
+			return fmt.Errorf("%w: function %d has dim %d, index has %d",
+				ErrDimensionMismatch, fns[i].ID, fns[i].Dim(), dim)
+		}
+		if seen[fns[i].ID] {
+			return fmt.Errorf("core: duplicate function ID %d", fns[i].ID)
+		}
+		seen[fns[i].ID] = true
+	}
+	for id, cap := range opts.Capacities {
+		if cap < 1 {
+			return fmt.Errorf("core: object %d has capacity %d (< 1)", id, cap)
+		}
+	}
+	return nil
+}
+
+// NewWaveMatcher builds the selected algorithm's matcher over explicit
+// sources instead of an object index, applying the same input validation as
+// NewMatcher. dim is the object dimensionality the functions must match.
+// Work at the merge point is charged to opts.Counters (a fresh sink when
+// nil); work inside the sources is charged to whatever sinks the sources
+// were built with — merging those into the wave total is the caller's
+// contract (the sharded composite does it when the wave completes).
+func NewWaveMatcher(src WaveSources, dim int, fns []prefs.Function, opts *Options) (Matcher, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := validateMatchInputs(dim, fns, opts); err != nil {
+		return nil, err
+	}
+	c := opts.Counters
+	if c == nil {
+		c = &stats.Counters{}
+	}
+	switch opts.Algorithm {
+	case AlgSB:
+		if src.Skyline == nil {
+			return nil, errors.New("core: SB wave matcher needs a SkylineSource")
+		}
+		return newSBOver(src.Skyline, fns, opts, c)
+	case AlgBruteForce, AlgBruteForceIncremental:
+		if src.Objects == nil {
+			return nil, fmt.Errorf("core: %v wave matcher needs an ObjectSource", opts.Algorithm)
+		}
+		return newCandidateMatcher(src.Objects, fns, opts, c), nil
+	case AlgChain:
+		if src.Objects == nil {
+			return nil, errors.New("core: Chain wave matcher needs an ObjectSource")
+		}
+		return newChainOver(src.Objects, fns, opts, c)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+	}
+}

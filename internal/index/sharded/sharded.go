@@ -37,12 +37,10 @@
 package sharded
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
@@ -556,7 +554,7 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		return nil, nil
 	}
 	if !ix.canSnap {
-		return nil, fmt.Errorf("sharded: ranked fan-out needs read-only shard views, but the shards do not implement index.Snapshotter (build the shards on the memory backend)")
+		return nil, ix.errNoSnapshots("ranked fan-out")
 	}
 
 	type job struct {
@@ -579,8 +577,7 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		acc = pqueue.New(func(a, b topk.Result) bool { return topk.Better(b, a) }) // Pop/Peek = current worst
 	)
 	sinks := make([]*stats.Counters, len(jobs))
-	errs := make([]error, len(jobs))
-	runShard := func(j int) {
+	runShard := func(j int) error {
 		sink := &stats.Counters{}
 		sinks[j] = sink
 		// Whole-shard MBR pruning: with k results on the heap already, a
@@ -596,7 +593,7 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		mu.Unlock()
 		if full && jobs[j].bound < worst.Score {
 			sink.ShardsPruned++
-			return
+			return nil
 		}
 		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
 		snap.SetCounters(sink)
@@ -608,11 +605,10 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		for taken := 0; taken < k; taken++ {
 			r, ok, err := search.Next()
 			if err != nil {
-				errs[j] = err
-				return
+				return err
 			}
 			if !ok {
-				return
+				return nil
 			}
 			mu.Lock()
 			if acc.Len() < k {
@@ -623,50 +619,27 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 					// The stream is descending, so no later result of this
 					// shard can beat the (only improving) k-th either.
 					mu.Unlock()
-					return
+					return nil
 				}
 				acc.Pop()
 				acc.Push(r)
 			}
 			mu.Unlock()
 		}
+		return nil
 	}
 
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		for j := range jobs {
-			runShard(j)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					j := int(next.Add(1)) - 1
-					if j >= len(jobs) {
-						return
-					}
-					runShard(j)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	err := fanIndexed(len(jobs), workers, runShard)
 
 	for _, sink := range sinks {
 		if sink != nil {
 			c.Add(sink)
 		}
 	}
-	if err := errors.Join(errs...); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	out := make([]topk.Result, acc.Len())

@@ -283,6 +283,19 @@ type Options struct {
 	// ShardBy selects the partitioner of the sharded composite backend.
 	// Setting it without Shards is an error, not a silent no-op.
 	ShardBy ShardBy
+
+	// ShardMatch routes matching waves through the shard-parallel fan-out
+	// (sharded.MatchWave): the algorithm's global decision loop — including
+	// all capacity bookkeeping — runs at the merge point, while per-shard
+	// read-only snapshots answer the object-index work concurrently, with
+	// whole candidate streams pruned by the shard MBR bounds. Requires
+	// Shards >= 1 and a snapshot-capable backend (Memory shards); all four
+	// algorithms are supported and emit assignments bit-identical to the
+	// single-index run. Unlike the single-index BruteForce and Chain, the
+	// wave never mutates the shards. Server.Match fans out automatically on
+	// sharded servers; this flag opts the one-shot entry points and
+	// Index.Match into the same path.
+	ShardMatch bool
 }
 
 // Stats reports the work a run performed, mirroring the measurements in the
@@ -348,14 +361,24 @@ func NewMatcher(objects []Object, queries []Query, opts *Options) (*Matcher, err
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewMatcher(tree, fns, &core.Options{
+	copts := &core.Options{
 		Algorithm:             coreAlg(opts.Algorithm),
 		SkylineMode:           skyline.Mode(opts.Maintenance),
 		DisableMultiPair:      opts.DisableMultiPair,
 		DisableTightThreshold: opts.DisableTightThreshold,
 		Capacities:            capacities,
 		Counters:              c,
-	})
+	}
+	var inner core.Matcher
+	if opts.ShardMatch {
+		sh, ok := tree.(*sharded.Index)
+		if !ok {
+			return nil, errShardMatchUnsharded
+		}
+		inner, err = sh.NewWaveMatcher(fns, copts, 0)
+	} else {
+		inner, err = core.NewMatcher(tree, fns, copts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -27,10 +27,13 @@ import (
 // after the request completes. All methods are safe for concurrent use.
 //
 // With Options.Shards set, the server runs on the sharded composite over
-// memory shards: matching waves and skyline requests traverse a composite
-// snapshot, while top-k requests fan out across per-shard snapshot workers
-// and merge, skipping shards whose bounding box cannot reach the current
-// k-th result (Stats.ShardsPruned counts them).
+// memory shards: skyline requests traverse a composite snapshot, top-k
+// requests fan ranked search across per-shard snapshot workers and merge,
+// and matching waves run shard-parallel through sharded.MatchWave — the SB
+// loop at the merge point, per-shard skylines computed and maintained
+// concurrently — with results bit-identical to the single-index wave.
+// Shards whose bounding box cannot contribute are skipped
+// (Stats.ShardsPruned counts them).
 //
 // Matching waves are restricted to the skyline-based algorithm, which never
 // mutates the object index; requesting BruteForce or Chain returns an
@@ -150,15 +153,52 @@ func (s *Server) Served() int64 {
 
 // Match runs one skyline-based matching wave of queries against the shared
 // index, exactly like Index.Match but safe to call concurrently: the wave
-// runs against a read-only snapshot with private counters. opts may be nil;
-// the Algorithm field must be SkylineBased (the zero value) and storage
-// fields are ignored.
+// runs against read-only snapshots with private counters. On a sharded
+// server the wave fans across all CPUs' worth of per-shard workers
+// (sharded.MatchWave); the result is bit-identical to the unsharded wave.
+// opts may be nil; the Algorithm field must be SkylineBased (the zero
+// value) and storage fields are ignored.
 func (s *Server) Match(queries []Query, opts *Options) (*Result, error) {
+	return s.match(queries, opts, 0)
+}
+
+// match implements Match with an explicit shard-worker budget: 0 lets a
+// lone request fan across GOMAXPROCS shard workers, while MatchMany passes
+// its budget split so the outer per-wave fan-out and the inner per-shard
+// fan-out never multiply into oversubscription (the TopKMany discipline).
+func (s *Server) match(queries []Query, opts *Options, shardWorkers int) (*Result, error) {
+	if s.sh != nil {
+		return s.matchSharded(queries, opts, shardWorkers)
+	}
 	res, c, err := matchWave(s.ix.Snapshot(), s.capacities, queries, opts)
 	if err != nil {
 		return nil, err
 	}
 	s.record(c, res.Stats.Elapsed)
+	return res, nil
+}
+
+// matchSharded answers one matching wave on a sharded server by fanning the
+// engine across per-shard snapshots (sharded.MatchWave) with the given
+// shard-worker budget. The wave's merged accounting is recorded into the
+// server totals exactly like any other request.
+func (s *Server) matchSharded(queries []Query, opts *Options, shardWorkers int) (*Result, error) {
+	fns, copts, err := waveInputs(s.ix.Dim(), queries, opts)
+	if err != nil {
+		return nil, err
+	}
+	copts.Capacities = s.capacities
+	c := &stats.Counters{}
+	var timer stats.Timer
+	timer.Start()
+	pairs, err := s.sh.MatchWave(fns, copts, shardWorkers, c)
+	timer.Stop()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Assignments: assignmentsFromPairs(pairs)}
+	res.Stats = statsFromCounters(c, timer.Elapsed())
+	s.record(c, timer.Elapsed())
 	return res, nil
 }
 
@@ -168,11 +208,27 @@ func (s *Server) Match(queries []Query, opts *Options) (*Result, error) {
 // full object set, identical to what a sequential Match of that wave
 // returns. If any wave fails, the joined errors are returned and the
 // results are discarded.
+//
+// On a sharded server, workers is the total parallelism budget: it is
+// spent on the per-wave fan-out first, and whatever the wave count leaves
+// unused goes to each wave's per-shard fan-out (a one-wave batch with
+// workers=0 fans across all CPUs' worth of shard workers; workers=1 stays
+// fully sequential).
 func (s *Server) MatchMany(waves [][]Query, opts *Options, workers int) ([]*Result, error) {
 	results := make([]*Result, len(waves))
 	errs := make([]error, len(waves))
-	fanOut(len(waves), workers, func(i int) {
-		results[i], errs[i] = s.Match(waves[i], opts)
+	budget := workers
+	if budget < 1 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	shardWorkers := 1
+	if s.sh != nil {
+		if outer := clampWorkers(budget, len(waves)); outer > 0 && budget/outer > 1 {
+			shardWorkers = budget / outer
+		}
+	}
+	fanOut(len(waves), budget, func(i int) {
+		results[i], errs[i] = s.match(waves[i], opts, shardWorkers)
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err

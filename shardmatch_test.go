@@ -1,0 +1,220 @@
+// Tests for the shard-parallel matching wave at the public surface: a
+// sharded Server fans Match/MatchMany across per-shard snapshot workers
+// (sharded.MatchWave), and the ShardMatch option opts the one-shot entry
+// points into the same path. Everything here must be race-clean (CI runs
+// the suite with -race) and bit-identical to the sequential single-index
+// matchers, including capacitated objects; Server.Stats must equal the
+// fold of the per-request stats.
+package prefmatch_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"prefmatch"
+)
+
+// TestShardedServerMatchManyEqualsSequential: parallel MatchMany on sharded
+// servers (shard counts × partitioners) against the sequential single-index
+// reference — same assignments, same order, same scores — plus the
+// accounting contract: the server totals are exactly the sum (max, for
+// SkylineMax) of the per-request stats.
+func TestShardedServerMatchManyEqualsSequential(t *testing.T) {
+	const (
+		d      = 3
+		nWaves = 10
+		perW   = 18
+	)
+	objs := serveObjects(1200, d, 401) // every 25th object has capacity 2
+	waves := make([][]prefmatch.Query, nWaves)
+	for w := range waves {
+		waves[w] = serveQueries(perW, d, int64(402+w))
+	}
+	want := make([]*prefmatch.Result, nWaves)
+	for w := range waves {
+		res, err := prefmatch.Match(objs, waves[w], &prefmatch.Options{Backend: prefmatch.Memory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[w] = res
+	}
+
+	type cfg struct {
+		shards int
+		by     prefmatch.ShardBy
+	}
+	for _, c := range []cfg{
+		{2, prefmatch.ShardSpatial},
+		{3, prefmatch.ShardHash},
+		{7, prefmatch.ShardRoundRobin},
+	} {
+		srv, err := prefmatch.NewServer(objs, &prefmatch.Options{Shards: c.shards, ShardBy: c.by})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// workers > waves: the budget splits between the per-wave fan-out
+		// and each wave's per-shard workers (both layers race-exercised).
+		got, err := srv.MatchMany(waves, nil, 2*nWaves)
+		if err != nil {
+			t.Fatalf("shards=%d by=%v: %v", c.shards, c.by, err)
+		}
+		var sum prefmatch.Stats
+		for w := range waves {
+			if !reflect.DeepEqual(got[w].Assignments, want[w].Assignments) {
+				t.Fatalf("shards=%d by=%v wave %d: parallel sharded assignments differ from sequential single-index", c.shards, c.by, w)
+			}
+			if err := prefmatch.Verify(objs, waves[w], got[w].Assignments); err != nil {
+				t.Fatalf("shards=%d by=%v wave %d: %v", c.shards, c.by, w, err)
+			}
+			s := got[w].Stats
+			sum.Pairs += s.Pairs
+			sum.Loops += s.Loops
+			sum.IOAccesses += s.IOAccesses
+			sum.Top1Searches += s.Top1Searches
+			sum.TAListAccesses += s.TAListAccesses
+			sum.SkylineUpdates += s.SkylineUpdates
+			sum.ShardsPruned += s.ShardsPruned
+			if s.SkylineMax > sum.SkylineMax {
+				sum.SkylineMax = s.SkylineMax
+			}
+			sum.Elapsed += s.Elapsed
+		}
+		tot := srv.Stats()
+		if tot.Pairs != sum.Pairs || tot.Loops != sum.Loops || tot.IOAccesses != sum.IOAccesses ||
+			tot.Top1Searches != sum.Top1Searches || tot.TAListAccesses != sum.TAListAccesses ||
+			tot.SkylineUpdates != sum.SkylineUpdates || tot.ShardsPruned != sum.ShardsPruned ||
+			tot.SkylineMax != sum.SkylineMax || tot.Elapsed != sum.Elapsed {
+			t.Fatalf("shards=%d by=%v: Server.Stats %+v is not the fold of the per-request stats %+v", c.shards, c.by, tot, sum)
+		}
+		if srv.Served() != nWaves {
+			t.Fatalf("shards=%d by=%v: Served() = %d, want %d", c.shards, c.by, srv.Served(), nWaves)
+		}
+		if srv.Len() != 1200 {
+			t.Fatalf("shards=%d by=%v: serving consumed the shared composite", c.shards, c.by)
+		}
+	}
+}
+
+// TestShardedServerMatchSmallBatch exercises the other budget split: fewer
+// waves than workers, so each wave's per-shard fan-out gets the surplus.
+func TestShardedServerMatchSmallBatch(t *testing.T) {
+	const d = 3
+	objs := serveObjects(900, d, 411)
+	wave := serveQueries(30, d, 412)
+	want, err := prefmatch.Match(objs, wave, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := prefmatch.NewServer(objs, &prefmatch.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.MatchMany([][]prefmatch.Query{wave, wave}, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Assignments, want.Assignments) {
+			t.Fatalf("wave %d: small-batch sharded assignments differ", i)
+		}
+	}
+}
+
+// TestShardedServerRejectsDestructiveAlgorithms: the Server contract (SB
+// only) holds on the sharded wave path too.
+func TestShardedServerRejectsDestructiveAlgorithms(t *testing.T) {
+	objs := serveObjects(120, 2, 421)
+	qs := serveQueries(6, 2, 422)
+	srv, err := prefmatch.NewServer(objs, &prefmatch.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []prefmatch.Algorithm{prefmatch.BruteForce, prefmatch.Chain, prefmatch.BruteForceIncremental} {
+		if _, err := srv.Match(qs, &prefmatch.Options{Algorithm: alg}); err == nil {
+			t.Fatalf("%v accepted by sharded Server.Match", alg)
+		}
+	}
+}
+
+// TestShardMatchEqualsSingleIndex: the public ShardMatch option runs every
+// algorithm shard-parallel with assignments bit-identical to the unsharded
+// single-index run — including the destructive algorithms, which the wave
+// serves without consuming anything.
+func TestShardMatchEqualsSingleIndex(t *testing.T) {
+	const d = 3
+	objs := serveObjects(700, d, 431)
+	qs := serveQueries(40, d, 432)
+	algorithms := []prefmatch.Algorithm{
+		prefmatch.SkylineBased,
+		prefmatch.BruteForce,
+		prefmatch.Chain,
+		prefmatch.BruteForceIncremental,
+	}
+	for _, alg := range algorithms {
+		want, err := prefmatch.Match(objs, qs, &prefmatch.Options{Backend: prefmatch.Memory, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 3} {
+			got, err := prefmatch.Match(objs, qs, &prefmatch.Options{
+				Backend:    prefmatch.Memory,
+				Algorithm:  alg,
+				Shards:     n,
+				ShardBy:    prefmatch.ShardHash,
+				ShardMatch: true,
+			})
+			if err != nil {
+				t.Fatalf("%v shards=%d: %v", alg, n, err)
+			}
+			if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+				t.Fatalf("%v shards=%d: ShardMatch assignments differ from the single-index run", alg, n)
+			}
+			if got.Stats.Pairs != want.Stats.Pairs {
+				t.Fatalf("%v shards=%d: ShardMatch reports %d pairs, want %d", alg, n, got.Stats.Pairs, want.Stats.Pairs)
+			}
+		}
+	}
+}
+
+// TestShardMatchValidation: the flag is rejected, descriptively, when the
+// index cannot support the fan-out.
+func TestShardMatchValidation(t *testing.T) {
+	objs := serveObjects(80, 2, 441)
+	qs := serveQueries(5, 2, 442)
+	// No shards to fan across.
+	if _, err := prefmatch.Match(objs, qs, &prefmatch.Options{Backend: prefmatch.Memory, ShardMatch: true}); err == nil {
+		t.Fatal("ShardMatch without Shards accepted")
+	}
+	// Paged shards cannot snapshot; the error must name Snapshotter.
+	_, err := prefmatch.Match(objs, qs, &prefmatch.Options{Shards: 2, ShardMatch: true})
+	if err == nil {
+		t.Fatal("ShardMatch over paged shards accepted")
+	}
+	if !strings.Contains(err.Error(), "Snapshotter") {
+		t.Fatalf("paged ShardMatch error does not name Snapshotter: %v", err)
+	}
+	// Index.Match honours the per-call flag the same way.
+	ix, err := prefmatch.BuildIndex(objs, &prefmatch.Options{Backend: prefmatch.Memory, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Match(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Match(qs, &prefmatch.Options{ShardMatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatal("Index.Match ShardMatch assignments differ from the composite traversal")
+	}
+	unsharded, err := prefmatch.BuildIndex(objs, &prefmatch.Options{Backend: prefmatch.Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unsharded.Match(qs, &prefmatch.Options{ShardMatch: true}); err == nil {
+		t.Fatal("Index.Match ShardMatch on an unsharded index accepted")
+	}
+}
