@@ -303,6 +303,72 @@ func BenchmarkServeTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkServeTopKBatch is the shared-traversal headline: one server,
+// batches of Q queries answered either per function (a TopK call per query:
+// Q full descents) or batched (TopKManyAppend: one BatchSearcher walk per
+// chunk, blocked scoring kernels). Both rows report queries/s and
+// nodes/op — R-tree nodes expanded per query, from Stats().NodesVisited —
+// so the F-fold sharing of the upper levels is visible in counters, not
+// just wall clock. Batched must win qps at Q>=8, and the Q=16 batch must
+// expand fewer than half the nodes of 16 independent searches (also pinned
+// by internal/topk's TestBatchSharesNodeVisits).
+func BenchmarkServeTopKBatch(b *testing.B) {
+	const (
+		d = 4
+		k = 10
+	)
+	items := dataset.Independent(benchObjectsFig2, d, 51)
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	allFns := dataset.Functions(64, d, 53)
+	for _, q := range []int{1, 8, 16, 64} {
+		queries := make([]prefmatch.Query, q)
+		for i, f := range allFns[:q] {
+			queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+		}
+		newServer := func(b *testing.B) *prefmatch.Server {
+			srv, err := prefmatch.NewServer(objects, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return srv
+		}
+		b.Run(fmt.Sprintf("q=%d/perfn", q), func(b *testing.B) {
+			srv := newServer(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, query := range queries {
+					if _, err := srv.TopK(query, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			queriesRun := float64(q) * float64(b.N)
+			b.ReportMetric(queriesRun/b.Elapsed().Seconds(), "queries/s")
+			b.ReportMetric(float64(srv.Stats().NodesVisited)/queriesRun, "nodes/op")
+		})
+		b.Run(fmt.Sprintf("q=%d/batched", q), func(b *testing.B) {
+			srv := newServer(b)
+			var (
+				dst     []prefmatch.Assignment
+				offsets []int
+				err     error
+			)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, offsets, err = srv.TopKManyAppend(dst[:0], offsets[:0], queries, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queriesRun := float64(q) * float64(b.N)
+			b.ReportMetric(queriesRun/b.Elapsed().Seconds(), "queries/s")
+			b.ReportMetric(float64(srv.Stats().NodesVisited)/queriesRun, "nodes/op")
+		})
+	}
+}
+
 // BenchmarkShardedTopK compares per-user top-k serving on the sharded
 // composite against the unsharded memory server, on clustered data (the
 // workload spatial partitioning is built for). The spatial rows additionally

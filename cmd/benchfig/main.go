@@ -11,6 +11,7 @@
 //	go run ./cmd/benchfig -backends paged  # paper mode only (skip the memory rows)
 //	go run ./cmd/benchfig -serve           # serving throughput vs worker count
 //	go run ./cmd/benchfig -sharded         # sharded vs unsharded serving
+//	go run ./cmd/benchfig -batch           # batched shared-traversal vs per-query serving
 //	go run ./cmd/benchfig -alloc           # steady-state serving allocs/op and B/op
 //
 // -serve runs the concurrency experiment instead of the paper figures: one
@@ -61,7 +62,7 @@ import (
 // benchSnapshot names the latest committed snapshot of the bench
 // trajectory; every mode's output header points at it so a table can be
 // compared against the recorded numbers without digging through git.
-const benchSnapshot = "BENCH_1.json"
+const benchSnapshot = "BENCH_2.json"
 
 type scale struct {
 	objectsFig2 int
@@ -116,6 +117,7 @@ func main() {
 	backendsFlag := flag.String("backends", "paged,mem", "comma-separated subset of paged,mem")
 	serve := flag.Bool("serve", false, "run the serving-throughput experiment instead of the paper figures")
 	shardedExp := flag.Bool("sharded", false, "run the sharded vs unsharded serving experiment instead of the paper figures")
+	batch := flag.Bool("batch", false, "run the batched shared-traversal experiment: TopKManyAppend batches vs per-query TopK, with nodes/query")
 	alloc := flag.Bool("alloc", false, "run the allocation experiment: steady-state serving ns/op, B/op and allocs/op")
 	check := flag.Bool("check", false, "with -alloc: exit non-zero if a pooled steady-state path reports > 0 allocs/op (the CI regression gate)")
 	seed := flag.Int64("seed", 2009, "dataset seed")
@@ -134,6 +136,10 @@ func main() {
 	}
 	if *shardedExp {
 		runSharded(sc, *seed)
+		return
+	}
+	if *batch {
+		runBatch(sc, *seed)
 		return
 	}
 	if *alloc {
@@ -295,6 +301,87 @@ func runServing(sc scale, seed int64) {
 	fmt.Printf("%-10s %14v %14.2f\n", "paged(1)", el.Round(time.Millisecond), float64(len(waves))/el.Seconds())
 }
 
+// runBatch measures the batched shared-traversal serving path: the same
+// batch of queries answered per-query (srv.TopK in a loop, one ranked
+// search per function) and batched (srv.TopKManyAppend, one tree walk for
+// the whole batch with blocked scoring kernels), across batch sizes Q.
+// queries/s is wall-clock throughput; nodes/query is the average R-tree
+// nodes expanded per answered query (Stats().NodesVisited over Served()),
+// the direct measure of traversal sharing — the batched rows must fall as
+// Q grows while the per-query rows stay flat.
+func runBatch(sc scale, seed int64) {
+	const (
+		d = 4
+		k = 10
+	)
+	nObjects := sc.objectsFig2
+	items := dataset.Independent(nObjects, d, seed)
+	fns := dataset.Functions(64, d, seed+1)
+
+	objects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		objects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+
+	fmt.Printf("benchfig: batched shared-traversal serving — |O| = %d, D = %d, k = %d (bench trajectory: %s)\n\n",
+		nObjects, d, k, benchSnapshot)
+	fmt.Printf("%-6s %-10s %14s %14s %14s\n", "Q", "mode", "ns/batch", "queries/s", "nodes/query")
+	var perfn16, batched16 float64
+	for _, q := range []int{1, 8, 16, 64} {
+		qs := queries[:q]
+		// Per-query baseline: a fresh server per row so the node counter
+		// attributes cleanly to this configuration.
+		srv, err := prefmatch.NewServer(objects, nil)
+		if err != nil {
+			panic(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, query := range qs {
+					if _, err := srv.TopK(query, k); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		nodes := float64(srv.Stats().NodesVisited) / float64(srv.Served())
+		fmt.Printf("%-6d %-10s %14d %14.0f %14.3f\n",
+			q, "perfn", r.NsPerOp(), float64(q)*1e9/float64(r.NsPerOp()), nodes)
+		if q == 16 {
+			perfn16 = nodes
+		}
+		bsrv, err := prefmatch.NewServer(objects, nil)
+		if err != nil {
+			panic(err)
+		}
+		var (
+			dst     []prefmatch.Assignment
+			offsets []int
+		)
+		rb := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, offsets, err = bsrv.TopKManyAppend(dst[:0], offsets[:0], qs, k)
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+		bnodes := float64(bsrv.Stats().NodesVisited) / float64(bsrv.Served())
+		fmt.Printf("%-6d %-10s %14d %14.0f %14.3f\n",
+			q, "batched", rb.NsPerOp(), float64(q)*1e9/float64(rb.NsPerOp()), bnodes)
+		if q == 16 {
+			batched16 = bnodes
+		}
+	}
+	fmt.Printf("\nQ=16 traversal sharing: %.3f nodes/query batched vs %.3f per-query (%.2fx)\n",
+		batched16, perfn16, batched16/perfn16)
+}
+
 // runAlloc measures the steady-state allocation profile of the serving
 // path: ns/op, B/op and allocs/op per top-k query, from the raw pooled
 // ranked search over a memory snapshot (the zero-alloc layer, pinned at 0
@@ -359,6 +446,20 @@ func runAlloc(sc scale, seed int64, check bool) {
 			for i := 0; i < b.N; i++ {
 				var err error
 				buf, err = topk.SearchAppend(buf[:0], snap, prefsBoxed[i%len(prefsBoxed)], k, c)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Server.TopKManyAppend q=8 k=%d (batched)", k), true, func(b *testing.B) {
+			var (
+				dst     []prefmatch.Assignment
+				offsets []int
+			)
+			batchQs := queries[:8]
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, offsets, err = srv.TopKManyAppend(dst[:0], offsets[:0], batchQs, k)
 				if err != nil {
 					panic(err)
 				}

@@ -57,21 +57,45 @@ type BatchPrimer interface {
 // restartSource is the § III-A access pattern: every Best issues a fresh
 // branch-and-bound top-1 search, and Remove physically deletes the object
 // from the tree — exactly the work profile the paper charges to classic
-// Brute Force (and to Chain's object side).
+// Brute Force (and to Chain's object side). Prime batches a refresh wave's
+// top-1 searches into one shared traversal (topk.BatchSearcher); the cache it
+// fills is invalidated wholesale by the next deletion, so a stale answer can
+// never survive a tree mutation.
 type restartSource struct {
 	tree index.ObjectIndex
 	fns  []prefs.Function
 	c    *stats.Counters
+
+	epoch      int   // bumped by Remove; invalidates every primed answer
+	primeEpoch []int // epoch at which fn i was primed (valid iff == epoch)
+	primeHas   []bool
+	primeCand  []Candidate
+
+	// Prime scratch, reused across refresh waves.
+	primeFns []prefs.Preference
+	primeKs  []int
+	rbuf     []topk.Result
 }
 
 func newRestartSource(tree index.ObjectIndex, fns []prefs.Function, c *stats.Counters) *restartSource {
-	return &restartSource{tree: tree, fns: fns, c: c}
+	return &restartSource{
+		tree:       tree,
+		fns:        fns,
+		c:          c,
+		epoch:      1,
+		primeEpoch: make([]int, len(fns)),
+		primeHas:   make([]bool, len(fns)),
+		primeCand:  make([]Candidate, len(fns)),
+	}
 }
 
 func (s *restartSource) Dim() int { return s.tree.Dim() }
 func (s *restartSource) Len() int { return s.tree.Len() }
 
 func (s *restartSource) Best(fnIdx int) (Candidate, bool, error) {
+	if s.primeEpoch[fnIdx] == s.epoch {
+		return s.primeCand[fnIdx], s.primeHas[fnIdx], nil
+	}
 	res, ok, err := topk.Top1(s.tree, s.fns[fnIdx], s.c)
 	if err != nil || !ok {
 		return Candidate{}, false, err
@@ -79,7 +103,43 @@ func (s *restartSource) Best(fnIdx int) (Candidate, bool, error) {
 	return Candidate{ObjID: res.ID, Point: res.Point, Sum: res.Point.Sum(), Score: res.Score}, true, nil
 }
 
+// Prime answers a whole refresh wave's top-1 searches with one shared
+// traversal. Each primed answer is bit-identical to the restarted search
+// Best would have issued (the batched searcher's guarantee), so the matcher
+// sees the exact same candidate stream, just with the tree's upper levels
+// read once instead of once per function.
+func (s *restartSource) Prime(fnIdxs []int) error {
+	if len(fnIdxs) < 2 {
+		return nil
+	}
+	s.primeFns = s.primeFns[:0]
+	s.primeKs = s.primeKs[:0]
+	for _, i := range fnIdxs {
+		s.primeFns = append(s.primeFns, s.fns[i])
+		s.primeKs = append(s.primeKs, 1)
+	}
+	b := topk.AcquireBatchSearcher(s.tree, s.primeFns, s.primeKs, s.c)
+	defer b.Release()
+	if err := b.Run(); err != nil {
+		return err
+	}
+	for pos, i := range fnIdxs {
+		s.rbuf = b.AppendResults(pos, s.rbuf[:0])
+		s.primeEpoch[i] = s.epoch
+		if len(s.rbuf) == 0 {
+			s.primeHas[i] = false
+			s.primeCand[i] = Candidate{}
+			continue
+		}
+		r := s.rbuf[0]
+		s.primeHas[i] = true
+		s.primeCand[i] = Candidate{ObjID: r.ID, Point: r.Point, Sum: r.Point.Sum(), Score: r.Score}
+	}
+	return nil
+}
+
 func (s *restartSource) Remove(id index.ObjID, p vec.Point) error {
+	s.epoch++ // the tree is about to change; every primed answer is stale
 	return s.tree.Delete(id, p)
 }
 
@@ -114,11 +174,13 @@ func (s *incSource) Dim() int { return s.tree.Dim() }
 func (s *incSource) Len() int { return s.tree.Len() - s.gone }
 
 func (s *incSource) Best(fnIdx int) (Candidate, bool, error) {
+	if s.has[fnIdx] && !s.removed[s.cand[fnIdx].ObjID] {
+		// The cached head is still live — whether a stream produced it or a
+		// batched Prime did; neither needs to advance.
+		return s.cand[fnIdx], true, nil
+	}
 	if s.searches[fnIdx] == nil {
 		s.searches[fnIdx] = topk.NewIncSearch(s.tree, s.fns[fnIdx], s.c)
-	} else if s.has[fnIdx] && !s.removed[s.cand[fnIdx].ObjID] {
-		// The cached head is still live; the stream need not advance.
-		return s.cand[fnIdx], true, nil
 	}
 	for {
 		res, ok, err := s.searches[fnIdx].Next()
@@ -137,6 +199,14 @@ func (s *incSource) Best(fnIdx int) (Candidate, bool, error) {
 		return s.cand[fnIdx], true, nil
 	}
 }
+
+// incSource deliberately does NOT implement BatchPrimer. Its defining
+// contract — exactly one resumable search per function, every ranked object
+// produced at most once — is what keeps its I/O strictly below classic Brute
+// Force, and a batched re-prime would re-descend the tree for every refresh
+// wave, re-reading upper levels the live streams have already paid for.
+// Shared-traversal priming pays off only where the per-function work is
+// stateless anyway (restartSource) or fanned across shards (sharded source).
 
 func (s *incSource) Remove(id index.ObjID, p vec.Point) error {
 	s.removed[id] = true

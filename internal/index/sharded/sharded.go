@@ -38,6 +38,7 @@ package sharded
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -533,6 +534,28 @@ func (s *snapshot) Validate() error {
 
 // --- Parallel ranked fan-out -------------------------------------------
 
+// worseFirst orders the fan-out's merge heap worst-result-first, so Peek is
+// always the current k-th best (the pruning threshold).
+func worseFirst(a, b topk.Result) bool { return topk.Better(b, a) }
+
+// mergePool recycles merge heaps across SearchTopK calls — each request used
+// to allocate a fresh closure heap, which the serving path's zero-allocation
+// budget cannot afford.
+var mergePool = sync.Pool{New: func() any {
+	q := &pqueue.Queue[topk.Result]{}
+	q.Init(worseFirst)
+	return q
+}}
+
+func acquireMergeHeap() *pqueue.Queue[topk.Result] {
+	return mergePool.Get().(*pqueue.Queue[topk.Result])
+}
+
+func releaseMergeHeap(q *pqueue.Queue[topk.Result]) {
+	q.Reset() // drop result references so the pool cannot pin an arena
+	mergePool.Put(q)
+}
+
 // SearchTopK returns the k best objects for pref, best first, by fanning
 // ranked search across the shards and merging through a score-ordered heap.
 // Each shard is searched on its own read-only snapshot with its own counter
@@ -574,8 +597,9 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 
 	var (
 		mu  sync.Mutex
-		acc = pqueue.New(func(a, b topk.Result) bool { return topk.Better(b, a) }) // Pop/Peek = current worst
+		acc = acquireMergeHeap() // Pop/Peek = current worst
 	)
+	defer releaseMergeHeap(acc)
 	sinks := make([]*stats.Counters, len(jobs))
 	runShard := func(j int) error {
 		sink := &stats.Counters{}
@@ -646,6 +670,155 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 	for i := acc.Len() - 1; i >= 0; i-- {
 		r, _ := acc.Pop()
 		out[i] = r
+	}
+	return out, nil
+}
+
+// SearchTopKBatch answers one ranked top-k query per preference in fns with
+// a single batched pass over the shards: each shard that survives pruning is
+// walked once by a shared-traversal topk.BatchSearcher serving every
+// function still interested in it, instead of once per function. Results are
+// merged per function through worst-first heaps, so out[f] is bit-identical
+// to SearchTopK(fns[f], k, ...) — same objects, same order.
+//
+// Pruning is per (shard, function): a function with k results already whose
+// k-th beats the shard's upper bound is dropped from that shard's batch
+// (equal bounds are kept — an equal-score object can win the sum/ID
+// tie-break), and a shard no function cares about is skipped entirely
+// (counted in c.ShardsPruned). Shards are visited in descending order of
+// their best bound across the batch so the heaps fill with strong results
+// early. Under workers > 1 the visit order — and therefore the pruning
+// opportunities and counter totals — is nondeterministic, but the returned
+// results are always exact.
+func (ix *Index) SearchTopKBatch(fns []prefs.Preference, k, workers int, c *stats.Counters) ([][]topk.Result, error) {
+	if c == nil {
+		c = ix.c
+	}
+	if len(fns) == 0 {
+		return nil, nil
+	}
+	out := make([][]topk.Result, len(fns))
+	if k <= 0 {
+		return out, nil
+	}
+	if !ix.canSnap {
+		return nil, ix.errNoSnapshots("batched ranked fan-out")
+	}
+
+	type job struct {
+		shard  int
+		best   float64   // max bound across the batch, for visit order
+		bounds []float64 // per-function upper bound over the shard MBR
+	}
+	jobs := make([]job, len(ix.entries))
+	for i, e := range ix.entries {
+		b := make([]float64, len(fns))
+		best := math.Inf(-1)
+		for f, p := range fns {
+			b[f] = p.UpperBound(e.rect)
+			if b[f] > best {
+				best = b[f]
+			}
+		}
+		jobs[i] = job{shard: e.shard, best: best, bounds: b}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].best != jobs[j].best {
+			return jobs[i].best > jobs[j].best
+		}
+		return jobs[i].shard < jobs[j].shard
+	})
+
+	// One worst-first heap per function guards the global k-th score; all
+	// heap access is under mu.
+	var mu sync.Mutex
+	heaps := make([]pqueue.Queue[topk.Result], len(fns))
+	for f := range heaps {
+		heaps[f].Init(worseFirst)
+	}
+
+	sinks := make([]*stats.Counters, len(jobs))
+	runShard := func(j int) error {
+		sink := &stats.Counters{}
+		sinks[j] = sink
+		// Per-function shard pruning under the same rule as SearchTopK's
+		// whole-shard cut: full heap + bound strictly below the k-th score
+		// means this shard holds nothing for that function.
+		var (
+			sub    []prefs.Preference
+			subIdx []int
+		)
+		mu.Lock()
+		for f, p := range fns {
+			if heaps[f].Len() == k {
+				if worst, _ := heaps[f].Peek(); jobs[j].bounds[f] < worst.Score {
+					continue
+				}
+			}
+			sub = append(sub, p)
+			subIdx = append(subIdx, f)
+		}
+		mu.Unlock()
+		if len(sub) == 0 {
+			sink.ShardsPruned++
+			return nil
+		}
+		ks := make([]int, len(sub))
+		for i := range ks {
+			ks[i] = k
+		}
+		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
+		snap.SetCounters(sink)
+		b := topk.AcquireBatchSearcher(snap, sub, ks, sink)
+		defer b.Release()
+		if err := b.Run(); err != nil {
+			return err
+		}
+		// Merge each function's shard-local top-k; the batch searcher
+		// already capped every contribution at k, best first.
+		var buf []topk.Result
+		for pos, f := range subIdx {
+			buf = b.AppendResults(pos, buf[:0])
+			mu.Lock()
+			for _, r := range buf {
+				if heaps[f].Len() < k {
+					heaps[f].Push(r)
+					continue
+				}
+				worst, _ := heaps[f].Peek()
+				if !topk.Better(r, worst) {
+					// Contributions arrive best first, so nothing later
+					// from this shard can displace the k-th either.
+					break
+				}
+				heaps[f].Pop()
+				heaps[f].Push(r)
+			}
+			mu.Unlock()
+		}
+		return nil
+	}
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	err := fanIndexed(len(jobs), workers, runShard)
+
+	for _, sink := range sinks {
+		if sink != nil {
+			c.Add(sink)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for f := range fns {
+		res := make([]topk.Result, heaps[f].Len())
+		for i := heaps[f].Len() - 1; i >= 0; i-- {
+			r, _ := heaps[f].Pop()
+			res[i] = r
+		}
+		out[f] = res
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/index/paged"
+	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 )
@@ -432,5 +433,86 @@ func TestShardNodesForwardFlatPayloads(t *testing.T) {
 	walk(ix.RootPage())
 	if seen != len(items) {
 		t.Fatalf("walk saw %d items, want %d", seen, len(items))
+	}
+}
+
+// TestSearchTopKBatchEquivalence: the batched fan-out must return, for every
+// function in the batch, exactly what the per-function SearchTopK returns —
+// same objects, same order — across partitioners, shard counts, batch sizes,
+// k and worker counts.
+func TestSearchTopKBatchEquivalence(t *testing.T) {
+	const d = 3
+	items := dataset.Clustered(900, d, 6, 17)
+	fns := dataset.Functions(16, d, 18)
+	prefsOf := func(q int) []prefs.Preference {
+		ps := make([]prefs.Preference, q)
+		for i := range ps {
+			ps[i] = fns[i%len(fns)]
+		}
+		return ps
+	}
+	for _, p := range []Partitioner{Spatial{}, Hash{}} {
+		for _, n := range []int{1, 3, 7} {
+			ix, err := Build(d, items, &Options{Shards: n, Partitioner: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []int{1, 3, 16} {
+				for _, k := range []int{1, 5, 950} {
+					for _, workers := range []int{1, 4} {
+						batch := prefsOf(q)
+						got, err := ix.SearchTopKBatch(batch, k, workers, &stats.Counters{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(got) != q {
+							t.Fatalf("q=%d: %d result sets", q, len(got))
+						}
+						for f := range batch {
+							want, err := ix.SearchTopK(batch[f], k, 1, &stats.Counters{})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if len(want) == 0 {
+								want = nil
+							}
+							gf := got[f]
+							if len(gf) == 0 {
+								gf = nil
+							}
+							if !reflect.DeepEqual(gf, want) {
+								t.Fatalf("%s/%d q=%d k=%d w=%d fn#%d: batched fan-out differs\ngot  %v\nwant %v",
+									p.Name(), n, q, k, workers, f, gf, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchTopKBatchEdgeCases(t *testing.T) {
+	items := dataset.Independent(100, 2, 21)
+	ix, err := Build(2, items, &Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dataset.Functions(1, 2, 22)[0]
+	if out, err := ix.SearchTopKBatch(nil, 3, 1, nil); err != nil || out != nil {
+		t.Fatalf("empty batch: (%v, %v)", out, err)
+	}
+	out, err := ix.SearchTopKBatch([]prefs.Preference{f}, 0, 1, nil)
+	if err != nil || len(out) != 1 || out[0] != nil {
+		t.Fatalf("k=0: (%v, %v)", out, err)
+	}
+	pix, err := Build(2, items, &Options{Shards: 2, BuildShard: func(dim int, g []index.Item) (index.ObjectIndex, error) {
+		return paged.Build(dim, g, nil)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pix.SearchTopKBatch([]prefs.Preference{f}, 3, 2, nil); err == nil {
+		t.Fatal("batched fan-out over paged shards accepted")
 	}
 }

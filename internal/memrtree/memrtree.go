@@ -61,6 +61,12 @@ type Tree struct {
 	maxEntries int
 	minEntries int
 	c          *stats.Counters
+
+	// frontier is BestFor's reusable branch-and-bound heap. BestFor returns
+	// on the first surfacing item without draining, so the queue is emptied
+	// (array retained) at the start of each search. The tree is not safe for
+	// concurrent use, so one scratch queue suffices.
+	frontier pqueue.Queue[searchItem]
 }
 
 // New creates an empty tree for dim-dimensional weight vectors. maxEntries
@@ -78,12 +84,14 @@ func New(dim, maxEntries int, c *stats.Counters) (*Tree, error) {
 	if c == nil {
 		c = &stats.Counters{}
 	}
-	return &Tree{
+	t := &Tree{
 		dim:        dim,
 		maxEntries: maxEntries,
 		minEntries: max(1, min(maxEntries*2/5, maxEntries/2)),
 		c:          c,
-	}, nil
+	}
+	t.frontier.Init(searchLess)
+	return t, nil
 }
 
 // Dim returns the tree's dimensionality.
@@ -290,6 +298,22 @@ type searchItem struct {
 	seq    int // deterministic node tie-break
 }
 
+// searchLess orders BestFor's frontier: descending bound; nodes before items
+// on a tie (they may hide an equal-score, smaller-ID item), then item ID or
+// push sequence for determinism.
+func searchLess(a, b searchItem) bool {
+	if a.bound != b.bound {
+		return a.bound > b.bound
+	}
+	if a.isItem != b.isItem {
+		return !a.isItem
+	}
+	if a.isItem {
+		return a.item.ID < b.item.ID
+	}
+	return a.seq < b.seq
+}
+
 // BestFor returns the indexed function that scores object point o highest
 // (object-side order: score desc, then smaller function ID), with ok ==
 // false when the tree is empty. The bound of a node with weight MBR [lo,hi]
@@ -304,18 +328,8 @@ func (t *Tree) BestFor(o vec.Point) (Item, float64, bool) {
 	}
 	t.c.Top1Searches++
 	seq := 0
-	h := pqueue.New(func(a, b searchItem) bool {
-		if a.bound != b.bound {
-			return a.bound > b.bound
-		}
-		if a.isItem != b.isItem {
-			return !a.isItem // nodes first: they may hide an equal-score, smaller-ID item
-		}
-		if a.isItem {
-			return a.item.ID < b.item.ID
-		}
-		return a.seq < b.seq
-	})
+	h := &t.frontier
+	h.Reset()
 	h.SetCounters(t.c)
 	score := func(w vec.Point) float64 {
 		t.c.ScoreEvals++

@@ -91,6 +91,38 @@ func NewFunction(id int, weights []float64) (Function, error) {
 	return Function{ID: id, Weights: norm}, nil
 }
 
+// AppendFunction is the allocation-free form of NewFunction: the normalised
+// weights are appended to arena and the returned function's Weights alias the
+// appended region, so a serving path validating many queries per request can
+// reuse one grown arena instead of allocating a weight vector per query. The
+// extended arena is returned; on error the arena is returned unchanged.
+// Callers must not let the arena be reused while a returned Function is live.
+func AppendFunction(arena vec.Point, id int, weights []float64) (Function, vec.Point, error) {
+	if len(weights) == 0 {
+		return Function{}, arena, ErrNoWeights
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return Function{}, arena, fmt.Errorf("%w: %v", ErrBadWeight, w)
+		}
+		if w < 0 {
+			return Function{}, arena, fmt.Errorf("%w: %v", ErrNegativeWeight, w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return Function{}, arena, ErrZeroWeights
+	}
+	base := len(arena)
+	for _, w := range weights {
+		// Same normalisation expression as NewFunction, so the resulting
+		// weights — and every downstream score — are bit-identical.
+		arena = append(arena, w/sum)
+	}
+	return Function{ID: id, Weights: arena[base:len(arena):len(arena)]}, arena, nil
+}
+
 // MustFunction is NewFunction that panics on error, for tests and examples.
 func MustFunction(id int, weights []float64) Function {
 	f, err := NewFunction(id, weights)
@@ -129,10 +161,18 @@ var _ Preference = Function{}
 // it unboxed. Hot paths use it to devirtualize scoring: a linear preference
 // can be evaluated as a tight dot-product loop over a backend's flat
 // coordinate slab (vec.Dot / vec.DotSum) instead of an interface call per
-// entry, with bit-identical results.
+// entry, with bit-identical results. Both boxing forms are recognised:
+// Function by value, and *Function — the form allocation-free callers use,
+// because boxing the multi-word struct value heap-allocates while a pointer
+// rides in the interface word for free.
 func Linear(p Preference) (Function, bool) {
-	f, ok := p.(Function)
-	return f, ok
+	switch f := p.(type) {
+	case Function:
+		return f, true
+	case *Function:
+		return *f, true
+	}
+	return Function{}, false
 }
 
 // BetterFunc reports whether function (scoreA, idA) is preferred by an

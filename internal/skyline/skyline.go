@@ -133,6 +133,12 @@ type Maintainer struct {
 	index    map[index.ObjID]int // object ID -> position in sky
 	excluded map[index.ObjID]bool
 	computed bool
+
+	// frontier is the reusable BBS heap scratch. Compute and every Remove
+	// mode run one traversal at a time, so a single queue serves all call
+	// sites; Reset keeps the backing array, so repeated waves over the same
+	// maintainer stop allocating heaps.
+	frontier pqueue.Queue[item]
 }
 
 // New creates a maintainer over t. A nil counters uses the tree's.
@@ -140,13 +146,23 @@ func New(t index.ObjectIndex, mode Mode, c *stats.Counters) *Maintainer {
 	if c == nil {
 		c = t.Counters()
 	}
-	return &Maintainer{
+	m := &Maintainer{
 		tree:     t,
 		c:        c,
 		mode:     mode,
 		index:    map[index.ObjID]int{},
 		excluded: map[index.ObjID]bool{},
 	}
+	m.frontier.Init(less)
+	return m
+}
+
+// heap returns the maintainer's scratch queue, emptied and charging to the
+// maintainer's counters, ready for one BBS traversal.
+func (m *Maintainer) heap() *pqueue.Queue[item] {
+	m.frontier.Reset()
+	m.frontier.SetCounters(m.c)
+	return &m.frontier
 }
 
 // Skyline returns the current skyline in a deterministic (discovery) order.
@@ -164,8 +180,7 @@ func (m *Maintainer) Computed() bool { return m.computed }
 func (m *Maintainer) Compute() error {
 	m.sky = m.sky[:0]
 	m.index = map[index.ObjID]int{}
-	h := pqueue.New(less)
-	h.SetCounters(m.c)
+	h := m.heap()
 	if root := m.tree.RootPage(); root != pagedfile.InvalidPage {
 		h.Push(rootItem(root, m.tree.Dim()))
 	}
@@ -221,8 +236,7 @@ func (m *Maintainer) Remove(ids []index.ObjID) (added []*Object, err error) {
 		// Redistribute the removed objects' plists (§ IV-B): entries
 		// dominated by a survivor move to its plist; the rest — exclusively
 		// dominated by the removed objects — form the candidate heap Scand.
-		scand := pqueue.New(less)
-		scand.SetCounters(m.c)
+		scand := m.heap()
 		for _, r := range removed {
 			for _, e := range r.plist {
 				if owner := m.dominator(e.hi()); owner != nil {
@@ -239,8 +253,7 @@ func (m *Maintainer) Remove(ids []index.ObjID) (added []*Object, err error) {
 	case MaintainRetraverse:
 		// Constrained re-traversal of [5]: restart from the root, prune
 		// with the surviving skyline, skip already-known members.
-		h := pqueue.New(less)
-		h.SetCounters(m.c)
+		h := m.heap()
 		if root := m.tree.RootPage(); root != pagedfile.InvalidPage {
 			h.Push(rootItem(root, m.tree.Dim()))
 		}
@@ -260,8 +273,7 @@ func (m *Maintainer) Remove(ids []index.ObjID) (added []*Object, err error) {
 		}
 		m.sky = m.sky[:0]
 		m.index = map[index.ObjID]int{}
-		h := pqueue.New(less)
-		h.SetCounters(m.c)
+		h := m.heap()
 		if root := m.tree.RootPage(); root != pagedfile.InvalidPage {
 			h.Push(rootItem(root, m.tree.Dim()))
 		}

@@ -25,6 +25,7 @@ type Counters struct {
 	// Algorithm-level counters.
 
 	Top1Searches    int64 // ranked top-1 searches issued against an R-tree
+	NodesVisited    int64 // R-tree nodes expanded by ranked search (shared across a batch)
 	TAListAccesses  int64 // sorted-list entries consumed by the threshold algorithm
 	ScoreEvals      int64 // f(o) evaluations
 	DominanceChecks int64 // point/rect dominance tests
@@ -47,6 +48,7 @@ func (c *Counters) Add(o *Counters) {
 	c.PageWrites += o.PageWrites
 	c.BufferHits += o.BufferHits
 	c.Top1Searches += o.Top1Searches
+	c.NodesVisited += o.NodesVisited
 	c.TAListAccesses += o.TAListAccesses
 	c.ScoreEvals += o.ScoreEvals
 	c.DominanceChecks += o.DominanceChecks
@@ -75,7 +77,7 @@ func (c *Counters) ObserveSkylineSize(n int) {
 func (c *Counters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "io=%d (r=%d w=%d hits=%d)", c.IOAccesses(), c.PageReads, c.PageWrites, c.BufferHits)
-	fmt.Fprintf(&b, " top1=%d ta=%d scores=%d dom=%d", c.Top1Searches, c.TAListAccesses, c.ScoreEvals, c.DominanceChecks)
+	fmt.Fprintf(&b, " top1=%d nodes=%d ta=%d scores=%d dom=%d", c.Top1Searches, c.NodesVisited, c.TAListAccesses, c.ScoreEvals, c.DominanceChecks)
 	fmt.Fprintf(&b, " skyUpd=%d skyMax=%d loops=%d pairs=%d del=%d shardsPruned=%d",
 		c.SkylineUpdates, c.SkylineMaxSize, c.Loops, c.PairsEmitted, c.TreeDeletes, c.ShardsPruned)
 	return b.String()

@@ -195,6 +195,7 @@ func (s *Searcher) Next() (Result, bool, error) {
 		if err != nil {
 			return Result{}, false, err
 		}
+		s.counters.NodesVisited++
 		if s.isLinear && s.expandLinear(n) {
 			continue
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package prefmatch_test
+
+const raceEnabled = false

@@ -306,6 +306,7 @@ type Stats struct {
 	PageWrites     int64         // physical writes
 	BufferHits     int64         // page requests served by the LRU buffer
 	Top1Searches   int64         // ranked searches issued
+	NodesVisited   int64         // R-tree nodes expanded by ranked search
 	TAListAccesses int64         // TA sorted-list entries consumed
 	SkylineUpdates int64         // incremental skyline maintenance calls
 	SkylineMax     int64         // largest skyline encountered
@@ -549,6 +550,7 @@ func statsFromCounters(c *stats.Counters, elapsed time.Duration) Stats {
 		PageWrites:     c.PageWrites,
 		BufferHits:     c.BufferHits,
 		Top1Searches:   c.Top1Searches,
+		NodesVisited:   c.NodesVisited,
 		TAListAccesses: c.TAListAccesses,
 		SkylineUpdates: c.SkylineUpdates,
 		SkylineMax:     c.SkylineMaxSize,

@@ -1,0 +1,8 @@
+//go:build race
+
+// Allocation-count tests are skipped under the race detector: its
+// instrumentation allocates on its own schedule and sync.Pool drops puts,
+// so allocs/op is not meaningful there.
+package prefmatch_test
+
+const raceEnabled = true

@@ -12,6 +12,8 @@ import (
 	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
 )
 
 // Server indexes a slow-changing object inventory once and serves many
@@ -43,11 +45,42 @@ type Server struct {
 	ix         servingIndex
 	sh         *sharded.Index // non-nil for a sharded index: enables the per-shard ranked fan-out
 	capacities map[index.ObjID]int
+	scratch    sync.Pool // *serveScratch: pooled per-request plumbing
 
 	mu      sync.Mutex
 	agg     stats.Counters
 	elapsed time.Duration
 	served  int64
+}
+
+// serveScratch is the per-request plumbing a read-only request needs — a
+// snapshot wired to a private counter sink, plus the batched path's reusable
+// buffers — pooled so a steady-state request allocates nothing. Reusing a
+// snapshot across requests is sound because of the Snapshotter freeze
+// contract: the index never mutates while the server is in use, so a
+// snapshot taken once stays valid forever; only its counter sink (reset on
+// acquire) carries per-request state.
+type serveScratch struct {
+	snap   index.ObjectIndex
+	c      stats.Counters
+	arena  vec.Point          // normalised query weights, appended per batch
+	fnvals []prefs.Function   // batch functions, weights aliasing arena
+	fns    []prefs.Preference // *Function views of fnvals (pointer boxing is allocation-free)
+	ks     []int
+	rbuf   []topk.Result
+}
+
+func (s *Server) acquireScratch() *serveScratch {
+	sc := s.scratch.Get().(*serveScratch)
+	sc.c = stats.Counters{}
+	return sc
+}
+
+func (s *Server) releaseScratch(sc *serveScratch) {
+	sc.arena = sc.arena[:0]
+	sc.fnvals = sc.fnvals[:0]
+	sc.fns = sc.fns[:0]
+	s.scratch.Put(sc)
 }
 
 // servingIndex is what a Server needs from its backend: the traversal
@@ -116,6 +149,11 @@ func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int) (*Server, e
 	if sh, ok := ix.(*sharded.Index); ok {
 		s.sh = sh
 	}
+	s.scratch.New = func() any {
+		sc := &serveScratch{snap: s.ix.Snapshot()}
+		sc.snap.SetCounters(&sc.c)
+		return sc
+	}
 	return s, nil
 }
 
@@ -127,10 +165,17 @@ func (s *Server) Dim() int { return s.ix.Dim() }
 
 // record merges one completed request's accounting into the server totals.
 func (s *Server) record(c *stats.Counters, elapsed time.Duration) {
+	s.recordN(c, elapsed, 1)
+}
+
+// recordN is record for a batched request answering n logical queries at
+// once: Served still advances by n, so batching changes how the work is
+// done, not how much serving the totals report.
+func (s *Server) recordN(c *stats.Counters, elapsed time.Duration, n int) {
 	s.mu.Lock()
 	s.agg.Add(c)
 	s.elapsed += elapsed
-	s.served++
+	s.served += int64(n)
 	s.mu.Unlock()
 }
 
@@ -236,20 +281,24 @@ func (s *Server) MatchMany(waves [][]Query, opts *Options, workers int) ([]*Resu
 	return results, nil
 }
 
-// serve runs one read-only request against a fresh snapshot of the index
+// serve runs one read-only request against a pooled snapshot of the index
 // and, on success, merges the request's accounting into the server totals.
-// The single place that implements the snapshot-per-request discipline.
+// The single place that implements the snapshot-per-request discipline:
+// each pool entry owns one snapshot wired to its own counter sink, so
+// concurrent requests never share a sink and a steady-state request
+// allocates no plumbing.
 func serve[T any](s *Server, req func(snap index.ObjectIndex, c *stats.Counters) (T, error)) (T, error) {
-	snap := s.ix.Snapshot()
+	sc := s.acquireScratch()
+	defer s.releaseScratch(sc)
 	var timer stats.Timer
 	timer.Start()
-	out, err := req(snap, snap.Counters())
+	out, err := req(sc.snap, &sc.c)
 	timer.Stop()
 	if err != nil {
 		var zero T
 		return zero, err
 	}
-	s.record(snap.Counters(), timer.Elapsed())
+	s.record(&sc.c, timer.Elapsed())
 	return out, nil
 }
 
@@ -328,34 +377,231 @@ func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error
 	})
 }
 
-// TopKMany answers independent top-k queries across workers goroutines (0
-// or negative means GOMAXPROCS), one result slice per query, in query
-// order. The workload of the paper's serving framing: many users, one
-// object set, every user wants their personal ranking.
+// batchChunk is how many queries a batched TopKMany request hands one
+// shared-traversal searcher. Large enough that the tree's upper levels are
+// read once for dozens of functions, small enough that chunks still fan out
+// across workers and the blocked scoring kernels stay in cache.
+const batchChunk = 64
+
+// TopKMany answers independent top-k queries in query order, one result
+// slice per query. The workload of the paper's serving framing: many users,
+// one object set, every user wants their personal ranking — so instead of
+// one ranked descent per query, queries are validated up front, grouped
+// into chunks of at most batchChunk, and each chunk walks the tree once
+// through a shared-traversal batch searcher (topk.BatchSearcher; on a
+// sharded server, sharded.SearchTopKBatch per shard). Results are
+// bit-identical to per-query TopK calls.
 //
-// On a sharded server, workers is the total parallelism budget: it is
-// spent on the per-query fan-out first, and whatever the query count
-// leaves unused goes to each request's per-shard fan-out (a one-query
-// batch with workers=0 fans across all CPUs' worth of shard workers;
-// workers=1 stays fully sequential).
+// Chunks are spread across workers goroutines (0 or negative means
+// GOMAXPROCS). On a sharded server, workers is the total parallelism
+// budget: it is spent on the per-chunk fan-out first, and whatever the
+// chunk count leaves unused goes to each chunk's per-shard fan-out
+// (workers=1 stays fully sequential).
 func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, error) {
 	results := make([][]Assignment, len(queries))
+	fns := make([]prefs.Preference, len(queries))
 	errs := make([]error, len(queries))
+	invalid := false
+	for i, q := range queries {
+		if k < 0 {
+			errs[i] = fmt.Errorf("prefmatch: negative k %d", k)
+			invalid = true
+			continue
+		}
+		f, err := linearPref(q, s.ix.Dim())
+		if err != nil {
+			errs[i] = err
+			invalid = true
+			continue
+		}
+		fns[i] = f
+	}
+	if invalid {
+		return nil, errors.Join(errs...)
+	}
+	if k == 0 {
+		return results, nil
+	}
 	budget := workers
 	if budget < 1 {
 		budget = runtime.GOMAXPROCS(0)
 	}
+	chunks := (len(queries) + batchChunk - 1) / batchChunk
 	shardWorkers := 1
-	if outer := clampWorkers(budget, len(queries)); outer > 0 && budget/outer > 1 {
-		shardWorkers = budget / outer
+	if s.sh != nil {
+		if outer := clampWorkers(budget, chunks); outer > 0 && budget/outer > 1 {
+			shardWorkers = budget / outer
+		}
 	}
-	fanOut(len(queries), budget, func(i int) {
-		results[i], errs[i] = s.topK(queries[i], k, shardWorkers)
+	cerrs := make([]error, chunks)
+	fanOut(chunks, budget, func(ci int) {
+		lo := ci * batchChunk
+		hi := lo + batchChunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		cerrs[ci] = s.topKChunk(queries[lo:hi], fns[lo:hi], results[lo:hi], k, shardWorkers)
 	})
-	if err := errors.Join(errs...); err != nil {
+	if err := errors.Join(cerrs...); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// topKChunk answers one chunk of pre-validated queries with a single shared
+// traversal, writing each query's assignments into results[i]. On a sharded
+// server the chunk fans across shards batched (each surviving shard walked
+// once for the whole chunk); otherwise it runs a pooled batch searcher over
+// the pooled snapshot.
+func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]Assignment, k, shardWorkers int) error {
+	if s.sh != nil {
+		c := &stats.Counters{}
+		var timer stats.Timer
+		timer.Start()
+		res, err := s.sh.SearchTopKBatch(fns, k, shardWorkers, c)
+		timer.Stop()
+		if err != nil {
+			return err
+		}
+		for i, rs := range res {
+			out := make([]Assignment, len(rs))
+			for j, r := range rs {
+				out[j] = Assignment{QueryID: queries[i].ID, ObjectID: int(r.ID), Score: r.Score}
+			}
+			results[i] = out
+		}
+		s.recordN(c, timer.Elapsed(), len(queries))
+		return nil
+	}
+	sc := s.acquireScratch()
+	defer s.releaseScratch(sc)
+	sc.ks = sc.ks[:0]
+	for range fns {
+		sc.ks = append(sc.ks, k)
+	}
+	var timer stats.Timer
+	timer.Start()
+	b := topk.AcquireBatchSearcher(sc.snap, fns, sc.ks, &sc.c)
+	defer b.Release()
+	if err := b.Run(); err != nil {
+		timer.Stop()
+		return err
+	}
+	for i := range fns {
+		sc.rbuf = b.AppendResults(i, sc.rbuf[:0])
+		out := make([]Assignment, len(sc.rbuf))
+		for j, r := range sc.rbuf {
+			out[j] = Assignment{QueryID: queries[i].ID, ObjectID: int(r.ID), Score: r.Score}
+		}
+		results[i] = out
+	}
+	timer.Stop()
+	s.recordN(&sc.c, timer.Elapsed(), len(queries))
+	return nil
+}
+
+// TopKManyAppend is the allocation-free form of TopKMany for callers that
+// recycle their result buffers: all assignments are appended flat to dst,
+// and offsets is appended one entry per query plus a final boundary, so
+// query i's ranking is dst[offsets[base+i]:offsets[base+i+1]] (base being
+// len(offsets) on entry). The whole batch — at most batchChunk queries at a
+// time — shares traversals exactly like TopKMany; query weights are
+// normalised into a pooled arena (prefs.AppendFunction) instead of fresh
+// slices, so a steady-state call over the memory backend performs zero
+// allocations once dst and offsets have grown to capacity. The batch runs
+// on the calling goroutine.
+func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query, k int) ([]Assignment, []int, error) {
+	if k < 0 {
+		return dst, offsets, fmt.Errorf("prefmatch: negative k %d", k)
+	}
+	sc := s.acquireScratch()
+	defer s.releaseScratch(sc)
+	d := s.ix.Dim()
+	for _, q := range queries {
+		if len(q.Weights) != d {
+			return dst, offsets, fmt.Errorf("prefmatch: query %d has %d weights, want %d", q.ID, len(q.Weights), d)
+		}
+		f, arena, err := prefs.AppendFunction(sc.arena, q.ID, q.Weights)
+		if err != nil {
+			return dst, offsets, fmt.Errorf("prefmatch: query %d: %w", q.ID, err)
+		}
+		sc.arena = arena
+		sc.fnvals = append(sc.fnvals, f)
+	}
+	// Box pointers, not values: *Function rides in the interface word, so a
+	// warm scratch builds the whole batch without a single allocation. Taken
+	// only after fnvals stops growing — appends may move the backing array.
+	for i := range sc.fnvals {
+		sc.fns = append(sc.fns, &sc.fnvals[i])
+	}
+	if k == 0 {
+		for range queries {
+			offsets = append(offsets, len(dst))
+		}
+		offsets = append(offsets, len(dst))
+		return dst, offsets, nil
+	}
+	for lo := 0; lo < len(queries); lo += batchChunk {
+		hi := lo + batchChunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		var err error
+		dst, offsets, err = s.topKChunkAppend(dst, offsets, queries[lo:hi], sc.fns[lo:hi], k, sc)
+		if err != nil {
+			return dst, offsets, err
+		}
+	}
+	offsets = append(offsets, len(dst))
+	return dst, offsets, nil
+}
+
+// topKChunkAppend is topKChunk in append form, emitting boundaries instead
+// of per-query slices. It reuses the caller's scratch for everything but
+// the sharded fan-out (which allocates its merge state per call).
+func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Query, fns []prefs.Preference, k int, sc *serveScratch) ([]Assignment, []int, error) {
+	var timer stats.Timer
+	if s.sh != nil {
+		c := &stats.Counters{}
+		timer.Start()
+		res, err := s.sh.SearchTopKBatch(fns, k, 1, c)
+		timer.Stop()
+		if err != nil {
+			return dst, offsets, err
+		}
+		for i, rs := range res {
+			offsets = append(offsets, len(dst))
+			for _, r := range rs {
+				dst = append(dst, Assignment{QueryID: queries[i].ID, ObjectID: int(r.ID), Score: r.Score})
+			}
+		}
+		s.recordN(c, timer.Elapsed(), len(queries))
+		return dst, offsets, nil
+	}
+	sc.ks = sc.ks[:0]
+	for range fns {
+		sc.ks = append(sc.ks, k)
+	}
+	timer.Start()
+	b := topk.AcquireBatchSearcher(sc.snap, fns, sc.ks, &sc.c)
+	defer b.Release()
+	if err := b.Run(); err != nil {
+		timer.Stop()
+		return dst, offsets, err
+	}
+	for i := range fns {
+		sc.rbuf = b.AppendResults(i, sc.rbuf[:0])
+		offsets = append(offsets, len(dst))
+		for _, r := range sc.rbuf {
+			dst = append(dst, Assignment{QueryID: queries[i].ID, ObjectID: int(r.ID), Score: r.Score})
+		}
+	}
+	timer.Stop()
+	s.recordN(&sc.c, timer.Elapsed(), len(queries))
+	// The scratch is shared by every chunk of this call; zero its sink so
+	// the next chunk's recordN does not re-add this chunk's work.
+	sc.c = stats.Counters{}
+	return dst, offsets, nil
 }
 
 // Skyline returns the ascending IDs of the non-dominated objects, computed
