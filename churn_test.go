@@ -1,0 +1,355 @@
+// Churn-equivalence property suite: a live-mutated Dynamic server (sharded
+// or not) must answer every request bit-identically to a freshly built
+// static server over the same live object set — at every checkpoint of a
+// random Insert/Update/Remove/Compact interleaving, and for every
+// algorithm. The serving-stack counterpart of the storage-layer equivalence
+// tests in internal/index/dynamic.
+package prefmatch_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"prefmatch"
+)
+
+// churnObject deterministically derives an object from an ID: point from a
+// seeded stream, every fifth object with capacity 2 or 3 so the live
+// capacity map is exercised, not just the index.
+func churnObject(id int, d int, rng *rand.Rand) prefmatch.Object {
+	vals := make([]float64, d)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	capacity := 0
+	if id%5 == 0 {
+		capacity = 2 + id%2
+	}
+	return prefmatch.Object{ID: id, Values: vals, Capacity: capacity}
+}
+
+// liveSlice flattens the live map in ascending ID order, so reference
+// servers are built deterministically.
+func liveSlice(live map[int]prefmatch.Object) []prefmatch.Object {
+	ids := make([]int, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]prefmatch.Object, len(ids))
+	for i, id := range ids {
+		out[i] = live[id]
+	}
+	return out
+}
+
+// checkServerEquivalence asserts that the churned live server and a fresh
+// static reference over the same object set agree bit-for-bit on matching
+// waves, top-k (single, batched, monotone k variants), and the skyline.
+func checkServerEquivalence(t *testing.T, srv *prefmatch.Server, live map[int]prefmatch.Object, queries []prefmatch.Query) {
+	t.Helper()
+	objs := liveSlice(live)
+	ref, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Match(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Match(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatalf("churned server matching diverges from rebuild (%d live objects)", len(objs))
+	}
+	if err := prefmatch.Verify(objs, queries, got.Assignments); err != nil {
+		t.Fatalf("churned server matching fails verification: %v", err)
+	}
+	for _, k := range []int{1, 7} {
+		a, err := srv.TopK(queries[0], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ref.TopK(queries[0], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("churned TopK(k=%d) diverges from rebuild", k)
+		}
+	}
+	many, err := srv.TopKMany(queries, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manyRef, err := ref.TopKMany(queries, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(many, manyRef) {
+		t.Fatal("churned TopKMany diverges from rebuild")
+	}
+	sky, err := srv.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skyRef, err := ref.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sky, skyRef) {
+		t.Fatal("churned Skyline diverges from rebuild")
+	}
+}
+
+// TestServerChurnEquivalence churns dynamic servers — single-index and
+// sharded-over-dynamic — through random write interleavings with background
+// merges enabled, checking full bit-equivalence against rebuilds at every
+// checkpoint.
+func TestServerChurnEquivalence(t *testing.T) {
+	const d = 3
+	queries := serveQueries(12, d, 70)
+	for _, shards := range []int{0, 3} {
+		rng := rand.New(rand.NewSource(71 + int64(shards)))
+		live := map[int]prefmatch.Object{}
+		for id := 0; id < 250; id++ {
+			live[id] = churnObject(id, d, rng)
+		}
+		srv, err := prefmatch.NewServer(liveSlice(live), &prefmatch.Options{
+			Backend:        prefmatch.Dynamic,
+			Shards:         shards,
+			MergeThreshold: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 250
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				obj := churnObject(next, d, rng)
+				next++
+				if err := srv.Insert(obj); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+				live[obj.ID] = obj
+			case 3, 4, 5:
+				if len(live) == 0 {
+					continue
+				}
+				id := liveSlice(live)[rng.Intn(len(live))].ID
+				obj := churnObject(id, d, rng)
+				if err := srv.Update(obj); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+				live[id] = obj
+			case 6, 7, 8:
+				if len(live) == 0 {
+					continue
+				}
+				id := liveSlice(live)[rng.Intn(len(live))].ID
+				if err := srv.Remove(id); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+				delete(live, id)
+			case 9:
+				if err := srv.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if step%40 == 39 {
+				checkServerEquivalence(t, srv, live, queries)
+			}
+		}
+		if srv.Len() != len(live) {
+			t.Fatalf("shards=%d: server holds %d objects, want %d", shards, srv.Len(), len(live))
+		}
+		st := srv.Stats()
+		if st.Epoch == 0 {
+			t.Fatalf("shards=%d: epoch never advanced", shards)
+		}
+		// Enough writes went through to have forced at least one
+		// threshold-triggered merge somewhere.
+		if st.MergesCompleted == 0 {
+			t.Fatalf("shards=%d: no background merge completed", shards)
+		}
+	}
+}
+
+// TestMatcherChurnAllAlgorithms pins all four algorithms over the Dynamic
+// backend to the Memory backend, including the destructive pair — whose
+// deletions exercise the delta tier's tombstones, path-copy deletes and
+// deletion-triggered background merges mid-matching (MergeThreshold is set
+// low on purpose; the matcher's pinned-epoch view keeps in-flight
+// traversals safe while epochs rotate underneath).
+func TestMatcherChurnAllAlgorithms(t *testing.T) {
+	const d = 3
+	objs := serveObjects(900, d, 72)
+	queries := serveQueries(160, d, 73)
+	algorithms := []prefmatch.Algorithm{
+		prefmatch.SkylineBased,
+		prefmatch.BruteForce,
+		prefmatch.Chain,
+		prefmatch.BruteForceIncremental,
+	}
+	for _, alg := range algorithms {
+		want, err := prefmatch.Match(objs, queries, &prefmatch.Options{Algorithm: alg, Backend: prefmatch.Memory})
+		if err != nil {
+			t.Fatalf("%v/mem: %v", alg, err)
+		}
+		got, err := prefmatch.Match(objs, queries, &prefmatch.Options{
+			Algorithm:      alg,
+			Backend:        prefmatch.Dynamic,
+			MergeThreshold: 64,
+		})
+		if err != nil {
+			t.Fatalf("%v/dyn: %v", alg, err)
+		}
+		if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+			t.Fatalf("%v: dynamic backend diverges from memory backend", alg)
+		}
+	}
+}
+
+// TestServerConcurrentReadersDuringMerge serves top-k, batched top-k,
+// skyline and matching requests from several goroutines while a writer
+// churns the live index through background merges and explicit Compacts.
+// Readers assert internal consistency of whatever epoch their request
+// pinned; under -race this is the serving stack's epoch-rotation safety
+// test.
+func TestServerConcurrentReadersDuringMerge(t *testing.T) {
+	const d = 3
+	rng := rand.New(rand.NewSource(75))
+	objs := serveObjects(800, d, 76)
+	for _, shards := range []int{0, 2} {
+		srv, err := prefmatch.NewServer(objs, &prefmatch.Options{
+			Backend:        prefmatch.Dynamic,
+			Shards:         shards,
+			MergeThreshold: 48,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := serveQueries(8, d, 77)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				var dst []prefmatch.Assignment
+				var offsets []int
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					switch r {
+					case 0:
+						as, err := srv.TopK(queries[0], 5)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						for i := 1; i < len(as); i++ {
+							if as[i].Score > as[i-1].Score {
+								t.Errorf("top-k scores out of order")
+								return
+							}
+						}
+					case 1:
+						var err error
+						dst, offsets, err = srv.TopKManyAppend(dst[:0], offsets[:0], queries, 5)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					default:
+						if _, err := srv.Skyline(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(r)
+		}
+		// Writer: delete-and-reinsert sweeps plus periodic Compacts push
+		// every shard through many epoch rotations.
+		for round := 0; round < 2; round++ {
+			for _, o := range objs {
+				if err := srv.Remove(o.ID); err != nil {
+					t.Fatal(err)
+				}
+				moved := o
+				moved.Values = append([]float64(nil), o.Values...)
+				moved.Values[round%d] = rng.Float64()
+				if err := srv.Insert(moved); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := srv.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		close(done)
+		wg.Wait()
+		if st := srv.Stats(); st.MergesCompleted == 0 {
+			t.Fatalf("shards=%d: churn volume never triggered a merge", shards)
+		}
+	}
+}
+
+// TestServerWriteValidation pins the write API's contract: static servers
+// reject writes with ErrReadOnly, and the dynamic server validates objects
+// exactly like NewServer does.
+func TestServerWriteValidation(t *testing.T) {
+	objs := serveObjects(50, 2, 74)
+	static, err := prefmatch.NewServer(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := static.Insert(prefmatch.Object{ID: 9999, Values: []float64{0.5, 0.5}}); err == nil || !errors.Is(err, prefmatch.ErrReadOnly) {
+		t.Fatalf("static Insert: %v", err)
+	}
+	if err := static.Update(objs[0]); !errors.Is(err, prefmatch.ErrReadOnly) {
+		t.Fatalf("static Update: %v", err)
+	}
+	if err := static.Remove(objs[0].ID); !errors.Is(err, prefmatch.ErrReadOnly) {
+		t.Fatalf("static Remove: %v", err)
+	}
+	if err := static.Compact(); !errors.Is(err, prefmatch.ErrReadOnly) {
+		t.Fatalf("static Compact: %v", err)
+	}
+
+	dyn, err := prefmatch.NewServer(objs, &prefmatch.Options{Backend: prefmatch.Dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []prefmatch.Object{
+		{ID: 10_000, Values: []float64{0.5}},                    // wrong dimension
+		{ID: -1, Values: []float64{0.5, 0.5}},                   // negative ID
+		{ID: 1 << 33, Values: []float64{0.5, 0.5}},              // ID out of range
+		{ID: 10_001, Values: []float64{0.5, 0.5}, Capacity: -2}, // negative capacity
+	}
+	for _, obj := range cases {
+		if err := dyn.Insert(obj); err == nil {
+			t.Fatalf("invalid object %+v accepted", obj)
+		}
+	}
+	if err := dyn.Insert(objs[0]); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if err := dyn.Remove(123_456); !errors.Is(err, prefmatch.ErrNotFound) {
+		t.Fatalf("removing a missing object: %v", err)
+	}
+	if err := dyn.Update(prefmatch.Object{ID: 123_456, Values: []float64{0.5, 0.5}}); !errors.Is(err, prefmatch.ErrNotFound) {
+		t.Fatalf("updating a missing object: %v", err)
+	}
+}

@@ -13,6 +13,7 @@
 //	go run ./cmd/benchfig -sharded         # sharded vs unsharded serving
 //	go run ./cmd/benchfig -batch           # batched shared-traversal vs per-query serving
 //	go run ./cmd/benchfig -alloc           # steady-state serving allocs/op and B/op
+//	go run ./cmd/benchfig -churn           # mixed read/write serving: qps and p99 under live mutation
 //
 // -serve runs the concurrency experiment instead of the paper figures: one
 // shared in-memory index (prefmatch.Server) answers independent top-1
@@ -20,6 +21,14 @@
 // single-threaded paged baseline. The columns are throughput (queries/sec,
 // waves/sec); the point is the scaling curve, which the paper's
 // single-threaded setup cannot show.
+//
+// -churn runs the live-mutation experiment: a dynamic-backend server answers
+// top-k reads while a fraction of operations are in-place Updates (delete +
+// reinsert through the delta tier), across write rates {0%, 1%, 10%} and
+// merge thresholds {256, 4096}, against a static memory-backend baseline.
+// The columns are read throughput, p50/p99 read latency, and merges
+// completed — the claim under test is that reads at a 1% write rate stay
+// within 25% of the static baseline while background merges rotate epochs.
 //
 // -sharded runs the sharded-composite experiment: the same clustered object
 // set served unsharded and split across 2/4/8 shards by the spatial and
@@ -41,6 +50,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -51,18 +61,20 @@ import (
 	"prefmatch/internal/core"
 	"prefmatch/internal/dataset"
 	"prefmatch/internal/index"
+	"prefmatch/internal/index/dynamic"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/index/paged"
 	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
 )
 
 // benchSnapshot names the latest committed snapshot of the bench
 // trajectory; every mode's output header points at it so a table can be
 // compared against the recorded numbers without digging through git.
-const benchSnapshot = "BENCH_2.json"
+const benchSnapshot = "BENCH_3.json"
 
 type scale struct {
 	objectsFig2 int
@@ -120,6 +132,8 @@ func main() {
 	batch := flag.Bool("batch", false, "run the batched shared-traversal experiment: TopKManyAppend batches vs per-query TopK, with nodes/query")
 	alloc := flag.Bool("alloc", false, "run the allocation experiment: steady-state serving ns/op, B/op and allocs/op")
 	check := flag.Bool("check", false, "with -alloc: exit non-zero if a pooled steady-state path reports > 0 allocs/op (the CI regression gate)")
+	churn := flag.Bool("churn", false, "run the live-mutation experiment: read qps and p50/p99 under mixed read/write workloads on the dynamic backend")
+	churnOps := flag.Int("churnops", 30000, "with -churn: operations per configuration (the CI smoke uses a small count)")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -144,6 +158,10 @@ func main() {
 	}
 	if *alloc {
 		runAlloc(sc, *seed, *check)
+		return
+	}
+	if *churn {
+		runChurn(sc, *seed, *churnOps)
 		return
 	}
 
@@ -427,6 +445,32 @@ func runAlloc(sc scale, seed int64, check bool) {
 		panic(err)
 	}
 
+	// Dynamic-backend rows: the same pooled paths over a write tier holding
+	// 512 live updates (tombstones + delta inserts). Size-triggered merges
+	// are disabled so the delta stays resident for the whole measurement —
+	// the rows pin the overlay read path itself, not a post-merge base.
+	dix, err := dynamic.Build(d, items, &dynamic.Options{MergeThreshold: -1})
+	if err != nil {
+		panic(err)
+	}
+	dsrv, err := prefmatch.NewServer(objects, &prefmatch.Options{Backend: prefmatch.Dynamic, MergeThreshold: -1})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 512; i++ {
+		p := append(vec.Point(nil), items[i].Point...)
+		p[0] = 1 - p[0]
+		if err := dix.Update(items[i].ID, p); err != nil {
+			panic(err)
+		}
+		obj := objects[i]
+		obj.Values = p
+		if err := dsrv.Update(obj); err != nil {
+			panic(err)
+		}
+	}
+	dsnap := dix.Snapshot()
+
 	rows := []struct {
 		name string
 		gate bool // pooled steady-state path: must stay at 0 allocs/op
@@ -465,6 +509,31 @@ func runAlloc(sc scale, seed int64, check bool) {
 				}
 			}
 		}},
+		{fmt.Sprintf("topk/SearchAppend k=%d (dyn, 512-write delta)", k), true, func(b *testing.B) {
+			c := &stats.Counters{}
+			buf := make([]topk.Result, 0, k)
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = topk.SearchAppend(buf[:0], dsnap, prefsBoxed[i%len(prefsBoxed)], k, c)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Server.TopKManyAppend q=8 k=%d (dyn)", k), true, func(b *testing.B) {
+			var (
+				dst     []prefmatch.Assignment
+				offsets []int
+			)
+			batchQs := queries[:8]
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, offsets, err = dsrv.TopKManyAppend(dst[:0], offsets[:0], batchQs, k)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
 		{fmt.Sprintf("Server.TopK k=%d", k), false, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
@@ -483,14 +552,14 @@ func runAlloc(sc scale, seed int64, check bool) {
 
 	fmt.Printf("benchfig: steady-state serving allocations — |O| = %d, |Q| = %d, D = %d, k = %d (bench trajectory: %s)\n\n",
 		nObjects, len(queries), d, k, benchSnapshot)
-	fmt.Printf("%-42s %14s %12s %12s\n", "path", "ns/op", "B/op", "allocs/op")
+	fmt.Printf("%-46s %14s %12s %12s\n", "path", "ns/op", "B/op", "allocs/op")
 	failed := false
 	for _, row := range rows {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			row.run(b)
 		})
-		fmt.Printf("%-42s %14d %12d %12d\n", row.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf("%-46s %14d %12d %12d\n", row.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
 		if check && row.gate && r.AllocsPerOp() > 0 {
 			failed = true
 			fmt.Fprintf(os.Stderr, "benchfig: ALLOC REGRESSION: %s reports %d allocs/op, want 0\n", row.name, r.AllocsPerOp())
@@ -502,6 +571,102 @@ func runAlloc(sc scale, seed int64, check bool) {
 		}
 		fmt.Println("\nalloc gate: every pooled steady-state path at 0 allocs/op")
 	}
+}
+
+// runChurn measures serving under live mutation: a single client issues ops
+// operations against one server, each either a top-k read or (with
+// probability writeRate) an in-place Update — a tombstone plus a delta
+// insert through the dynamic write tier, with background merges rotating
+// epochs whenever the tier crosses the threshold. Read latencies are
+// recorded individually for the percentiles; reads/s divides completed
+// reads by the whole mixed run's wall clock, so write and merge overhead
+// is charged to the read throughput exactly as a caller would see it.
+func runChurn(sc scale, seed int64, ops int) {
+	const (
+		d = 4
+		k = 10
+	)
+	nObjects := sc.objectsFig2
+	items := dataset.Independent(nObjects, d, seed)
+	fns := dataset.Functions(sc.functions, d, seed+1)
+
+	baseObjects := make([]prefmatch.Object, len(items))
+	for i, it := range items {
+		baseObjects[i] = prefmatch.Object{ID: int(it.ID), Values: it.Point}
+	}
+	queries := make([]prefmatch.Query, len(fns))
+	for i, f := range fns {
+		queries[i] = prefmatch.Query{ID: f.ID, Weights: f.Weights}
+	}
+
+	fmt.Printf("benchfig: serving under churn — |O| = %d, D = %d, k = %d, %d ops/config (bench trajectory: %s)\n\n",
+		nObjects, d, k, ops, benchSnapshot)
+	fmt.Printf("%-18s %8s %10s %12s %10s %10s %8s %8s\n",
+		"config", "write%", "reads", "reads/s", "p50", "p99", "writes", "merges")
+
+	run := func(name string, srv *prefmatch.Server, writeRate float64) float64 {
+		// Every configuration replays the same op sequence; writes clone
+		// the value slice so the shared base object set stays pristine.
+		objects := append([]prefmatch.Object(nil), baseObjects...)
+		rng := rand.New(rand.NewSource(seed + 7))
+		lat := make([]time.Duration, 0, ops)
+		writes := 0
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if writeRate > 0 && rng.Float64() < writeRate {
+				idx := rng.Intn(len(objects))
+				obj := objects[idx]
+				vals := append([]float64(nil), obj.Values...)
+				vals[i%d] = rng.Float64()
+				obj.Values = vals
+				objects[idx] = obj
+				if err := srv.Update(obj); err != nil {
+					panic(err)
+				}
+				writes++
+				continue
+			}
+			t0 := time.Now()
+			if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		el := time.Since(start)
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		qps := float64(len(lat)) / el.Seconds()
+		fmt.Printf("%-18s %8.0f %10d %12.0f %10v %10v %8d %8d\n",
+			name, writeRate*100, len(lat), qps,
+			lat[len(lat)/2].Round(time.Microsecond),
+			lat[(len(lat)-1)*99/100].Round(time.Microsecond),
+			writes, srv.Stats().MergesCompleted)
+		return qps
+	}
+
+	static, err := prefmatch.NewServer(baseObjects, nil)
+	if err != nil {
+		panic(err)
+	}
+	staticQPS := run("static/mem", static, 0)
+
+	qpsAt1 := map[int]float64{}
+	for _, threshold := range []int{256, 4096} {
+		for _, rate := range []float64{0, 0.01, 0.10} {
+			srv, err := prefmatch.NewServer(baseObjects, &prefmatch.Options{
+				Backend:        prefmatch.Dynamic,
+				MergeThreshold: threshold,
+			})
+			if err != nil {
+				panic(err)
+			}
+			qps := run(fmt.Sprintf("dyn/%d", threshold), srv, rate)
+			if rate == 0.01 {
+				qpsAt1[threshold] = qps
+			}
+		}
+	}
+	fmt.Printf("\nread throughput at 1%% writes vs static baseline: dyn/256 %.1f%%, dyn/4096 %.1f%%\n",
+		100*qpsAt1[256]/staticQPS, 100*qpsAt1[4096]/staticQPS)
 }
 
 // runSharded measures the sharded composite against the unsharded memory

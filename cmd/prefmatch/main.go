@@ -11,7 +11,10 @@
 // The match subcommand runs on the paged backend by default (the paper's
 // disk simulation, whose stderr stats report I/O accesses); -backend memory
 // selects the in-memory serving backend, which computes the identical
-// matching several times faster and reports zero I/O.
+// matching several times faster and reports zero I/O. -backend dyn selects
+// the live-mutable delta-tier backend — identical results again; for a
+// one-shot CLI matching it only matters as an end-to-end check of the
+// dynamic read path, since nothing mutates the index mid-run.
 //
 // The topk subcommand is the serving workload: every query independently
 // gets its personal top-k ranking over one shared in-memory index, fanned
@@ -159,7 +162,7 @@ func cmdMatch(args []string) error {
 	objPath := fs.String("objects", "", "objects CSV (required)")
 	qPath := fs.String("queries", "", "queries CSV (required)")
 	alg := fs.String("alg", "sb", "sb | bf | chain")
-	backend := fs.String("backend", "paged", "paged (paper-metric I/O simulation) | memory (fastest wall-clock)")
+	backend := fs.String("backend", "paged", "paged (paper-metric I/O simulation) | memory (fastest wall-clock) | dyn (live-mutable delta tier)")
 	maint := fs.String("maintenance", "plist", "plist | retraverse | recompute (sb only)")
 	pageSize := fs.Int("page", 4096, "page size in bytes")
 	bufFrac := fs.Float64("buffer-frac", 0.02, "LRU buffer fraction of tree size")
@@ -204,6 +207,8 @@ func cmdMatch(args []string) error {
 		opts.Backend = prefmatch.Paged
 	case "memory", "mem":
 		opts.Backend = prefmatch.Memory
+	case "dyn", "dynamic":
+		opts.Backend = prefmatch.Dynamic
 	default:
 		return fmt.Errorf("unknown backend %q", *backend)
 	}

@@ -1,0 +1,105 @@
+package dynamic
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// TestConcurrentReadersUnderChurn runs snapshot readers against a dynamic
+// index while a writer churns it hard enough to force many background
+// merges. Readers assert internal consistency of whatever epoch they pin —
+// monotone non-increasing scores, correct result count for the pinned size
+// — not bit-equality (they race the writer by design). Run under -race this
+// is the epoch-rotation safety test.
+func TestConcurrentReadersUnderChurn(t *testing.T) {
+	const d = 2
+	items := dataset.Independent(2000, d, 31)
+	ix, err := Build(d, items[:1000], &Options{MergeThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prefs.MustFunction(0, []float64{0.6, 0.4})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap := ix.Snapshot().(*Snapshot)
+			c := &stats.Counters{}
+			buf := make([]topk.Result, 0, 16)
+			for !stop.Load() {
+				snap.Refresh()
+				pinned := snap.Len()
+				buf = buf[:0]
+				buf, err := topk.SearchAppend(buf, snap, f, 10, c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				wantN := 10
+				if pinned < wantN {
+					wantN = pinned
+				}
+				if len(buf) != wantN {
+					t.Errorf("pinned size %d but %d results", pinned, len(buf))
+					return
+				}
+				for i := 1; i < len(buf); i++ {
+					if topk.Better(buf[i], buf[i-1]) {
+						t.Errorf("results out of order at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Writer: delete the first half, re-insert it moved, update the second
+	// half — enough write-tier volume for ~dozens of threshold merges.
+	for round := 0; round < 3; round++ {
+		for _, it := range items[:1000] {
+			if err := ix.Delete(it.ID, vecOf(ix, it.ID)); err != nil {
+				t.Fatal(err)
+			}
+			np := it.Point.Clone()
+			np[0] = 1 - np[0]
+			if err := ix.Insert(it.ID, np); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ix.Compact()
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if ix.MergesCompleted() == 0 {
+		t.Fatal("churn volume never triggered a merge; the test exercised nothing")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// vecOf reads an object's current point through the location map (test
+// helper; takes the writer lock).
+func vecOf(ix *Index, id index.ObjID) vec.Point {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.loc[id].pt
+}

@@ -1,0 +1,468 @@
+package dynamic
+
+import (
+	"prefmatch/internal/index"
+	"prefmatch/internal/vec"
+)
+
+// The delta tier is a classic insert-capable R-tree (Guttman ChooseLeaf /
+// quadratic split / AdjustTree, the idiom of internal/rtree) made persistent
+// by path copying: nodes live in an append-only arena shared by every
+// published epoch, and a mutation re-allocates the root-to-leaf path it
+// touches instead of editing published slots in place. A reader pinned to an
+// older epoch keeps traversing the older root over the same arena — the
+// slots reachable from it are never written again — which is what lets the
+// write path run concurrently with any number of snapshot readers without a
+// single reader-side lock.
+//
+// Deletions never tighten ancestor MBRs and never rebalance underfull
+// nodes: a loose MBR is still an upper bound, so branch-and-bound pruning
+// stays admissible, and the matchers' tie-breaks depend only on scores,
+// sums and IDs — never on node layout — so results stay bit-identical to a
+// packed tree. The periodic merge repacks everything with STR anyway.
+
+// deltaTree is one epoch's view of the delta tier: a frozen prefix of the
+// shared node arena plus the root slot. The value is copied (cheaply) on
+// every mutation; the arena's backing array is shared.
+type deltaTree struct {
+	nodes  []dnode // append-only arena; len frozen per epoch
+	root   int32   // arena slot of the root, -1 when empty
+	height int     // levels (leaf-only root = 1), 0 when empty
+	size   int     // live objects in the delta tier
+}
+
+func emptyDelta() deltaTree { return deltaTree{root: -1} }
+
+// dnode is one delta-tier node. Like the mem backend's nodes it is columnar
+// — parallel id/point slabs for leaves, dim-strided lo/hi slabs plus a
+// (pre-tagged) child array for internal nodes — so the flat scoring fast
+// paths run over the write tier too. Payload slices are private to the node
+// and immutable once the node's epoch is published.
+type dnode struct {
+	leaf bool
+	dim  int32
+
+	// leaf payload
+	ids []index.ObjID
+	pts []float64
+
+	// internal payload
+	lo, hi   []float64
+	children []index.NodeID // pre-tagged with deltaTag
+}
+
+var (
+	_ index.Node         = (*dnode)(nil)
+	_ index.FlatLeaf     = (*dnode)(nil)
+	_ index.FlatInternal = (*dnode)(nil)
+)
+
+func (n *dnode) Leaf() bool { return n.leaf }
+
+func (n *dnode) Len() int {
+	if n.leaf {
+		return len(n.ids)
+	}
+	return len(n.children)
+}
+
+func (n *dnode) Rect(i int) vec.Rect {
+	d := int(n.dim)
+	if n.leaf {
+		p := vec.Point(n.pts[i*d : (i+1)*d : (i+1)*d])
+		return vec.Rect{Lo: p, Hi: p}
+	}
+	return vec.Rect{
+		Lo: vec.Point(n.lo[i*d : (i+1)*d : (i+1)*d]),
+		Hi: vec.Point(n.hi[i*d : (i+1)*d : (i+1)*d]),
+	}
+}
+
+func (n *dnode) ChildPage(i int) index.NodeID {
+	if n.leaf {
+		panic("dynamic: ChildPage on leaf node")
+	}
+	return n.children[i]
+}
+
+func (n *dnode) Object(i int) index.Item {
+	if !n.leaf {
+		panic("dynamic: Object on internal node")
+	}
+	d := int(n.dim)
+	return index.Item{ID: n.ids[i], Point: vec.Point(n.pts[i*d : (i+1)*d : (i+1)*d])}
+}
+
+// FlatItems exposes the leaf's columnar payload (index.FlatLeaf).
+func (n *dnode) FlatItems() ([]index.ObjID, []float64) { return n.ids, n.pts }
+
+// FlatRects exposes the internal node's columnar MBRs (index.FlatInternal).
+func (n *dnode) FlatRects() ([]float64, []float64) { return n.lo, n.hi }
+
+func (n *dnode) mbr() vec.Rect {
+	if n.leaf {
+		return vec.MBROfFlatPoints(n.pts, int(n.dim))
+	}
+	return vec.MBROfFlatRects(n.lo, n.hi, int(n.dim))
+}
+
+// alloc appends a node to the arena and returns its slot. Appending may
+// grow the backing array; older epochs keep their shorter slice headers, so
+// published slots are never disturbed.
+func (dt *deltaTree) alloc(n dnode) int32 {
+	slot := int32(len(dt.nodes))
+	if slot > maxDeltaSlot {
+		panic("dynamic: delta tier exceeded its node-ID space without a merge (raise the merge policy)")
+	}
+	dt.nodes = append(dt.nodes, n)
+	return slot
+}
+
+// node returns the arena slot (valid for this epoch's prefix).
+func (dt *deltaTree) node(slot int32) *dnode { return &dt.nodes[slot] }
+
+// --- Insert (path-copying Guttman) ---------------------------------------
+
+// insert adds (id, pt) — pt already cloned by the caller — returning the
+// mutated tree value. The receiver value is not changed.
+func (ix *Index) deltaInsert(dt deltaTree, id index.ObjID, pt vec.Point) deltaTree {
+	d := ix.dim
+	if dt.root < 0 {
+		slot := dt.alloc(dnode{leaf: true, dim: int32(d), ids: []index.ObjID{id}, pts: pt})
+		dt.root, dt.height, dt.size = slot, 1, 1
+		return dt
+	}
+	newRoot, split := ix.deltaInsertRec(&dt, dt.root, dt.height, id, pt)
+	if split >= 0 {
+		// Root split: grow the tree by one level.
+		lo := make([]float64, 2*d)
+		hi := make([]float64, 2*d)
+		for i, slot := range []int32{newRoot, split} {
+			r := dt.node(slot).mbr()
+			copy(lo[i*d:(i+1)*d], r.Lo)
+			copy(hi[i*d:(i+1)*d], r.Hi)
+		}
+		newRoot = dt.alloc(dnode{
+			dim:      int32(d),
+			lo:       lo,
+			hi:       hi,
+			children: []index.NodeID{tagDelta(newRoot), tagDelta(split)},
+		})
+		dt.height++
+	}
+	dt.root = newRoot
+	dt.size++
+	return dt
+}
+
+// deltaInsertRec inserts into the subtree at slot (level 1 = leaf), path-
+// copying every touched node. It returns the copied node's new slot plus
+// the slot of a split sibling (-1 when no split).
+func (ix *Index) deltaInsertRec(dt *deltaTree, slot int32, level int, id index.ObjID, pt vec.Point) (newSlot, splitSlot int32) {
+	n := dt.node(slot)
+	d := ix.dim
+	if level == 1 {
+		ids := make([]index.ObjID, len(n.ids), len(n.ids)+1)
+		pts := make([]float64, len(n.pts), len(n.pts)+d)
+		copy(ids, n.ids)
+		copy(pts, n.pts)
+		ids = append(ids, id)
+		pts = append(pts, pt...)
+		if len(ids) <= ix.maxLeaf {
+			return dt.alloc(dnode{leaf: true, dim: int32(d), ids: ids, pts: pts}), -1
+		}
+		left, right := ix.splitGroups(len(ids), ix.minLeaf, func(i int) vec.Rect {
+			p := vec.Point(pts[i*d : (i+1)*d])
+			return vec.Rect{Lo: p, Hi: p}
+		})
+		return dt.alloc(leafOf(d, ids, pts, left)), dt.alloc(leafOf(d, ids, pts, right))
+	}
+
+	// ChooseSubtree: least enlargement, ties by smaller area, then smaller
+	// child slot — the internal/rtree determinism rule.
+	best := -1
+	var bestEnl, bestArea float64
+	for i := range n.children {
+		r := n.Rect(i)
+		enl := r.EnlargementPoint(pt)
+		area := r.Area()
+		if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) ||
+			(enl == bestEnl && area == bestArea && n.children[i] < n.children[best]) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	childSlot := untagDelta(n.children[best])
+	newChild, split := ix.deltaInsertRec(dt, childSlot, level-1, id, pt)
+
+	// Path copy: replace the descended entry (tight MBR recomputed from the
+	// rebuilt child), append the split sibling when there is one.
+	n = dt.node(slot) // re-resolve: recursive allocs may have grown the arena
+	m := len(n.children)
+	grow := 0
+	if split >= 0 {
+		grow = 1
+	}
+	children := make([]index.NodeID, m, m+grow)
+	lo := make([]float64, m*d, (m+grow)*d)
+	hi := make([]float64, m*d, (m+grow)*d)
+	copy(children, n.children)
+	copy(lo, n.lo)
+	copy(hi, n.hi)
+	children[best] = tagDelta(newChild)
+	cr := dt.node(newChild).mbr()
+	copy(lo[best*d:(best+1)*d], cr.Lo)
+	copy(hi[best*d:(best+1)*d], cr.Hi)
+	if split >= 0 {
+		sr := dt.node(split).mbr()
+		children = append(children, tagDelta(split))
+		lo = append(lo, sr.Lo...)
+		hi = append(hi, sr.Hi...)
+	}
+	if len(children) <= ix.maxInternal {
+		return dt.alloc(dnode{dim: int32(d), lo: lo, hi: hi, children: children}), -1
+	}
+	left, right := ix.splitGroups(len(children), ix.minInternal, func(i int) vec.Rect {
+		return vec.Rect{Lo: vec.Point(lo[i*d : (i+1)*d]), Hi: vec.Point(hi[i*d : (i+1)*d])}
+	})
+	return dt.alloc(internalOf(d, lo, hi, children, left)), dt.alloc(internalOf(d, lo, hi, children, right))
+}
+
+// leafOf gathers the picked entries of an overflowing leaf into a fresh node.
+func leafOf(d int, ids []index.ObjID, pts []float64, pick []int) dnode {
+	n := dnode{
+		leaf: true,
+		dim:  int32(d),
+		ids:  make([]index.ObjID, 0, len(pick)),
+		pts:  make([]float64, 0, len(pick)*d),
+	}
+	for _, i := range pick {
+		n.ids = append(n.ids, ids[i])
+		n.pts = append(n.pts, pts[i*d:(i+1)*d]...)
+	}
+	return n
+}
+
+// internalOf gathers the picked entries of an overflowing internal node.
+func internalOf(d int, lo, hi []float64, children []index.NodeID, pick []int) dnode {
+	n := dnode{
+		dim:      int32(d),
+		lo:       make([]float64, 0, len(pick)*d),
+		hi:       make([]float64, 0, len(pick)*d),
+		children: make([]index.NodeID, 0, len(pick)),
+	}
+	for _, i := range pick {
+		n.lo = append(n.lo, lo[i*d:(i+1)*d]...)
+		n.hi = append(n.hi, hi[i*d:(i+1)*d]...)
+		n.children = append(n.children, children[i])
+	}
+	return n
+}
+
+// splitGroups distributes entry indexes 0..n-1 into two groups with
+// Guttman's quadratic split (PickSeeds by maximal waste, PickNext by
+// greatest preference, ties by smaller enlargement → smaller area → fewer
+// entries), exactly the internal/rtree split. Only the grouping is computed
+// here; the caller materialises the two nodes.
+func (ix *Index) splitGroups(n, minFill int, rect func(i int) vec.Rect) (left, right []int) {
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		ri := rect(i)
+		for j := i + 1; j < n; j++ {
+			rj := rect(j)
+			u := ri.Union(rj)
+			waste := u.Area() - ri.Area() - rj.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	left = []int{s1}
+	right = []int{s2}
+	leftRect := rect(s1).Clone()
+	rightRect := rect(s2).Clone()
+
+	remaining := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		if len(left)+len(remaining) == minFill {
+			for _, i := range remaining {
+				left = append(left, i)
+				leftRect.ExpandRect(rect(i))
+			}
+			break
+		}
+		if len(right)+len(remaining) == minFill {
+			for _, i := range remaining {
+				right = append(right, i)
+				rightRect.ExpandRect(rect(i))
+			}
+			break
+		}
+		bestIdx, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i, e := range remaining {
+			d1 := leftRect.EnlargementRect(rect(e))
+			d2 := rightRect.EnlargementRect(rect(e))
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestD1, bestD2 = diff, i, d1, d2
+			}
+		}
+		e := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		toLeft := false
+		switch {
+		case bestD1 < bestD2:
+			toLeft = true
+		case bestD2 < bestD1:
+			toLeft = false
+		case leftRect.Area() != rightRect.Area():
+			toLeft = leftRect.Area() < rightRect.Area()
+		default:
+			toLeft = len(left) <= len(right)
+		}
+		if toLeft {
+			left = append(left, e)
+			leftRect.ExpandRect(rect(e))
+		} else {
+			right = append(right, e)
+			rightRect.ExpandRect(rect(e))
+		}
+	}
+	return left, right
+}
+
+// --- Delete (path-copying, no re-tightening) ------------------------------
+
+// deltaDelete removes (id, pt) from the tree, path-copying the touched
+// nodes and dropping emptied ones. Ancestor MBRs are left as they were —
+// loose but admissible — and a single-child root chain is collapsed.
+func (ix *Index) deltaDelete(dt deltaTree, id index.ObjID, pt vec.Point) (deltaTree, bool) {
+	if dt.root < 0 {
+		return dt, false
+	}
+	newRoot, found := ix.deltaDeleteRec(&dt, dt.root, dt.height, id, pt)
+	if !found {
+		return dt, false
+	}
+	if newRoot < 0 {
+		dt.root, dt.height, dt.size = -1, 0, dt.size-1
+		return dt, true
+	}
+	// Collapse a single-child root chain so the height stays meaningful.
+	for dt.height > 1 {
+		n := dt.node(newRoot)
+		if n.leaf || len(n.children) != 1 {
+			break
+		}
+		newRoot = untagDelta(n.children[0])
+		dt.height--
+	}
+	dt.root = newRoot
+	dt.size--
+	return dt, true
+}
+
+// deltaDeleteRec searches the subtree at slot for (id, pt), descending only
+// into entries whose MBR contains pt. It returns the rebuilt slot (-1 when
+// the node emptied) and whether the object was found.
+func (ix *Index) deltaDeleteRec(dt *deltaTree, slot int32, level int, id index.ObjID, pt vec.Point) (int32, bool) {
+	n := dt.node(slot)
+	d := ix.dim
+	if level == 1 {
+		at := -1
+		for i, oid := range n.ids {
+			if oid == id && vec.Point(n.pts[i*d:(i+1)*d]).Equal(pt) {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return slot, false
+		}
+		if len(n.ids) == 1 {
+			return -1, true
+		}
+		ids := make([]index.ObjID, 0, len(n.ids)-1)
+		pts := make([]float64, 0, len(n.pts)-d)
+		for i, oid := range n.ids {
+			if i == at {
+				continue
+			}
+			ids = append(ids, oid)
+			pts = append(pts, n.pts[i*d:(i+1)*d]...)
+		}
+		return dt.alloc(dnode{leaf: true, dim: int32(d), ids: ids, pts: pts}), true
+	}
+	for i := range n.children {
+		if !n.Rect(i).ContainsPoint(pt) {
+			continue
+		}
+		childSlot := untagDelta(n.children[i])
+		newChild, found := ix.deltaDeleteRec(dt, childSlot, level-1, id, pt)
+		if !found {
+			continue
+		}
+		n = dt.node(slot) // re-resolve after recursive allocs
+		if newChild < 0 {
+			if len(n.children) == 1 {
+				return -1, true
+			}
+			nd := dnode{
+				dim:      int32(d),
+				lo:       make([]float64, 0, (len(n.children)-1)*d),
+				hi:       make([]float64, 0, (len(n.children)-1)*d),
+				children: make([]index.NodeID, 0, len(n.children)-1),
+			}
+			for j := range n.children {
+				if j == i {
+					continue
+				}
+				nd.lo = append(nd.lo, n.lo[j*d:(j+1)*d]...)
+				nd.hi = append(nd.hi, n.hi[j*d:(j+1)*d]...)
+				nd.children = append(nd.children, n.children[j])
+			}
+			return dt.alloc(nd), true
+		}
+		nd := dnode{
+			dim:      int32(d),
+			lo:       append([]float64(nil), n.lo...),
+			hi:       append([]float64(nil), n.hi...),
+			children: append([]index.NodeID(nil), n.children...),
+		}
+		nd.children[i] = tagDelta(newChild)
+		return dt.alloc(nd), true
+	}
+	return slot, false
+}
+
+// deltaItems appends every live delta object to items, in tree order.
+func (dt *deltaTree) items(items []index.Item, d int) []index.Item {
+	if dt.root < 0 {
+		return items
+	}
+	var walk func(slot int32, level int)
+	walk = func(slot int32, level int) {
+		n := dt.node(slot)
+		if level == 1 {
+			for i := range n.ids {
+				items = append(items, index.Item{ID: n.ids[i], Point: vec.Point(n.pts[i*d : (i+1)*d])})
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(untagDelta(c), level-1)
+		}
+	}
+	walk(dt.root, dt.height)
+	return items
+}

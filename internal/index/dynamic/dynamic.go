@@ -1,0 +1,735 @@
+// Package dynamic implements the live backend of index.MutableIndex: a
+// write tier layered over the mem backend's STR-packed columnar arena,
+// republished through epoch-based snapshot rotation so the full mutation
+// surface — Insert, Update, Delete — runs concurrently with any number of
+// snapshot readers and none of them ever takes a lock.
+//
+// # Architecture
+//
+// Every published version of the index is one immutable epochState behind
+// an atomic pointer:
+//
+//   - the base tier is a mem.Index bulk-loaded with STR — never mutated
+//     after construction;
+//   - deletions of base objects become tombstones: the affected leaf is
+//     shadowed by a prebuilt overlay holding the same columnar payload
+//     minus the deleted entries (internal MBRs go loose but stay
+//     admissible upper bounds);
+//   - inserts go to the delta tier, a persistent path-copying R-tree
+//     (Guttman ChooseLeaf / quadratic split) whose nodes live in an
+//     append-only arena shared across epochs;
+//   - a constant-ID synthetic root joins the two tiers, so traversals,
+//     including the sharded composite's, see one ordinary R-tree.
+//
+// Writers are serialised by a mutex and publish a fresh epochState per
+// mutation; readers pin whichever state was current when they loaded the
+// pointer and keep a fully consistent view forever. When the write tier
+// grows past the merge policy's threshold (or interval, or on Compact), a
+// background merge STR-packs base−tombstones∪delta into a fresh arena,
+// replays the writes accepted while it ran, and rotates the epoch; pinned
+// readers are undisturbed.
+//
+// # Determinism
+//
+// The delta tree's shape differs from a packed tree's, but match results do
+// not: the matchers' tie-breaks depend only on scores, coordinate sums and
+// object IDs, never on node layout, so a churned index answers bit-
+// identically to a from-scratch rebuild of the same live set (pinned by the
+// churn-equivalence suite).
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Options configures an Index.
+type Options struct {
+	// PageSize is the virtual page size in bytes used to derive the node
+	// fan-outs (same meaning as the mem backend's). Defaults to 4096.
+	PageSize int
+	// Counters receives the work accounting of operations performed
+	// directly on the live index (snapshots own private sinks). Optional.
+	Counters *stats.Counters
+
+	// MergeThreshold is the write-tier size — delta objects plus
+	// tombstones — at which a background merge starts. 0 means the default
+	// (4096); negative disables size-triggered merging (Compact still
+	// works).
+	MergeThreshold int
+	// MergeInterval additionally starts a merge when at least this much
+	// time has passed since the last one and the write tier is non-empty.
+	// The clock is checked as writes arrive (there is no timer goroutine).
+	// 0 disables the interval trigger.
+	MergeInterval time.Duration
+
+	// OnMergeStage, when set, is called by the merge at its stages
+	// ("start", "built" — new arena ready, about to publish — and
+	// "published"). A test hook: blocking in it parks the merge at that
+	// stage while readers and writers keep going.
+	OnMergeStage func(stage string)
+}
+
+// DefaultMergeThreshold is the write-tier size that triggers a background
+// merge when Options.MergeThreshold is zero.
+const DefaultMergeThreshold = 4096
+
+// opKind discriminates the entries of the merge's pending-op log.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opDelete
+)
+
+// mutOp is one accepted mutation, logged while a merge is in flight so the
+// merge can replay it against the freshly packed arena.
+type mutOp struct {
+	kind opKind
+	id   index.ObjID
+	pt   vec.Point
+}
+
+// objLoc records where a live object currently resides: in a base leaf
+// (leaf is its node ID) or in the delta tier (leaf == index.InvalidNode).
+// The point is the object's current coordinates — the write path needs
+// both to route deletes without searching.
+type objLoc struct {
+	leaf index.NodeID
+	pt   vec.Point
+}
+
+// Index is the live backend. All mutations are safe under concurrent
+// snapshot readers; direct reads on the Index itself follow the usual
+// single-goroutine ObjectIndex contract (take a Snapshot to read
+// concurrently).
+type Index struct {
+	dim      int
+	pageSize int
+
+	maxLeaf, maxInternal int
+	minLeaf, minInternal int
+
+	mergeThreshold int
+	mergeInterval  time.Duration
+	onMergeStage   func(string)
+
+	// state is the published epoch; readers load it without locking.
+	state atomic.Pointer[epochState]
+
+	// mu serialises writers and guards everything below it.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	merging   bool
+	pending   []mutOp // ops accepted while the in-flight merge runs
+	lastMerge time.Time
+	loc       map[index.ObjID]objLoc // object residency, follows the live lineage
+
+	merges atomic.Int64
+	c      *stats.Counters
+}
+
+var (
+	_ index.ObjectIndex  = (*Index)(nil)
+	_ index.MutableIndex = (*Index)(nil)
+	_ index.Snapshotter  = (*Index)(nil)
+	_ index.Epocher      = (*Index)(nil)
+)
+
+// New creates an empty dynamic index of the given dimensionality.
+func New(dim int, opts *Options) (*Index, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("dynamic: dimension %d < 1", dim)
+	}
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.Counters == nil {
+		o.Counters = &stats.Counters{}
+	}
+	if o.MergeThreshold == 0 {
+		o.MergeThreshold = DefaultMergeThreshold
+	}
+	maxLeaf := index.LeafCapacity(o.PageSize, dim)
+	maxInternal := index.InternalCapacity(o.PageSize, dim)
+	if maxLeaf < 2 || maxInternal < 2 {
+		return nil, fmt.Errorf("dynamic: page size %d too small for dimension %d", o.PageSize, dim)
+	}
+	ix := &Index{
+		dim:            dim,
+		pageSize:       o.PageSize,
+		maxLeaf:        maxLeaf,
+		maxInternal:    maxInternal,
+		minLeaf:        minFill(maxLeaf),
+		minInternal:    minFill(maxInternal),
+		mergeThreshold: o.MergeThreshold,
+		mergeInterval:  o.MergeInterval,
+		onMergeStage:   o.OnMergeStage,
+		lastMerge:      time.Now(),
+		loc:            make(map[index.ObjID]objLoc),
+		c:              o.Counters,
+	}
+	ix.cond = sync.NewCond(&ix.mu)
+	base, err := mem.New(dim, &mem.Options{PageSize: o.PageSize, Counters: &stats.Counters{}})
+	if err != nil {
+		return nil, err
+	}
+	st := &epochState{base: base, delta: emptyDelta()}
+	st.buildRoot(dim)
+	ix.state.Store(st)
+	return ix, nil
+}
+
+// minFill mirrors the disk R-tree's minimum fill: 40% of capacity, capped
+// at half, at least one.
+func minFill(capacity int) int {
+	m := int(0.4 * float64(capacity))
+	if m > capacity/2 {
+		m = capacity / 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Build bulk-loads items into a fresh dynamic index: the items form the
+// STR-packed base tier of epoch 0 and the write tier starts empty.
+func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
+	ix, err := New(dim, opts)
+	if err != nil {
+		return nil, err
+	}
+	base, err := mem.Build(dim, items, &mem.Options{PageSize: ix.pageSize, Counters: &stats.Counters{}})
+	if err != nil {
+		return nil, err
+	}
+	if base.NumPages() > maxBaseNodes {
+		return nil, fmt.Errorf("dynamic: %d objects need %d base nodes, over the backend's limit of %d", len(items), base.NumPages(), maxBaseNodes)
+	}
+	loc := make(map[index.ObjID]objLoc, len(items))
+	if err := baseLocate(base, loc); err != nil {
+		return nil, err
+	}
+	if len(loc) != base.Len() {
+		return nil, fmt.Errorf("dynamic: %d items carry %d distinct IDs; IDs must be unique", base.Len(), len(loc))
+	}
+	st := &epochState{base: base, delta: emptyDelta(), size: base.Len()}
+	st.buildRoot(dim)
+	ix.loc = loc
+	ix.state.Store(st)
+	return ix, nil
+}
+
+// baseLocate walks a freshly packed base arena and records every object's
+// leaf in loc. The recorded points alias the arena's slabs, which never
+// change while this base is live.
+func baseLocate(base *mem.Index, loc map[index.ObjID]objLoc) error {
+	root := base.RootPage()
+	if root == index.InvalidNode {
+		return nil
+	}
+	var walk func(id index.NodeID) error
+	walk = func(nid index.NodeID) error {
+		n, err := base.ReadNode(nid)
+		if err != nil {
+			return err
+		}
+		if n.Leaf() {
+			for i := 0; i < n.Len(); i++ {
+				it := n.Object(i)
+				loc[it.ID] = objLoc{leaf: nid, pt: it.Point}
+			}
+			return nil
+		}
+		for i := 0; i < n.Len(); i++ {
+			if err := walk(n.ChildPage(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// --- ObjectIndex surface -------------------------------------------------
+
+// Dim returns the index's dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of live objects in the current epoch.
+func (ix *Index) Len() int { return ix.state.Load().size }
+
+// RootPage returns the synthetic root, or index.InvalidNode when empty.
+func (ix *Index) RootPage() index.NodeID { return ix.state.Load().rootPage() }
+
+// NumPages returns the node count of the current epoch: base arena plus
+// the delta arena prefix plus the synthetic root.
+func (ix *Index) NumPages() int { return ix.numPages(ix.state.Load()) }
+
+func (ix *Index) numPages(st *epochState) int {
+	n := st.base.NumPages() + len(st.delta.nodes)
+	if st.size > 0 {
+		n++ // the synthetic root
+	}
+	return n
+}
+
+// Counters returns the live index's counter sink.
+func (ix *Index) Counters() *stats.Counters { return ix.c }
+
+// SetCounters redirects the live index's work accounting to c.
+func (ix *Index) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("dynamic: nil counters")
+	}
+	ix.c = c
+}
+
+// ReadNode resolves id against the current epoch.
+func (ix *Index) ReadNode(id index.NodeID) (index.Node, error) {
+	return ix.state.Load().readNode(id, ix.c)
+}
+
+// Epoch returns the current epoch (index.Epocher). Every accepted write
+// and every merge advances it.
+func (ix *Index) Epoch() uint64 { return ix.state.Load().epoch }
+
+// DeltaSize returns the current write-tier size: delta-tier objects plus
+// base tombstones. This is the quantity the merge threshold is compared
+// against.
+func (ix *Index) DeltaSize() int {
+	st := ix.state.Load()
+	return st.delta.size + st.tombs
+}
+
+// MergesCompleted returns the number of merges that have published.
+func (ix *Index) MergesCompleted() int64 { return ix.merges.Load() }
+
+// Items returns all live items of the current epoch (test helper).
+func (ix *Index) Items() []index.Item { return ix.state.Load().items() }
+
+// PointOf returns a copy of object id's current point, or ok=false when the
+// object is not indexed. Serving layers use it to delete by ID alone.
+func (ix *Index) PointOf(id index.ObjID) (vec.Point, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	l, ok := ix.loc[id]
+	if !ok {
+		return nil, false
+	}
+	return l.pt.Clone(), true
+}
+
+// --- Write path ----------------------------------------------------------
+
+// Insert adds the object (id, p) to the delta tier and publishes a new
+// epoch. Inserting an ID that is already present is an error. The point is
+// cloned; the caller keeps p.
+func (ix *Index) Insert(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("dynamic: inserting dimension %d into dimension-%d index", len(p), ix.dim)
+	}
+	cp := p.Clone()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st, err := ix.applyInsert(ix.state.Load(), ix.loc, id, cp)
+	if err != nil {
+		return err
+	}
+	ix.publishLocked(st, mutOp{kind: opInsert, id: id, pt: cp})
+	return nil
+}
+
+// Update moves object id to point p as one atomic epoch rotation: no
+// reader observes the object absent. Returns index.ErrNotFound when the
+// object is not indexed.
+func (ix *Index) Update(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("dynamic: updating to dimension %d in dimension-%d index", len(p), ix.dim)
+	}
+	cp := p.Clone()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st, err := ix.applyUpdate(ix.state.Load(), ix.loc, id, cp)
+	if err != nil {
+		return err
+	}
+	ix.publishLocked(st, mutOp{kind: opUpdate, id: id, pt: cp})
+	return nil
+}
+
+// Delete removes the object (id, p): a tombstone when it lives in the base
+// tier, a path-copying removal when it lives in the delta tier. Returns
+// index.ErrNotFound when (id, p) is not indexed.
+func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("dynamic: deleting dimension %d from dimension-%d index", len(p), ix.dim)
+	}
+	cp := p.Clone()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st, err := ix.applyDelete(ix.state.Load(), ix.loc, id, cp)
+	if err != nil {
+		return err
+	}
+	ix.c.TreeDeletes++
+	ix.publishLocked(st, mutOp{kind: opDelete, id: id, pt: cp})
+	return nil
+}
+
+// publishLocked rotates the epoch to st, logs the op when a merge is in
+// flight, and checks the merge policy. Callers hold mu.
+func (ix *Index) publishLocked(st *epochState, op mutOp) {
+	ix.state.Store(st)
+	if ix.merging {
+		ix.pending = append(ix.pending, op)
+	}
+	ix.maybeMergeLocked(st)
+}
+
+// applyInsert builds (but does not publish) the state with (id, pt) added
+// to the delta tier, updating loc to match.
+func (ix *Index) applyInsert(st *epochState, loc map[index.ObjID]objLoc, id index.ObjID, pt vec.Point) (*epochState, error) {
+	if _, ok := loc[id]; ok {
+		return nil, fmt.Errorf("dynamic: object %d is already indexed", id)
+	}
+	ns := &epochState{
+		epoch: st.epoch + 1,
+		base:  st.base,
+		mask:  st.mask,
+		tombs: st.tombs,
+		delta: ix.deltaInsert(st.delta, id, pt),
+		size:  st.size + 1,
+	}
+	ns.buildRoot(ix.dim)
+	loc[id] = objLoc{leaf: index.InvalidNode, pt: pt}
+	return ns, nil
+}
+
+// applyUpdate builds the state with object id moved to pt: the old point
+// removed and the new one inserted, in one unpublished step.
+func (ix *Index) applyUpdate(st *epochState, loc map[index.ObjID]objLoc, id index.ObjID, pt vec.Point) (*epochState, error) {
+	l, ok := loc[id]
+	if !ok {
+		return nil, index.ErrNotFound
+	}
+	ns, err := ix.applyDelete(st, loc, id, l.pt)
+	if err != nil {
+		return nil, err
+	}
+	return ix.applyInsert(ns, loc, id, pt)
+}
+
+// applyDelete builds the state with (id, pt) removed, updating loc.
+func (ix *Index) applyDelete(st *epochState, loc map[index.ObjID]objLoc, id index.ObjID, pt vec.Point) (*epochState, error) {
+	l, ok := loc[id]
+	if !ok || !l.pt.Equal(pt) {
+		return nil, index.ErrNotFound
+	}
+	ns := &epochState{
+		epoch: st.epoch + 1,
+		base:  st.base,
+		mask:  st.mask,
+		tombs: st.tombs,
+		delta: st.delta,
+		size:  st.size - 1,
+	}
+	if l.leaf == index.InvalidNode {
+		dt, found := ix.deltaDelete(st.delta, id, l.pt)
+		if !found {
+			panic("dynamic: location map points at a missing delta object")
+		}
+		ns.delta = dt
+	} else {
+		ns.mask, ns.tombs = ix.tombstone(st, l.leaf, id, l.pt)
+	}
+	delete(loc, id)
+	ns.buildRoot(ix.dim)
+	return ns, nil
+}
+
+// tombstone returns a copy of st's mask with (id, pt) filtered out of the
+// overlay for base leaf nid (building the overlay from the raw base leaf
+// when this is its first tombstone), plus the new tombstone count.
+func (ix *Index) tombstone(st *epochState, nid index.NodeID, id index.ObjID, pt vec.Point) (map[index.NodeID]*overlayLeaf, int) {
+	d := ix.dim
+	var srcIDs []index.ObjID
+	var srcPts []float64
+	if ol, ok := st.mask[nid]; ok {
+		srcIDs, srcPts = ol.ids, ol.pts
+	} else {
+		n, err := st.base.ReadNode(nid)
+		if err != nil {
+			panic("dynamic: location map points at an unreadable base leaf: " + err.Error())
+		}
+		srcIDs, srcPts = n.(index.FlatLeaf).FlatItems()
+	}
+	at := -1
+	for i, oid := range srcIDs {
+		if oid == id && vec.Point(srcPts[i*d:(i+1)*d]).Equal(pt) {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		panic("dynamic: location map points at a base leaf missing the object")
+	}
+	ids := make([]index.ObjID, 0, len(srcIDs)-1)
+	pts := make([]float64, 0, len(srcPts)-d)
+	for i, oid := range srcIDs {
+		if i == at {
+			continue
+		}
+		ids = append(ids, oid)
+		pts = append(pts, srcPts[i*d:(i+1)*d]...)
+	}
+	mask := make(map[index.NodeID]*overlayLeaf, len(st.mask)+1)
+	for k, v := range st.mask {
+		mask[k] = v
+	}
+	mask[nid] = &overlayLeaf{dim: int32(d), ids: ids, pts: pts}
+	return mask, st.tombs + 1
+}
+
+// --- Merge ---------------------------------------------------------------
+
+// maybeMergeLocked starts a background merge when the policy says so.
+// Callers hold mu.
+func (ix *Index) maybeMergeLocked(st *epochState) {
+	if ix.merging {
+		return
+	}
+	wt := st.delta.size + st.tombs
+	if wt == 0 {
+		return
+	}
+	trigger := ix.mergeThreshold > 0 && wt >= ix.mergeThreshold
+	if !trigger && ix.mergeInterval > 0 && time.Since(ix.lastMerge) >= ix.mergeInterval {
+		trigger = true
+	}
+	if !trigger {
+		return
+	}
+	ix.merging = true
+	ix.pending = ix.pending[:0]
+	go ix.runMerge(st)
+}
+
+// Compact synchronously merges the write tier into a fresh STR-packed base
+// and rotates the epoch. It waits for any in-flight background merge
+// first; a no-op when the write tier is empty.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	for ix.merging {
+		ix.cond.Wait()
+	}
+	st := ix.state.Load()
+	if st.delta.size+st.tombs == 0 {
+		ix.mu.Unlock()
+		return
+	}
+	ix.merging = true
+	ix.pending = ix.pending[:0]
+	ix.mu.Unlock()
+	ix.runMerge(st)
+}
+
+// runMerge packs st0's live set into a fresh base arena off-lock, then
+// republishes: it replays the ops accepted while it ran, swaps the
+// location map, and rotates to an epoch one past the live one. Pinned
+// readers keep traversing their epochs; nothing they can reach is touched.
+func (ix *Index) runMerge(st0 *epochState) {
+	ix.hook("start")
+	items := st0.items()
+	base, err := mem.Build(ix.dim, items, &mem.Options{PageSize: ix.pageSize, Counters: &stats.Counters{}})
+	if err != nil {
+		panic("dynamic: merge rebuild failed: " + err.Error())
+	}
+	if base.NumPages() > maxBaseNodes {
+		panic(fmt.Sprintf("dynamic: merged base needs %d nodes, over the backend's limit of %d", base.NumPages(), maxBaseNodes))
+	}
+	loc := make(map[index.ObjID]objLoc, len(items))
+	if err := baseLocate(base, loc); err != nil {
+		panic("dynamic: merge relocation failed: " + err.Error())
+	}
+	merged := &epochState{base: base, delta: emptyDelta(), size: base.Len()}
+	merged.buildRoot(ix.dim)
+	ix.hook("built")
+
+	ix.mu.Lock()
+	for _, op := range ix.pending {
+		merged = ix.replayLocked(merged, loc, op)
+	}
+	live := ix.state.Load()
+	if merged.size != live.size {
+		ix.mu.Unlock()
+		panic(fmt.Sprintf("dynamic: merge replay diverged: %d live objects became %d", live.size, merged.size))
+	}
+	merged.epoch = live.epoch + 1
+	ix.state.Store(merged)
+	ix.loc = loc
+	ix.pending = nil
+	ix.lastMerge = time.Now()
+	ix.merges.Add(1)
+	ix.merging = false
+	ix.cond.Broadcast()
+	ix.mu.Unlock()
+	ix.hook("published")
+}
+
+// replayLocked re-applies one logged op against the merged state. The op
+// was already accepted against the pre-merge lineage, so failure here is a
+// divergence bug, not a user error.
+func (ix *Index) replayLocked(st *epochState, loc map[index.ObjID]objLoc, op mutOp) *epochState {
+	var ns *epochState
+	var err error
+	switch op.kind {
+	case opInsert:
+		ns, err = ix.applyInsert(st, loc, op.id, op.pt)
+	case opUpdate:
+		ns, err = ix.applyUpdate(st, loc, op.id, op.pt)
+	case opDelete:
+		ns, err = ix.applyDelete(st, loc, op.id, op.pt)
+	}
+	if err != nil {
+		panic("dynamic: merge replay diverged from the accepted op log: " + err.Error())
+	}
+	return ns
+}
+
+func (ix *Index) hook(stage string) {
+	if ix.onMergeStage != nil {
+		ix.onMergeStage(stage)
+	}
+}
+
+// --- Validation ----------------------------------------------------------
+
+// Validate checks the live index: the current epoch's invariants plus the
+// location map's consistency with it.
+func (ix *Index) Validate() error {
+	ix.mu.Lock()
+	st := ix.state.Load()
+	n := len(ix.loc)
+	ix.mu.Unlock()
+	if n != st.size {
+		return fmt.Errorf("dynamic: location map holds %d objects, epoch has %d", n, st.size)
+	}
+	return ix.validateState(st)
+}
+
+// validateState checks one epoch's structural invariants: the base arena's
+// own invariants, mask consistency, delta-tree shape (uniform depth,
+// containment — loose MBRs allowed, capacity), and size arithmetic.
+func (ix *Index) validateState(st *epochState) error {
+	if err := st.base.Validate(); err != nil {
+		return fmt.Errorf("dynamic: base: %w", err)
+	}
+	d := ix.dim
+	tombs := 0
+	for nid, ol := range st.mask {
+		n, err := st.base.ReadNode(nid)
+		if err != nil {
+			return fmt.Errorf("dynamic: masked leaf %d: %w", nid, err)
+		}
+		if !n.Leaf() {
+			return fmt.Errorf("dynamic: masked node %d is not a leaf", nid)
+		}
+		if len(ol.pts) != len(ol.ids)*d {
+			return fmt.Errorf("dynamic: overlay for leaf %d has %d coordinates for %d items", nid, len(ol.pts), len(ol.ids))
+		}
+		if len(ol.ids) >= n.Len() {
+			return fmt.Errorf("dynamic: overlay for leaf %d holds %d of %d entries; a mask must hide at least one", nid, len(ol.ids), n.Len())
+		}
+		// Every overlay entry must exist in the base leaf.
+		srcIDs, srcPts := n.(index.FlatLeaf).FlatItems()
+		for i, oid := range ol.ids {
+			found := false
+			for j, sid := range srcIDs {
+				if sid == oid && vec.Point(srcPts[j*d:(j+1)*d]).Equal(vec.Point(ol.pts[i*d:(i+1)*d])) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dynamic: overlay for leaf %d holds object %d absent from the base leaf", nid, oid)
+			}
+		}
+		tombs += n.Len() - len(ol.ids)
+	}
+	if tombs != st.tombs {
+		return fmt.Errorf("dynamic: %d tombstones recorded, %d masked", st.tombs, tombs)
+	}
+
+	count := 0
+	if st.delta.root >= 0 {
+		var walk func(slot int32, level int) (vec.Rect, error)
+		walk = func(slot int32, level int) (vec.Rect, error) {
+			if slot < 0 || int(slot) >= len(st.delta.nodes) {
+				return vec.Rect{}, fmt.Errorf("dynamic: delta slot %d out of range", slot)
+			}
+			n := st.delta.node(slot)
+			if int(n.dim) != d {
+				return vec.Rect{}, fmt.Errorf("dynamic: delta node %d has dimension %d, want %d", slot, n.dim, d)
+			}
+			if level == 1 {
+				if !n.leaf {
+					return vec.Rect{}, fmt.Errorf("dynamic: delta node %d at leaf level is internal", slot)
+				}
+				if len(n.ids) == 0 || len(n.ids) > ix.maxLeaf {
+					return vec.Rect{}, fmt.Errorf("dynamic: delta leaf %d holds %d entries (max %d)", slot, len(n.ids), ix.maxLeaf)
+				}
+				if len(n.pts) != len(n.ids)*d {
+					return vec.Rect{}, fmt.Errorf("dynamic: delta leaf %d has %d coordinates for %d items", slot, len(n.pts), len(n.ids))
+				}
+				count += len(n.ids)
+				return n.mbr(), nil
+			}
+			if n.leaf {
+				return vec.Rect{}, fmt.Errorf("dynamic: delta node %d above leaf level is a leaf", slot)
+			}
+			if len(n.children) == 0 || len(n.children) > ix.maxInternal {
+				return vec.Rect{}, fmt.Errorf("dynamic: delta node %d holds %d children (max %d)", slot, len(n.children), ix.maxInternal)
+			}
+			if len(n.lo) != len(n.children)*d || len(n.hi) != len(n.children)*d {
+				return vec.Rect{}, fmt.Errorf("dynamic: delta node %d has %d/%d MBR coordinates for %d children", slot, len(n.lo), len(n.hi), len(n.children))
+			}
+			for i, c := range n.children {
+				if c&deltaTag == 0 {
+					return vec.Rect{}, fmt.Errorf("dynamic: delta node %d child %d is untagged", slot, i)
+				}
+				childRect, err := walk(untagDelta(c), level-1)
+				if err != nil {
+					return vec.Rect{}, err
+				}
+				if !n.Rect(i).ContainsRect(childRect) {
+					return vec.Rect{}, fmt.Errorf("dynamic: delta node %d entry %d does not contain its child", slot, i)
+				}
+			}
+			return n.mbr(), nil
+		}
+		if _, err := walk(st.delta.root, st.delta.height); err != nil {
+			return err
+		}
+	}
+	if count != st.delta.size {
+		return fmt.Errorf("dynamic: delta size %d but %d items stored", st.delta.size, count)
+	}
+	if st.size != st.base.Len()-st.tombs+st.delta.size {
+		return fmt.Errorf("dynamic: size %d != base %d - tombs %d + delta %d", st.size, st.base.Len(), st.tombs, st.delta.size)
+	}
+	return nil
+}

@@ -1,0 +1,508 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"prefmatch/internal/dataset"
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// noMerge disables automatic merging so tests control rotation explicitly.
+func noMerge() *Options { return &Options{MergeThreshold: -1} }
+
+func itemKey(it index.Item) string {
+	return fmt.Sprintf("%d@%v", it.ID, []float64(it.Point))
+}
+
+func sortedKeys(items []index.Item) []string {
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = itemKey(it)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// requireSameSet asserts two item sets are equal as (id, point) multisets.
+func requireSameSet(t *testing.T, got, want []index.Item) {
+	t.Helper()
+	if g, w := sortedKeys(got), sortedKeys(want); !reflect.DeepEqual(g, w) {
+		t.Fatalf("item sets differ:\n got %d items\nwant %d items", len(got), len(want))
+	}
+}
+
+// collectItems walks the index through its public traversal surface.
+func collectItems(t *testing.T, ix index.ObjectIndex) []index.Item {
+	t.Helper()
+	var out []index.Item
+	root := ix.RootPage()
+	if root == index.InvalidNode {
+		return out
+	}
+	var walk func(id index.NodeID)
+	walk = func(id index.NodeID) {
+		n, err := ix.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n.Len(); i++ {
+			if n.Leaf() {
+				out = append(out, n.Object(i))
+			} else {
+				if !n.Rect(i).Valid() {
+					t.Fatalf("invalid MBR at node %d entry %d", id, i)
+				}
+				walk(n.ChildPage(i))
+			}
+		}
+	}
+	walk(root)
+	return out
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix, err := New(2, noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 || ix.RootPage() != index.InvalidNode || ix.DeltaSize() != 0 {
+		t.Fatalf("empty index: len=%d root=%d delta=%d", ix.Len(), ix.RootPage(), ix.DeltaSize())
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := topk.Top1(ix, prefs.MustFunction(0, []float64{1, 1}), nil); err != nil || ok {
+		t.Fatalf("top1 on empty index: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestInsertDeleteUpdate(t *testing.T) {
+	items := dataset.Independent(300, 3, 21)
+	ix, err := New(3, noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[index.ObjID]vec.Point{}
+	for _, it := range items {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+		live[it.ID] = it.Point
+	}
+	if err := ix.Insert(items[0].ID, items[0].Point); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(items) || ix.DeltaSize() != len(items) {
+		t.Fatalf("len=%d delta=%d, want %d", ix.Len(), ix.DeltaSize(), len(items))
+	}
+
+	// Delete a third, update a third.
+	for i, it := range items {
+		switch i % 3 {
+		case 0:
+			if err := ix.Delete(it.ID, it.Point); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, it.ID)
+		case 1:
+			np := it.Point.Clone()
+			np[0] = 1 - np[0]
+			if err := ix.Update(it.ID, np); err != nil {
+				t.Fatal(err)
+			}
+			live[it.ID] = np
+		}
+	}
+	if err := ix.Delete(items[0].ID, items[0].Point); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := ix.Delete(items[2].ID, vec.Point{9, 9, 9}); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("delete with wrong point: %v", err)
+	}
+	if err := ix.Update(items[0].ID, vec.Point{0, 0, 0}); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("update of deleted object: %v", err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]index.Item, 0, len(live))
+	for id, p := range live {
+		want = append(want, index.Item{ID: id, Point: p})
+	}
+	requireSameSet(t, ix.Items(), want)
+	requireSameSet(t, collectItems(t, ix), want)
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	ix, err := New(3, noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := vec.Point{0.1, 0.2}
+	if err := ix.Insert(1, p2); err == nil {
+		t.Fatal("insert of wrong dimension accepted")
+	}
+	if err := ix.Update(1, p2); err == nil {
+		t.Fatal("update of wrong dimension accepted")
+	}
+	if err := ix.Delete(1, p2); err == nil {
+		t.Fatal("delete of wrong dimension accepted")
+	}
+}
+
+// TestBuildThenMutate churns a bulk-loaded index: base-tier deletes become
+// tombstones, updates move base objects into the delta tier.
+func TestBuildThenMutate(t *testing.T) {
+	items := dataset.Independent(500, 2, 22)
+	ix, err := Build(2, items, noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.DeltaSize() != 0 || ix.Len() != len(items) {
+		t.Fatalf("fresh build: delta=%d len=%d", ix.DeltaSize(), ix.Len())
+	}
+	live := map[index.ObjID]vec.Point{}
+	for _, it := range items {
+		live[it.ID] = it.Point
+	}
+	for i, it := range items {
+		switch i % 4 {
+		case 0:
+			if err := ix.Delete(it.ID, it.Point); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, it.ID)
+		case 1:
+			np := it.Point.Clone()
+			np[1] = 1 - np[1]
+			if err := ix.Update(it.ID, np); err != nil {
+				t.Fatal(err)
+			}
+			live[it.ID] = np
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]index.Item, 0, len(live))
+	for id, p := range live {
+		want = append(want, index.Item{ID: id, Point: p})
+	}
+	requireSameSet(t, ix.Items(), want)
+}
+
+// TestSearchEquivalence pins the determinism contract: a churned dynamic
+// index answers ranked searches bit-identically to a from-scratch mem build
+// of the same live set.
+func TestSearchEquivalence(t *testing.T) {
+	const d = 3
+	rng := rand.New(rand.NewSource(23))
+	items := dataset.Independent(400, d, 23)
+	ix, err := Build(d, items[:200], noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[index.ObjID]vec.Point{}
+	for _, it := range items[:200] {
+		live[it.ID] = it.Point
+	}
+	fns := []prefs.Function{
+		prefs.MustFunction(0, []float64{0.5, 0.3, 0.2}),
+		prefs.MustFunction(1, []float64{1, 0, 0}),
+		prefs.MustFunction(2, []float64{0.1, 0.1, 0.8}),
+	}
+	check := func() {
+		t.Helper()
+		ref, err := mem.Build(d, itemsOf(live), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fns {
+			for _, k := range []int{1, 5, 40} {
+				got, err := topk.Search(ix, f, k, &stats.Counters{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := topk.Search(ref, f, k, &stats.Counters{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("fn %d k=%d: churned index diverges from rebuild", f.ID, k)
+				}
+			}
+		}
+	}
+	check()
+	next := 200
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && next < len(items):
+			it := items[next]
+			next++
+			if err := ix.Insert(it.ID, it.Point); err != nil {
+				t.Fatal(err)
+			}
+			live[it.ID] = it.Point
+		case op == 1 && len(live) > 0:
+			id := anyID(live, rng)
+			if err := ix.Delete(id, live[id]); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, id)
+		case op == 2 && len(live) > 0:
+			id := anyID(live, rng)
+			np := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+			if err := ix.Update(id, np); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = np
+		}
+		if step%60 == 59 {
+			if err := ix.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			check()
+			if step%120 == 119 {
+				ix.Compact()
+				if ix.DeltaSize() != 0 {
+					t.Fatalf("step %d: delta size %d after Compact", step, ix.DeltaSize())
+				}
+				check()
+			}
+		}
+	}
+}
+
+func itemsOf(live map[index.ObjID]vec.Point) []index.Item {
+	out := make([]index.Item, 0, len(live))
+	for id, p := range live {
+		out = append(out, index.Item{ID: id, Point: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func anyID(live map[index.ObjID]vec.Point, rng *rand.Rand) index.ObjID {
+	ids := make([]index.ObjID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestSnapshotPinning checks epoch rotation: a snapshot keeps answering
+// from its pinned epoch across writes and merges; Refresh re-pins.
+func TestSnapshotPinning(t *testing.T) {
+	items := dataset.Independent(200, 2, 24)
+	ix, err := Build(2, items, noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ix.Snapshot().(*Snapshot)
+	e0 := snap.Epoch()
+	f := prefs.MustFunction(0, []float64{0.7, 0.3})
+	before, err := topk.Search(snap, f, 10, &stats.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the live index past the snapshot.
+	for _, it := range items[:100] {
+		if err := ix.Delete(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Compact()
+	if ix.Epoch() <= e0 {
+		t.Fatalf("epoch did not advance: %d -> %d", e0, ix.Epoch())
+	}
+	if snap.Epoch() != e0 || snap.Len() != len(items) {
+		t.Fatalf("snapshot moved: epoch %d len %d", snap.Epoch(), snap.Len())
+	}
+	after, err := topk.Search(snap, f, 10, &stats.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("pinned snapshot's answers changed under churn")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	snap.Refresh()
+	if snap.Epoch() != ix.Epoch() || snap.Len() != ix.Len() {
+		t.Fatalf("refreshed snapshot lags: epoch %d/%d len %d/%d", snap.Epoch(), ix.Epoch(), snap.Len(), ix.Len())
+	}
+	if err := snap.Delete(1, vec.Point{0, 0}); !errors.Is(err, index.ErrReadOnly) {
+		t.Fatalf("snapshot delete: %v", err)
+	}
+}
+
+// TestThresholdMerge checks that the size trigger fires and rotates the
+// write tier into the base.
+func TestThresholdMerge(t *testing.T) {
+	items := dataset.Independent(600, 2, 25)
+	ix, err := New(2, &Options{MergeThreshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Compact() // waits out any in-flight background merge, then drains
+	if ix.MergesCompleted() == 0 {
+		t.Fatal("threshold never triggered a merge")
+	}
+	if ix.DeltaSize() != 0 {
+		t.Fatalf("delta size %d after Compact", ix.DeltaSize())
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameSet(t, ix.Items(), items)
+}
+
+// TestIntervalMerge checks the time trigger (evaluated as writes arrive).
+func TestIntervalMerge(t *testing.T) {
+	ix, err := New(2, &Options{MergeThreshold: -1, MergeInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := dataset.Independent(50, 2, 26)
+	for _, it := range items[:25] {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	for _, it := range items[25:] {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the interval-triggered background merge to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for ix.MergesCompleted() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ix.MergesCompleted() == 0 {
+		t.Fatal("interval never triggered a merge")
+	}
+	ix.Compact()
+	requireSameSet(t, ix.Items(), items)
+}
+
+// TestWritesDuringMerge parks a merge between build and publication while
+// writes keep landing, then checks the published epoch replayed them all.
+func TestWritesDuringMerge(t *testing.T) {
+	items := dataset.Independent(300, 2, 27)
+	built := make(chan struct{})
+	release := make(chan struct{})
+	var hook func(string)
+	hook = func(stage string) {
+		if stage == "built" {
+			close(built)
+			<-release
+		}
+	}
+	ix, err := Build(2, items[:200], &Options{MergeThreshold: -1, OnMergeStage: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the write tier, then start a background-style merge.
+	for _, it := range items[200:250] {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		ix.Compact()
+		close(done)
+	}()
+	<-built
+	// The merge is parked pre-publication: land writes of every kind.
+	for _, it := range items[250:] {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := map[index.ObjID]vec.Point{}
+	for _, it := range items {
+		live[it.ID] = it.Point
+	}
+	for _, it := range items[:20] {
+		if err := ix.Delete(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+		delete(live, it.ID)
+	}
+	for _, it := range items[20:40] {
+		np := vec.Point{0.5, 0.5}
+		if err := ix.Update(it.ID, np); err != nil {
+			t.Fatal(err)
+		}
+		live[it.ID] = np
+	}
+	close(release)
+	<-done
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameSet(t, ix.Items(), itemsOf(live))
+	// The replayed ops stay in the post-merge write tier; a second compact
+	// (with the hook now inert) drains them.
+	hook = nil
+	_ = hook
+}
+
+// TestDeltaSplitDepth forces enough inserts into a tiny-fan-out tree to
+// exercise leaf splits, internal splits and multi-level growth.
+func TestDeltaSplitDepth(t *testing.T) {
+	const d = 4 // smaller fan-out per 4 KiB page
+	items := dataset.Independent(3000, d, 28)
+	ix, err := New(d, noMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.state.Load()
+	if st.delta.height < 2 {
+		t.Fatalf("delta height %d; the test never exercised internal splits", st.delta.height)
+	}
+	requireSameSet(t, ix.Items(), items)
+	// Drain it back out through deletes.
+	for _, it := range items[:1500] {
+		if err := ix.Delete(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameSet(t, ix.Items(), items[1500:])
+}

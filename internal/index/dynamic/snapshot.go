@@ -1,0 +1,261 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/mem"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Node-ID layout. The backend presents three tiers through one NodeID
+// space, sized to fit inside the sharded composite's 22-bit local space so
+// a dynamic shard traverses unmodified:
+//
+//   - base tier: the mem arena's slot IDs pass through untagged
+//     (0 .. deltaTag-1 — ~2M nodes, ~200M objects at default fan-out);
+//   - delta tier: arena slots tagged with bit 21;
+//   - the synthetic root: the one constant ID neither tier can produce.
+//     It never changes across epoch rotations, so a sharded composite's
+//     root entry stays valid across merges — only its MBR is refreshed.
+const (
+	deltaTag = index.NodeID(1) << 21
+
+	// RootID is the synthetic root's constant node ID.
+	RootID = index.NodeID(1)<<22 - 1
+
+	maxBaseNodes = int(deltaTag) - 1
+	maxDeltaSlot = int32(deltaTag) - 2 // tagged IDs stay clear of RootID
+)
+
+func tagDelta(slot int32) index.NodeID { return deltaTag | index.NodeID(slot) }
+func untagDelta(id index.NodeID) int32 { return int32(id &^ deltaTag) }
+
+// epochState is one published version of the index: the packed base arena,
+// the tombstone overlay, the delta tree and the prebuilt synthetic root.
+// A state is immutable from the moment it is published — every mutation
+// builds a new state and swaps the atomic pointer — so any number of
+// readers traverse it without synchronisation.
+type epochState struct {
+	epoch uint64
+	base  *mem.Index                    // STR-packed arena; never mutated after build
+	mask  map[index.NodeID]*overlayLeaf // base leaves with tombstoned entries filtered out
+	tombs int                           // tombstoned base objects (sum of masked gaps)
+	delta deltaTree                     // recent writes
+	size  int                           // live objects: base - tombs + delta
+	root  rootNode                      // prebuilt synthetic root (up to 2 entries)
+}
+
+// overlayLeaf replaces a base leaf whose entries were (partly) tombstoned:
+// the same columnar payload minus the deleted entries, prebuilt once at
+// delete time so reads stay allocation-free. The enclosing internal entry
+// keeps its original (now loose, still admissible) MBR.
+type overlayLeaf struct {
+	dim int32
+	ids []index.ObjID
+	pts []float64
+}
+
+var (
+	_ index.Node         = (*overlayLeaf)(nil)
+	_ index.FlatLeaf     = (*overlayLeaf)(nil)
+	_ index.FlatInternal = (*overlayLeaf)(nil)
+)
+
+func (n *overlayLeaf) Leaf() bool { return true }
+func (n *overlayLeaf) Len() int   { return len(n.ids) }
+
+func (n *overlayLeaf) Rect(i int) vec.Rect {
+	d := int(n.dim)
+	p := vec.Point(n.pts[i*d : (i+1)*d : (i+1)*d])
+	return vec.Rect{Lo: p, Hi: p}
+}
+
+func (n *overlayLeaf) ChildPage(i int) index.NodeID {
+	panic("dynamic: ChildPage on leaf node")
+}
+
+func (n *overlayLeaf) Object(i int) index.Item {
+	d := int(n.dim)
+	return index.Item{ID: n.ids[i], Point: vec.Point(n.pts[i*d : (i+1)*d : (i+1)*d])}
+}
+
+func (n *overlayLeaf) FlatItems() ([]index.ObjID, []float64) { return n.ids, n.pts }
+func (n *overlayLeaf) FlatRects() ([]float64, []float64)     { return nil, nil }
+
+// rootNode is the synthetic root: an internal node with one entry per
+// non-empty tier (base first, then delta), prebuilt at publish time with
+// flat lo/hi slabs so even the root read stays on the columnar fast path.
+type rootNode struct {
+	dim      int32
+	lo, hi   []float64
+	children []index.NodeID
+}
+
+var (
+	_ index.Node         = (*rootNode)(nil)
+	_ index.FlatLeaf     = (*rootNode)(nil)
+	_ index.FlatInternal = (*rootNode)(nil)
+)
+
+func (n *rootNode) Leaf() bool { return false }
+func (n *rootNode) Len() int   { return len(n.children) }
+
+func (n *rootNode) Rect(i int) vec.Rect {
+	d := int(n.dim)
+	return vec.Rect{
+		Lo: vec.Point(n.lo[i*d : (i+1)*d : (i+1)*d]),
+		Hi: vec.Point(n.hi[i*d : (i+1)*d : (i+1)*d]),
+	}
+}
+
+func (n *rootNode) ChildPage(i int) index.NodeID { return n.children[i] }
+
+func (n *rootNode) Object(i int) index.Item {
+	panic("dynamic: Object on the synthetic root")
+}
+
+func (n *rootNode) FlatItems() ([]index.ObjID, []float64) { return nil, nil }
+func (n *rootNode) FlatRects() ([]float64, []float64)     { return n.lo, n.hi }
+
+// buildRoot precomputes the synthetic root for a state under construction.
+// The base entry's MBR is the base root's bounding box — loose once objects
+// are tombstoned, which is admissible (an upper bound stays an upper
+// bound); the merge re-tightens it.
+func (st *epochState) buildRoot(d int) {
+	st.root = rootNode{dim: int32(d)}
+	addEntry := func(child index.NodeID, r vec.Rect) {
+		st.root.children = append(st.root.children, child)
+		st.root.lo = append(st.root.lo, r.Lo...)
+		st.root.hi = append(st.root.hi, r.Hi...)
+	}
+	if br := st.base.RootPage(); br != index.InvalidNode && st.base.Len() > st.tombs {
+		n, err := st.base.ReadNode(br)
+		if err != nil {
+			panic("dynamic: base root unreadable: " + err.Error())
+		}
+		rects := make([]vec.Rect, n.Len())
+		for i := range rects {
+			rects[i] = n.Rect(i)
+		}
+		addEntry(br, vec.MBROfRects(rects))
+	}
+	if st.delta.root >= 0 {
+		addEntry(tagDelta(st.delta.root), st.delta.node(st.delta.root).mbr())
+	}
+}
+
+// readNode resolves a node ID against one epoch, charging write-tier reads
+// (delta nodes, masked leaves) to c.DeltaNodesVisited. All three branches
+// return pointers into published state: no allocation on any read path.
+func (st *epochState) readNode(id index.NodeID, c *stats.Counters) (index.Node, error) {
+	if id == RootID {
+		return &st.root, nil
+	}
+	if id&deltaTag != 0 {
+		slot := untagDelta(id)
+		if int(slot) >= len(st.delta.nodes) {
+			return nil, fmt.Errorf("dynamic: delta node %d out of range", slot)
+		}
+		c.DeltaNodesVisited++
+		return st.delta.node(slot), nil
+	}
+	if ol, ok := st.mask[id]; ok {
+		c.DeltaNodesVisited++
+		return ol, nil
+	}
+	return st.base.ReadNode(id)
+}
+
+// rootPage returns the synthetic root when the epoch holds any object.
+func (st *epochState) rootPage() index.NodeID {
+	if st.size == 0 {
+		return index.InvalidNode
+	}
+	return RootID
+}
+
+// items materialises the epoch's live object set: base minus tombstones
+// (reading through the masked overlays), then the delta tier. The points
+// alias the epoch's slabs, which are immutable; bulk loaders copy them.
+func (st *epochState) items() []index.Item {
+	items := make([]index.Item, 0, st.size)
+	if br := st.base.RootPage(); br != index.InvalidNode {
+		var walk func(id index.NodeID)
+		walk = func(id index.NodeID) {
+			n, err := st.readNode(id, &stats.Counters{})
+			if err != nil {
+				panic("dynamic: base walk: " + err.Error())
+			}
+			if n.Leaf() {
+				for i := 0; i < n.Len(); i++ {
+					items = append(items, n.Object(i))
+				}
+				return
+			}
+			for i := 0; i < n.Len(); i++ {
+				walk(n.ChildPage(i))
+			}
+		}
+		walk(br)
+	}
+	return st.delta.items(items, st.base.Dim())
+}
+
+// --- Snapshot ------------------------------------------------------------
+
+// Snapshot is the read-only view the serving layer holds: it pins one
+// epoch and stays valid forever — writes and merges publish new epochs
+// instead of touching pinned state. Refresh re-pins the current epoch
+// without allocating, which is how a pooled serving snapshot follows the
+// live index across rotations.
+type Snapshot struct {
+	ix *Index
+	st *epochState
+	c  *stats.Counters
+}
+
+var (
+	_ index.ObjectIndex = (*Snapshot)(nil)
+	_ index.Epocher     = (*Snapshot)(nil)
+)
+
+// Snapshot pins the current epoch into a fresh read-only view with a
+// private counter sink (index.Snapshotter).
+func (ix *Index) Snapshot() index.ObjectIndex {
+	return &Snapshot{ix: ix, st: ix.state.Load(), c: &stats.Counters{}}
+}
+
+// Refresh re-pins the view to the index's current epoch. Allocation-free;
+// safe to call between requests on a pooled snapshot.
+func (s *Snapshot) Refresh() { s.st = s.ix.state.Load() }
+
+// Epoch returns the pinned epoch (index.Epocher).
+func (s *Snapshot) Epoch() uint64 { return s.st.epoch }
+
+func (s *Snapshot) Dim() int                  { return s.ix.dim }
+func (s *Snapshot) Len() int                  { return s.st.size }
+func (s *Snapshot) RootPage() index.NodeID    { return s.st.rootPage() }
+func (s *Snapshot) NumPages() int             { return s.ix.numPages(s.st) }
+func (s *Snapshot) Counters() *stats.Counters { return s.c }
+
+func (s *Snapshot) SetCounters(c *stats.Counters) {
+	if c == nil {
+		panic("dynamic: nil counters")
+	}
+	s.c = c
+}
+
+func (s *Snapshot) ReadNode(id index.NodeID) (index.Node, error) {
+	return s.st.readNode(id, s.c)
+}
+
+// Delete always fails: snapshots are read-only; writes go through the
+// owning index.
+func (s *Snapshot) Delete(id index.ObjID, p vec.Point) error {
+	return index.ReadOnlyError("a dynamic snapshot")
+}
+
+// Validate checks the pinned epoch's invariants.
+func (s *Snapshot) Validate() error { return s.ix.validateState(s.st) }

@@ -5,7 +5,7 @@
 // (internal/core, internal/skyline, internal/topk) is independent of the
 // physical organisation of the index.
 //
-// Three backend families implement ObjectIndex:
+// Four backend families implement ObjectIndex:
 //
 //   - internal/index/paged adapts the disk-resident R-tree of internal/rtree:
 //     fixed-size pages, an LRU buffer and physical-I/O accounting. It is the
@@ -15,11 +15,17 @@
 //     fan-outs and traversal semantics but no simulated pages, no buffer and
 //     no per-access accounting. It is the serving backend: use it when
 //     wall-clock latency matters and the I/O metric does not.
+//   - internal/index/dynamic layers an insert-capable delta R-tree and a
+//     tombstone overlay on top of a mem base arena, republishing merged
+//     STR-packed snapshots through atomic epoch rotation. It is the live
+//     backend: the only family whose MutableIndex surface works while
+//     snapshots are being served.
 //   - internal/index/sharded is the composite backend: it partitions the
-//     object set across N sub-indexes of either base family and joins them
+//     object set across N sub-indexes of the other families and joins them
 //     under a synthetic root whose entries carry the shard bounding boxes,
 //     so branch-and-bound traversals prune whole shards, and ranked
-//     searches can fan out across shards in parallel.
+//     searches can fan out across shards in parallel. Over dynamic shards
+//     it also routes live writes, with independent per-shard rotation.
 //
 // All backends produce the identical stable matching for every algorithm,
 // because the matchers' tie-breaks depend only on object scores, coordinate
@@ -39,14 +45,38 @@
 // its counter sink, so N snapshots can serve N goroutines concurrently: the
 // paper's SB algorithm never mutates the object index (it maintains the
 // skyline of remaining objects on the side), which makes one index legally
-// shareable across parallel matching waves. The freeze contract is the
-// caller's obligation: while any snapshot is in use, no goroutine may call
-// Delete or rebuild the parent index. Delete on a snapshot itself fails
-// with ErrReadOnly.
+// shareable across parallel matching waves.
+//
+// # Mutation stories
+//
+// Every backend states which mutations it supports and what its snapshots
+// promise under them:
+//
+//   - paged: bulk-load once, then Delete only (the matchers' consuming
+//     deletes). No live inserts — Insert and Update return an error
+//     wrapping ErrReadOnly — and no Snapshotter (its LRU buffer makes
+//     every read a mutation).
+//   - mem: bulk-load once, then Delete only (an inline copy-on-write
+//     rebuild). Snapshots follow the freeze contract: while any snapshot
+//     is in use, no goroutine may call Delete or rebuild the parent —
+//     readers and writers are never synchronised by the backend.
+//   - dynamic: the full MutableIndex surface — Insert, Update, Delete —
+//     is safe concurrently with any number of readers. Every snapshot
+//     pins the epoch current at Snapshot (or Refresh) time and stays
+//     valid forever: mutation publishes a new epoch instead of touching
+//     published state. Snapshots additionally implement Epocher.
+//   - sharded: inherits its shards' story. Over mem shards the composite
+//     is Delete-only under the freeze contract; over dynamic shards it
+//     routes the full MutableIndex surface through the Partitioner with
+//     independent per-shard epoch rotation.
+//
+// Delete on any snapshot fails with an error wrapping ErrReadOnly — writes
+// always go through the owning index, never through a view.
 package index
 
 import (
 	"errors"
+	"fmt"
 
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/stats"
@@ -76,10 +106,21 @@ const InvalidNode = pagedfile.InvalidPage
 // ErrNotFound is returned by Delete when the object is absent.
 var ErrNotFound = errors.New("index: object not found")
 
-// ErrReadOnly is returned by Delete on read-only views obtained from
-// Snapshotter.Snapshot. Algorithms that consume their index (Brute Force,
-// Chain) cannot run against a snapshot.
+// ErrReadOnly is the sentinel wrapped by every mutation rejected on a
+// read-only surface: Delete on views obtained from Snapshotter.Snapshot,
+// and Insert/Update on backends without a live write tier. Match with
+// errors.Is; the concrete errors name the rejecting surface (see
+// ReadOnlyError).
 var ErrReadOnly = errors.New("index: index is read-only")
+
+// ReadOnlyError builds the error a read-only surface returns from a
+// rejected mutation: it names the surface (so the failure is actionable)
+// and wraps ErrReadOnly (so errors.Is works across backends). Every
+// backend routes its rejections through this one constructor, which is
+// what keeps the messages' shape — and the tests pinning them — uniform.
+func ReadOnlyError(surface string) error {
+	return fmt.Errorf("index: %s is read-only: %w", surface, ErrReadOnly)
+}
 
 // Node is a read-only view of one index node. Internal entries carry a child
 // node and the child's MBR; leaf entries carry indexed items (their Rect is
@@ -155,16 +196,48 @@ type ObjectIndex interface {
 	Validate() error
 }
 
+// MutableIndex is the live-write seam: an ObjectIndex whose object set can
+// change while it serves. Backends implement it only when every mutation is
+// safe under concurrent readers — readers holding a snapshot keep a
+// consistent view across any interleaving of writes (the dynamic backend
+// rotates epochs; the sharded composite routes to dynamic shards). The
+// bulk-load-once backends deliberately do not implement it: mem and paged
+// expose only the matchers' consuming Delete, and reject live inserts with
+// an error wrapping ErrReadOnly.
+type MutableIndex interface {
+	ObjectIndex
+	// Insert adds the object (id, p). Inserting an ID that is already
+	// present is an error; the point is cloned, the caller keeps p.
+	Insert(id ObjID, p vec.Point) error
+	// Update moves object id to point p, returning ErrNotFound (or the
+	// backend's equivalent) when the object is absent. Equivalent to a
+	// Delete of the old point plus an Insert of the new one, applied as
+	// one atomic step: no reader observes the object absent.
+	Update(id ObjID, p vec.Point) error
+}
+
+// Epocher is implemented by snapshots (and indexes) of the mutable
+// backends: Epoch returns the monotonically increasing version of the
+// state the view is pinned to. Two reads against the same view at the same
+// epoch see bit-identical state; a merge or write publishes a higher
+// epoch without disturbing pinned views.
+type Epocher interface {
+	Epoch() uint64
+}
+
 // Snapshotter is implemented by backends whose node reads are free of side
-// effects and can therefore hand out concurrent read-only views. The memory
-// backend implements it; the paged backend does not (its LRU buffer makes
-// every read a mutation).
+// effects and can therefore hand out concurrent read-only views. The
+// memory, dynamic and sharded-over-either backends implement it; the paged
+// backend does not (its LRU buffer makes every read a mutation).
 type Snapshotter interface {
 	// Snapshot returns a read-only view of the index as of the call: it
 	// shares the node storage with its parent but owns a fresh counter
 	// sink, so each concurrent reader gets private work accounting.
-	// Delete on the view returns ErrReadOnly. The view is valid only
-	// while the parent index is not mutated (no Delete, no rebuild) —
-	// readers and writers are never synchronised by the backend.
+	// Delete on the view returns an error wrapping ErrReadOnly.
+	//
+	// Validity under parent mutation is the backend's declared story (see
+	// the package comment): mem views require the freeze contract (no
+	// Delete, no rebuild while the view is in use), while dynamic views
+	// pin an epoch and stay valid under arbitrary concurrent writes.
 	Snapshot() ObjectIndex
 }

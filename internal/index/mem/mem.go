@@ -42,7 +42,13 @@
 // sharing the node arena with a private counter sink. Any number of
 // goroutines may traverse their own snapshots concurrently as long as no
 // goroutine mutates the parent index (the freeze contract of the
-// Snapshotter interface). Delete on a snapshot returns index.ErrReadOnly.
+// Snapshotter interface). Delete on a snapshot fails with an error
+// wrapping index.ErrReadOnly.
+//
+// The backend's mutation story is bulk-load-once plus the matchers'
+// consuming Delete; there is no live insert (that is the dynamic
+// backend's job — it layers a write tier over this arena and subsumes
+// the copy-on-write Delete with tombstones).
 package mem
 
 import (
@@ -300,7 +306,7 @@ func (s *snapshot) ReadNode(id index.NodeID) (index.Node, error) {
 
 // Delete always fails: snapshots are read-only.
 func (s *snapshot) Delete(id index.ObjID, p vec.Point) error {
-	return index.ErrReadOnly
+	return index.ReadOnlyError("a mem snapshot")
 }
 
 // Validate delegates to the parent (a read-only walk).

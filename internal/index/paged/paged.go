@@ -20,6 +20,7 @@ package paged
 import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/rtree"
+	"prefmatch/internal/vec"
 )
 
 // Options configures the paged backend; it is the R-tree's option set
@@ -68,4 +69,19 @@ func Build(dim int, items []index.Item, opts *Options) (Index, error) {
 // ReadNode widens rtree.Tree.ReadNode to the interface's return type.
 func (ix Index) ReadNode(id index.NodeID) (index.Node, error) {
 	return ix.Tree.ReadNode(id)
+}
+
+// Insert rejects live writes: the paged backend's mutation story is
+// bulk-load once, then the matchers' consuming Delete. The underlying
+// tree does implement tuple-at-a-time insertion (ix.Tree.Insert, used by
+// its own deletion re-insertion pass), but exposing it here would let a
+// "paper-metric" index drift away from the STR packing the experiments
+// measure; live mutation is the dynamic backend's job.
+func (ix Index) Insert(id index.ObjID, p vec.Point) error {
+	return index.ReadOnlyError("the paged backend (bulk-load it, or use the dynamic backend for live writes)")
+}
+
+// Update rejects live writes; see Insert.
+func (ix Index) Update(id index.ObjID, p vec.Point) error {
+	return index.ReadOnlyError("the paged backend (bulk-load it, or use the dynamic backend for live writes)")
 }

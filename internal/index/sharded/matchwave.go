@@ -159,7 +159,7 @@ func newWaveObjects(ix *Index, fns []prefs.Function, workers int) *waveObjects {
 		fns:       fns,
 		workers:   workers,
 		removed:   map[index.ObjID]bool{},
-		remaining: ix.size,
+		remaining: ix.Len(),
 	}
 }
 
@@ -171,9 +171,10 @@ func (w *waveObjects) buildFans() {
 		return
 	}
 	w.fans = make([]fnFan, len(w.fns))
+	entries := w.ix.rootEntries()
 	for f := range w.fns {
-		order := make([]fanShard, len(w.ix.entries))
-		for i, e := range w.ix.entries {
+		order := make([]fanShard, len(entries))
+		for i, e := range entries {
 			order[i] = fanShard{shard: e.shard, bound: w.fns[f].UpperBound(e.rect)}
 		}
 		sort.Slice(order, func(i, j int) bool {

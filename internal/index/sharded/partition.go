@@ -5,7 +5,17 @@ import (
 	"sort"
 
 	"prefmatch/internal/index"
+	"prefmatch/internal/vec"
 )
+
+// RouteView is the composite state a Partitioner sees when routing one live
+// insert: the current object count of every shard, and the current MBR of
+// every non-empty shard (the zero Rect for empty shards — check Sizes
+// before trusting a Rect).
+type RouteView struct {
+	Sizes []int
+	Rects []vec.Rect
+}
 
 // Partitioner splits an object set across shards. Implementations must be
 // deterministic (same items, same n, same groups), must neither drop nor
@@ -13,12 +23,19 @@ import (
 // (fewer items than shards, hash holes). Groups may alias the input slice,
 // and the input may be reordered in place; callers that need the original
 // order pass a copy.
+//
+// Partitioners also route live inserts (Route), using only the composite
+// state in the RouteView, so routing is deterministic given the same
+// insertion history.
 type Partitioner interface {
 	// Name returns a short stable label ("spatial", "hash", "rr") for flags,
 	// experiment tables and diagnostics.
 	Name() string
 	// Partition splits items into exactly n groups.
 	Partition(items []index.Item, n int) [][]index.Item
+	// Route picks the shard (0..len(view.Sizes)-1) for one live insert,
+	// following the same placement idea as Partition.
+	Route(id index.ObjID, p vec.Point, view RouteView) int
 }
 
 // RoundRobin deals items to shards by input position: item i goes to shard
@@ -39,6 +56,19 @@ func (RoundRobin) Partition(items []index.Item, n int) [][]index.Item {
 	return groups
 }
 
+// Route sends a live insert to the currently smallest shard (ties to the
+// lowest shard number) — the online equivalent of dealing by position,
+// preserving the perfect balance without tracking a cursor.
+func (RoundRobin) Route(id index.ObjID, p vec.Point, view RouteView) int {
+	best := 0
+	for s, sz := range view.Sizes {
+		if sz < view.Sizes[best] {
+			best = s
+		}
+	}
+	return best
+}
+
 // Hash routes each item to shard splitmix64(ID) mod n: the placement a
 // shard-per-machine deployment would use, stable under reordering of the
 // input and under growth of the object set. Like RoundRobin it is a
@@ -56,6 +86,12 @@ func (Hash) Partition(items []index.Item, n int) [][]index.Item {
 		groups[g] = append(groups[g], it)
 	}
 	return groups
+}
+
+// Route sends a live insert exactly where Partition would: by hashed
+// object ID, independent of the composite's current state.
+func (Hash) Route(id index.ObjID, p vec.Point, view RouteView) int {
+	return int(splitmix64(uint64(uint32(id))) % uint64(len(view.Sizes)))
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
@@ -83,6 +119,30 @@ func (Spatial) Partition(items []index.Item, n int) [][]index.Item {
 	out := make([][]index.Item, 0, n)
 	spatialRec(items, n, 0, &out)
 	return out
+}
+
+// Route sends a live insert to the occupied shard whose MBR needs the
+// least enlargement to absorb the point — keeping the tiles tight, which is
+// what makes whole-shard pruning effective — with ties broken by smaller
+// current area, then smaller size, then lower shard number. Empty shards
+// are used first (least-populated empty shard is trivially shard order):
+// an empty tile has no MBR to stretch.
+func (Spatial) Route(id index.ObjID, p vec.Point, view RouteView) int {
+	best := -1
+	var bestEnl, bestArea float64
+	for s, sz := range view.Sizes {
+		if sz == 0 {
+			return s
+		}
+		enl := view.Rects[s].EnlargementPoint(p)
+		area := view.Rects[s].Area()
+		switch {
+		case best == -1, enl < bestEnl, enl == bestEnl && area < bestArea,
+			enl == bestEnl && area == bestArea && sz < view.Sizes[best]:
+			best, bestEnl, bestArea = s, enl, area
+		}
+	}
+	return best
 }
 
 // spatialRec appends exactly n groups covering items to out. d is the

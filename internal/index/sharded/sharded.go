@@ -1,7 +1,7 @@
 // Package sharded implements the composite backend of index.ObjectIndex: the
 // object set is split across N sub-indexes (shards) by a pluggable
-// Partitioner, each shard is an ObjectIndex of its own (memory or paged), and
-// the composite presents them as one index again.
+// Partitioner, each shard is an ObjectIndex of its own (memory, paged or
+// dynamic), and the composite presents them as one index again.
 //
 // The composite's tree is the shards' trees joined under one synthetic root:
 // an internal node with one entry per non-empty shard, whose MBR is the
@@ -29,11 +29,23 @@
 //
 // # Concurrency
 //
-// Like every backend, the composite is single-goroutine by default. It
-// implements index.Snapshotter by composing per-shard snapshots when every
-// shard supports snapshots (memory shards do, paged shards do not); use
-// CanSnapshot to check before calling Snapshot, which panics on
-// snapshot-incapable shards.
+// Like every backend, the composite is single-goroutine for direct
+// traversal. It implements index.Snapshotter by composing per-shard
+// snapshots when every shard supports snapshots (memory and dynamic shards
+// do, paged shards do not); use CanSnapshot to check before calling
+// Snapshot, which panics on snapshot-incapable shards.
+//
+// # Live writes
+//
+// Over shards that implement index.MutableIndex (the dynamic backend), the
+// composite does too: Insert routes new objects through the Partitioner's
+// live rule (Route), Update stays inside the owning shard, and each shard
+// rotates its epochs independently — a merge in one shard never blocks
+// writes or reads in another. Writers are serialised by an internal lock;
+// the synthetic-root entry table is replaced copy-on-write, so snapshots
+// (which capture the table under the same lock) stay consistent cuts. Over
+// mem or paged shards, Insert and Update fail with an error wrapping
+// index.ErrReadOnly; gate with CanMutate.
 package sharded
 
 import (
@@ -154,23 +166,35 @@ func (n flatShardNode) FlatRects() ([]float64, []float64) {
 	return n.Node.(index.FlatInternal).FlatRects()
 }
 
-// Index is the composite backend. It is not safe for concurrent use
-// directly; concurrent readers each take a Snapshot when the shards allow it
-// (see the package comment's Concurrency section).
+// Index is the composite backend. Mutations (Insert, Update, Delete) and
+// snapshot-taking are serialised by an internal lock, so over mutable
+// shards the composite inherits the dynamic backend's story: writes are
+// safe under concurrent snapshot readers. Direct traversal of the
+// composite itself remains single-goroutine (take a Snapshot to read
+// concurrently; see the package comment's Concurrency section).
 type Index struct {
-	dim     int
-	shards  []index.ObjectIndex
-	entries []rootEntry         // synthetic-root entries, non-empty shards in shard order
-	byID    map[index.ObjID]int // object -> shard, for Delete routing
-	size    int
-	c       *stats.Counters
+	dim    int
+	shards []index.ObjectIndex
+	router Partitioner
+	c      *stats.Counters
+
 	canSnap bool
+	canMut  bool // every shard implements index.MutableIndex
 	part    string
+
+	// mu guards entries, byID and size. Writers replace the entries slice
+	// copy-on-write — never edit it in place — because published rootNode
+	// views (snapshots, in-flight traversals) alias the old backing array.
+	mu      sync.RWMutex
+	entries []rootEntry         // synthetic-root entries, non-empty shards in shard order
+	byID    map[index.ObjID]int // object -> shard, for write routing
+	size    int
 }
 
 var (
-	_ index.ObjectIndex = (*Index)(nil)
-	_ index.Snapshotter = (*Index)(nil)
+	_ index.ObjectIndex  = (*Index)(nil)
+	_ index.MutableIndex = (*Index)(nil)
+	_ index.Snapshotter  = (*Index)(nil)
 )
 
 // Build partitions items across opts.Shards sub-indexes and assembles the
@@ -215,9 +239,11 @@ func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
 	ix := &Index{
 		dim:     dim,
 		shards:  make([]index.ObjectIndex, o.Shards),
+		router:  o.Partitioner,
 		byID:    make(map[index.ObjID]int, len(items)),
 		c:       o.Counters,
 		canSnap: true,
+		canMut:  true,
 		part:    o.Partitioner.Name(),
 	}
 	for s, g := range groups {
@@ -231,6 +257,9 @@ func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
 		ix.shards[s] = shard
 		if _, ok := shard.(index.Snapshotter); !ok {
 			ix.canSnap = false
+		}
+		if _, ok := shard.(index.MutableIndex); !ok {
+			ix.canMut = false
 		}
 		for _, it := range g {
 			if prev, dup := ix.byID[it.ID]; dup {
@@ -273,35 +302,71 @@ func (ix *Index) computeEntry(s int) (rootEntry, bool, error) {
 	return rootEntry{shard: s, rect: vec.MBROfRects(rects), child: encode(s, root)}, true, nil
 }
 
-// refreshEntry re-derives shard s's entry after a mutation, dropping it when
-// the shard emptied.
+// refreshEntry re-derives shard s's entry after a mutation: replacing it,
+// dropping it when the shard emptied, or inserting it (at its shard-order
+// position) when a previously empty shard received its first object. The
+// entries slice is replaced copy-on-write — published rootNode views alias
+// the old backing array and must keep seeing their epoch. Callers hold mu.
 func (ix *Index) refreshEntry(s int) error {
 	e, ok, err := ix.computeEntry(s)
 	if err != nil {
 		return err
 	}
+	at := -1 // s's current position, or -1
 	for i := range ix.entries {
-		if ix.entries[i].shard != s {
-			continue
+		if ix.entries[i].shard == s {
+			at = i
+			break
 		}
-		if ok {
-			ix.entries[i] = e
-		} else {
-			ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
-		}
-		return nil
 	}
-	if ok {
-		return fmt.Errorf("sharded: shard %d missing from the synthetic root", s)
+	switch {
+	case at >= 0 && ok: // replace
+		next := make([]rootEntry, len(ix.entries))
+		copy(next, ix.entries)
+		next[at] = e
+		ix.entries = next
+	case at >= 0: // drop
+		next := make([]rootEntry, 0, len(ix.entries)-1)
+		next = append(next, ix.entries[:at]...)
+		next = append(next, ix.entries[at+1:]...)
+		ix.entries = next
+	case ok: // insert in shard order
+		pos := len(ix.entries)
+		for i := range ix.entries {
+			if ix.entries[i].shard > s {
+				pos = i
+				break
+			}
+		}
+		next := make([]rootEntry, 0, len(ix.entries)+1)
+		next = append(next, ix.entries[:pos]...)
+		next = append(next, e)
+		next = append(next, ix.entries[pos:]...)
+		ix.entries = next
 	}
 	return nil
+}
+
+// rootEntries returns the current synthetic-root entries. The slice is
+// immutable once published (refreshEntry replaces it wholesale), so callers
+// may keep iterating it after the lock is released.
+func (ix *Index) rootEntries() []rootEntry {
+	ix.mu.RLock()
+	e := ix.entries
+	ix.mu.RUnlock()
+	return e
 }
 
 // Dim returns the dimensionality of the indexed points.
 func (ix *Index) Dim() int { return ix.dim }
 
 // Len returns the number of indexed objects across all shards.
-func (ix *Index) Len() int { return ix.size }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	n := ix.size
+	ix.mu.RUnlock()
+	return n
+}
 
 // NumShards returns the shard count.
 func (ix *Index) NumShards() int { return len(ix.shards) }
@@ -333,7 +398,7 @@ func (ix *Index) NumPages() int {
 // RootPage returns the synthetic root, or index.InvalidNode when every shard
 // is empty.
 func (ix *Index) RootPage() index.NodeID {
-	if len(ix.entries) == 0 {
+	if len(ix.rootEntries()) == 0 {
 		return index.InvalidNode
 	}
 	return rootID
@@ -358,7 +423,7 @@ func (ix *Index) SetCounters(c *stats.Counters) {
 // ReadNode resolves the synthetic root, or routes to the owning shard and
 // re-tags the returned node's children.
 func (ix *Index) ReadNode(id index.NodeID) (index.Node, error) {
-	return readNode(ix.shards, ix.entries, id)
+	return readNode(ix.shards, ix.rootEntries(), id)
 }
 
 func readNode(shards []index.ObjectIndex, entries []rootEntry, id index.NodeID) (index.Node, error) {
@@ -386,6 +451,8 @@ func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
 	if len(p) != ix.dim {
 		return fmt.Errorf("sharded: deleting dimension %d from dimension-%d index", len(p), ix.dim)
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	s, ok := ix.byID[id]
 	if !ok {
 		return index.ErrNotFound
@@ -398,6 +465,150 @@ func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
 	return ix.refreshEntry(s)
 }
 
+// CanMutate reports whether every shard implements index.MutableIndex — the
+// precondition of Insert and Update. Dynamic shards qualify; mem and paged
+// shards do not.
+func (ix *Index) CanMutate() bool { return ix.canMut }
+
+// Insert routes the object to a shard chosen by the partitioner's live
+// routing rule and inserts it there, growing the synthetic root when the
+// shard was empty. The write is one atomic step against concurrent
+// Snapshot calls; readers holding earlier snapshots are undisturbed
+// (dynamic shards rotate epochs). Fails with an error wrapping
+// index.ErrReadOnly when the shards do not support live writes.
+func (ix *Index) Insert(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("sharded: inserting dimension %d into dimension-%d index", len(p), ix.dim)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.canMut {
+		return index.ReadOnlyError("the sharded composite over non-mutable shards (build it over dynamic shards for live writes)")
+	}
+	if s, dup := ix.byID[id]; dup {
+		return fmt.Errorf("sharded: object %d is already indexed (shard %d)", id, s)
+	}
+	s := ix.route(id, p)
+	if err := ix.shards[s].(index.MutableIndex).Insert(id, p); err != nil {
+		return err
+	}
+	ix.byID[id] = s
+	ix.size++
+	return ix.refreshEntry(s)
+	// No local-ID-space check is needed on the growth path: the dynamic
+	// backend constructs every node ID below 1<<22, inside the composite's
+	// local space, and rejects overflow itself.
+}
+
+// Update moves object id to point p inside the shard that holds it (live
+// routing never migrates an object across shards — the object's ID keeps
+// resolving to one shard's write tier). Fails with an error wrapping
+// index.ErrReadOnly when the shards do not support live writes, and with
+// index.ErrNotFound when the object is absent.
+func (ix *Index) Update(id index.ObjID, p vec.Point) error {
+	if len(p) != ix.dim {
+		return fmt.Errorf("sharded: updating to dimension %d in dimension-%d index", len(p), ix.dim)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.canMut {
+		return index.ReadOnlyError("the sharded composite over non-mutable shards (build it over dynamic shards for live writes)")
+	}
+	s, ok := ix.byID[id]
+	if !ok {
+		return index.ErrNotFound
+	}
+	if err := ix.shards[s].(index.MutableIndex).Update(id, p); err != nil {
+		return err
+	}
+	return ix.refreshEntry(s)
+}
+
+// PointOf returns a copy of object id's current point, or ok=false when the
+// object is not indexed or its shard cannot report points. Serving layers
+// use it to delete by ID alone.
+func (ix *Index) PointOf(id index.ObjID) (vec.Point, bool) {
+	ix.mu.RLock()
+	s, ok := ix.byID[id]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if p, ok := ix.shards[s].(interface {
+		PointOf(index.ObjID) (vec.Point, bool)
+	}); ok {
+		return p.PointOf(id)
+	}
+	return nil, false
+}
+
+// Epoch sums the shard epochs (index.Epocher): any accepted write or shard
+// merge anywhere in the composite advances it. Zero over non-rotating
+// shards.
+func (ix *Index) Epoch() uint64 {
+	var e uint64
+	for _, s := range ix.shards {
+		if ep, ok := s.(index.Epocher); ok {
+			e += ep.Epoch()
+		}
+	}
+	return e
+}
+
+// DeltaSize sums the shards' current write-tier sizes (zero over
+// non-dynamic shards).
+func (ix *Index) DeltaSize() int {
+	total := 0
+	for _, s := range ix.shards {
+		if d, ok := s.(interface{ DeltaSize() int }); ok {
+			total += d.DeltaSize()
+		}
+	}
+	return total
+}
+
+// MergesCompleted sums the shards' published background merges.
+func (ix *Index) MergesCompleted() int64 {
+	var total int64
+	for _, s := range ix.shards {
+		if m, ok := s.(interface{ MergesCompleted() int64 }); ok {
+			total += m.MergesCompleted()
+		}
+	}
+	return total
+}
+
+// Compact forces a synchronous write-tier merge on every shard that
+// supports one, in shard order. Each shard rotates independently; readers
+// pinned to earlier epochs are undisturbed.
+func (ix *Index) Compact() {
+	for _, s := range ix.shards {
+		if c, ok := s.(interface{ Compact() }); ok {
+			c.Compact()
+		}
+	}
+}
+
+// route picks the shard for a live insert via the partitioner's routing
+// rule. Callers hold mu.
+func (ix *Index) route(id index.ObjID, p vec.Point) int {
+	view := RouteView{
+		Sizes: make([]int, len(ix.shards)),
+		Rects: make([]vec.Rect, len(ix.shards)),
+	}
+	for s, shard := range ix.shards {
+		view.Sizes[s] = shard.Len()
+	}
+	for _, e := range ix.entries {
+		view.Rects[e.shard] = e.rect
+	}
+	s := ix.router.Route(id, p, view)
+	if s < 0 || s >= len(ix.shards) {
+		panic(fmt.Sprintf("sharded: partitioner %q routed object %d to shard %d of %d", ix.part, id, s, len(ix.shards)))
+	}
+	return s
+}
+
 // Validate checks every shard's invariants plus the composite's own: one
 // synthetic-root entry per non-empty shard, each with the shard's live root
 // and tight MBR, and size consistency with the routing map.
@@ -407,12 +618,21 @@ func (ix *Index) Validate() error {
 			return fmt.Errorf("sharded: shard %d: %w", s, err)
 		}
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	byShard := make(map[int]rootEntry, len(ix.entries))
 	for _, e := range ix.entries {
 		if _, dup := byShard[e.shard]; dup {
 			return fmt.Errorf("sharded: shard %d listed twice in the synthetic root", e.shard)
 		}
 		byShard[e.shard] = e
+	}
+	prev := -1
+	for _, e := range ix.entries {
+		if e.shard <= prev {
+			return fmt.Errorf("sharded: synthetic-root entries out of shard order at shard %d", e.shard)
+		}
+		prev = e.shard
 	}
 	total := 0
 	for s, shard := range ix.shards {
@@ -425,8 +645,19 @@ func (ix *Index) Validate() error {
 		if ok != listed {
 			return fmt.Errorf("sharded: shard %d: empty=%v but listed=%v", s, !ok, listed)
 		}
-		if ok && (have.child != e.child || !have.rect.Equal(e.rect)) {
-			return fmt.Errorf("sharded: shard %d: stale synthetic-root entry", s)
+		if ok && have.child != e.child {
+			return fmt.Errorf("sharded: shard %d: stale synthetic-root child", s)
+		}
+		// The entry MBR must bound the shard's live points — the invariant
+		// whole-shard pruning rests on. Rect-vs-rect containment against the
+		// shard's current root is deliberately NOT required: over dynamic
+		// shards both rects are loose upper bounds of the same live set
+		// (delta MBRs are not re-tightened on delete, background merges
+		// re-pack), so neither needs to contain the other.
+		if ok {
+			if err := shardPointsWithin(shard, have.rect); err != nil {
+				return fmt.Errorf("sharded: shard %d: %w", s, err)
+			}
 		}
 	}
 	if total != ix.size {
@@ -438,6 +669,40 @@ func (ix *Index) Validate() error {
 	return nil
 }
 
+// shardPointsWithin walks one shard's tree and checks every live point lies
+// inside bound. Validation-only: O(shard size). The walk runs over a pinned
+// snapshot when the shard supports one, so an in-flight background merge
+// cannot swap node storage mid-traversal.
+func shardPointsWithin(shard index.ObjectIndex, bound vec.Rect) error {
+	if sn, ok := shard.(index.Snapshotter); ok {
+		shard = sn.Snapshot()
+	}
+	root := shard.RootPage()
+	if root == index.InvalidNode {
+		return nil
+	}
+	var walk func(id index.NodeID) error
+	walk = func(id index.NodeID) error {
+		n, err := shard.ReadNode(id)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n.Len(); i++ {
+			if !n.Leaf() {
+				if err := walk(n.ChildPage(i)); err != nil {
+					return err
+				}
+				continue
+			}
+			if it := n.Object(i); !bound.ContainsPoint(it.Point) {
+				return fmt.Errorf("synthetic-root MBR %v does not cover live object %d at %v", bound, it.ID, it.Point)
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
 // --- Snapshots ---------------------------------------------------------
 
 // CanSnapshot reports whether every shard implements index.Snapshotter —
@@ -446,24 +711,33 @@ func (ix *Index) Validate() error {
 func (ix *Index) CanSnapshot() bool { return ix.canSnap }
 
 // Snapshot composes per-shard snapshots into a read-only view of the
-// composite with one fresh shared counter sink. It panics when the shards
-// cannot snapshot; gate calls with CanSnapshot.
+// composite with one fresh shared counter sink. The capture is atomic
+// against composite writes (it briefly takes the read lock), so the view is
+// a consistent cut: every shard snapshot plus the synthetic-root entries of
+// one instant. It panics when the shards cannot snapshot; gate calls with
+// CanSnapshot.
 func (ix *Index) Snapshot() index.ObjectIndex {
 	if !ix.canSnap {
 		panic("sharded: Snapshot on shards that do not implement index.Snapshotter (check CanSnapshot)")
 	}
 	c := &stats.Counters{}
 	shards := make([]index.ObjectIndex, len(ix.shards))
+	ix.mu.RLock()
 	for i, s := range ix.shards {
 		snap := s.(index.Snapshotter).Snapshot()
 		snap.SetCounters(c)
 		shards[i] = snap
 	}
+	entries := make([]rootEntry, len(ix.entries), len(ix.shards))
+	copy(entries, ix.entries)
+	size := ix.size
+	ix.mu.RUnlock()
 	return &snapshot{
+		parent:  ix,
 		dim:     ix.dim,
 		shards:  shards,
-		entries: append([]rootEntry(nil), ix.entries...),
-		size:    ix.size,
+		entries: entries,
+		size:    size,
 		c:       c,
 	}
 }
@@ -472,6 +746,7 @@ func (ix *Index) Snapshot() index.ObjectIndex {
 // synthetic-root entries captured at snapshot time, all charging one private
 // sink.
 type snapshot struct {
+	parent  *Index
 	dim     int
 	shards  []index.ObjectIndex
 	entries []rootEntry
@@ -480,6 +755,38 @@ type snapshot struct {
 }
 
 var _ index.ObjectIndex = (*snapshot)(nil)
+
+// Refresh re-pins the view to the composite's current state: each shard
+// snapshot that supports re-pinning (the dynamic backend's does) advances
+// to its shard's current epoch, and the synthetic-root entries are
+// re-copied, all under the composite read lock so the cut stays consistent.
+// Over shards without Refresh (mem) this is a no-op per shard, which is
+// sound: those shards cannot change while snapshots serve (their freeze
+// contract). Allocation-free: the entries buffer is reused.
+func (s *snapshot) Refresh() {
+	s.parent.mu.RLock()
+	for _, sh := range s.shards {
+		if r, ok := sh.(interface{ Refresh() }); ok {
+			r.Refresh()
+		}
+	}
+	s.entries = append(s.entries[:0], s.parent.entries...)
+	s.size = s.parent.size
+	s.parent.mu.RUnlock()
+}
+
+// Epoch returns the sum of the shard snapshots' pinned epochs — a monotone
+// version of the composite cut (per-shard rotation is independent; the sum
+// advances whenever any shard's does). Shards without epochs contribute 0.
+func (s *snapshot) Epoch() uint64 {
+	var e uint64
+	for _, sh := range s.shards {
+		if ep, ok := sh.(index.Epocher); ok {
+			e += ep.Epoch()
+		}
+	}
+	return e
+}
 
 func (s *snapshot) Dim() int { return s.dim }
 func (s *snapshot) Len() int { return s.size }
@@ -519,7 +826,7 @@ func (s *snapshot) ReadNode(id index.NodeID) (index.Node, error) {
 
 // Delete always fails: snapshots are read-only.
 func (s *snapshot) Delete(id index.ObjID, p vec.Point) error {
-	return index.ErrReadOnly
+	return index.ReadOnlyError("a sharded snapshot")
 }
 
 // Validate delegates to the shard snapshots (read-only walks).
@@ -580,12 +887,13 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		return nil, ix.errNoSnapshots("ranked fan-out")
 	}
 
+	entries := ix.rootEntries()
 	type job struct {
 		shard int
 		bound float64
 	}
-	jobs := make([]job, len(ix.entries))
-	for i, e := range ix.entries {
+	jobs := make([]job, len(entries))
+	for i, e := range entries {
 		jobs[i] = job{shard: e.shard, bound: pref.UpperBound(e.rect)}
 	}
 	sort.Slice(jobs, func(i, j int) bool {
@@ -705,13 +1013,14 @@ func (ix *Index) SearchTopKBatch(fns []prefs.Preference, k, workers int, c *stat
 		return nil, ix.errNoSnapshots("batched ranked fan-out")
 	}
 
+	entries := ix.rootEntries()
 	type job struct {
 		shard  int
 		best   float64   // max bound across the batch, for visit order
 		bounds []float64 // per-function upper bound over the shard MBR
 	}
-	jobs := make([]job, len(ix.entries))
-	for i, e := range ix.entries {
+	jobs := make([]job, len(entries))
+	for i, e := range entries {
 		b := make([]float64, len(fns))
 		best := math.Inf(-1)
 		for f, p := range fns {

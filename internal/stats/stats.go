@@ -36,6 +36,10 @@ type Counters struct {
 	PairsEmitted    int64 // stable pairs reported
 	TreeDeletes     int64 // object deletions from the disk R-tree
 	ShardsPruned    int64 // whole shards skipped by MBR pruning in the sharded ranked fan-out
+
+	// Dynamic-backend counters.
+
+	DeltaNodesVisited int64 // write-tier node reads (delta R-tree nodes and tombstone-masked leaves)
 }
 
 // IOAccesses returns the total physical I/O (reads + writes), the quantity
@@ -61,6 +65,7 @@ func (c *Counters) Add(o *Counters) {
 	c.PairsEmitted += o.PairsEmitted
 	c.TreeDeletes += o.TreeDeletes
 	c.ShardsPruned += o.ShardsPruned
+	c.DeltaNodesVisited += o.DeltaNodesVisited
 }
 
 // Reset zeroes all counters.
@@ -78,8 +83,8 @@ func (c *Counters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "io=%d (r=%d w=%d hits=%d)", c.IOAccesses(), c.PageReads, c.PageWrites, c.BufferHits)
 	fmt.Fprintf(&b, " top1=%d nodes=%d ta=%d scores=%d dom=%d", c.Top1Searches, c.NodesVisited, c.TAListAccesses, c.ScoreEvals, c.DominanceChecks)
-	fmt.Fprintf(&b, " skyUpd=%d skyMax=%d loops=%d pairs=%d del=%d shardsPruned=%d",
-		c.SkylineUpdates, c.SkylineMaxSize, c.Loops, c.PairsEmitted, c.TreeDeletes, c.ShardsPruned)
+	fmt.Fprintf(&b, " skyUpd=%d skyMax=%d loops=%d pairs=%d del=%d shardsPruned=%d deltaNodes=%d",
+		c.SkylineUpdates, c.SkylineMaxSize, c.Loops, c.PairsEmitted, c.TreeDeletes, c.ShardsPruned, c.DeltaNodesVisited)
 	return b.String()
 }
 

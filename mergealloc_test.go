@@ -1,0 +1,164 @@
+// Zero-allocation serving during background compaction: the pooled search
+// paths and the server's batched serving path must stay at zero
+// allocations per operation while a merge is parked mid-flight between
+// building its fresh base and publishing it. This pins the design point of
+// the dynamic tier — merges cost the merge goroutine, never the readers.
+//
+// Allocation counts are not meaningful under the race detector
+// (instrumented allocations, sync.Pool drops puts), so the whole file is
+// excluded from -race runs.
+//
+//go:build !race
+
+package prefmatch
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/index/dynamic"
+	"prefmatch/internal/prefs"
+	"prefmatch/internal/topk"
+	"prefmatch/internal/vec"
+)
+
+// TestZeroAllocDuringMerge parks the first background merge between its
+// "built" and "published" stages via the OnMergeStage hook, then measures
+// the pooled read paths — topk.Top1, topk.SearchAppend over a pinned
+// snapshot, and Server.TopKManyAppend over the live index — with the merge
+// frozen underneath. All three must allocate nothing per operation.
+func TestZeroAllocDuringMerge(t *testing.T) {
+	const (
+		d         = 4
+		n         = 4000
+		seeded    = 3700 // built into the base; the rest arrive as live inserts
+		threshold = 256
+	)
+	rng := rand.New(rand.NewSource(91))
+	items := make([]index.Item, n)
+	for i := range items {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		items[i] = index.Item{ID: index.ObjID(i), Point: p}
+	}
+
+	built := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var parkedOnce atomic.Bool
+	hook := func(stage string) {
+		// Park only the first merge between building and publishing;
+		// once release is closed, it (and any later merge) proceeds.
+		if stage != "built" || !parkedOnce.CompareAndSwap(false, true) {
+			return
+		}
+		built <- struct{}{}
+		<-release
+	}
+	ix, err := dynamic.Build(d, items[:seeded], &dynamic.Options{
+		MergeThreshold: threshold,
+		OnMergeStage:   hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Push the write tier past the threshold; the triggered merge parks
+	// at "built" with its fresh base ready but unpublished.
+	for _, it := range items[seeded:] {
+		if err := ix.Insert(it.ID, it.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-built:
+	case <-time.After(10 * time.Second):
+		t.Fatal("merge never reached the built stage")
+	}
+	if ix.DeltaSize() == 0 {
+		t.Fatal("write tier drained before the merge published")
+	}
+
+	// Box the function into the interface once: per-call conversion would
+	// charge the measurement an allocation the search layer never makes.
+	var fn prefs.Preference = prefs.MustFunction(0, []float64{0.4, 0.3, 0.2, 0.1})
+	snap := ix.Snapshot()
+
+	var results []topk.Result
+	top1 := func() {
+		if _, ok, err := topk.Top1(snap, fn, nil); err != nil || !ok {
+			t.Fatalf("Top1: ok=%v err=%v", ok, err)
+		}
+	}
+	search := func() {
+		var err error
+		results, err = topk.SearchAppend(results[:0], snap, fn, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := make([]Query, 8)
+	for i := range qs {
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.Float64() + 0.1
+		}
+		qs[i] = Query{ID: i, Weights: w}
+	}
+	var (
+		dst     []Assignment
+		offsets []int
+	)
+	batch := func() {
+		var err error
+		dst, offsets, err = srv.TopKManyAppend(dst[:0], offsets[:0], qs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		top1()
+		search()
+		batch()
+	}
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"topk.Top1", top1},
+		{"topk.SearchAppend", search},
+		{"Server.TopKManyAppend", batch},
+	} {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s allocated %v times per op during a parked merge, want 0", tc.name, allocs)
+		}
+	}
+	if len(results) != 10 || len(dst) != len(qs)*5 || len(offsets) != len(qs)+1 {
+		t.Fatalf("read paths returned %d/%d/%d results", len(results), len(dst), len(offsets))
+	}
+
+	// Unpark; the merge must publish, and the rotated index must still be
+	// sound and complete.
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for ix.MergesCompleted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("released merge never published")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Len(); got != n {
+		t.Fatalf("post-merge Len = %d, want %d", got, n)
+	}
+}

@@ -83,6 +83,7 @@ import (
 
 	"prefmatch/internal/core"
 	"prefmatch/internal/index"
+	"prefmatch/internal/index/dynamic"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/index/paged"
 	"prefmatch/internal/index/sharded"
@@ -167,6 +168,14 @@ const (
 	// no buffer, and near-zero accounting overhead. Stats reports zero
 	// I/O; wall-clock time is the relevant metric.
 	Memory
+	// Dynamic is the live-mutation serving backend: a Memory-style
+	// STR-packed base arena plus an insert-capable delta R-tree and
+	// tombstone overlay holding recent writes, republished by a background
+	// merge through atomic epoch rotation. Reads are as pure and
+	// allocation-free as Memory's; Insert/Update/Delete are accepted while
+	// serving. Tune the merge policy with Options.MergeThreshold and
+	// Options.MergeInterval.
+	Dynamic
 )
 
 // String names the backend for labels and flags.
@@ -174,6 +183,8 @@ func (b Backend) String() string {
 	switch b {
 	case Memory:
 		return "mem"
+	case Dynamic:
+		return "dyn"
 	default:
 		return "paged"
 	}
@@ -284,6 +295,18 @@ type Options struct {
 	// Setting it without Shards is an error, not a silent no-op.
 	ShardBy ShardBy
 
+	// MergeThreshold tunes the Dynamic backend's merge policy: a background
+	// re-pack of the write tier into a fresh base arena starts once the
+	// delta plus tombstones reach this many entries. 0 means the backend
+	// default (4096); negative disables size-triggered merges (merge by
+	// interval, or manually via Server.Compact). Ignored by other backends.
+	MergeThreshold int
+
+	// MergeInterval additionally starts a merge when this much time has
+	// passed since the last one (checked at writes). 0 disables
+	// interval-triggered merges. Dynamic backend only.
+	MergeInterval time.Duration
+
 	// ShardMatch routes matching waves through the shard-parallel fan-out
 	// (sharded.MatchWave): the algorithm's global decision loop — including
 	// all capacity bookkeeping — runs at the merge point, while per-shard
@@ -314,6 +337,15 @@ type Stats struct {
 	Pairs          int64         // assignments produced
 	ShardsPruned   int64         // whole shards skipped by MBR pruning (sharded fan-out only)
 	Elapsed        time.Duration // wall-clock time of the matching phase
+
+	// Dynamic-backend serving state (zero on static backends). The first
+	// three are point-in-time gauges read when Stats is called, not
+	// accumulated per request; DeltaNodesVisited is cumulative like the
+	// other counters.
+	Epoch             uint64 // current snapshot epoch (sum of shard epochs when sharded)
+	DeltaSize         int64  // objects currently in the write tier (delta + tombstones)
+	MergesCompleted   int64  // background merges republished so far
+	DeltaNodesVisited int64  // write-tier nodes expanded by ranked search
 }
 
 // Result is a completed matching.
@@ -335,6 +367,18 @@ type Matcher struct {
 var (
 	errNoObjects = errors.New("prefmatch: no objects")
 	errNoQueries = errors.New("prefmatch: no queries")
+)
+
+// Sentinel errors of the live-mutation API, for errors.Is. Every error a
+// read-only surface returns wraps ErrReadOnly; every write addressing an
+// absent object wraps ErrNotFound.
+var (
+	// ErrReadOnly reports a mutation attempted against a read-only surface:
+	// a Server built on a static backend, or a pinned snapshot.
+	ErrReadOnly = index.ErrReadOnly
+	// ErrNotFound reports an Update or Remove of an object that is not
+	// indexed.
+	ErrNotFound = index.ErrNotFound
 )
 
 // NewMatcher indexes the objects and prepares the selected algorithm.
@@ -378,6 +422,9 @@ func NewMatcher(objects []Object, queries []Query, opts *Options) (*Matcher, err
 		}
 		inner, err = sh.NewWaveMatcher(fns, copts, 0)
 	} else {
+		if dyn, ok := tree.(*dynamic.Index); ok {
+			tree = newMatcherView(dyn, c)
+		}
 		inner, err = core.NewMatcher(tree, fns, copts)
 	}
 	if err != nil {
@@ -509,6 +556,13 @@ func buildSingle(items []index.Item, d int, opts *Options, c *stats.Counters) (i
 			PageSize: opts.PageSize,
 			Counters: c,
 		})
+	case Dynamic:
+		return dynamic.Build(d, items, &dynamic.Options{
+			PageSize:       opts.PageSize,
+			Counters:       c,
+			MergeThreshold: opts.MergeThreshold,
+			MergeInterval:  opts.MergeInterval,
+		})
 	default:
 		return paged.Build(d, items, &paged.Options{
 			PageSize:       opts.PageSize,
@@ -517,6 +571,36 @@ func buildSingle(items []index.Item, d int, opts *Options, c *stats.Counters) (i
 			Counters:       c,
 		})
 	}
+}
+
+// matcherView adapts a dynamic index to the single-goroutine matcher
+// contract: reads run against a pinned epoch snapshot, while the destructive
+// algorithms' deletions go to the live index and re-pin the view. Without
+// the pin, a deletion-triggered background merge could republish mid-search
+// and invalidate node IDs an in-flight traversal still holds; with it, the
+// epoch can only rotate at the Delete boundary, which is exactly where the
+// algorithms restart their searches.
+type matcherView struct {
+	index.ObjectIndex // the pinned snapshot: all reads
+	live              *dynamic.Index
+	refresh           func()
+}
+
+func newMatcherView(dyn *dynamic.Index, c *stats.Counters) *matcherView {
+	snap := dyn.Snapshot()
+	snap.SetCounters(c)
+	refresh, _ := snap.(interface{ Refresh() })
+	return &matcherView{ObjectIndex: snap, live: dyn, refresh: refresh.Refresh}
+}
+
+// Delete forwards to the live index and re-pins the snapshot, so the next
+// read observes the deletion (and whatever epoch the write published).
+func (v *matcherView) Delete(id index.ObjID, p vec.Point) error {
+	if err := v.live.Delete(id, p); err != nil {
+		return err
+	}
+	v.refresh()
+	return nil
 }
 
 // Next returns the next stable assignment; ok is false once the matching is
@@ -545,19 +629,20 @@ func (m *Matcher) Stats() Stats {
 // struct; the single place where the two vocabularies meet.
 func statsFromCounters(c *stats.Counters, elapsed time.Duration) Stats {
 	return Stats{
-		IOAccesses:     c.IOAccesses(),
-		PageReads:      c.PageReads,
-		PageWrites:     c.PageWrites,
-		BufferHits:     c.BufferHits,
-		Top1Searches:   c.Top1Searches,
-		NodesVisited:   c.NodesVisited,
-		TAListAccesses: c.TAListAccesses,
-		SkylineUpdates: c.SkylineUpdates,
-		SkylineMax:     c.SkylineMaxSize,
-		Loops:          c.Loops,
-		Pairs:          c.PairsEmitted,
-		ShardsPruned:   c.ShardsPruned,
-		Elapsed:        elapsed,
+		IOAccesses:        c.IOAccesses(),
+		PageReads:         c.PageReads,
+		PageWrites:        c.PageWrites,
+		BufferHits:        c.BufferHits,
+		Top1Searches:      c.Top1Searches,
+		NodesVisited:      c.NodesVisited,
+		TAListAccesses:    c.TAListAccesses,
+		SkylineUpdates:    c.SkylineUpdates,
+		SkylineMax:        c.SkylineMaxSize,
+		Loops:             c.Loops,
+		Pairs:             c.PairsEmitted,
+		ShardsPruned:      c.ShardsPruned,
+		DeltaNodesVisited: c.DeltaNodesVisited,
+		Elapsed:           elapsed,
 	}
 }
 

@@ -21,31 +21,47 @@ import (
 // (Match, MatchMany), per-user top-k queries (TopK, TopKMany,
 // TopKMonotone) and skyline computations.
 //
-// A Server always runs on the Memory backend family — the only backends
-// whose node reads are free of side effects — and hands every request a
+// A Server runs on the Memory backend family — the only backends whose
+// node reads are free of side effects — and hands every request a
 // read-only snapshot of the index with its own work counters, so requests
 // never synchronise with each other on the hot path. The only shared write
 // is the merge of each request's counters into the server totals (Stats)
 // after the request completes. All methods are safe for concurrent use.
 //
+// With Options.Backend set to Dynamic, the inventory is no longer
+// slow-changing: Insert, Update and Remove mutate the live index while
+// requests keep serving. Each write lands in a delta R-tree write tier and
+// publishes a new epoch; each request re-pins the latest epoch when it
+// starts and reads it consistently to completion, while a background merge
+// (Options.MergeThreshold, Options.MergeInterval, or manual Compact)
+// re-packs the write tier into a fresh base arena. Reads stay
+// allocation-free throughout. On every other backend the write methods
+// return an error wrapping index.ErrReadOnly.
+//
 // With Options.Shards set, the server runs on the sharded composite over
-// memory shards: skyline requests traverse a composite snapshot, top-k
-// requests fan ranked search across per-shard snapshot workers and merge,
-// and matching waves run shard-parallel through sharded.MatchWave — the SB
-// loop at the merge point, per-shard skylines computed and maintained
-// concurrently — with results bit-identical to the single-index wave.
-// Shards whose bounding box cannot contribute are skipped
-// (Stats.ShardsPruned counts them).
+// memory (or dynamic) shards: skyline requests traverse a composite
+// snapshot, top-k requests fan ranked search across per-shard snapshot
+// workers and merge, and matching waves run shard-parallel through
+// sharded.MatchWave — the SB loop at the merge point, per-shard skylines
+// computed and maintained concurrently — with results bit-identical to the
+// single-index wave. Shards whose bounding box cannot contribute are
+// skipped (Stats.ShardsPruned counts them). Over dynamic shards, writes are
+// routed by the partitioner and each shard rotates epochs independently.
 //
 // Matching waves are restricted to the skyline-based algorithm, which never
 // mutates the object index; requesting BruteForce or Chain returns an
 // error, as does deleting from a snapshot (index.ErrReadOnly) if an
 // internal invariant ever let one through.
 type Server struct {
-	ix         servingIndex
-	sh         *sharded.Index // non-nil for a sharded index: enables the per-shard ranked fan-out
-	capacities map[index.ObjID]int
-	scratch    sync.Pool // *serveScratch: pooled per-request plumbing
+	ix      servingIndex
+	sh      *sharded.Index // non-nil for a sharded index: enables the per-shard ranked fan-out
+	scratch sync.Pool      // *serveScratch: pooled per-request plumbing
+
+	// capacities is the capacity map in effect for new requests, replaced
+	// copy-on-write by the write path (Insert/Update/Remove) so in-flight
+	// requests keep the map they started with and never race the writer.
+	capacities atomic.Pointer[map[index.ObjID]int]
+	wmu        sync.Mutex // serialises Insert/Update/Remove/Compact
 
 	mu      sync.Mutex
 	agg     stats.Counters
@@ -53,26 +69,42 @@ type Server struct {
 	served  int64
 }
 
+// caps returns the capacity map in effect for a request starting now (nil
+// when every object has the default capacity 1).
+func (s *Server) caps() map[index.ObjID]int {
+	if m := s.capacities.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
 // serveScratch is the per-request plumbing a read-only request needs — a
 // snapshot wired to a private counter sink, plus the batched path's reusable
 // buffers — pooled so a steady-state request allocates nothing. Reusing a
-// snapshot across requests is sound because of the Snapshotter freeze
-// contract: the index never mutates while the server is in use, so a
-// snapshot taken once stays valid forever; only its counter sink (reset on
-// acquire) carries per-request state.
+// snapshot across requests is sound on every serving backend, each by its
+// own mutation story: mem views stay valid forever under the freeze
+// contract (the index never mutates while the server is in use), while
+// dynamic and sharded-over-dynamic views pin an epoch — refresh (reset on
+// acquire, allocation-free) re-pins the latest one, and the request then
+// reads that epoch consistently no matter how the writers and background
+// merges rotate underneath it.
 type serveScratch struct {
-	snap   index.ObjectIndex
-	c      stats.Counters
-	arena  vec.Point          // normalised query weights, appended per batch
-	fnvals []prefs.Function   // batch functions, weights aliasing arena
-	fns    []prefs.Preference // *Function views of fnvals (pointer boxing is allocation-free)
-	ks     []int
-	rbuf   []topk.Result
+	snap    index.ObjectIndex
+	refresh func() // re-pins the latest epoch; nil on non-rotating backends
+	c       stats.Counters
+	arena   vec.Point          // normalised query weights, appended per batch
+	fnvals  []prefs.Function   // batch functions, weights aliasing arena
+	fns     []prefs.Preference // *Function views of fnvals (pointer boxing is allocation-free)
+	ks      []int
+	rbuf    []topk.Result
 }
 
 func (s *Server) acquireScratch() *serveScratch {
 	sc := s.scratch.Get().(*serveScratch)
 	sc.c = stats.Counters{}
+	if sc.refresh != nil {
+		sc.refresh()
+	}
 	return sc
 }
 
@@ -106,10 +138,12 @@ func asServing(ix index.ObjectIndex) (servingIndex, error) {
 
 // NewServer validates and indexes the objects for concurrent serving.
 // Options may be nil. PageSize sets the node fan-outs and Shards/ShardBy
-// select the sharded composite over memory shards; the storage fields
-// Backend, BufferFraction and BufferPages are ignored, because a Server is
-// by definition the Memory backend family (the only one whose reads are
-// pure). The algorithm-related fields are taken per Match call instead.
+// select the sharded composite; Backend Dynamic (with its
+// MergeThreshold/MergeInterval knobs) builds a live-mutable server, any
+// other Backend is coerced to Memory, because a Server needs side-effect-free
+// reads (the paged LRU buffer disqualifies itself). BufferFraction and
+// BufferPages are ignored. The algorithm-related fields are taken per Match
+// call instead.
 func NewServer(objects []Object, opts *Options) (*Server, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -122,7 +156,9 @@ func NewServer(objects []Object, opts *Options) (*Server, error) {
 		return nil, err
 	}
 	sopts := *opts
-	sopts.Backend = Memory
+	if sopts.Backend != Dynamic {
+		sopts.Backend = Memory
+	}
 	ix, _, err := buildIndex(items, d, &sopts)
 	if err != nil {
 		return nil, err
@@ -145,16 +181,164 @@ func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int) (*Server, e
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ix: serving, capacities: capacities}
+	s := &Server{ix: serving}
+	if capacities != nil {
+		s.capacities.Store(&capacities)
+	}
 	if sh, ok := ix.(*sharded.Index); ok {
 		s.sh = sh
 	}
 	s.scratch.New = func() any {
 		sc := &serveScratch{snap: s.ix.Snapshot()}
+		if r, ok := sc.snap.(interface{ Refresh() }); ok {
+			sc.refresh = r.Refresh
+		}
 		sc.snap.SetCounters(&sc.c)
 		return sc
 	}
 	return s, nil
+}
+
+// mutable returns the serving index's write surface, or an error wrapping
+// index.ErrReadOnly when the server was built on a static backend.
+func (s *Server) mutable() (index.MutableIndex, error) {
+	err := index.ReadOnlyError("this server's static backend (build the server with Options{Backend: Dynamic} for live writes)")
+	m, ok := s.ix.(index.MutableIndex)
+	if !ok {
+		return nil, err
+	}
+	if p, ok := s.ix.(interface{ CanMutate() bool }); ok && !p.CanMutate() {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validateObject is the write-path counterpart of convertObjects' per-object
+// checks, returning the converted ID and a cloned point.
+func (s *Server) validateObject(obj Object) (index.ObjID, vec.Point, error) {
+	if len(obj.Values) != s.ix.Dim() {
+		return 0, nil, fmt.Errorf("prefmatch: object %d has %d attributes, want %d", obj.ID, len(obj.Values), s.ix.Dim())
+	}
+	if obj.ID < 0 || int64(obj.ID) > 1<<31-1 {
+		return 0, nil, fmt.Errorf("prefmatch: object ID %d out of range", obj.ID)
+	}
+	if obj.Capacity < 0 {
+		return 0, nil, fmt.Errorf("prefmatch: object %d has negative capacity %d", obj.ID, obj.Capacity)
+	}
+	return index.ObjID(obj.ID), vec.Point(obj.Values).Clone(), nil
+}
+
+// setCapacityLocked records obj's capacity (0 and 1 both mean the default
+// single unit) by replacing the capacity map copy-on-write, so requests
+// that already hold the old map are unaffected. Callers hold wmu.
+func (s *Server) setCapacityLocked(id index.ObjID, capacity int) {
+	cur := s.caps()
+	_, present := cur[id]
+	if capacity <= 1 && !present {
+		return
+	}
+	next := make(map[index.ObjID]int, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	if capacity > 1 {
+		next[id] = capacity
+	} else {
+		delete(next, id)
+	}
+	s.capacities.Store(&next)
+}
+
+// Insert adds one object to the live index while serving continues: the
+// write lands in the backend's delta tier and publishes a new epoch, so
+// in-flight requests keep the epoch they pinned and new requests see the
+// object. Requires the Dynamic backend (sharded or not); static servers
+// return an error wrapping index.ErrReadOnly. Safe for concurrent use with
+// all read methods and other writes.
+func (s *Server) Insert(obj Object) error {
+	m, err := s.mutable()
+	if err != nil {
+		return err
+	}
+	id, pt, err := s.validateObject(obj)
+	if err != nil {
+		return err
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := m.Insert(id, pt); err != nil {
+		return err
+	}
+	s.setCapacityLocked(id, obj.Capacity)
+	return nil
+}
+
+// Update moves an already-indexed object to new attribute values (and
+// capacity) as one atomic step: no request observes the object absent.
+// Returns index.ErrNotFound when the object is not indexed. Requires the
+// Dynamic backend, like Insert.
+func (s *Server) Update(obj Object) error {
+	m, err := s.mutable()
+	if err != nil {
+		return err
+	}
+	id, pt, err := s.validateObject(obj)
+	if err != nil {
+		return err
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := m.Update(id, pt); err != nil {
+		return err
+	}
+	s.setCapacityLocked(id, obj.Capacity)
+	return nil
+}
+
+// Remove deletes one object from the live index by ID. Returns
+// index.ErrNotFound when the object is not indexed. Requires the Dynamic
+// backend, like Insert.
+func (s *Server) Remove(id int) error {
+	m, err := s.mutable()
+	if err != nil {
+		return err
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	p, ok := s.ix.(interface {
+		PointOf(index.ObjID) (vec.Point, bool)
+	})
+	if !ok {
+		return fmt.Errorf("prefmatch: %T accepts writes but cannot resolve objects by ID", s.ix)
+	}
+	pt, found := p.PointOf(index.ObjID(id))
+	if !found {
+		return index.ErrNotFound
+	}
+	if err := m.Delete(index.ObjID(id), pt); err != nil {
+		return err
+	}
+	s.setCapacityLocked(index.ObjID(id), 0)
+	return nil
+}
+
+// Compact forces a synchronous write-tier merge: the delta and tombstones
+// are re-packed into a fresh base arena and published as a new epoch (per
+// shard, on a sharded server). The third merge-policy lever next to
+// Options.MergeThreshold and Options.MergeInterval — call it before a read
+// burst or after bulk writes. Requires the Dynamic backend, like Insert.
+func (s *Server) Compact() error {
+	if _, err := s.mutable(); err != nil {
+		return err
+	}
+	c, ok := s.ix.(interface{ Compact() })
+	if !ok {
+		return fmt.Errorf("prefmatch: %T accepts writes but has no write tier to compact", s.ix)
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	c.Compact()
+	return nil
 }
 
 // Len returns the number of indexed objects.
@@ -182,11 +366,22 @@ func (s *Server) recordN(c *stats.Counters, elapsed time.Duration, n int) {
 // Stats returns the cumulative work of every request served so far, merged
 // from the per-request counters. Elapsed is the sum of per-request wall
 // clock, not the server's lifetime — with W workers it can exceed real time
-// by up to a factor of W.
+// by up to a factor of W. On the Dynamic backend the Epoch, DeltaSize and
+// MergesCompleted gauges report the live index's state as of this call.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return statsFromCounters(&s.agg, s.elapsed)
+	out := statsFromCounters(&s.agg, s.elapsed)
+	s.mu.Unlock()
+	if e, ok := s.ix.(interface{ Epoch() uint64 }); ok {
+		out.Epoch = e.Epoch()
+	}
+	if d, ok := s.ix.(interface{ DeltaSize() int }); ok {
+		out.DeltaSize = int64(d.DeltaSize())
+	}
+	if m, ok := s.ix.(interface{ MergesCompleted() int64 }); ok {
+		out.MergesCompleted = m.MergesCompleted()
+	}
+	return out
 }
 
 // Served returns the number of requests completed so far.
@@ -215,7 +410,7 @@ func (s *Server) match(queries []Query, opts *Options, shardWorkers int) (*Resul
 	if s.sh != nil {
 		return s.matchSharded(queries, opts, shardWorkers)
 	}
-	res, c, err := matchWave(s.ix.Snapshot(), s.capacities, queries, opts)
+	res, c, err := matchWave(s.ix.Snapshot(), s.caps(), queries, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +427,7 @@ func (s *Server) matchSharded(queries []Query, opts *Options, shardWorkers int) 
 	if err != nil {
 		return nil, err
 	}
-	copts.Capacities = s.capacities
+	copts.Capacities = s.caps()
 	c := &stats.Counters{}
 	var timer stats.Timer
 	timer.Start()
