@@ -1,0 +1,106 @@
+package prefmatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// adminState is a Server's running admin HTTP listener.
+type adminState struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin HTTP server on addr and returns the bound
+// address (useful with ":0"). The endpoints:
+//
+//	/metrics      Prometheus text exposition of the full metric surface
+//	/statsz       the same surface as JSON, plus the cumulative Stats blob
+//	/healthz      liveness: 200 "ok" while the server can read its index
+//	/debug/pprof  the standard Go profiling handlers
+//
+// The admin server runs on its own goroutine and shares nothing with the
+// serving hot path but the atomics the scrape reads. At most one admin
+// server per Server; Close stops it. Usually wired via Options.AdminAddr
+// rather than called directly.
+func (s *Server) ServeAdmin(addr string) (string, error) {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.admin != nil {
+		return "", fmt.Errorf("prefmatch: admin server already running on %s", s.admin.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("prefmatch: admin listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeStatsz(w, s)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness is "the index answers": the root must be resolvable.
+		// Everything beyond that (staleness, skew) is a dashboard's call,
+		// from /metrics — a health check must not flap on soft signals.
+		if s.Len() > 0 {
+			if _, err := s.ix.ReadNode(s.ix.RootPage()); err != nil {
+				http.Error(w, "index unreadable: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.admin = &adminState{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// writeStatsz renders /statsz: the cumulative Stats projection (the paper's
+// vocabulary) next to the full metric surface (the serving vocabulary).
+func writeStatsz(w http.ResponseWriter, s *Server) {
+	stats := s.Stats()
+	fmt.Fprintf(w, "{\"served\":%d,\"stats\":", s.Served())
+	enc := json.NewEncoder(w)
+	enc.Encode(stats)
+	fmt.Fprint(w, ",\"metrics\":")
+	s.WriteStatsJSON(w)
+	fmt.Fprint(w, "}")
+}
+
+// AdminAddr returns the admin server's bound address, or "" when none is
+// running.
+func (s *Server) AdminAddr() string {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.admin == nil {
+		return ""
+	}
+	return s.admin.ln.Addr().String()
+}
+
+// Close stops the admin HTTP server, if one is running. The Server itself
+// keeps serving — it holds no other external resources.
+func (s *Server) Close() error {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.admin == nil {
+		return nil
+	}
+	err := s.admin.srv.Close()
+	s.admin = nil
+	return err
+}

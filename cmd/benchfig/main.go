@@ -50,6 +50,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -134,6 +135,7 @@ func main() {
 	check := flag.Bool("check", false, "with -alloc: exit non-zero if a pooled steady-state path reports > 0 allocs/op (the CI regression gate)")
 	churn := flag.Bool("churn", false, "run the live-mutation experiment: read qps and p50/p99 under mixed read/write workloads on the dynamic backend")
 	churnOps := flag.Int("churnops", 30000, "with -churn: operations per configuration (the CI smoke uses a small count)")
+	admin := flag.String("admin", "", "with -serve or -churn: expose the admin endpoints (/metrics, /statsz, /healthz, /debug/pprof) on this address while the experiment runs")
 	seed := flag.Int64("seed", 2009, "dataset seed")
 	flag.Parse()
 
@@ -145,7 +147,7 @@ func main() {
 	}
 
 	if *serve {
-		runServing(sc, *seed)
+		runServing(sc, *seed, *admin)
 		return
 	}
 	if *shardedExp {
@@ -161,7 +163,7 @@ func main() {
 		return
 	}
 	if *churn {
-		runChurn(sc, *seed, *churnOps)
+		runChurn(sc, *seed, *churnOps, *admin)
 		return
 	}
 
@@ -240,7 +242,7 @@ func main() {
 // goroutines, with a single-threaded paged run as the baseline. SB never
 // mutates the object index, so every worker traverses a read-only snapshot
 // of the same tree.
-func runServing(sc scale, seed int64) {
+func runServing(sc scale, seed int64, adminAddr string) {
 	const d = 4
 	nObjects := sc.objectsFig2
 	nQueries := 4 * sc.functions
@@ -258,6 +260,14 @@ func runServing(sc scale, seed int64) {
 	srv, err := prefmatch.NewServer(objects, nil)
 	if err != nil {
 		panic(err)
+	}
+	if adminAddr != "" {
+		bound, err := srv.ServeAdmin(adminAddr)
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		fmt.Printf("benchfig: admin endpoints on http://%s\n", bound)
 	}
 
 	fmt.Printf("benchfig: serving throughput — |O| = %d, |Q| = %d, D = %d (bench trajectory: %s)\n", nObjects, nQueries, d, benchSnapshot)
@@ -444,6 +454,16 @@ func runAlloc(sc scale, seed int64, check bool) {
 	if err != nil {
 		panic(err)
 	}
+	// Slow-query detection armed but never firing: the per-request threshold
+	// comparison sits on the hot path and must cost nothing; only an actual
+	// slow query pays for the formatted log line.
+	slowSrv, err := prefmatch.NewServer(objects, &prefmatch.Options{
+		SlowQueryThreshold: time.Hour,
+		SlowQueryLog:       io.Discard,
+	})
+	if err != nil {
+		panic(err)
+	}
 
 	// Dynamic-backend rows: the same pooled paths over a write tier holding
 	// 512 live updates (tombstones + delta inserts). Size-triggered merges
@@ -534,6 +554,20 @@ func runAlloc(sc scale, seed int64, check bool) {
 				}
 			}
 		}},
+		{fmt.Sprintf("Server.TopKManyAppend q=8 k=%d (slowlog armed)", k), true, func(b *testing.B) {
+			var (
+				dst     []prefmatch.Assignment
+				offsets []int
+			)
+			batchQs := queries[:8]
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, offsets, err = slowSrv.TopKManyAppend(dst[:0], offsets[:0], batchQs, k)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
 		{fmt.Sprintf("Server.TopK k=%d", k), false, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
@@ -577,11 +611,15 @@ func runAlloc(sc scale, seed int64, check bool) {
 // operations against one server, each either a top-k read or (with
 // probability writeRate) an in-place Update — a tombstone plus a delta
 // insert through the dynamic write tier, with background merges rotating
-// epochs whenever the tier crosses the threshold. Read latencies are
-// recorded individually for the percentiles; reads/s divides completed
-// reads by the whole mixed run's wall clock, so write and merge overhead
-// is charged to the read throughput exactly as a caller would see it.
-func runChurn(sc scale, seed int64, ops int) {
+// epochs whenever the tier crosses the threshold. The p50/p99 columns come
+// from the server's own latency histograms (Server.LatencyQuantile), so the
+// bench reports exactly what /metrics exports — one measurement path, not a
+// private one that can drift. The log-scale buckets quantise upward by at
+// most 25%, which is noise at the scale of the claims under test. reads/s
+// divides completed reads by the whole mixed run's wall clock, so write and
+// merge overhead is charged to the read throughput exactly as a caller
+// would see it.
+func runChurn(sc scale, seed int64, ops int, adminAddr string) {
 	const (
 		d = 4
 		k = 10
@@ -609,7 +647,18 @@ func runChurn(sc scale, seed int64, ops int) {
 		// the value slice so the shared base object set stays pristine.
 		objects := append([]prefmatch.Object(nil), baseObjects...)
 		rng := rand.New(rand.NewSource(seed + 7))
-		lat := make([]time.Duration, 0, ops)
+		if adminAddr != "" {
+			// One admin listener at a time: each configuration serves the
+			// endpoints for its own run and releases the port before the
+			// next server binds it.
+			bound, err := srv.ServeAdmin(adminAddr)
+			if err != nil {
+				panic(err)
+			}
+			defer srv.Close()
+			fmt.Printf("  [%s admin on http://%s]\n", name, bound)
+		}
+		reads := 0
 		writes := 0
 		start := time.Now()
 		for i := 0; i < ops; i++ {
@@ -626,19 +675,21 @@ func runChurn(sc scale, seed int64, ops int) {
 				writes++
 				continue
 			}
-			t0 := time.Now()
 			if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
 				panic(err)
 			}
-			lat = append(lat, time.Since(t0))
+			reads++
 		}
 		el := time.Since(start)
-		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-		qps := float64(len(lat)) / el.Seconds()
+		p50, ok50 := srv.LatencyQuantile("topk", 0.50)
+		p99, ok99 := srv.LatencyQuantile("topk", 0.99)
+		if !ok50 || !ok99 {
+			panic("churn run recorded no topk latencies")
+		}
+		qps := float64(reads) / el.Seconds()
 		fmt.Printf("%-18s %8.0f %10d %12.0f %10v %10v %8d %8d\n",
-			name, writeRate*100, len(lat), qps,
-			lat[len(lat)/2].Round(time.Microsecond),
-			lat[(len(lat)-1)*99/100].Round(time.Microsecond),
+			name, writeRate*100, reads, qps,
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond),
 			writes, srv.Stats().MergesCompleted)
 		return qps
 	}

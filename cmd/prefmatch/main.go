@@ -7,6 +7,15 @@
 //	prefmatch match -objects objects.csv -queries queries.csv -backend memory -out pairs.csv
 //	prefmatch topk -objects objects.csv -queries queries.csv -k 5 -parallel 8 -out top.csv
 //	prefmatch verify -objects objects.csv -queries queries.csv -pairs pairs.csv
+//	prefmatch serve -n 20000 -admin 127.0.0.1:8080 -duration 30s
+//
+// The serve subcommand runs a long-lived server under a built-in synthetic
+// load loop and exposes the observability surface over HTTP: /metrics
+// (Prometheus text), /statsz (JSON), /healthz, and /debug/pprof. It is the
+// operational smoke test for the metrics pipeline — point a browser or
+// curl at the admin address while it runs. -write-rate mixes live Updates
+// into the load (requires -backend dyn), -slow arms the slow-query log,
+// and -duration bounds the run (0 serves until interrupted).
 //
 // The match subcommand runs on the paged backend by default (the paper's
 // disk simulation, whose stderr stats report I/O accesses); -backend memory
@@ -38,8 +47,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"prefmatch"
@@ -62,6 +74,8 @@ func main() {
 		err = cmdMatch(os.Args[2:])
 	case "topk":
 		err = cmdTopK(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -85,6 +99,7 @@ subcommands:
   genqueries  generate linear preference queries
   match       compute the stable matching between objects and queries
   topk        answer each query's top-k independently over one shared index
+  serve       run a server under synthetic load with the admin HTTP endpoints
   verify      check that a pairs file is the stable matching
   help        show this message`)
 }
@@ -304,6 +319,128 @@ func cmdTopK(args []string) error {
 		len(queries), *k, workers, *shards, elapsed, float64(len(queries))/elapsed.Seconds(),
 		srv.Stats().ShardsPruned)
 	return nil
+}
+
+// cmdServe runs a Server under a built-in synthetic load loop with the
+// admin HTTP endpoints up, so the whole observability surface — latency
+// histograms, work counters, dynamic-tier gauges, slow-query log — can be
+// scraped live. This is what the CI smoke step drives.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	objPath := fs.String("objects", "", "objects CSV (default: generate -n independent objects)")
+	n := fs.Int("n", 20000, "generated object count when -objects is not given")
+	d := fs.Int("d", 4, "generated dimensionality when -objects is not given")
+	seed := fs.Int64("seed", 1, "random seed for generated data and load")
+	k := fs.Int("k", 10, "results per query in the load loop")
+	backend := fs.String("backend", "memory", "memory | dyn (live-mutable delta tier)")
+	shards := fs.Int("shards", 0, "shard the index across N sub-indexes (0 = single index)")
+	shardBy := fs.String("shard-by", "spatial", "spatial | hash | rr (partitioner when -shards > 0)")
+	adminAddr := fs.String("admin", "127.0.0.1:8080", "admin HTTP address (/metrics, /statsz, /healthz, /debug/pprof)")
+	duration := fs.Duration("duration", 0, "how long to serve (0 = until interrupted)")
+	writeRate := fs.Float64("write-rate", 0, "fraction of load operations that are live Updates (requires -backend dyn)")
+	slow := fs.Duration("slow", 0, "slow-query threshold: matching requests dump a stage breakdown to stderr (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		objects []prefmatch.Object
+		err     error
+	)
+	if *objPath != "" {
+		if objects, err = readObjects(*objPath); err != nil {
+			return err
+		}
+	} else {
+		for _, it := range dataset.Independent(*n, *d, *seed) {
+			objects = append(objects, prefmatch.Object{ID: int(it.ID), Values: it.Point})
+		}
+	}
+	if len(objects) == 0 {
+		return fmt.Errorf("serve: no objects")
+	}
+	dim := len(objects[0].Values)
+
+	opts := &prefmatch.Options{Shards: *shards, AdminAddr: *adminAddr}
+	switch *backend {
+	case "memory", "mem":
+		opts.Backend = prefmatch.Memory
+	case "dyn", "dynamic":
+		opts.Backend = prefmatch.Dynamic
+	default:
+		return fmt.Errorf("serve: unknown backend %q", *backend)
+	}
+	if *writeRate > 0 && opts.Backend != prefmatch.Dynamic {
+		return fmt.Errorf("serve: -write-rate requires -backend dyn")
+	}
+	if opts.ShardBy, err = parseShardBy(*shardBy); err != nil {
+		return err
+	}
+	if *slow > 0 {
+		opts.SlowQueryThreshold = *slow
+		opts.SlowQueryLog = os.Stderr
+	}
+	srv, err := prefmatch.NewServer(objects, opts)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serving %d objects (D=%d, backend=%s) — admin on http://%s\n",
+		len(objects), dim, *backend, srv.AdminAddr())
+
+	var queries []prefmatch.Query
+	for _, f := range dataset.Functions(1024, dim, *seed+1) {
+		queries = append(queries, prefmatch.Query{ID: f.ID, Weights: f.Weights})
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if *duration > 0 {
+			select {
+			case <-time.After(*duration):
+			case <-sig:
+			}
+		} else {
+			<-sig
+		}
+		close(stop)
+	}()
+
+	rng := rand.New(rand.NewSource(*seed + 7))
+	report := func() {
+		p50, _ := srv.LatencyQuantile("topk", 0.50)
+		p99, _ := srv.LatencyQuantile("topk", 0.99)
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "served=%d p50=%v p99=%v epoch=%d delta=%d merges=%d\n",
+			srv.Served(), p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			st.Epoch, st.DeltaSize, st.MergesCompleted)
+	}
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			report()
+			return nil
+		case <-ticker.C:
+			report()
+		default:
+		}
+		if *writeRate > 0 && rng.Float64() < *writeRate {
+			obj := objects[rng.Intn(len(objects))]
+			vals := append([]float64(nil), obj.Values...)
+			vals[i%dim] = rng.Float64()
+			obj.Values = vals
+			if err := srv.Update(obj); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := srv.TopK(queries[i%len(queries)], *k); err != nil {
+			return err
+		}
+	}
 }
 
 // parseShardBy maps the -shard-by flag to the public selector.

@@ -46,6 +46,7 @@ import (
 
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
+	"prefmatch/internal/obs"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/vec"
 )
@@ -135,6 +136,14 @@ type Index struct {
 
 	merges atomic.Int64
 	c      *stats.Counters
+
+	// lastRotate is the wall clock (unix nanoseconds) of the last epoch
+	// rotation; EpochAge reads it at scrape time without taking mu.
+	lastRotate atomic.Int64
+	// mm, when set, receives merge duration/pause observations. Behind an
+	// atomic pointer so the serving layer can attach it after construction
+	// while background merges may already be running.
+	mm atomic.Pointer[obs.MergeMetrics]
 }
 
 var (
@@ -189,6 +198,7 @@ func New(dim int, opts *Options) (*Index, error) {
 	st := &epochState{base: base, delta: emptyDelta()}
 	st.buildRoot(dim)
 	ix.state.Store(st)
+	ix.lastRotate.Store(time.Now().UnixNano())
 	return ix, nil
 }
 
@@ -318,6 +328,22 @@ func (ix *Index) DeltaSize() int {
 // MergesCompleted returns the number of merges that have published.
 func (ix *Index) MergesCompleted() int64 { return ix.merges.Load() }
 
+// Tombstones returns the current epoch's base-tier tombstone count — the
+// masked-out component of DeltaSize.
+func (ix *Index) Tombstones() int { return ix.state.Load().tombs }
+
+// EpochAge returns how long ago the current epoch was published. A large
+// age with a non-empty write tier means the merge policy is not keeping up
+// (or is disabled) — the staleness signal the serving layer exports.
+func (ix *Index) EpochAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - ix.lastRotate.Load())
+}
+
+// SetMergeMetrics attaches sinks for merge duration/pause observations.
+// Safe to call at any time, including while a merge is in flight (that
+// merge records into whichever sink it loads at publish time). nil detaches.
+func (ix *Index) SetMergeMetrics(mm *obs.MergeMetrics) { ix.mm.Store(mm) }
+
 // Items returns all live items of the current epoch (test helper).
 func (ix *Index) Items() []index.Item { return ix.state.Load().items() }
 
@@ -394,6 +420,7 @@ func (ix *Index) Delete(id index.ObjID, p vec.Point) error {
 // flight, and checks the merge policy. Callers hold mu.
 func (ix *Index) publishLocked(st *epochState, op mutOp) {
 	ix.state.Store(st)
+	ix.lastRotate.Store(time.Now().UnixNano())
 	if ix.merging {
 		ix.pending = append(ix.pending, op)
 	}
@@ -552,6 +579,7 @@ func (ix *Index) Compact() {
 // location map, and rotates to an epoch one past the live one. Pinned
 // readers keep traversing their epochs; nothing they can reach is touched.
 func (ix *Index) runMerge(st0 *epochState) {
+	mergeStart := time.Now()
 	ix.hook("start")
 	items := st0.items()
 	base, err := mem.Build(ix.dim, items, &mem.Options{PageSize: ix.pageSize, Counters: &stats.Counters{}})
@@ -569,6 +597,7 @@ func (ix *Index) runMerge(st0 *epochState) {
 	merged.buildRoot(ix.dim)
 	ix.hook("built")
 
+	pauseStart := time.Now()
 	ix.mu.Lock()
 	for _, op := range ix.pending {
 		merged = ix.replayLocked(merged, loc, op)
@@ -580,6 +609,7 @@ func (ix *Index) runMerge(st0 *epochState) {
 	}
 	merged.epoch = live.epoch + 1
 	ix.state.Store(merged)
+	ix.lastRotate.Store(time.Now().UnixNano())
 	ix.loc = loc
 	ix.pending = nil
 	ix.lastMerge = time.Now()
@@ -587,6 +617,13 @@ func (ix *Index) runMerge(st0 *epochState) {
 	ix.merging = false
 	ix.cond.Broadcast()
 	ix.mu.Unlock()
+	if mm := ix.mm.Load(); mm != nil {
+		// Pause is the writer-visible stall: replay plus publish under mu.
+		// Duration is the merge's full wall clock including the off-lock
+		// STR re-pack.
+		mm.Pause.ObserveDuration(time.Since(pauseStart))
+		mm.Duration.ObserveDuration(time.Since(mergeStart))
+	}
 	ix.hook("published")
 }
 

@@ -54,9 +54,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
+	"prefmatch/internal/obs"
 	"prefmatch/internal/pqueue"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/stats"
@@ -189,6 +192,30 @@ type Index struct {
 	entries []rootEntry         // synthetic-root entries, non-empty shards in shard order
 	byID    map[index.ObjID]int // object -> shard, for write routing
 	size    int
+
+	// loads is per-shard fan-out accounting (atomic, recorded by the ranked
+	// fan-outs without touching mu) — the skew signal the serving layer
+	// exports per shard.
+	loads []shardLoad
+}
+
+// shardLoad is one shard's live fan-out accounting.
+type shardLoad struct {
+	queries atomic.Int64 // fan-outs that actually searched this shard
+	pruned  atomic.Int64 // fan-outs that skipped it on the MBR bound
+	nanos   atomic.Int64 // cumulative busy wall clock of those searches
+}
+
+// ShardLoad is a point-in-time copy of one shard's fan-out accounting.
+// Queries counts ranked fan-outs (SearchTopK / SearchTopKBatch) that
+// actually searched the shard, Pruned those that skipped it whole on its
+// MBR upper bound, and Busy the cumulative wall clock of the searches. A
+// shard whose Queries run far above the mean is hot — the re-partitioning
+// signal; one that is all Pruned is carrying dead space.
+type ShardLoad struct {
+	Queries int64
+	Pruned  int64
+	Busy    time.Duration
 }
 
 var (
@@ -245,6 +272,7 @@ func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
 		canSnap: true,
 		canMut:  true,
 		part:    o.Partitioner.Name(),
+		loads:   make([]shardLoad, o.Shards),
 	}
 	for s, g := range groups {
 		shard, err := o.BuildShard(dim, g)
@@ -589,6 +617,88 @@ func (ix *Index) Compact() {
 	}
 }
 
+// Tombstones sums the shards' base-tier tombstone counts (zero over
+// non-dynamic shards).
+func (ix *Index) Tombstones() int {
+	total := 0
+	for _, s := range ix.shards {
+		if t, ok := s.(interface{ Tombstones() int }); ok {
+			total += t.Tombstones()
+		}
+	}
+	return total
+}
+
+// EpochAge returns the age of the *oldest* shard epoch — the staleness of
+// the composite is bounded by its most stale shard. Zero over non-rotating
+// shards.
+func (ix *Index) EpochAge() time.Duration {
+	var oldest time.Duration
+	for _, s := range ix.shards {
+		if e, ok := s.(interface{ EpochAge() time.Duration }); ok {
+			if age := e.EpochAge(); age > oldest {
+				oldest = age
+			}
+		}
+	}
+	return oldest
+}
+
+// SetMergeMetrics forwards the merge sinks to every shard that rotates:
+// all shards observe into the same histograms, which is exactly the
+// roll-up (histogram merging is associative and the shards' merges are
+// independent events on one serving index).
+func (ix *Index) SetMergeMetrics(mm *obs.MergeMetrics) {
+	for _, s := range ix.shards {
+		if m, ok := s.(interface{ SetMergeMetrics(*obs.MergeMetrics) }); ok {
+			m.SetMergeMetrics(mm)
+		}
+	}
+}
+
+// ShardLoads appends a copy of every shard's fan-out accounting to dst, in
+// shard order.
+func (ix *Index) ShardLoads(dst []ShardLoad) []ShardLoad {
+	for i := range ix.loads {
+		l := &ix.loads[i]
+		dst = append(dst, ShardLoad{
+			Queries: l.queries.Load(),
+			Pruned:  l.pruned.Load(),
+			Busy:    time.Duration(l.nanos.Load()),
+		})
+	}
+	return dst
+}
+
+// ShardLoadAt returns shard i's fan-out accounting.
+func (ix *Index) ShardLoadAt(i int) ShardLoad {
+	l := &ix.loads[i]
+	return ShardLoad{
+		Queries: l.queries.Load(),
+		Pruned:  l.pruned.Load(),
+		Busy:    time.Duration(l.nanos.Load()),
+	}
+}
+
+// QuerySkew reports max/mean over the shards' query counts — 1.0 is a
+// perfectly balanced fan-out, rising values mean pruning (or routing) is
+// concentrating work on few shards. Returns 0 before any fan-out ran.
+func (ix *Index) QuerySkew() float64 {
+	var total, max int64
+	for i := range ix.loads {
+		q := ix.loads[i].queries.Load()
+		total += q
+		if q > max {
+			max = q
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(ix.loads))
+	return float64(max) / mean
+}
+
 // route picks the shard for a live insert via the partitioner's routing
 // rule. Callers hold mu.
 func (ix *Index) route(id index.ObjID, p vec.Point) int {
@@ -925,8 +1035,13 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		mu.Unlock()
 		if full && jobs[j].bound < worst.Score {
 			sink.ShardsPruned++
+			ix.loads[jobs[j].shard].pruned.Add(1)
 			return nil
 		}
+		load := &ix.loads[jobs[j].shard]
+		load.queries.Add(1)
+		searchStart := time.Now()
+		defer func() { load.nanos.Add(int64(time.Since(searchStart))) }()
 		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
 		snap.SetCounters(sink)
 		search := topk.AcquireSearcher(snap, pref, sink)
@@ -1070,8 +1185,13 @@ func (ix *Index) SearchTopKBatch(fns []prefs.Preference, k, workers int, c *stat
 		mu.Unlock()
 		if len(sub) == 0 {
 			sink.ShardsPruned++
+			ix.loads[jobs[j].shard].pruned.Add(1)
 			return nil
 		}
+		load := &ix.loads[jobs[j].shard]
+		load.queries.Add(1)
+		searchStart := time.Now()
+		defer func() { load.nanos.Add(int64(time.Since(searchStart))) }()
 		ks := make([]int, len(sub))
 		for i := range ks {
 			ks[i] = k

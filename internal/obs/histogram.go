@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log-scale buckets with 2^subBits sub-buckets
+// per power of two, so every bucket's width is at most 1/2^subBits (25%) of
+// its lower bound — tight enough that an extracted p99 is within 25% of the
+// exact order statistic, coarse enough that the whole histogram is one small
+// fixed array of atomics and recording is branch-light integer arithmetic.
+//
+// Values 0..2^subBits-1 get exact unit buckets; larger values index by
+// (exponent, top subBits of the mantissa). With nanosecond observations the
+// top bucket starts around 2^39 ns (~9 minutes); anything larger clamps
+// into it and renders as +Inf.
+const (
+	subBits    = 2
+	subBuckets = 1 << subBits
+	maxExp     = 39
+	numBuckets = (maxExp-subBits+1)*subBuckets + subBuckets
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp > maxExp {
+		return numBuckets - 1
+	}
+	frac := (v >> (uint(exp) - subBits)) & (subBuckets - 1)
+	return (exp-subBits+1)*subBuckets + int(frac)
+}
+
+// bucketUpper returns the largest value that falls into bucket idx (the
+// bucket's inclusive upper bound).
+func bucketUpper(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	e := uint(idx/subBuckets + subBits - 1)
+	f := int64(idx % subBuckets)
+	return 1<<e + (f+1)<<(e-subBits) - 1
+}
+
+// Histogram is a fixed-bucket log-scale histogram of non-negative int64
+// observations (typically latencies in nanoseconds). The zero value is
+// ready to use; all methods are safe for concurrent use; Observe performs
+// no allocations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observed value, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// snapshot copies the bucket counts into dst and returns their total. The
+// copy is not an atomic cut across buckets — concurrent observations may be
+// partially visible — but each quantile extraction is self-consistent
+// because it walks the copy, not the live array.
+func (h *Histogram) snapshot(dst *[numBuckets]int64) int64 {
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		dst[i] = c
+		total += c
+	}
+	return total
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the inclusive upper
+// bound of the bucket holding the ceil(q*count)-th smallest observation —
+// an overestimate by at most 25% (one bucket width). Returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	var b [numBuckets]int64
+	total := h.snapshot(&b)
+	return quantileOf(&b, total, q)
+}
+
+// Quantiles extracts several quantiles from one bucket snapshot, appending
+// to dst — cheaper and mutually consistent compared to repeated Quantile
+// calls.
+func (h *Histogram) Quantiles(dst []int64, qs ...float64) []int64 {
+	var b [numBuckets]int64
+	total := h.snapshot(&b)
+	for _, q := range qs {
+		dst = append(dst, quantileOf(&b, total, q))
+	}
+	return dst
+}
+
+func quantileOf(b *[numBuckets]int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range b {
+		cum += b[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// Merge adds o's observations into h. Merging is associative and
+// commutative: any merge order yields identical buckets, counts and sums,
+// which is what lets per-worker histograms roll up into one.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	h.count.Add(o.count.Load())
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// observers; intended for tests and between benchmark phases.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+}
+
+// Bucket is one non-empty histogram bucket: its inclusive upper bound and
+// its (non-cumulative) observation count.
+type Bucket struct {
+	Upper int64
+	Count int64
+}
+
+// Buckets appends the non-empty buckets in ascending bound order to dst —
+// the rendering surface for Prometheus cumulative bucket output.
+func (h *Histogram) Buckets(dst []Bucket) []Bucket {
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			dst = append(dst, Bucket{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return dst
+}

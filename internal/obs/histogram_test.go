@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketGeometry checks the index/bound functions against each other:
+// bounds are strictly increasing, every bucket maps back to itself, and
+// each bound's successor lands in the next bucket.
+func TestBucketGeometry(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d: upper %d not increasing past %d", i, up, prev)
+		}
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if i < numBuckets-1 {
+			if got := bucketIndex(up + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", up+1, got, i+1)
+			}
+		}
+		prev = up
+	}
+	// Values past the last bound clamp into the top bucket.
+	if got := bucketIndex(1 << 62); got != numBuckets-1 {
+		t.Fatalf("bucketIndex(1<<62) = %d, want %d", got, numBuckets-1)
+	}
+}
+
+// TestBucketRelativeError checks the 25% width contract that backs the
+// quantile accuracy claim: for every v >= subBuckets, the bucket containing
+// v spans at most v/4 above its lower bound... more precisely, upper-lower
+// bound distance is at most 25% of the lower bound.
+func TestBucketRelativeError(t *testing.T) {
+	for i := subBuckets + 1; i < numBuckets; i++ {
+		lo := bucketUpper(i-1) + 1
+		hi := bucketUpper(i)
+		if width := hi - lo; width*4 > lo {
+			t.Fatalf("bucket %d [%d,%d]: width %d exceeds 25%% of %d", i, lo, hi, width, lo)
+		}
+	}
+}
+
+// TestQuantileVsExact records random samples and checks each extracted
+// quantile equals the upper bound of the bucket holding the exact order
+// statistic — the histogram can blur within a bucket but never across one.
+func TestQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 17, 1000, 20000} {
+		var h Histogram
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mix scales: sub-microsecond to multi-second latencies.
+			v := rng.Int63n(int64(time.Duration(1) << uint(10+rng.Intn(22))))
+			vals[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(float64(n) * q)
+			if rank >= n {
+				rank = n - 1
+			}
+			// Quantile uses ceil(q*n) as a 1-based rank; mirror it.
+			r1 := int64(q * float64(n))
+			if float64(r1) < q*float64(n) {
+				r1++
+			}
+			if r1 < 1 {
+				r1 = 1
+			}
+			exact := vals[r1-1]
+			want := bucketUpper(bucketIndex(exact))
+			if got := h.Quantile(q); got != want {
+				t.Fatalf("n=%d q=%g: Quantile=%d, exact=%d, want bucket bound %d", n, q, got, exact, want)
+			}
+		}
+	}
+}
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	h.Observe(100)
+	if got, want := h.Quantile(-1), h.Quantile(0); got != want {
+		t.Fatalf("q=-1 -> %d, q=0 -> %d", got, want)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Fatalf("q=2 -> %d, q=1 -> %d", got, want)
+	}
+}
+
+// TestMergeAssociative merges three histograms in two different orders and
+// checks the results are identical bucket-for-bucket.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]*Histogram, 3)
+	for i := range parts {
+		parts[i] = &Histogram{}
+		for j := 0; j < 500; j++ {
+			parts[i].Observe(rng.Int63n(1 << 30))
+		}
+	}
+	var left, right Histogram
+	// ((a+b)+c)
+	left.Merge(parts[0])
+	left.Merge(parts[1])
+	left.Merge(parts[2])
+	// (a+(c+b))
+	var cb Histogram
+	cb.Merge(parts[2])
+	cb.Merge(parts[1])
+	right.Merge(parts[0])
+	right.Merge(&cb)
+
+	if left.Count() != right.Count() || left.Sum() != right.Sum() {
+		t.Fatalf("count/sum differ: (%d,%d) vs (%d,%d)", left.Count(), left.Sum(), right.Count(), right.Sum())
+	}
+	var lb, rb [numBuckets]int64
+	left.snapshot(&lb)
+	right.snapshot(&rb)
+	if lb != rb {
+		t.Fatal("bucket arrays differ after reordered merges")
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from several goroutines and
+// checks nothing is lost; run under -race this also proves the recording
+// path is data-race free.
+func TestConcurrentObserve(t *testing.T) {
+	const workers, per = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 20))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	var b [numBuckets]int64
+	if total := h.snapshot(&b); total != workers*per {
+		t.Fatalf("bucket total = %d, want %d", total, workers*per)
+	}
+}
+
+// TestObserveAllocFree pins the recording paths at zero allocations — the
+// property the CI alloc gate depends on once the Server threads every
+// request through these histograms.
+func TestObserveAllocFree(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	m := NewMeter()
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		c.Inc()
+		g.Set(7)
+		m.Mark(1)
+	}); n != 0 {
+		t.Fatalf("recording allocated %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		h.Quantile(0.99)
+	}); n != 0 {
+		t.Fatalf("Quantile allocated %v allocs/op, want 0", n)
+	}
+}
+
+func TestObserveNegativeAndSum(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(10)
+	if h.Count() != 2 || h.Sum() != 10 {
+		t.Fatalf("count=%d sum=%d, want 2,10", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 5 {
+		t.Fatalf("mean = %g, want 5", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// meterSlots is the ring size of a Meter: one slot per second, sized one
+// power of two above the largest supported window (60s) so a slot is never
+// reused while still inside the window.
+const meterSlots = 64
+
+// MeterWindow is the widest window Rate accepts.
+const MeterWindow = (meterSlots - 2) * time.Second
+
+type meterSlot struct {
+	stamp atomic.Int64 // unix second this slot currently counts
+	count atomic.Int64
+}
+
+// Meter counts events into per-second ring slots so a windowed rate can be
+// read at any time without a background goroutine. Mark is allocation-free
+// (a time read plus two or three atomic operations). Rates are approximate:
+// a slot being recycled exactly on a second boundary can drop a handful of
+// concurrent marks, an error bounded by one second of one goroutine's
+// traffic — fine for monitoring, not for billing.
+type Meter struct {
+	slots []meterSlot
+	total Counter
+}
+
+// NewMeter returns a ready meter.
+func NewMeter() *Meter {
+	return &Meter{slots: make([]meterSlot, meterSlots)}
+}
+
+// Mark records n events now.
+func (m *Meter) Mark(n int64) {
+	now := time.Now().Unix()
+	s := &m.slots[now%meterSlots]
+	if s.stamp.Load() != now {
+		// First marker of this second claims the slot; the swap makes sure
+		// only one goroutine zeroes it.
+		if s.stamp.Swap(now) != now {
+			s.count.Store(0)
+		}
+	}
+	s.count.Add(n)
+	m.total.Add(n)
+}
+
+// Total returns the number of events marked over the meter's lifetime.
+func (m *Meter) Total() int64 { return m.total.Load() }
+
+// Rate returns events per second over the trailing window (clamped to
+// [1s, MeterWindow]). The current, partial second is included, so a burst
+// shows up immediately.
+func (m *Meter) Rate(window time.Duration) float64 {
+	if window < time.Second {
+		window = time.Second
+	}
+	if window > MeterWindow {
+		window = MeterWindow
+	}
+	secs := int64(window / time.Second)
+	now := time.Now().Unix()
+	var sum int64
+	for i := range m.slots {
+		st := m.slots[i].stamp.Load()
+		if st > now-secs && st <= now {
+			sum += m.slots[i].count.Load()
+		}
+	}
+	return float64(sum) / float64(secs)
+}

@@ -1,0 +1,58 @@
+// Package obs is the serving stack's observability substrate: atomic
+// counters and gauges, fixed-bucket log-scale latency histograms with
+// quantile extraction, windowed rate meters, and a registry that renders
+// everything as Prometheus text format and JSON — with zero external
+// dependencies and, critically, zero allocations on every recording path.
+//
+// The package exists because the serving hot paths (pooled ranked search,
+// batched top-k, epoch-pinned dynamic reads) are pinned at 0 allocs/op by
+// the CI alloc gate, and instrumentation must not be the thing that breaks
+// that bar. Every Inc/Add/Set/Observe/Mark is a handful of atomic
+// operations into preallocated storage; all formatting, sorting and
+// aggregation happens at scrape time, on the scraper's goroutine.
+//
+// All types are safe for concurrent use. The zero value of Counter, Gauge,
+// Histogram and Meter is ready to record.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the Prometheus counter contract;
+// this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// MergeMetrics is the dynamic write tier's merge instrumentation, shared
+// between the tier (which records) and the serving registry (which renders).
+// Duration observes the full wall clock of one background merge — STR
+// re-pack, op-log replay and publish; Pause observes only the
+// publish-critical section, the interval during which the merge holds the
+// writer lock and new writes stall. Values are nanoseconds.
+type MergeMetrics struct {
+	Duration Histogram
+	Pause    Histogram
+}

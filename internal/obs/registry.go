@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates what a registered metric renders as.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered time series: a family name, an optional
+// pre-rendered label set, and exactly one value source.
+type metric struct {
+	name       string
+	help       string
+	labels     string   // pre-rendered {k="v",...}, "" when unlabelled
+	labelPairs []string // raw k,v pairs for JSON
+	kind       metricKind
+	intFn      func() int64   // counters
+	floatFn    func() float64 // gauges
+	hist       *Histogram
+	scale      float64 // histogram render scale (1e-9 renders nanoseconds as seconds)
+}
+
+// Registry holds named metrics and renders them as Prometheus text format
+// (WritePrometheus) or JSON (WriteJSON). Registration is not on any hot
+// path and panics on programmer errors (invalid names, duplicate series,
+// kind conflicts within a family); recording into the returned primitives
+// is allocation-free. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	seen    map[string]*metric // name+labels -> metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]*metric)}
+}
+
+// Counter creates, registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, help, c.Load, labels...)
+	return c
+}
+
+// CounterFunc registers a counter series whose value is sampled from fn at
+// render time — the seam for rolling existing accounting (Server totals,
+// per-shard loads, merge counts) into the export surface without moving it.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, intFn: fn}, labels)
+}
+
+// Gauge creates, registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.GaugeFunc(name, help, func() float64 { return float64(g.Load()) }, labels...)
+	return g
+}
+
+// GaugeFunc registers a gauge series sampled from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, floatFn: fn}, labels)
+}
+
+// Histogram creates, registers and returns a histogram series. scale
+// multiplies raw observed values at render time (use 1e-9 to record
+// nanoseconds and export Prometheus-conventional seconds); 0 means 1.
+func (r *Registry) Histogram(name, help string, scale float64, labels ...string) *Histogram {
+	h := &Histogram{}
+	r.RegisterHistogram(name, help, h, scale, labels...)
+	return h
+}
+
+// RegisterHistogram registers an externally owned histogram (for example a
+// MergeMetrics field recorded by the dynamic tier).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, scale float64, labels ...string) {
+	if scale == 0 {
+		scale = 1
+	}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h, scale: scale}, labels)
+}
+
+func (r *Registry) register(m *metric, labels []string) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q has odd label list %q", m.name, labels))
+	}
+	var b strings.Builder
+	for i := 0; i < len(labels); i += 2 {
+		if !validName(labels[i]) {
+			panic(fmt.Sprintf("obs: metric %q has invalid label name %q", m.name, labels[i]))
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	if b.Len() > 0 {
+		m.labels = "{" + b.String() + "}"
+	}
+	m.labelPairs = append([]string(nil), labels...)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := m.name + m.labels
+	if _, dup := r.seen[key]; dup {
+		panic(fmt.Sprintf("obs: duplicate series %s%s", m.name, m.labels))
+	}
+	for _, prev := range r.metrics {
+		if prev.name == m.name && prev.kind != m.kind {
+			panic(fmt.Sprintf("obs: family %q registered as both %s and %s", m.name, prev.kind, m.kind))
+		}
+	}
+	r.seen[key] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// families returns the metrics grouped per family, families sorted by name,
+// series within a family in registration order.
+func (r *Registry) families() [][]*metric {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	byName := map[string][]*metric{}
+	var names []string
+	for _, m := range ms {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	sort.Strings(names)
+	out := make([][]*metric, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per family,
+// histograms as cumulative le-labelled buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var scratch []Bucket
+	for _, fam := range r.families() {
+		head := fam[0]
+		if head.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", head.name, strings.ReplaceAll(head.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", head.name, head.kind); err != nil {
+			return err
+		}
+		for _, m := range fam {
+			var err error
+			switch m.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.intFn())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", m.name, m.labels, m.floatFn())
+			case kindHistogram:
+				scratch, err = writePromHistogram(w, m, scratch[:0])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram series. Only non-empty buckets
+// are emitted (cumulative counts stay correct — omitted boundaries are
+// implied by the next present one), plus the mandatory +Inf bucket.
+func writePromHistogram(w io.Writer, m *metric, scratch []Bucket) ([]Bucket, error) {
+	scratch = m.hist.Buckets(scratch)
+	count := m.hist.Count()
+	sep, lsep := "{", "}"
+	inner := ""
+	if m.labels != "" {
+		inner = m.labels[1:len(m.labels)-1] + ","
+	}
+	var cum int64
+	for _, b := range scratch {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket%s%sle=%q%s %d\n",
+			m.name, sep, inner, formatFloat(float64(b.Upper)*m.scale), lsep, cum); err != nil {
+			return scratch, err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s%sle=\"+Inf\"%s %d\n", m.name, sep, inner, lsep, count); err != nil {
+		return scratch, err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatFloat(float64(m.hist.Sum())*m.scale)); err != nil {
+		return scratch, err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, count)
+	return scratch, err
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// seriesJSON is one series of the JSON rendering; exactly one of Value or
+// the histogram fields is populated, per Kind.
+type seriesJSON struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *int64            `json:"count,omitempty"`
+	Sum    *float64          `json:"sum,omitempty"`
+	P50    *float64          `json:"p50,omitempty"`
+	P90    *float64          `json:"p90,omitempty"`
+	P99    *float64          `json:"p99,omitempty"`
+	P999   *float64          `json:"p999,omitempty"`
+}
+
+// WriteJSON renders every registered series as a JSON array; histograms
+// carry count, sum and the p50/p90/p99/p999 extraction (scaled like the
+// Prometheus rendering).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out []seriesJSON
+	for _, fam := range r.families() {
+		for _, m := range fam {
+			s := seriesJSON{Name: m.name, Kind: m.kind.String()}
+			if len(m.labelPairs) > 0 {
+				s.Labels = map[string]string{}
+				for i := 0; i < len(m.labelPairs); i += 2 {
+					s.Labels[m.labelPairs[i]] = m.labelPairs[i+1]
+				}
+			}
+			switch m.kind {
+			case kindCounter:
+				v := float64(m.intFn())
+				s.Value = &v
+			case kindGauge:
+				v := m.floatFn()
+				s.Value = &v
+			case kindHistogram:
+				n := m.hist.Count()
+				sum := float64(m.hist.Sum()) * m.scale
+				qs := m.hist.Quantiles(nil, 0.5, 0.9, 0.99, 0.999)
+				p50, p90 := float64(qs[0])*m.scale, float64(qs[1])*m.scale
+				p99, p999 := float64(qs[2])*m.scale, float64(qs[3])*m.scale
+				s.Count, s.Sum, s.P50, s.P90, s.P99, s.P999 = &n, &sum, &p50, &p90, &p99, &p999
+			}
+			out = append(out, s)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pm_requests_total", "Requests served.", "op", "topk")
+	c2 := r.Counter("pm_requests_total", "Requests served.", "op", "match")
+	g := r.Gauge("pm_delta_size", "Delta tier entries.")
+	h := r.Histogram("pm_request_seconds", "Request latency.", 1e-9, "op", "topk")
+	r.GaugeFunc("pm_epoch_age_seconds", "Age of pinned epoch.", func() float64 { return 1.5 })
+
+	c.Add(3)
+	c2.Inc()
+	g.Set(42)
+	h.ObserveDuration(1500 * time.Nanosecond)
+	h.ObserveDuration(2 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE pm_requests_total counter\n",
+		`pm_requests_total{op="topk"} 3` + "\n",
+		`pm_requests_total{op="match"} 1` + "\n",
+		"# TYPE pm_delta_size gauge\n",
+		"pm_delta_size 42\n",
+		"pm_epoch_age_seconds 1.5\n",
+		"# TYPE pm_request_seconds histogram\n",
+		`pm_request_seconds_bucket{op="topk",le="+Inf"} 2` + "\n",
+		`pm_request_seconds_count{op="topk"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendering:\n%s", want, out)
+		}
+	}
+
+	// HELP/TYPE appear exactly once per family even with two series.
+	if n := strings.Count(out, "# TYPE pm_requests_total"); n != 1 {
+		t.Fatalf("TYPE for pm_requests_total appears %d times", n)
+	}
+
+	// Bucket lines are cumulative and end at the total count.
+	var lastCum int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "pm_request_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < lastCum {
+			t.Fatalf("bucket counts not cumulative: %d after %d in %q", v, lastCum, line)
+		}
+		lastCum = v
+	}
+	if lastCum != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", lastCum)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(5)
+	h := r.Histogram("lat", "latency", 1e-9)
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var series []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &series); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	byName := map[string]map[string]any{}
+	for _, s := range series {
+		byName[s["name"].(string)] = s
+	}
+	if v := byName["a_total"]["value"].(float64); v != 5 {
+		t.Fatalf("a_total = %v, want 5", v)
+	}
+	lat := byName["lat"]
+	if lat["count"].(float64) != 100 {
+		t.Fatalf("lat count = %v", lat["count"])
+	}
+	for _, k := range []string{"sum", "p50", "p90", "p99", "p999"} {
+		if _, ok := lat[k]; !ok {
+			t.Fatalf("histogram JSON missing %q: %v", k, lat)
+		}
+	}
+	if lat["p50"].(float64) <= 0 || lat["p99"].(float64) < lat["p50"].(float64) {
+		t.Fatalf("quantiles not ordered: p50=%v p99=%v", lat["p50"], lat["p99"])
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	mustPanic("duplicate", func() { r.Counter("ok_total", "") })
+	mustPanic("kind conflict", func() { r.Gauge("ok_total", "") })
+	mustPanic("bad name", func() { r.Counter("9bad", "") })
+	mustPanic("bad label", func() { r.Counter("ok2", "", "bad-label", "v") })
+	mustPanic("odd labels", func() { r.Counter("ok3", "", "k") })
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	m.Mark(10)
+	m.Mark(5)
+	if m.Total() != 15 {
+		t.Fatalf("Total = %d, want 15", m.Total())
+	}
+	// The current second holds all 15 events; a 1s window must see them.
+	if r := m.Rate(time.Second); r < 15 {
+		t.Fatalf("Rate(1s) = %g, want >= 15", r)
+	}
+	// A wide window dilutes but never loses them.
+	if r := m.Rate(10 * time.Second); r < 1.4 || r > 15 {
+		t.Fatalf("Rate(10s) = %g, want within [1.5, 15]", r)
+	}
+	// Out-of-range windows clamp instead of misbehaving.
+	if r := m.Rate(0); r < 15 {
+		t.Fatalf("Rate(0) clamped = %g, want >= 15", r)
+	}
+	if r := m.Rate(time.Hour); r < 0 {
+		t.Fatalf("Rate(1h) = %g", r)
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAddCoversEveryField sets each Counters field to a distinct non-zero
+// value and checks Add propagates every one of them — the guard against a
+// new counter field being added (as several past changes did) without
+// extending Add, which would silently drop that counter from every merged
+// total in the serving stack.
+func TestAddCoversEveryField(t *testing.T) {
+	var src Counters
+	rv := reflect.ValueOf(&src).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() != reflect.Int64 {
+			t.Fatalf("Counters.%s is %s; the reflection-based coverage tests assume int64 fields — extend them alongside the new kind", rt.Field(i).Name, rt.Field(i).Type)
+		}
+		rv.Field(i).SetInt(int64(i + 1))
+	}
+
+	var dst Counters
+	dst.Add(&src)
+	dv := reflect.ValueOf(dst)
+	for i := 0; i < rt.NumField(); i++ {
+		if dv.Field(i).Int() == 0 {
+			t.Errorf("Counters.Add drops field %s", rt.Field(i).Name)
+		}
+	}
+}
+
+// TestStringCoversEveryField checks the one-line dump (what the slow-query
+// log embeds) mentions every field's value, so a slow query never hides
+// part of its work accounting.
+func TestStringCoversEveryField(t *testing.T) {
+	var c Counters
+	rv := reflect.ValueOf(&c).Elem()
+	rt := rv.Type()
+	// Large distinct primes: no accidental substring collisions with other
+	// fields or derived sums.
+	v := int64(1000003)
+	for i := 0; i < rt.NumField(); i++ {
+		rv.Field(i).SetInt(v)
+		v += 1000033
+	}
+	out := c.String()
+	rv2 := reflect.ValueOf(c)
+	for i := 0; i < rt.NumField(); i++ {
+		want := fmt.Sprintf("%d", rv2.Field(i).Int())
+		if !strings.Contains(out, want) {
+			t.Errorf("Counters.String() omits %s (%s): %q", rt.Field(i).Name, want, out)
+		}
+	}
+}
+
+// TestResetZeroesEveryField pairs with the Add test: a sink reset between
+// requests must not carry any field over.
+func TestResetZeroesEveryField(t *testing.T) {
+	var c Counters
+	rv := reflect.ValueOf(&c).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetInt(7)
+	}
+	c.Reset()
+	for i := 0; i < rv.NumField(); i++ {
+		if rv.Field(i).Int() != 0 {
+			t.Errorf("Reset leaves %s non-zero", rv.Type().Field(i).Name)
+		}
+	}
+}

@@ -82,7 +82,7 @@ func (c *Counters) ObserveSkylineSize(n int) {
 func (c *Counters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "io=%d (r=%d w=%d hits=%d)", c.IOAccesses(), c.PageReads, c.PageWrites, c.BufferHits)
-	fmt.Fprintf(&b, " top1=%d nodes=%d ta=%d scores=%d dom=%d", c.Top1Searches, c.NodesVisited, c.TAListAccesses, c.ScoreEvals, c.DominanceChecks)
+	fmt.Fprintf(&b, " top1=%d nodes=%d ta=%d scores=%d dom=%d heap=%d", c.Top1Searches, c.NodesVisited, c.TAListAccesses, c.ScoreEvals, c.DominanceChecks, c.HeapOps)
 	fmt.Fprintf(&b, " skyUpd=%d skyMax=%d loops=%d pairs=%d del=%d shardsPruned=%d deltaNodes=%d",
 		c.SkylineUpdates, c.SkylineMaxSize, c.Loops, c.PairsEmitted, c.TreeDeletes, c.ShardsPruned, c.DeltaNodesVisited)
 	return b.String()

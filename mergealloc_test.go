@@ -21,6 +21,7 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/dynamic"
 	"prefmatch/internal/prefs"
+	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 	"prefmatch/internal/vec"
 )
@@ -66,7 +67,7 @@ func TestZeroAllocDuringMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(ix, nil)
+	srv, err := newServer(ix, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +130,19 @@ func TestZeroAllocDuringMerge(t *testing.T) {
 		search()
 		batch()
 	}
+	// Full metric recording — a traced request finishing into the latency
+	// and stage histograms plus the rate meter — measured on its own: the
+	// instrumentation itself must be allocation-free mid-compaction, not
+	// just the paths that happen to carry it.
+	var mc stats.Counters
+	metricRecord := func() {
+		var tr reqTrace
+		tr.begin(time.Microsecond)
+		tr.mark(stagePin)
+		tr.mark(stageTraverse)
+		tr.mark(stageMerge)
+		srv.om.finish(opTopK, &tr, &mc, 1)
+	}
 	for _, tc := range []struct {
 		name string
 		fn   func()
@@ -136,6 +150,7 @@ func TestZeroAllocDuringMerge(t *testing.T) {
 		{"topk.Top1", top1},
 		{"topk.SearchAppend", search},
 		{"Server.TopKManyAppend", batch},
+		{"serverMetrics.finish", metricRecord},
 	} {
 		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
 			t.Errorf("%s allocated %v times per op during a parked merge, want 0", tc.name, allocs)
@@ -143,6 +158,16 @@ func TestZeroAllocDuringMerge(t *testing.T) {
 	}
 	if len(results) != 10 || len(dst) != len(qs)*5 || len(offsets) != len(qs)+1 {
 		t.Fatalf("read paths returned %d/%d/%d results", len(results), len(dst), len(offsets))
+	}
+	if got, ok := srv.LatencyQuantile("topk_many", 0.5); !ok || got <= 0 {
+		t.Fatalf("LatencyQuantile(topk_many) = %v, %v after serving batches", got, ok)
+	}
+
+	// The epoch-age gauge grows while the merge is parked (the last
+	// rotation was the final pre-park insert)...
+	ageParked := ix.EpochAge()
+	if ageParked <= 0 {
+		t.Fatalf("EpochAge = %v while parked, want > 0", ageParked)
 	}
 
 	// Unpark; the merge must publish, and the rotated index must still be
@@ -154,6 +179,22 @@ func TestZeroAllocDuringMerge(t *testing.T) {
 			t.Fatal("released merge never published")
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// ...and snaps back once the merge publishes a fresh epoch. The merge
+	// histograms must have recorded the one merge, with the full duration
+	// at least the lock-held pause.
+	if age := ix.EpochAge(); age >= ageParked {
+		t.Fatalf("EpochAge = %v after publish, want < parked age %v", age, ageParked)
+	}
+	mm := srv.om.merges
+	if mm == nil {
+		t.Fatal("dynamic server has no merge metrics attached")
+	}
+	if mm.Duration.Count() < 1 || mm.Pause.Count() < 1 {
+		t.Fatalf("merge histograms recorded %d/%d merges, want >= 1", mm.Duration.Count(), mm.Pause.Count())
+	}
+	if mm.Duration.Sum() < mm.Pause.Sum() {
+		t.Fatalf("merge duration %dns below its own pause %dns", mm.Duration.Sum(), mm.Pause.Sum())
 	}
 	if err := ix.Validate(); err != nil {
 		t.Fatal(err)

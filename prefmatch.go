@@ -79,6 +79,7 @@ package prefmatch
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"prefmatch/internal/core"
@@ -307,6 +308,27 @@ type Options struct {
 	// interval-triggered merges. Dynamic backend only.
 	MergeInterval time.Duration
 
+	// AdminAddr, when non-empty, starts an admin HTTP server on this
+	// address when the Server is built (NewServer only; one-shot entry
+	// points ignore it), serving /metrics (Prometheus text format),
+	// /statsz (JSON), /healthz and /debug/pprof. Use "127.0.0.1:0" to let
+	// the kernel pick a port (Server.AdminAddr reports it). The listener
+	// is closed by Server.Close.
+	AdminAddr string
+
+	// SlowQueryThreshold arms the Server's slow-query log: every request
+	// whose total latency reaches the threshold is written to SlowQueryLog
+	// as one structured line with the per-stage breakdown (validate, pin,
+	// traverse, merge) and the request's work counters. 0 (the default)
+	// disables the log — and keeps the serving hot path free of the
+	// formatting cost, which only ever runs for over-threshold requests.
+	SlowQueryThreshold time.Duration
+
+	// SlowQueryLog receives slow-query lines (os.Stderr when nil). Writes
+	// are serialised; the writer does not need to be safe for concurrent
+	// use.
+	SlowQueryLog io.Writer
+
 	// ShardMatch routes matching waves through the shard-parallel fan-out
 	// (sharded.MatchWave): the algorithm's global decision loop — including
 	// all capacity bookkeeping — runs at the merge point, while per-shard
@@ -324,19 +346,23 @@ type Options struct {
 // Stats reports the work a run performed, mirroring the measurements in the
 // paper's evaluation.
 type Stats struct {
-	IOAccesses     int64         // physical page transfers (the paper's metric)
-	PageReads      int64         // physical reads
-	PageWrites     int64         // physical writes
-	BufferHits     int64         // page requests served by the LRU buffer
-	Top1Searches   int64         // ranked searches issued
-	NodesVisited   int64         // R-tree nodes expanded by ranked search
-	TAListAccesses int64         // TA sorted-list entries consumed
-	SkylineUpdates int64         // incremental skyline maintenance calls
-	SkylineMax     int64         // largest skyline encountered
-	Loops          int64         // matcher loops
-	Pairs          int64         // assignments produced
-	ShardsPruned   int64         // whole shards skipped by MBR pruning (sharded fan-out only)
-	Elapsed        time.Duration // wall-clock time of the matching phase
+	IOAccesses      int64         // physical page transfers (the paper's metric)
+	PageReads       int64         // physical reads
+	PageWrites      int64         // physical writes
+	BufferHits      int64         // page requests served by the LRU buffer
+	Top1Searches    int64         // ranked searches issued
+	NodesVisited    int64         // R-tree nodes expanded by ranked search
+	TAListAccesses  int64         // TA sorted-list entries consumed
+	ScoreEvals      int64         // preference function evaluations
+	DominanceChecks int64         // point/rect dominance tests
+	HeapOps         int64         // priority-queue pushes and pops
+	SkylineUpdates  int64         // incremental skyline maintenance calls
+	SkylineMax      int64         // largest skyline encountered
+	Loops           int64         // matcher loops
+	Pairs           int64         // assignments produced
+	TreeDeletes     int64         // object deletions from the object R-tree
+	ShardsPruned    int64         // whole shards skipped by MBR pruning (sharded fan-out only)
+	Elapsed         time.Duration // wall-clock time of the matching phase
 
 	// Dynamic-backend serving state (zero on static backends). The first
 	// three are point-in-time gauges read when Stats is called, not
@@ -636,10 +662,14 @@ func statsFromCounters(c *stats.Counters, elapsed time.Duration) Stats {
 		Top1Searches:      c.Top1Searches,
 		NodesVisited:      c.NodesVisited,
 		TAListAccesses:    c.TAListAccesses,
+		ScoreEvals:        c.ScoreEvals,
+		DominanceChecks:   c.DominanceChecks,
+		HeapOps:           c.HeapOps,
 		SkylineUpdates:    c.SkylineUpdates,
 		SkylineMax:        c.SkylineMaxSize,
 		Loops:             c.Loops,
 		Pairs:             c.PairsEmitted,
+		TreeDeletes:       c.TreeDeletes,
 		ShardsPruned:      c.ShardsPruned,
 		DeltaNodesVisited: c.DeltaNodesVisited,
 		Elapsed:           elapsed,

@@ -67,6 +67,14 @@ type Server struct {
 	agg     stats.Counters
 	elapsed time.Duration
 	served  int64
+
+	// om is the server's observability surface: per-op latency histograms,
+	// stage histograms, slow-query log. Always non-nil; every recording
+	// method is allocation-free.
+	om *serverMetrics
+
+	adminMu sync.Mutex
+	admin   *adminState
 }
 
 // caps returns the capacity map in effect for a request starting now (nil
@@ -163,7 +171,7 @@ func NewServer(objects []Object, opts *Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newServer(ix, capacities)
+	return newServer(ix, capacities, &sopts)
 }
 
 // NewServerFromIndex serves over an already-built reusable Index, sharing
@@ -173,10 +181,10 @@ func NewServer(objects []Object, opts *Options) (*Server, error) {
 // error. The caller must not mutate or rebuild the index while the server
 // is in use (the Snapshotter freeze contract).
 func NewServerFromIndex(ix *Index) (*Server, error) {
-	return newServer(ix.ix, ix.capacities)
+	return newServer(ix.ix, ix.capacities, nil)
 }
 
-func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int) (*Server, error) {
+func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int, opts *Options) (*Server, error) {
 	serving, err := asServing(ix)
 	if err != nil {
 		return nil, err
@@ -195,6 +203,12 @@ func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int) (*Server, e
 		}
 		sc.snap.SetCounters(&sc.c)
 		return sc
+	}
+	s.om = newServerMetrics(s, opts)
+	if opts != nil && opts.AdminAddr != "" {
+		if _, err := s.ServeAdmin(opts.AdminAddr); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -256,20 +270,25 @@ func (s *Server) setCapacityLocked(id index.ObjID, capacity int) {
 // return an error wrapping index.ErrReadOnly. Safe for concurrent use with
 // all read methods and other writes.
 func (s *Server) Insert(obj Object) error {
+	start := time.Now()
 	m, err := s.mutable()
 	if err != nil {
+		s.om.fail(opInsert)
 		return err
 	}
 	id, pt, err := s.validateObject(obj)
 	if err != nil {
+		s.om.fail(opInsert)
 		return err
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	if err := m.Insert(id, pt); err != nil {
+		s.om.fail(opInsert)
 		return err
 	}
 	s.setCapacityLocked(id, obj.Capacity)
+	s.om.observeOp(opInsert, time.Since(start))
 	return nil
 }
 
@@ -278,20 +297,25 @@ func (s *Server) Insert(obj Object) error {
 // Returns index.ErrNotFound when the object is not indexed. Requires the
 // Dynamic backend, like Insert.
 func (s *Server) Update(obj Object) error {
+	start := time.Now()
 	m, err := s.mutable()
 	if err != nil {
+		s.om.fail(opUpdate)
 		return err
 	}
 	id, pt, err := s.validateObject(obj)
 	if err != nil {
+		s.om.fail(opUpdate)
 		return err
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	if err := m.Update(id, pt); err != nil {
+		s.om.fail(opUpdate)
 		return err
 	}
 	s.setCapacityLocked(id, obj.Capacity)
+	s.om.observeOp(opUpdate, time.Since(start))
 	return nil
 }
 
@@ -299,8 +323,10 @@ func (s *Server) Update(obj Object) error {
 // index.ErrNotFound when the object is not indexed. Requires the Dynamic
 // backend, like Insert.
 func (s *Server) Remove(id int) error {
+	start := time.Now()
 	m, err := s.mutable()
 	if err != nil {
+		s.om.fail(opRemove)
 		return err
 	}
 	s.wmu.Lock()
@@ -309,16 +335,20 @@ func (s *Server) Remove(id int) error {
 		PointOf(index.ObjID) (vec.Point, bool)
 	})
 	if !ok {
+		s.om.fail(opRemove)
 		return fmt.Errorf("prefmatch: %T accepts writes but cannot resolve objects by ID", s.ix)
 	}
 	pt, found := p.PointOf(index.ObjID(id))
 	if !found {
+		s.om.fail(opRemove)
 		return index.ErrNotFound
 	}
 	if err := m.Delete(index.ObjID(id), pt); err != nil {
+		s.om.fail(opRemove)
 		return err
 	}
 	s.setCapacityLocked(index.ObjID(id), 0)
+	s.om.observeOp(opRemove, time.Since(start))
 	return nil
 }
 
@@ -328,16 +358,20 @@ func (s *Server) Remove(id int) error {
 // Options.MergeThreshold and Options.MergeInterval — call it before a read
 // burst or after bulk writes. Requires the Dynamic backend, like Insert.
 func (s *Server) Compact() error {
+	start := time.Now()
 	if _, err := s.mutable(); err != nil {
+		s.om.fail(opCompact)
 		return err
 	}
 	c, ok := s.ix.(interface{ Compact() })
 	if !ok {
+		s.om.fail(opCompact)
 		return fmt.Errorf("prefmatch: %T accepts writes but has no write tier to compact", s.ix)
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	c.Compact()
+	s.om.observeOp(opCompact, time.Since(start))
 	return nil
 }
 
@@ -410,11 +444,19 @@ func (s *Server) match(queries []Query, opts *Options, shardWorkers int) (*Resul
 	if s.sh != nil {
 		return s.matchSharded(queries, opts, shardWorkers)
 	}
-	res, c, err := matchWave(s.ix.Snapshot(), s.caps(), queries, opts)
+	var tr reqTrace
+	tr.begin(0)
+	snap := s.ix.Snapshot()
+	tr.mark(stagePin)
+	res, c, err := matchWave(snap, s.caps(), queries, opts)
+	tr.mark(stageTraverse)
 	if err != nil {
+		s.om.fail(opMatch)
 		return nil, err
 	}
 	s.record(c, res.Stats.Elapsed)
+	tr.mark(stageMerge)
+	s.om.finish(opMatch, &tr, c, 1)
 	return res, nil
 }
 
@@ -423,22 +465,27 @@ func (s *Server) match(queries []Query, opts *Options, shardWorkers int) (*Resul
 // shard-worker budget. The wave's merged accounting is recorded into the
 // server totals exactly like any other request.
 func (s *Server) matchSharded(queries []Query, opts *Options, shardWorkers int) (*Result, error) {
+	vstart := time.Now()
 	fns, copts, err := waveInputs(s.ix.Dim(), queries, opts)
 	if err != nil {
+		s.om.fail(opMatch)
 		return nil, err
 	}
+	var tr reqTrace
+	tr.begin(time.Since(vstart))
 	copts.Capacities = s.caps()
 	c := &stats.Counters{}
-	var timer stats.Timer
-	timer.Start()
 	pairs, err := s.sh.MatchWave(fns, copts, shardWorkers, c)
-	timer.Stop()
+	tr.mark(stageTraverse)
 	if err != nil {
+		s.om.fail(opMatch)
 		return nil, err
 	}
 	res := &Result{Assignments: assignmentsFromPairs(pairs)}
-	res.Stats = statsFromCounters(c, timer.Elapsed())
-	s.record(c, timer.Elapsed())
+	res.Stats = statsFromCounters(c, tr.stages[stageTraverse])
+	s.record(c, tr.stages[stageTraverse])
+	tr.mark(stageMerge)
+	s.om.finish(opMatch, &tr, c, 1)
 	return res, nil
 }
 
@@ -481,19 +528,29 @@ func (s *Server) MatchMany(waves [][]Query, opts *Options, workers int) ([]*Resu
 // The single place that implements the snapshot-per-request discipline:
 // each pool entry owns one snapshot wired to its own counter sink, so
 // concurrent requests never share a sink and a steady-state request
-// allocates no plumbing.
-func serve[T any](s *Server, req func(snap index.ObjectIndex, c *stats.Counters) (T, error)) (T, error) {
+// allocates no plumbing. The caller times its own validation (it runs
+// before any shared plumbing exists) and passes the duration in; serve
+// traces the remaining stages — scratch/epoch pin, traversal, counter
+// merge — and feeds the op's latency histogram and the slow-query log.
+// The recorded Stats.Elapsed stays the traversal time alone, exactly as
+// before tracing existed.
+func serve[T any](s *Server, op serverOp, validate time.Duration, req func(snap index.ObjectIndex, c *stats.Counters) (T, error)) (T, error) {
+	var tr reqTrace
+	tr.begin(validate)
 	sc := s.acquireScratch()
-	defer s.releaseScratch(sc)
-	var timer stats.Timer
-	timer.Start()
+	tr.mark(stagePin)
 	out, err := req(sc.snap, &sc.c)
-	timer.Stop()
+	tr.mark(stageTraverse)
 	if err != nil {
+		s.releaseScratch(sc)
+		s.om.fail(op)
 		var zero T
 		return zero, err
 	}
-	s.record(&sc.c, timer.Elapsed())
+	s.record(&sc.c, tr.stages[stageTraverse])
+	tr.mark(stageMerge)
+	s.om.finish(op, &tr, &sc.c, 1)
+	s.releaseScratch(sc)
 	return out, nil
 }
 
@@ -512,20 +569,24 @@ func (s *Server) TopK(query Query, k int) ([]Assignment, error) {
 // multiply into workers × shards goroutines. The query is validated before
 // the k == 0 short-circuit, so k never changes what is accepted.
 func (s *Server) topK(query Query, k, shardWorkers int) ([]Assignment, error) {
+	vstart := time.Now()
 	if k < 0 {
+		s.om.fail(opTopK)
 		return nil, fmt.Errorf("prefmatch: negative k %d", k)
 	}
 	f, err := linearPref(query, s.ix.Dim())
 	if err != nil {
+		s.om.fail(opTopK)
 		return nil, err
 	}
+	validate := time.Since(vstart)
 	if k == 0 {
 		return nil, nil
 	}
 	if s.sh != nil {
-		return s.topKSharded(query.ID, f, k, shardWorkers)
+		return s.topKSharded(query.ID, f, k, shardWorkers, validate)
 	}
-	return serve(s, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
+	return serve(s, opTopK, validate, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
 		return topkOver(snap, query.ID, f, k, c)
 	})
 }
@@ -536,16 +597,19 @@ func (s *Server) topK(query Query, k, shardWorkers int) ([]Assignment, error) {
 // counters are merged into one request sink and recorded into the server
 // totals, exactly like any other request. Results are bit-identical to the
 // unsharded path.
-func (s *Server) topKSharded(qid int, p prefs.Preference, k, shardWorkers int) ([]Assignment, error) {
+func (s *Server) topKSharded(qid int, p prefs.Preference, k, shardWorkers int, validate time.Duration) ([]Assignment, error) {
+	var tr reqTrace
+	tr.begin(validate)
 	c := &stats.Counters{}
-	var timer stats.Timer
-	timer.Start()
 	results, err := s.sh.SearchTopK(p, k, shardWorkers, c)
-	timer.Stop()
+	tr.mark(stageTraverse)
 	if err != nil {
+		s.om.fail(opTopK)
 		return nil, err
 	}
-	s.record(c, timer.Elapsed())
+	s.record(c, tr.stages[stageTraverse])
+	tr.mark(stageMerge)
+	s.om.finish(opTopK, &tr, c, 1)
 	out := make([]Assignment, len(results))
 	for i, r := range results {
 		out[i] = Assignment{QueryID: qid, ObjectID: int(r.ID), Score: r.Score}
@@ -555,19 +619,23 @@ func (s *Server) topKSharded(qid int, p prefs.Preference, k, shardWorkers int) (
 
 // TopKMonotone is TopK for an arbitrary monotone preference.
 func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error) {
+	vstart := time.Now()
 	if k < 0 {
+		s.om.fail(opTopK)
 		return nil, fmt.Errorf("prefmatch: negative k %d", k)
 	}
 	if query.Preference == nil {
+		s.om.fail(opTopK)
 		return nil, fmt.Errorf("prefmatch: preference query %d is nil", query.ID)
 	}
+	validate := time.Since(vstart)
 	if k == 0 {
 		return nil, nil
 	}
 	if s.sh != nil {
-		return s.topKSharded(query.ID, prefAdapter{p: query.Preference}, k, 0)
+		return s.topKSharded(query.ID, prefAdapter{p: query.Preference}, k, 0, validate)
 	}
-	return serve(s, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
+	return serve(s, opTopK, validate, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
 		return topkOver(snap, query.ID, prefAdapter{p: query.Preference}, k, c)
 	})
 }
@@ -593,6 +661,7 @@ const batchChunk = 64
 // chunk count leaves unused goes to each chunk's per-shard fan-out
 // (workers=1 stays fully sequential).
 func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, error) {
+	vstart := time.Now()
 	results := make([][]Assignment, len(queries))
 	fns := make([]prefs.Preference, len(queries))
 	errs := make([]error, len(queries))
@@ -612,8 +681,12 @@ func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, erro
 		fns[i] = f
 	}
 	if invalid {
+		s.om.fail(opTopKMany)
 		return nil, errors.Join(errs...)
 	}
+	// Chunks trace themselves concurrently; the call-level validation pass
+	// is observed into the stage histogram here, once.
+	s.om.stages[stageValidate].ObserveDuration(time.Since(vstart))
 	if k == 0 {
 		return results, nil
 	}
@@ -649,13 +722,14 @@ func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, erro
 // once for the whole chunk); otherwise it runs a pooled batch searcher over
 // the pooled snapshot.
 func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]Assignment, k, shardWorkers int) error {
+	var tr reqTrace
 	if s.sh != nil {
+		tr.begin(0)
 		c := &stats.Counters{}
-		var timer stats.Timer
-		timer.Start()
 		res, err := s.sh.SearchTopKBatch(fns, k, shardWorkers, c)
-		timer.Stop()
+		tr.mark(stageTraverse)
 		if err != nil {
+			s.om.fail(opTopKMany)
 			return err
 		}
 		for i, rs := range res {
@@ -665,21 +739,23 @@ func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]
 			}
 			results[i] = out
 		}
-		s.recordN(c, timer.Elapsed(), len(queries))
+		s.recordN(c, tr.stages[stageTraverse], len(queries))
+		tr.mark(stageMerge)
+		s.om.finish(opTopKMany, &tr, c, len(queries))
 		return nil
 	}
+	tr.begin(0)
 	sc := s.acquireScratch()
+	tr.mark(stagePin)
 	defer s.releaseScratch(sc)
 	sc.ks = sc.ks[:0]
 	for range fns {
 		sc.ks = append(sc.ks, k)
 	}
-	var timer stats.Timer
-	timer.Start()
 	b := topk.AcquireBatchSearcher(sc.snap, fns, sc.ks, &sc.c)
 	defer b.Release()
 	if err := b.Run(); err != nil {
-		timer.Stop()
+		s.om.fail(opTopKMany)
 		return err
 	}
 	for i := range fns {
@@ -690,8 +766,10 @@ func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]
 		}
 		results[i] = out
 	}
-	timer.Stop()
-	s.recordN(&sc.c, timer.Elapsed(), len(queries))
+	tr.mark(stageTraverse)
+	s.recordN(&sc.c, tr.stages[stageTraverse], len(queries))
+	tr.mark(stageMerge)
+	s.om.finish(opTopKMany, &tr, &sc.c, len(queries))
 	return nil
 }
 
@@ -706,7 +784,9 @@ func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]
 // allocations once dst and offsets have grown to capacity. The batch runs
 // on the calling goroutine.
 func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query, k int) ([]Assignment, []int, error) {
+	vstart := time.Now()
 	if k < 0 {
+		s.om.fail(opTopKMany)
 		return dst, offsets, fmt.Errorf("prefmatch: negative k %d", k)
 	}
 	sc := s.acquireScratch()
@@ -714,15 +794,20 @@ func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query
 	d := s.ix.Dim()
 	for _, q := range queries {
 		if len(q.Weights) != d {
+			s.om.fail(opTopKMany)
 			return dst, offsets, fmt.Errorf("prefmatch: query %d has %d weights, want %d", q.ID, len(q.Weights), d)
 		}
 		f, arena, err := prefs.AppendFunction(sc.arena, q.ID, q.Weights)
 		if err != nil {
+			s.om.fail(opTopKMany)
 			return dst, offsets, fmt.Errorf("prefmatch: query %d: %w", q.ID, err)
 		}
 		sc.arena = arena
 		sc.fnvals = append(sc.fnvals, f)
 	}
+	// Chunks trace themselves; the call-level validation and function
+	// building pass is observed into the stage histogram here, once.
+	s.om.stages[stageValidate].ObserveDuration(time.Since(vstart))
 	// Box pointers, not values: *Function rides in the interface word, so a
 	// warm scratch builds the whole batch without a single allocation. Taken
 	// only after fnvals stops growing — appends may move the backing array.
@@ -755,13 +840,14 @@ func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query
 // of per-query slices. It reuses the caller's scratch for everything but
 // the sharded fan-out (which allocates its merge state per call).
 func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Query, fns []prefs.Preference, k int, sc *serveScratch) ([]Assignment, []int, error) {
-	var timer stats.Timer
+	var tr reqTrace
+	tr.begin(0)
 	if s.sh != nil {
 		c := &stats.Counters{}
-		timer.Start()
 		res, err := s.sh.SearchTopKBatch(fns, k, 1, c)
-		timer.Stop()
+		tr.mark(stageTraverse)
 		if err != nil {
+			s.om.fail(opTopKMany)
 			return dst, offsets, err
 		}
 		for i, rs := range res {
@@ -770,18 +856,19 @@ func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Quer
 				dst = append(dst, Assignment{QueryID: queries[i].ID, ObjectID: int(r.ID), Score: r.Score})
 			}
 		}
-		s.recordN(c, timer.Elapsed(), len(queries))
+		s.recordN(c, tr.stages[stageTraverse], len(queries))
+		tr.mark(stageMerge)
+		s.om.finish(opTopKMany, &tr, c, len(queries))
 		return dst, offsets, nil
 	}
 	sc.ks = sc.ks[:0]
 	for range fns {
 		sc.ks = append(sc.ks, k)
 	}
-	timer.Start()
 	b := topk.AcquireBatchSearcher(sc.snap, fns, sc.ks, &sc.c)
 	defer b.Release()
 	if err := b.Run(); err != nil {
-		timer.Stop()
+		s.om.fail(opTopKMany)
 		return dst, offsets, err
 	}
 	for i := range fns {
@@ -791,8 +878,10 @@ func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Quer
 			dst = append(dst, Assignment{QueryID: queries[i].ID, ObjectID: int(r.ID), Score: r.Score})
 		}
 	}
-	timer.Stop()
-	s.recordN(&sc.c, timer.Elapsed(), len(queries))
+	tr.mark(stageTraverse)
+	s.recordN(&sc.c, tr.stages[stageTraverse], len(queries))
+	tr.mark(stageMerge)
+	s.om.finish(opTopKMany, &tr, &sc.c, len(queries))
 	// The scratch is shared by every chunk of this call; zero its sink so
 	// the next chunk's recordN does not re-add this chunk's work.
 	sc.c = stats.Counters{}
@@ -802,7 +891,7 @@ func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Quer
 // Skyline returns the ascending IDs of the non-dominated objects, computed
 // over a snapshot. Safe for concurrent use.
 func (s *Server) Skyline() ([]int, error) {
-	return serve(s, skylineOver)
+	return serve(s, opSkyline, 0, skylineOver)
 }
 
 // clampWorkers normalises a worker-count option against a job count: zero

@@ -1,0 +1,57 @@
+package prefmatch
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"prefmatch/internal/stats"
+)
+
+// TestStatsProjectionCoversEveryCounter flips each stats.Counters field to
+// a non-zero value in isolation and requires statsFromCounters to produce a
+// Stats that differs from the zero projection — so no internal counter can
+// silently fall out of the public vocabulary. (TreeDeletes, ScoreEvals,
+// DominanceChecks and HeapOps had all drifted out before this test
+// existed.)
+func TestStatsProjectionCoversEveryCounter(t *testing.T) {
+	baseline := statsFromCounters(&stats.Counters{}, 0)
+	rt := reflect.TypeOf(stats.Counters{})
+	for i := 0; i < rt.NumField(); i++ {
+		var c stats.Counters
+		reflect.ValueOf(&c).Elem().Field(i).SetInt(41)
+		got := statsFromCounters(&c, 0)
+		if reflect.DeepEqual(got, baseline) {
+			t.Errorf("statsFromCounters drops Counters.%s: projection is identical to the zero projection", rt.Field(i).Name)
+		}
+	}
+}
+
+// TestServerMergeCoversEveryCounter drives a counter sink with every field
+// set through the Server's record path and checks the served Stats carry
+// all of it: the merge (stats.Counters.Add under the server mutex) plus the
+// projection must round-trip each field.
+func TestServerMergeCoversEveryCounter(t *testing.T) {
+	srv, err := NewServer([]Object{
+		{ID: 1, Values: []float64{0.2, 0.8}},
+		{ID: 2, Values: []float64{0.7, 0.3}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c stats.Counters
+	rv := reflect.ValueOf(&c).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetInt(int64(100 + i))
+	}
+	srv.recordN(&c, 5*time.Millisecond, 3)
+
+	got := srv.Stats()
+	want := statsFromCounters(&c, 5*time.Millisecond)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Server.Stats() = %+v\nwant the full projection %+v", got, want)
+	}
+	if srv.Served() != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served())
+	}
+}
