@@ -20,7 +20,10 @@ type adminState struct {
 //
 //	/metrics      Prometheus text exposition of the full metric surface
 //	/statsz       the same surface as JSON, plus the cumulative Stats blob
-//	/healthz      liveness: 200 "ok" while the server can read its index
+//	/healthz      the serving state machine: 200 "ok" when healthy,
+//	              200 "degraded: <reason>" under load (gate saturated or
+//	              shedding), 503 "draining" once Close has begun, 503
+//	              "index unreadable" when the root page fails to resolve
 //	/debug/pprof  the standard Go profiling handlers
 //
 // The admin server runs on its own goroutine and shares nothing with the
@@ -47,14 +50,26 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 		writeStatsz(w, s)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		// Liveness is "the index answers": the root must be resolvable.
-		// Everything beyond that (staleness, skew) is a dashboard's call,
-		// from /metrics — a health check must not flap on soft signals.
+		// The state machine: draining/closed means take me out of rotation
+		// (503); a saturated gate or recent shedding means degraded — still
+		// 200, it is load rather than brokenness, but the reason is named so
+		// operators see it before it becomes shed traffic. Liveness itself
+		// is "the index answers": the root must be resolvable. Everything
+		// beyond that (staleness, skew) is a dashboard's call, from
+		// /metrics — a health check must not flap on soft signals.
+		if s.state.Load() != stateServing {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		if s.Len() > 0 {
 			if _, err := s.ix.ReadNode(s.ix.RootPage()); err != nil {
 				http.Error(w, "index unreadable: "+err.Error(), http.StatusServiceUnavailable)
 				return
 			}
+		}
+		if reason := s.degradedReason(); reason != "" {
+			fmt.Fprintln(w, "degraded: "+reason)
+			return
 		}
 		fmt.Fprintln(w, "ok")
 	})
@@ -92,9 +107,10 @@ func (s *Server) AdminAddr() string {
 	return s.admin.ln.Addr().String()
 }
 
-// Close stops the admin HTTP server, if one is running. The Server itself
-// keeps serving — it holds no other external resources.
-func (s *Server) Close() error {
+// stopAdmin stops the admin HTTP server, if one is running. The last step
+// of Close's lifecycle, so /healthz reports "draining" for the whole drain
+// window; a no-op when no admin server was started.
+func (s *Server) stopAdmin() error {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	if s.admin == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
@@ -22,7 +23,13 @@ import (
 // *Over helpers below.
 
 // skylineOver computes the sorted skyline IDs of an already-built index.
-func skylineOver(tree index.ObjectIndex, c *stats.Counters) ([]int, error) {
+// The token is checked once before the computation starts — the skyline
+// walk is one indivisible pass, so a request canceled mid-compute finishes
+// its pass and is classified on return.
+func skylineOver(tree index.ObjectIndex, tok cancel.Token, c *stats.Counters) ([]int, error) {
+	if err := tok.Check("skyline.compute"); err != nil {
+		return nil, err
+	}
 	m := skyline.New(tree, skyline.MaintainPlist, c)
 	if err := m.Compute(); err != nil {
 		return nil, err
@@ -36,15 +43,26 @@ func skylineOver(tree index.ObjectIndex, c *stats.Counters) ([]int, error) {
 }
 
 // topkOver runs ranked search for a validated preference over an
-// already-built index, labelling results with the query ID.
-func topkOver(tree index.ObjectIndex, qid int, p prefs.Preference, k int, c *stats.Counters) ([]Assignment, error) {
-	results, err := topk.Search(tree, p, k, c)
-	if err != nil {
-		return nil, err
+// already-built index, labelling results with the query ID. The token is
+// armed on the pooled searcher, so a canceled request stops within about
+// one node expansion.
+func topkOver(tree index.ObjectIndex, qid int, p prefs.Preference, k int, tok cancel.Token, c *stats.Counters) ([]Assignment, error) {
+	if k <= 0 {
+		return nil, nil
 	}
-	out := make([]Assignment, len(results))
-	for i, r := range results {
-		out[i] = Assignment{QueryID: qid, ObjectID: int(r.ID), Score: r.Score}
+	s := topk.AcquireSearcher(tree, p, c)
+	defer s.Release()
+	s.SetCancel(tok)
+	out := make([]Assignment, 0, k)
+	for len(out) < k {
+		r, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, Assignment{QueryID: qid, ObjectID: int(r.ID), Score: r.Score})
 	}
 	return out, nil
 }
@@ -81,7 +99,7 @@ func Skyline(objects []Object, opts *Options) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return skylineOver(tree, c)
+	return skylineOver(tree, cancel.Token{}, c)
 }
 
 // TopK returns the k best objects for a single query, best first, using
@@ -109,7 +127,7 @@ func TopK(objects []Object, query Query, k int, opts *Options) ([]Assignment, er
 	if err != nil {
 		return nil, err
 	}
-	return topkOver(tree, query.ID, f, k, c)
+	return topkOver(tree, query.ID, f, k, cancel.Token{}, c)
 }
 
 // TopKMonotone is TopK for an arbitrary monotone preference.
@@ -134,7 +152,7 @@ func TopKMonotone(objects []Object, query PreferenceQuery, k int, opts *Options)
 	if err != nil {
 		return nil, err
 	}
-	return topkOver(tree, query.ID, prefAdapter{p: query.Preference}, k, c)
+	return topkOver(tree, query.ID, prefAdapter{p: query.Preference}, k, cancel.Token{}, c)
 }
 
 // Dominates reports whether object a dominates object b: at least as good

@@ -48,6 +48,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -491,6 +493,17 @@ func runAlloc(sc scale, seed int64, check bool) {
 	}
 	dsnap := dix.Snapshot()
 
+	// Production-hardening row: admission gate armed plus a live cancelable
+	// context, so both the gate's uncontended acquire and the per-node
+	// cancellation checkpoints sit on the measured path. A deadline nobody
+	// fires must cost zero allocations.
+	gatedSrv, err := prefmatch.NewServer(objects, &prefmatch.Options{MaxInFlight: 4})
+	if err != nil {
+		panic(err)
+	}
+	liveCtx, cancelLive := context.WithCancel(context.Background())
+	defer cancelLive()
+
 	rows := []struct {
 		name string
 		gate bool // pooled steady-state path: must stay at 0 allocs/op
@@ -568,6 +581,20 @@ func runAlloc(sc scale, seed int64, check bool) {
 				}
 			}
 		}},
+		{fmt.Sprintf("Server.TopKManyAppend q=8 k=%d (gated+ctx)", k), true, func(b *testing.B) {
+			var (
+				dst     []prefmatch.Assignment
+				offsets []int
+			)
+			batchQs := queries[:8]
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, offsets, err = gatedSrv.TopKManyAppendContext(liveCtx, dst[:0], offsets[:0], batchQs, k)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
 		{fmt.Sprintf("Server.TopK k=%d", k), false, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
@@ -619,6 +646,13 @@ func runAlloc(sc scale, seed int64, check bool) {
 // divides completed reads by the whole mixed run's wall clock, so write and
 // merge overhead is charged to the read throughput exactly as a caller
 // would see it.
+//
+// Every 64th read is issued through TopKContext with an already-canceled
+// context — an impatient caller that hung up before the request started.
+// Those reads must fail with ErrCanceled without being counted toward
+// throughput; the canceled and shed columns report the server's own
+// pm_canceled_total / pm_shed_total counters, so the table shows the
+// hardening layer charging abandoned work correctly under churn.
 func runChurn(sc scale, seed int64, ops int, adminAddr string) {
 	const (
 		d = 4
@@ -639,8 +673,13 @@ func runChurn(sc scale, seed int64, ops int, adminAddr string) {
 
 	fmt.Printf("benchfig: serving under churn — |O| = %d, D = %d, k = %d, %d ops/config (bench trajectory: %s)\n\n",
 		nObjects, d, k, ops, benchSnapshot)
-	fmt.Printf("%-18s %8s %10s %12s %10s %10s %8s %8s\n",
-		"config", "write%", "reads", "reads/s", "p50", "p99", "writes", "merges")
+	fmt.Printf("%-18s %8s %10s %12s %10s %10s %8s %8s %9s %6s\n",
+		"config", "write%", "reads", "reads/s", "p50", "p99", "writes", "merges", "canceled", "shed")
+
+	// An impatient caller: the context was canceled before the request was
+	// ever issued, so the server sheds the work at the admission checkpoint.
+	abandonedCtx, cancelAbandoned := context.WithCancel(context.Background())
+	cancelAbandoned()
 
 	run := func(name string, srv *prefmatch.Server, writeRate float64) float64 {
 		// Every configuration replays the same op sequence; writes clone
@@ -675,6 +714,12 @@ func runChurn(sc scale, seed int64, ops int, adminAddr string) {
 				writes++
 				continue
 			}
+			if i%64 == 63 {
+				if _, err := srv.TopKContext(abandonedCtx, queries[i%len(queries)], k); !errors.Is(err, prefmatch.ErrCanceled) {
+					panic(fmt.Sprintf("abandoned read: got %v, want ErrCanceled", err))
+				}
+				continue
+			}
 			if _, err := srv.TopK(queries[i%len(queries)], k); err != nil {
 				panic(err)
 			}
@@ -687,10 +732,11 @@ func runChurn(sc scale, seed int64, ops int, adminAddr string) {
 			panic("churn run recorded no topk latencies")
 		}
 		qps := float64(reads) / el.Seconds()
-		fmt.Printf("%-18s %8.0f %10d %12.0f %10v %10v %8d %8d\n",
+		st := srv.Stats()
+		fmt.Printf("%-18s %8.0f %10d %12.0f %10v %10v %8d %8d %9d %6d\n",
 			name, writeRate*100, reads, qps,
 			p50.Round(time.Microsecond), p99.Round(time.Microsecond),
-			writes, srv.Stats().MergesCompleted)
+			writes, st.MergesCompleted, st.Canceled, st.Shed)
 		return qps
 	}
 

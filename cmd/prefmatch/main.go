@@ -339,6 +339,8 @@ func cmdServe(args []string) error {
 	duration := fs.Duration("duration", 0, "how long to serve (0 = until interrupted)")
 	writeRate := fs.Float64("write-rate", 0, "fraction of load operations that are live Updates (requires -backend dyn)")
 	slow := fs.Duration("slow", 0, "slow-query threshold: matching requests dump a stage breakdown to stderr (0 = off)")
+	maxInflight := fs.Int("max-inflight", 0, "admission gate: concurrent requests beyond this are shed with ErrOverloaded (0 = unbounded)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-shutdown bound for in-flight requests and merges (0 = the 5s default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,7 +362,12 @@ func cmdServe(args []string) error {
 	}
 	dim := len(objects[0].Values)
 
-	opts := &prefmatch.Options{Shards: *shards, AdminAddr: *adminAddr}
+	opts := &prefmatch.Options{
+		Shards:       *shards,
+		AdminAddr:    *adminAddr,
+		MaxInFlight:  *maxInflight,
+		DrainTimeout: *drainTimeout,
+	}
 	switch *backend {
 	case "memory", "mem":
 		opts.Backend = prefmatch.Memory
@@ -383,6 +390,8 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Shutdown is explicit below (the SIGINT/SIGTERM drain); this defer
+	// only covers early error returns — Close is idempotent.
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "serving %d objects (D=%d, backend=%s) — admin on http://%s\n",
 		len(objects), dim, *backend, srv.AdminAddr())
@@ -412,17 +421,27 @@ func cmdServe(args []string) error {
 		p50, _ := srv.LatencyQuantile("topk", 0.50)
 		p99, _ := srv.LatencyQuantile("topk", 0.99)
 		st := srv.Stats()
-		fmt.Fprintf(os.Stderr, "served=%d p50=%v p99=%v epoch=%d delta=%d merges=%d\n",
+		fmt.Fprintf(os.Stderr, "served=%d p50=%v p99=%v epoch=%d delta=%d merges=%d shed=%d canceled=%d panics=%d\n",
 			srv.Served(), p50.Round(time.Microsecond), p99.Round(time.Microsecond),
-			st.Epoch, st.DeltaSize, st.MergesCompleted)
+			st.Epoch, st.DeltaSize, st.MergesCompleted, st.Shed, st.Canceled, st.Panics)
+	}
+	// drain runs the real shutdown lifecycle on SIGINT/SIGTERM or -duration
+	// expiry: refuse new requests, wait out in-flight ones, quiesce and
+	// fold in the write tier, then stop the admin server.
+	drain := func() error {
+		fmt.Fprintln(os.Stderr, "draining (in-flight requests, pending merges) ...")
+		start := time.Now()
+		err := srv.Close()
+		fmt.Fprintf(os.Stderr, "drained in %v\n", time.Since(start).Round(time.Millisecond))
+		report()
+		return err
 	}
 	ticker := time.NewTicker(5 * time.Second)
 	defer ticker.Stop()
 	for i := 0; ; i++ {
 		select {
 		case <-stop:
-			report()
-			return nil
+			return drain()
 		case <-ticker.C:
 			report()
 		default:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/core"
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/sharded"
@@ -71,7 +72,7 @@ func (ix *Index) Backend() Backend { return ix.opts.Backend }
 // destructive algorithms are rejected with an error) and its storage
 // fields are ignored (fixed at BuildIndex time).
 func (ix *Index) Match(queries []Query, opts *Options) (*Result, error) {
-	res, _, err := matchWave(ix.ix, ix.capacities, queries, opts)
+	res, _, err := matchWave(ix.ix, ix.capacities, queries, opts, cancel.Token{})
 	return res, err
 }
 
@@ -112,12 +113,13 @@ func waveInputs(dim int, queries []Query, opts *Options) ([]prefs.Function, *cor
 // single-threaded — same assignments, same order, same scores. The counters
 // charged with the run are returned alongside the result so callers can
 // aggregate across waves.
-func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries []Query, opts *Options) (*Result, *stats.Counters, error) {
+func matchWave(tree index.ObjectIndex, capacities map[index.ObjID]int, queries []Query, opts *Options, tok cancel.Token) (*Result, *stats.Counters, error) {
 	fns, copts, err := waveInputs(tree.Dim(), queries, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	copts.Capacities = capacities
+	copts.Cancel = tok
 	c := &stats.Counters{}
 	if opts != nil && opts.ShardMatch {
 		sh, ok := tree.(*sharded.Index)

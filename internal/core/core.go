@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
@@ -102,6 +103,12 @@ type Options struct {
 	// Counters receives all work accounting. When nil, the object tree's
 	// counter sink is used.
 	Counters *stats.Counters
+
+	// Cancel is the request's cooperative cancellation token. When live,
+	// the matcher checks it at the top of every Next call — the wave loop's
+	// natural amortization point, one check per emitted pair — and returns
+	// the token's stage-tagged error. The zero Token never cancels.
+	Cancel cancel.Token
 }
 
 // Matcher progressively emits stable pairs.
@@ -161,10 +168,34 @@ func NewMatcher(tree index.ObjectIndex, fns []prefs.Function, opts *Options) (Ma
 		}
 		return nil, err
 	}
+	inner = wrapCancel(inner, opts.Cancel)
 	if prev != nil {
 		inner = &restoreMatcher{Matcher: inner, tree: tree, prev: prev}
 	}
 	return inner, nil
+}
+
+// wrapCancel arms the wave loop's cancellation checkpoint: every Next
+// checks the token before doing any work. The wrapper sits inside
+// restoreMatcher so a canceled run still restores the index's counter
+// sink. A dead token wraps nothing.
+func wrapCancel(m Matcher, tok cancel.Token) Matcher {
+	if !tok.Live() {
+		return m
+	}
+	return &cancelMatcher{Matcher: m, tok: tok}
+}
+
+type cancelMatcher struct {
+	Matcher
+	tok cancel.Token
+}
+
+func (m *cancelMatcher) Next() (Pair, bool, error) {
+	if err := m.tok.Check("wave.next"); err != nil {
+		return Pair{}, false, err
+	}
+	return m.Matcher.Next()
 }
 
 // redirectCounters points the index's accounting at the requested sink. It

@@ -89,23 +89,31 @@ func NewWaveMatcher(src WaveSources, dim int, fns []prefs.Function, opts *Option
 	if c == nil {
 		c = &stats.Counters{}
 	}
+	var (
+		m   Matcher
+		err error
+	)
 	switch opts.Algorithm {
 	case AlgSB:
 		if src.Skyline == nil {
 			return nil, errors.New("core: SB wave matcher needs a SkylineSource")
 		}
-		return newSBOver(src.Skyline, fns, opts, c)
+		m, err = newSBOver(src.Skyline, fns, opts, c)
 	case AlgBruteForce, AlgBruteForceIncremental:
 		if src.Objects == nil {
 			return nil, fmt.Errorf("core: %v wave matcher needs an ObjectSource", opts.Algorithm)
 		}
-		return newCandidateMatcher(src.Objects, fns, opts, c), nil
+		m = newCandidateMatcher(src.Objects, fns, opts, c)
 	case AlgChain:
 		if src.Objects == nil {
 			return nil, errors.New("core: Chain wave matcher needs an ObjectSource")
 		}
-		return newChainOver(src.Objects, fns, opts, c)
+		m, err = newChainOver(src.Objects, fns, opts, c)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return wrapCancel(m, opts.Cancel), nil
 }

@@ -67,7 +67,14 @@ type Options struct {
 	MergeThreshold int
 	// MergeInterval additionally starts a merge when at least this much
 	// time has passed since the last one and the write tier is non-empty.
-	// The clock is checked as writes arrive (there is no timer goroutine).
+	//
+	// CAVEAT — the clock is only consulted as writes arrive: there is no
+	// timer goroutine, so an index that goes idle with a resident write
+	// tier will NOT merge until the next write arrives, no matter how
+	// small the interval. An interval is a staleness bound on a busy
+	// index, not a guarantee. Callers that stop writing and want the
+	// write tier folded in must call Compact themselves — the serving
+	// layer's drain path does exactly that.
 	// 0 disables the interval trigger.
 	MergeInterval time.Duration
 
@@ -130,7 +137,10 @@ type Index struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	merging   bool
-	pending   []mutOp // ops accepted while the in-flight merge runs
+	mergeDone chan struct{} // closed when the in-flight merge settles; nil otherwise
+	mergeErr  error         // first merge panic, held for Shutdown to report
+	closed    bool          // Shutdown called: no new background merges start
+	pending   []mutOp       // ops accepted while the in-flight merge runs
 	lastMerge time.Time
 	loc       map[index.ObjID]objLoc // object residency, follows the live lineage
 
@@ -536,7 +546,7 @@ func (ix *Index) tombstone(st *epochState, nid index.NodeID, id index.ObjID, pt 
 // maybeMergeLocked starts a background merge when the policy says so.
 // Callers hold mu.
 func (ix *Index) maybeMergeLocked(st *epochState) {
-	if ix.merging {
+	if ix.merging || ix.closed {
 		return
 	}
 	wt := st.delta.size + st.tombs
@@ -551,13 +561,16 @@ func (ix *Index) maybeMergeLocked(st *epochState) {
 		return
 	}
 	ix.merging = true
+	ix.mergeDone = make(chan struct{})
 	ix.pending = ix.pending[:0]
 	go ix.runMerge(st)
 }
 
 // Compact synchronously merges the write tier into a fresh STR-packed base
 // and rotates the epoch. It waits for any in-flight background merge
-// first; a no-op when the write tier is empty.
+// first — unboundedly, so a merge parked in an OnMergeStage hook parks
+// Compact too (Shutdown is the bounded alternative); a no-op when the
+// write tier is empty.
 func (ix *Index) Compact() {
 	ix.mu.Lock()
 	for ix.merging {
@@ -569,16 +582,81 @@ func (ix *Index) Compact() {
 		return
 	}
 	ix.merging = true
+	ix.mergeDone = make(chan struct{})
 	ix.pending = ix.pending[:0]
 	ix.mu.Unlock()
 	ix.runMerge(st)
+}
+
+// Shutdown stops the merge policy — no background merge starts after it
+// returns — and waits up to bound for the in-flight merge, if any, to
+// settle. It returns nil when the index is quiesced (any merge published
+// or failed), the merge's panic error when one died, or a timeout error
+// when the merge is still running at the bound (e.g. parked in an
+// OnMergeStage hook) — in that case the merge goroutine finishes on its
+// own time and the caller must not assume the write tier was folded in.
+// A non-positive bound only checks, never waits. Shutdown is idempotent;
+// writes are still accepted afterwards, they just never trigger merges.
+func (ix *Index) Shutdown(bound time.Duration) error {
+	ix.mu.Lock()
+	ix.closed = true
+	done := ix.mergeDone
+	err := ix.mergeErr
+	ix.mu.Unlock()
+	if done == nil {
+		return err
+	}
+	if bound > 0 {
+		timer := time.NewTimer(bound)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			return fmt.Errorf("dynamic: merge still in flight after %v shutdown bound", bound)
+		}
+	} else {
+		select {
+		case <-done:
+		default:
+			return fmt.Errorf("dynamic: merge in flight and shutdown bound is zero")
+		}
+	}
+	ix.mu.Lock()
+	err = ix.mergeErr
+	ix.mu.Unlock()
+	return err
 }
 
 // runMerge packs st0's live set into a fresh base arena off-lock, then
 // republishes: it replays the ops accepted while it ran, swaps the
 // location map, and rotates to an epoch one past the live one. Pinned
 // readers keep traversing their epochs; nothing they can reach is touched.
+//
+// A merge failure panics — every failure mode here is an invariant
+// violation, not a user error — but the panic is contained: the deferred
+// recover records it, clears the merging flag and settles mergeDone, so
+// Compact and Shutdown never deadlock on a dead merge. The published
+// epoch is untouched (a failed merge rotates nothing); the error
+// resurfaces from Shutdown.
 func (ix *Index) runMerge(st0 *epochState) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ix.mu.Lock()
+		if ix.mergeErr == nil {
+			ix.mergeErr = fmt.Errorf("dynamic: merge panicked: %v", r)
+		}
+		ix.pending = nil
+		ix.merging = false
+		if ix.mergeDone != nil {
+			close(ix.mergeDone)
+			ix.mergeDone = nil
+		}
+		ix.cond.Broadcast()
+		ix.mu.Unlock()
+	}()
 	mergeStart := time.Now()
 	ix.hook("start")
 	items := st0.items()
@@ -615,6 +693,10 @@ func (ix *Index) runMerge(st0 *epochState) {
 	ix.lastMerge = time.Now()
 	ix.merges.Add(1)
 	ix.merging = false
+	if ix.mergeDone != nil {
+		close(ix.mergeDone)
+		ix.mergeDone = nil
+	}
 	ix.cond.Broadcast()
 	ix.mu.Unlock()
 	if mm := ix.mm.Load(); mm != nil {

@@ -1,0 +1,183 @@
+// Package faulty wraps an ObjectIndex with configurable fault injection
+// for chaos tests. The wrapper forwards every read verbatim until a
+// fault is armed at one of three sites — snapshot pinning, node reads on
+// the live index, node reads on a pinned snapshot (what ranked-search
+// stream refills do) — and then injects latency, an error, or a panic at
+// that site. Per-site call counters double as the test assertion surface:
+// "a shed request never touched a snapshot" is exactly "Calls(SitePin)
+// and Calls(SiteRefill) did not move".
+//
+// The wrapper is read-only (writes go to the inner index directly, if it
+// is mutable); it exists to poison read paths under the serving stack,
+// not to model storage. Build one shard of a sharded composite over it
+// via sharded.Options.WrapShard to make a single slow or poisoned shard.
+package faulty
+
+import (
+	"sync/atomic"
+	"time"
+
+	"prefmatch/internal/index"
+	"prefmatch/internal/stats"
+	"prefmatch/internal/vec"
+)
+
+// Site identifies an injection point.
+type Site int
+
+const (
+	// SitePin fires on Snapshot and on snapshot Refresh — the per-request
+	// epoch pin. Error injection is not supported here (Snapshot has no
+	// error return); latency and panic are.
+	SitePin Site = iota
+	// SiteRead fires on ReadNode against the live (unsnapshotted) index.
+	SiteRead
+	// SiteRefill fires on ReadNode against a pinned snapshot — the site
+	// every pooled ranked-search stream refill goes through.
+	SiteRefill
+
+	numSites
+)
+
+// Fault describes one armed injection. The zero Fault injects nothing.
+type Fault struct {
+	// Latency is slept before the site's operation proceeds (or before
+	// the error/panic fires).
+	Latency time.Duration
+	// Err, when non-nil, is returned from the site (SiteRead/SiteRefill
+	// only).
+	Err error
+	// Panic, when non-nil, is panicked with at the site.
+	Panic any
+	// After skips the first After calls at the site before firing.
+	After int64
+	// Times bounds how many calls fire (0 = every call past After).
+	Times int64
+}
+
+// Index is the fault-injecting wrapper. Arm and clear faults from any
+// goroutine; reads may be concurrent with re-arming.
+type Index struct {
+	inner  index.ObjectIndex
+	faults [numSites]atomic.Pointer[Fault]
+	calls  [numSites]atomic.Int64
+	fired  [numSites]atomic.Int64
+}
+
+// Wrap returns a fault-injecting view over inner. The inner index must
+// implement Snapshotter for the wrapper's Snapshot to work (the serving
+// stack requires it anyway).
+func Wrap(inner index.ObjectIndex) *Index { return &Index{inner: inner} }
+
+// Inject arms fault at site, replacing whatever was armed there.
+func (f *Index) Inject(site Site, fault Fault) {
+	fc := fault
+	f.faults[site].Store(&fc)
+}
+
+// Clear disarms the site.
+func (f *Index) Clear(site Site) { f.faults[site].Store(nil) }
+
+// Calls returns how many operations have passed through site (fired or
+// not) — the "did anything touch this" assertion counter.
+func (f *Index) Calls(site Site) int64 { return f.calls[site].Load() }
+
+// Fired returns how many injections have actually fired at site.
+func (f *Index) Fired(site Site) int64 { return f.fired[site].Load() }
+
+// at records one call at site and applies the armed fault, returning the
+// injected error if any.
+func (f *Index) at(site Site) error {
+	n := f.calls[site].Add(1)
+	ft := f.faults[site].Load()
+	if ft == nil || n <= ft.After {
+		return nil
+	}
+	if ft.Times > 0 {
+		if f.fired[site].Add(1) > ft.Times {
+			f.fired[site].Add(-1)
+			return nil
+		}
+	} else {
+		f.fired[site].Add(1)
+	}
+	if ft.Latency > 0 {
+		time.Sleep(ft.Latency)
+	}
+	if ft.Panic != nil {
+		panic(ft.Panic)
+	}
+	return ft.Err
+}
+
+// --- live ObjectIndex surface ---
+
+func (f *Index) Dim() int               { return f.inner.Dim() }
+func (f *Index) Len() int               { return f.inner.Len() }
+func (f *Index) RootPage() index.NodeID { return f.inner.RootPage() }
+func (f *Index) NumPages() int          { return f.inner.NumPages() }
+func (f *Index) Validate() error        { return f.inner.Validate() }
+
+func (f *Index) ReadNode(id index.NodeID) (index.Node, error) {
+	if err := f.at(SiteRead); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadNode(id)
+}
+
+func (f *Index) Delete(id index.ObjID, p vec.Point) error { return f.inner.Delete(id, p) }
+func (f *Index) Counters() *stats.Counters                { return f.inner.Counters() }
+func (f *Index) SetCounters(c *stats.Counters)            { f.inner.SetCounters(c) }
+
+// Snapshot pins a snapshot of the inner index (SitePin) and returns a
+// view whose node reads go through SiteRefill.
+func (f *Index) Snapshot() index.ObjectIndex {
+	_ = f.at(SitePin)
+	sn, ok := f.inner.(index.Snapshotter)
+	if !ok {
+		// The serving stack rejects non-Snapshotter backends before any
+		// request runs; reaching this is a test-harness misuse.
+		panic("faulty: inner index does not implement Snapshotter")
+	}
+	return &snapshot{inner: sn.Snapshot(), f: f}
+}
+
+// snapshot is a pinned read-only view with SiteRefill on every node read.
+type snapshot struct {
+	inner index.ObjectIndex
+	f     *Index
+}
+
+func (s *snapshot) Dim() int               { return s.inner.Dim() }
+func (s *snapshot) Len() int               { return s.inner.Len() }
+func (s *snapshot) RootPage() index.NodeID { return s.inner.RootPage() }
+func (s *snapshot) NumPages() int          { return s.inner.NumPages() }
+func (s *snapshot) Validate() error        { return s.inner.Validate() }
+
+func (s *snapshot) ReadNode(id index.NodeID) (index.Node, error) {
+	if err := s.f.at(SiteRefill); err != nil {
+		return nil, err
+	}
+	return s.inner.ReadNode(id)
+}
+
+func (s *snapshot) Delete(id index.ObjID, p vec.Point) error { return s.inner.Delete(id, p) }
+func (s *snapshot) Counters() *stats.Counters                { return s.inner.Counters() }
+func (s *snapshot) SetCounters(c *stats.Counters)            { s.inner.SetCounters(c) }
+
+// Refresh re-pins the snapshot (SitePin) when the inner view supports it
+// (dynamic-backed snapshots); a no-op re-pin otherwise.
+func (s *snapshot) Refresh() {
+	_ = s.f.at(SitePin)
+	if r, ok := s.inner.(interface{ Refresh() }); ok {
+		r.Refresh()
+	}
+}
+
+// Epoch forwards the inner view's epoch when it has one.
+func (s *snapshot) Epoch() uint64 {
+	if e, ok := s.inner.(index.Epocher); ok {
+		return e.Epoch()
+	}
+	return 0
+}

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/core"
+	"prefmatch/internal/guard"
 	"prefmatch/internal/index"
 	"prefmatch/internal/prefs"
 	"prefmatch/internal/skyline"
@@ -72,12 +74,17 @@ func waveClamp(workers, jobs int) int {
 
 // fanIndexed runs jobs 0..n-1 across workers goroutines pulling from a
 // shared cursor, collecting one error per job (deterministic placement).
+// Every job runs under guard.Safe, so a panic in one job becomes that
+// job's error instead of killing the process or abandoning the WaitGroup
+// barrier — the recover wraps exactly the job invocation, leaving the
+// worker loop and its Done defer intact.
 func fanIndexed(n, workers int, job func(int) error) error {
 	workers = waveClamp(workers, n)
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = job(i)
+			i := i
+			errs[i] = guard.Safe(func() error { return job(i) })
 		}
 		return errors.Join(errs...)
 	}
@@ -92,7 +99,7 @@ func fanIndexed(n, workers int, job func(int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = job(i)
+				errs[i] = guard.Safe(func() error { return job(i) })
 			}
 		}()
 	}
@@ -142,6 +149,7 @@ type waveObjects struct {
 	ix        *Index
 	fns       []prefs.Function
 	workers   int
+	tok       cancel.Token // armed on every stream searcher as it opens
 	fans      []fnFan
 	built     bool
 	removed   map[index.ObjID]bool
@@ -153,11 +161,12 @@ var (
 	_ core.BatchPrimer  = (*waveObjects)(nil)
 )
 
-func newWaveObjects(ix *Index, fns []prefs.Function, workers int) *waveObjects {
+func newWaveObjects(ix *Index, fns []prefs.Function, workers int, tok cancel.Token) *waveObjects {
 	return &waveObjects{
 		ix:        ix,
 		fns:       fns,
 		workers:   workers,
+		tok:       tok,
 		removed:   map[index.ObjID]bool{},
 		remaining: ix.Len(),
 	}
@@ -237,6 +246,7 @@ func (w *waveObjects) open(f, idx int) {
 	st.sink = &stats.Counters{}
 	snap.SetCounters(st.sink)
 	st.search = topk.AcquireSearcher(snap, w.fns[f], st.sink)
+	st.search.SetCancel(w.tok)
 }
 
 // bestHead returns the best current head across the opened streams, under
@@ -576,7 +586,7 @@ func (ix *Index) NewWaveMatcher(fns []prefs.Function, opts *core.Options, worker
 	default:
 		// The candidate-driven algorithms; an unknown algorithm is rejected
 		// by the core validation below before any stream is opened.
-		obj := newWaveObjects(ix, fns, workers)
+		obj := newWaveObjects(ix, fns, workers, o.Cancel)
 		src.Objects, finish = obj, obj.finish
 	}
 	inner, err := core.NewWaveMatcher(src, ix.dim, fns, &o)

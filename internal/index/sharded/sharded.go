@@ -49,6 +49,7 @@
 package sharded
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -57,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/mem"
 	"prefmatch/internal/obs"
@@ -114,6 +116,13 @@ type Options struct {
 	// Counters is the composite's work sink, shared with every shard (a
 	// single-goroutine index charges one sink). Optional.
 	Counters *stats.Counters
+	// WrapShard, when set, post-processes each built shard before the
+	// composite adopts it — the chaos-test seam: wrap one shard in a
+	// fault-injecting view (internal/index/faulty) to model a slow or
+	// poisoned shard. The returned index must still satisfy whatever the
+	// composite needs from the shard (Snapshotter for serving,
+	// MutableIndex for writes).
+	WrapShard func(shard int, ix index.ObjectIndex) index.ObjectIndex
 }
 
 // rootEntry is one entry of the synthetic root: a non-empty shard, its
@@ -278,6 +287,9 @@ func Build(dim int, items []index.Item, opts *Options) (*Index, error) {
 		shard, err := o.BuildShard(dim, g)
 		if err != nil {
 			return nil, fmt.Errorf("sharded: shard %d: %w", s, err)
+		}
+		if o.WrapShard != nil {
+			shard = o.WrapShard(s, shard)
 		}
 		if shard.NumPages() > maxLocal {
 			return nil, fmt.Errorf("sharded: shard %d has %d nodes, beyond the %d-bit local ID space", s, shard.NumPages(), localBits)
@@ -615,6 +627,30 @@ func (ix *Index) Compact() {
 			c.Compact()
 		}
 	}
+}
+
+// Shutdown quiesces every shard that has a merge lifecycle (the dynamic
+// backend), sharing one bound across all of them: each shard's merge
+// policy is stopped, and any in-flight background merge is given what is
+// left of the bound to settle. Per-shard failures are joined, tagged with
+// the shard number. Safe to call more than once.
+func (ix *Index) Shutdown(bound time.Duration) error {
+	deadline := time.Now().Add(bound)
+	var errs []error
+	for i, s := range ix.shards {
+		sd, ok := s.(interface{ Shutdown(time.Duration) error })
+		if !ok {
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if err := sd.Shutdown(remaining); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Tombstones sums the shards' base-tier tombstone counts (zero over
@@ -987,6 +1023,15 @@ func releaseMergeHeap(q *pqueue.Queue[topk.Result]) {
 // as soon as its next result cannot beat the current k-th. Both cuts are
 // exact: the result is always the same as searching one combined index.
 func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Counters) ([]topk.Result, error) {
+	return ix.SearchTopKCancel(pref, k, workers, cancel.Token{}, c)
+}
+
+// SearchTopKCancel is SearchTopK with a cooperative cancellation token:
+// every shard worker checks it before claiming a shard and arms its
+// pooled searcher with it, so one observed deadline aborts the whole
+// fan-out — including shards still traversing — with the token's
+// stage-tagged error.
+func (ix *Index) SearchTopKCancel(pref prefs.Preference, k, workers int, tok cancel.Token, c *stats.Counters) ([]topk.Result, error) {
 	if c == nil {
 		c = ix.c
 	}
@@ -1020,6 +1065,9 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 	defer releaseMergeHeap(acc)
 	sinks := make([]*stats.Counters, len(jobs))
 	runShard := func(j int) error {
+		if err := tok.Check("shard.fanout"); err != nil {
+			return err
+		}
 		sink := &stats.Counters{}
 		sinks[j] = sink
 		// Whole-shard MBR pruning: with k results on the heap already, a
@@ -1045,6 +1093,7 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
 		snap.SetCounters(sink)
 		search := topk.AcquireSearcher(snap, pref, sink)
+		search.SetCancel(tok)
 		defer search.Release()
 		// A shard contributes at most its own k best: its stream is exactly
 		// descending, so result k+1 cannot displace anything its first k
@@ -1114,6 +1163,13 @@ func (ix *Index) SearchTopK(pref prefs.Preference, k, workers int, c *stats.Coun
 // opportunities and counter totals — is nondeterministic, but the returned
 // results are always exact.
 func (ix *Index) SearchTopKBatch(fns []prefs.Preference, k, workers int, c *stats.Counters) ([][]topk.Result, error) {
+	return ix.SearchTopKBatchCancel(fns, k, workers, cancel.Token{}, c)
+}
+
+// SearchTopKBatchCancel is SearchTopKBatch with a cooperative
+// cancellation token, threaded into every per-shard batch searcher
+// exactly like SearchTopKCancel.
+func (ix *Index) SearchTopKBatchCancel(fns []prefs.Preference, k, workers int, tok cancel.Token, c *stats.Counters) ([][]topk.Result, error) {
 	if c == nil {
 		c = ix.c
 	}
@@ -1163,6 +1219,9 @@ func (ix *Index) SearchTopKBatch(fns []prefs.Preference, k, workers int, c *stat
 
 	sinks := make([]*stats.Counters, len(jobs))
 	runShard := func(j int) error {
+		if err := tok.Check("shard.fanout"); err != nil {
+			return err
+		}
 		sink := &stats.Counters{}
 		sinks[j] = sink
 		// Per-function shard pruning under the same rule as SearchTopK's
@@ -1199,6 +1258,7 @@ func (ix *Index) SearchTopKBatch(fns []prefs.Preference, k, workers int, c *stat
 		snap := ix.shards[jobs[j].shard].(index.Snapshotter).Snapshot()
 		snap.SetCounters(sink)
 		b := topk.AcquireBatchSearcher(snap, sub, ks, sink)
+		b.SetCancel(tok)
 		defer b.Release()
 		if err := b.Run(); err != nil {
 			return err

@@ -39,6 +39,7 @@ package topk
 import (
 	"sync"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/pqueue"
@@ -157,7 +158,8 @@ type BatchSearcher struct {
 
 	frontier pqueue.Queue[batchEntry]
 
-	skip func(index.ObjID) bool
+	skip   func(index.ObjID) bool
+	cancel cancel.Token // zero Token: never cancels
 }
 
 // NewBatchSearcher returns an unbound reusable batch searcher; call Reset
@@ -182,6 +184,7 @@ func (b *BatchSearcher) Reset(t index.ObjectIndex, fns []prefs.Preference, ks []
 	b.tree, b.c = t, c
 	b.d = t.Dim()
 	b.skip = nil
+	b.cancel = cancel.Token{}
 	b.fns = append(b.fns[:0], fns...)
 	b.ks = append(b.ks[:0], ks...)
 	b.lins = b.lins[:0]
@@ -235,6 +238,12 @@ func (b *BatchSearcher) Reset(t index.ObjectIndex, fns []prefs.Preference, ks []
 // deletions are recorded out of band.
 func (b *BatchSearcher) SetSkip(skip func(index.ObjID) bool) { b.skip = skip }
 
+// SetCancel arms cooperative cancellation for the batch, exactly like
+// Searcher.SetCancel: Run checks the token immediately before every node
+// read and aborts the whole batch with the stage-tagged error. Call
+// between Reset and Run; Reset and Release disarm it.
+func (b *BatchSearcher) SetCancel(t cancel.Token) { b.cancel = t }
+
 // batchPool recycles warmed batch searchers across requests and goroutines,
 // exactly like searcherPool for the single-function path.
 var batchPool = sync.Pool{New: func() any { return NewBatchSearcher() }}
@@ -252,6 +261,7 @@ func AcquireBatchSearcher(t index.ObjectIndex, fns []prefs.Preference, ks []int,
 // the pool.
 func (b *BatchSearcher) Release() {
 	b.tree, b.c, b.skip = nil, nil, nil
+	b.cancel = cancel.Token{}
 	clear(b.fns)
 	b.fns = b.fns[:0]
 	clear(b.lins)
@@ -349,6 +359,9 @@ func (b *BatchSearcher) Run() error {
 			// for the rest it was already useless at push time. Skip the
 			// read entirely.
 			continue
+		}
+		if err := b.cancel.Check("topk.traverse"); err != nil {
+			return err
 		}
 		n, err := b.tree.ReadNode(top.page)
 		if err != nil {

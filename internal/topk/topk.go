@@ -26,6 +26,7 @@ package topk
 import (
 	"sync"
 
+	"prefmatch/internal/cancel"
 	"prefmatch/internal/index"
 	"prefmatch/internal/pagedfile"
 	"prefmatch/internal/pqueue"
@@ -109,6 +110,7 @@ type Searcher struct {
 	isLinear bool
 	frontier pqueue.Queue[heapItem]
 	counters *stats.Counters
+	cancel   cancel.Token // zero Token: never cancels
 }
 
 // IncSearch is the historical name of Searcher.
@@ -146,6 +148,7 @@ func (s *Searcher) Reset(t index.ObjectIndex, pref prefs.Preference, c *stats.Co
 	}
 	s.frontier.Reset()
 	s.frontier.SetCounters(c)
+	s.cancel = cancel.Token{}
 	c.Top1Searches++
 	if root := t.RootPage(); root != pagedfile.InvalidPage {
 		// The root's true bound is unknown before reading it; +Inf keeps it
@@ -153,6 +156,14 @@ func (s *Searcher) Reset(t index.ObjectIndex, pref prefs.Preference, c *stats.Co
 		s.frontier.Push(heapItem{bound: inf, page: root})
 	}
 }
+
+// SetCancel arms the searcher's cooperative cancellation: Next checks the
+// token immediately before every node read (the unit of both latency and
+// I/O, so a canceled search stops within about one node expansion) and
+// returns the token's stage-tagged error. Reset and Release disarm it, so
+// pooled searchers never inherit a previous request's deadline. The zero
+// Token never cancels and costs one nil comparison per node.
+func (s *Searcher) SetCancel(t cancel.Token) { s.cancel = t }
 
 // searcherPool recycles warmed searchers across queries and goroutines: the
 // serving path (Server.TopK/TopKMany, the sharded per-shard fan-out) would
@@ -173,6 +184,7 @@ func AcquireSearcher(t index.ObjectIndex, pref prefs.Preference, c *stats.Counte
 func (s *Searcher) Release() {
 	s.tree, s.pref, s.counters = nil, nil, nil
 	s.lin, s.isLinear = prefs.Function{}, false
+	s.cancel = cancel.Token{}
 	s.frontier.Reset()
 	s.frontier.SetCounters(nil)
 	searcherPool.Put(s)
@@ -190,6 +202,9 @@ func (s *Searcher) Next() (Result, bool, error) {
 		}
 		if top.isObj {
 			return Result{ID: top.id, Point: top.point, Score: top.bound}, true, nil
+		}
+		if err := s.cancel.Check("topk.traverse"); err != nil {
+			return Result{}, false, err
 		}
 		n, err := s.tree.ReadNode(top.page)
 		if err != nil {

@@ -77,6 +77,7 @@
 package prefmatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -304,8 +305,15 @@ type Options struct {
 	MergeThreshold int
 
 	// MergeInterval additionally starts a merge when this much time has
-	// passed since the last one (checked at writes). 0 disables
-	// interval-triggered merges. Dynamic backend only.
+	// passed since the last one. 0 disables interval-triggered merges.
+	// Dynamic backend only.
+	//
+	// CAVEAT — the clock is only consulted as writes arrive: there is no
+	// timer goroutine, so a server that goes idle with a resident write
+	// tier will NOT merge until the next write, no matter how small the
+	// interval. An interval is a staleness bound on a busy server, not a
+	// guarantee. Call Compact to fold an idle write tier in explicitly;
+	// Close's drain path runs that final Compact itself.
 	MergeInterval time.Duration
 
 	// AdminAddr, when non-empty, starts an admin HTTP server on this
@@ -328,6 +336,25 @@ type Options struct {
 	// are serialised; the writer does not need to be safe for concurrent
 	// use.
 	SlowQueryLog io.Writer
+
+	// MaxInFlight caps how many requests a Server admits concurrently
+	// (reads and writes alike). A request arriving while the cap is
+	// reached waits at most MaxQueueWait for a slot and is then shed with
+	// ErrOverloaded — the server never queues unboundedly. 0 (the
+	// default) disables admission control. Server only.
+	MaxInFlight int
+
+	// MaxQueueWait bounds how long an over-limit request may wait for an
+	// admission slot before being shed with ErrOverloaded. 0 (the
+	// default) sheds immediately when the gate is full. Only meaningful
+	// with MaxInFlight set.
+	MaxQueueWait time.Duration
+
+	// DrainTimeout bounds Server.Close's graceful drain: how long Close
+	// waits for in-flight requests to finish and for a background merge
+	// to settle before giving up and reporting what was still running.
+	// 0 means the default (5s). Server only.
+	DrainTimeout time.Duration
 
 	// ShardMatch routes matching waves through the shard-parallel fan-out
 	// (sharded.MatchWave): the algorithm's global decision loop — including
@@ -372,6 +399,14 @@ type Stats struct {
 	DeltaSize         int64  // objects currently in the write tier (delta + tombstones)
 	MergesCompleted   int64  // background merges republished so far
 	DeltaNodesVisited int64  // write-tier nodes expanded by ranked search
+
+	// Robustness accounting (Server only; zero elsewhere): requests shed
+	// by admission control (ErrOverloaded), requests abandoned via
+	// context cancellation or deadline, and worker panics recovered into
+	// per-request errors.
+	Shed     int64
+	Canceled int64
+	Panics   int64
 }
 
 // Result is a completed matching.
@@ -405,6 +440,27 @@ var (
 	// ErrNotFound reports an Update or Remove of an object that is not
 	// indexed.
 	ErrNotFound = index.ErrNotFound
+)
+
+// Sentinel errors of the Server's production-hardening surface, for
+// errors.Is. Cancellation errors are wrapped with the pipeline stage that
+// observed them (admission, topk.traverse, shard.fanout, wave.next) but
+// always unwrap to these sentinels.
+var (
+	// ErrCanceled reports a request abandoned because its context was
+	// canceled. Alias of context.Canceled, so either sentinel matches.
+	ErrCanceled = context.Canceled
+	// ErrDeadlineExceeded reports a request abandoned because its context
+	// deadline passed mid-flight. Alias of context.DeadlineExceeded.
+	ErrDeadlineExceeded = context.DeadlineExceeded
+	// ErrOverloaded reports a request shed by admission control: the
+	// server already had Options.MaxInFlight requests in flight and no
+	// slot freed within Options.MaxQueueWait. Shed requests touch no
+	// snapshot and do no index work — retry with backoff.
+	ErrOverloaded = errors.New("prefmatch: overloaded: admission gate full")
+	// ErrClosed reports a request refused because Server.Close has begun:
+	// the server is draining or closed and accepts no new work.
+	ErrClosed = errors.New("prefmatch: server closed")
 )
 
 // NewMatcher indexes the objects and prepares the selected algorithm.

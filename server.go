@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prefmatch/internal/cancel"
+	"prefmatch/internal/guard"
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
@@ -72,6 +74,19 @@ type Server struct {
 	// stage histograms, slow-query log. Always non-nil; every recording
 	// method is allocation-free.
 	om *serverMetrics
+
+	// Lifecycle and admission state (see lifecycle.go). state advances
+	// serving → draining → closed; inflight counts admitted requests;
+	// gate is the MaxInFlight semaphore (nil means unlimited); closing is
+	// closed when Close begins, unblocking waiters queued on the gate.
+	state      atomic.Int32
+	inflight   atomic.Int64
+	gate       chan struct{}
+	maxWait    time.Duration
+	drainBound time.Duration
+	closing    chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
 
 	adminMu sync.Mutex
 	admin   *adminState
@@ -189,7 +204,17 @@ func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int, opts *Optio
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ix: serving}
+	s := &Server{ix: serving, closing: make(chan struct{})}
+	if opts != nil {
+		if opts.MaxInFlight < 0 {
+			return nil, fmt.Errorf("prefmatch: negative MaxInFlight %d", opts.MaxInFlight)
+		}
+		if opts.MaxInFlight > 0 {
+			s.gate = make(chan struct{}, opts.MaxInFlight)
+		}
+		s.maxWait = opts.MaxQueueWait
+		s.drainBound = opts.DrainTimeout
+	}
 	if capacities != nil {
 		s.capacities.Store(&capacities)
 	}
@@ -268,8 +293,18 @@ func (s *Server) setCapacityLocked(id index.ObjID, capacity int) {
 // in-flight requests keep the epoch they pinned and new requests see the
 // object. Requires the Dynamic backend (sharded or not); static servers
 // return an error wrapping index.ErrReadOnly. Safe for concurrent use with
-// all read methods and other writes.
+// all read methods and other writes. Writes pass the same admission gate
+// as reads (ErrOverloaded, ErrClosed apply).
 func (s *Server) Insert(obj Object) error {
+	return s.insert(cancel.Token{}, obj)
+}
+
+func (s *Server) insert(tok cancel.Token, obj Object) (err error) {
+	if err := s.admit(tok); err != nil {
+		return err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opInsert, obj.ID, &err)
 	start := time.Now()
 	m, err := s.mutable()
 	if err != nil {
@@ -283,6 +318,9 @@ func (s *Server) Insert(obj Object) error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if err := tok.Check("write.apply"); err != nil {
+		return err
+	}
 	if err := m.Insert(id, pt); err != nil {
 		s.om.fail(opInsert)
 		return err
@@ -297,6 +335,15 @@ func (s *Server) Insert(obj Object) error {
 // Returns index.ErrNotFound when the object is not indexed. Requires the
 // Dynamic backend, like Insert.
 func (s *Server) Update(obj Object) error {
+	return s.update(cancel.Token{}, obj)
+}
+
+func (s *Server) update(tok cancel.Token, obj Object) (err error) {
+	if err := s.admit(tok); err != nil {
+		return err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opUpdate, obj.ID, &err)
 	start := time.Now()
 	m, err := s.mutable()
 	if err != nil {
@@ -310,6 +357,9 @@ func (s *Server) Update(obj Object) error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if err := tok.Check("write.apply"); err != nil {
+		return err
+	}
 	if err := m.Update(id, pt); err != nil {
 		s.om.fail(opUpdate)
 		return err
@@ -323,6 +373,15 @@ func (s *Server) Update(obj Object) error {
 // index.ErrNotFound when the object is not indexed. Requires the Dynamic
 // backend, like Insert.
 func (s *Server) Remove(id int) error {
+	return s.remove(cancel.Token{}, id)
+}
+
+func (s *Server) remove(tok cancel.Token, id int) (err error) {
+	if err := s.admit(tok); err != nil {
+		return err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opRemove, id, &err)
 	start := time.Now()
 	m, err := s.mutable()
 	if err != nil {
@@ -331,6 +390,9 @@ func (s *Server) Remove(id int) error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if err := tok.Check("write.apply"); err != nil {
+		return err
+	}
 	p, ok := s.ix.(interface {
 		PointOf(index.ObjID) (vec.Point, bool)
 	})
@@ -358,6 +420,15 @@ func (s *Server) Remove(id int) error {
 // Options.MergeThreshold and Options.MergeInterval — call it before a read
 // burst or after bulk writes. Requires the Dynamic backend, like Insert.
 func (s *Server) Compact() error {
+	return s.compact(cancel.Token{})
+}
+
+func (s *Server) compact(tok cancel.Token) (err error) {
+	if err := s.admit(tok); err != nil {
+		return err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opCompact, -1, &err)
 	start := time.Now()
 	if _, err := s.mutable(); err != nil {
 		s.om.fail(opCompact)
@@ -370,6 +441,9 @@ func (s *Server) Compact() error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if err := tok.Check("write.apply"); err != nil {
+		return err
+	}
 	c.Compact()
 	s.om.observeOp(opCompact, time.Since(start))
 	return nil
@@ -415,7 +489,19 @@ func (s *Server) Stats() Stats {
 	if m, ok := s.ix.(interface{ MergesCompleted() int64 }); ok {
 		out.MergesCompleted = m.MergesCompleted()
 	}
+	out.Shed = s.om.shed.Load()
+	out.Canceled = s.om.canceled.Load()
+	out.Panics = s.om.panics.Load()
 	return out
+}
+
+// firstQID picks the representative query ID a batch request is logged
+// under when it panics: the first query's ID, or -1 for an empty batch.
+func firstQID(queries []Query) int {
+	if len(queries) == 0 {
+		return -1
+	}
+	return queries[0].ID
 }
 
 // Served returns the number of requests completed so far.
@@ -433,22 +519,34 @@ func (s *Server) Served() int64 {
 // opts may be nil; the Algorithm field must be SkylineBased (the zero
 // value) and storage fields are ignored.
 func (s *Server) Match(queries []Query, opts *Options) (*Result, error) {
-	return s.match(queries, opts, 0)
+	return s.matchReq(cancel.Token{}, queries, opts)
+}
+
+// matchReq is Match behind the admission gate, with the request's
+// cancellation token threaded into the wave loop.
+func (s *Server) matchReq(tok cancel.Token, queries []Query, opts *Options) (_ *Result, err error) {
+	if err := s.admit(tok); err != nil {
+		return nil, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opMatch, firstQID(queries), &err)
+	return s.match(tok, queries, opts, 0)
 }
 
 // match implements Match with an explicit shard-worker budget: 0 lets a
 // lone request fan across GOMAXPROCS shard workers, while MatchMany passes
 // its budget split so the outer per-wave fan-out and the inner per-shard
 // fan-out never multiply into oversubscription (the TopKMany discipline).
-func (s *Server) match(queries []Query, opts *Options, shardWorkers int) (*Result, error) {
+// The caller has already passed the admission gate.
+func (s *Server) match(tok cancel.Token, queries []Query, opts *Options, shardWorkers int) (*Result, error) {
 	if s.sh != nil {
-		return s.matchSharded(queries, opts, shardWorkers)
+		return s.matchSharded(tok, queries, opts, shardWorkers)
 	}
 	var tr reqTrace
 	tr.begin(0)
 	snap := s.ix.Snapshot()
 	tr.mark(stagePin)
-	res, c, err := matchWave(snap, s.caps(), queries, opts)
+	res, c, err := matchWave(snap, s.caps(), queries, opts, tok)
 	tr.mark(stageTraverse)
 	if err != nil {
 		s.om.fail(opMatch)
@@ -464,7 +562,7 @@ func (s *Server) match(queries []Query, opts *Options, shardWorkers int) (*Resul
 // engine across per-shard snapshots (sharded.MatchWave) with the given
 // shard-worker budget. The wave's merged accounting is recorded into the
 // server totals exactly like any other request.
-func (s *Server) matchSharded(queries []Query, opts *Options, shardWorkers int) (*Result, error) {
+func (s *Server) matchSharded(tok cancel.Token, queries []Query, opts *Options, shardWorkers int) (*Result, error) {
 	vstart := time.Now()
 	fns, copts, err := waveInputs(s.ix.Dim(), queries, opts)
 	if err != nil {
@@ -474,6 +572,7 @@ func (s *Server) matchSharded(queries []Query, opts *Options, shardWorkers int) 
 	var tr reqTrace
 	tr.begin(time.Since(vstart))
 	copts.Capacities = s.caps()
+	copts.Cancel = tok
 	c := &stats.Counters{}
 	pairs, err := s.sh.MatchWave(fns, copts, shardWorkers, c)
 	tr.mark(stageTraverse)
@@ -502,6 +601,15 @@ func (s *Server) matchSharded(queries []Query, opts *Options, shardWorkers int) 
 // workers=0 fans across all CPUs' worth of shard workers; workers=1 stays
 // fully sequential).
 func (s *Server) MatchMany(waves [][]Query, opts *Options, workers int) ([]*Result, error) {
+	return s.matchMany(cancel.Token{}, waves, opts, workers)
+}
+
+func (s *Server) matchMany(tok cancel.Token, waves [][]Query, opts *Options, workers int) (_ []*Result, err error) {
+	if err := s.admit(tok); err != nil {
+		return nil, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opMatch, -1, &err)
 	results := make([]*Result, len(waves))
 	errs := make([]error, len(waves))
 	budget := workers
@@ -515,7 +623,11 @@ func (s *Server) MatchMany(waves [][]Query, opts *Options, workers int) ([]*Resu
 		}
 	}
 	fanOut(len(waves), budget, func(i int) {
-		results[i], errs[i] = s.match(waves[i], opts, shardWorkers)
+		errs[i] = guard.Safe(func() error {
+			var e error
+			results[i], e = s.match(tok, waves[i], opts, shardWorkers)
+			return e
+		})
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
@@ -560,15 +672,26 @@ func serve[T any](s *Server, op serverOp, validate time.Duration, req func(snap 
 // across all CPUs' worth of per-shard snapshot workers. Safe for concurrent
 // use.
 func (s *Server) TopK(query Query, k int) ([]Assignment, error) {
-	return s.topK(query, k, 0)
+	return s.topKReq(cancel.Token{}, query, k)
+}
+
+// topKReq is TopK behind the admission gate.
+func (s *Server) topKReq(tok cancel.Token, query Query, k int) (_ []Assignment, err error) {
+	if err := s.admit(tok); err != nil {
+		return nil, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opTopK, query.ID, &err)
+	return s.topK(tok, query, k, 0)
 }
 
 // topK implements TopK with an explicit shard-worker budget: 0 lets a lone
 // request fan out across GOMAXPROCS shard workers, while TopKMany passes 1
 // so the outer per-query fan-out owns the parallelism and requests do not
 // multiply into workers × shards goroutines. The query is validated before
-// the k == 0 short-circuit, so k never changes what is accepted.
-func (s *Server) topK(query Query, k, shardWorkers int) ([]Assignment, error) {
+// the k == 0 short-circuit, so k never changes what is accepted. The caller
+// has already passed the admission gate.
+func (s *Server) topK(tok cancel.Token, query Query, k, shardWorkers int) ([]Assignment, error) {
 	vstart := time.Now()
 	if k < 0 {
 		s.om.fail(opTopK)
@@ -584,10 +707,10 @@ func (s *Server) topK(query Query, k, shardWorkers int) ([]Assignment, error) {
 		return nil, nil
 	}
 	if s.sh != nil {
-		return s.topKSharded(query.ID, f, k, shardWorkers, validate)
+		return s.topKSharded(tok, query.ID, f, k, shardWorkers, validate)
 	}
 	return serve(s, opTopK, validate, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
-		return topkOver(snap, query.ID, f, k, c)
+		return topkOver(snap, query.ID, f, k, tok, c)
 	})
 }
 
@@ -597,11 +720,11 @@ func (s *Server) topK(query Query, k, shardWorkers int) ([]Assignment, error) {
 // counters are merged into one request sink and recorded into the server
 // totals, exactly like any other request. Results are bit-identical to the
 // unsharded path.
-func (s *Server) topKSharded(qid int, p prefs.Preference, k, shardWorkers int, validate time.Duration) ([]Assignment, error) {
+func (s *Server) topKSharded(tok cancel.Token, qid int, p prefs.Preference, k, shardWorkers int, validate time.Duration) ([]Assignment, error) {
 	var tr reqTrace
 	tr.begin(validate)
 	c := &stats.Counters{}
-	results, err := s.sh.SearchTopK(p, k, shardWorkers, c)
+	results, err := s.sh.SearchTopKCancel(p, k, shardWorkers, tok, c)
 	tr.mark(stageTraverse)
 	if err != nil {
 		s.om.fail(opTopK)
@@ -619,6 +742,15 @@ func (s *Server) topKSharded(qid int, p prefs.Preference, k, shardWorkers int, v
 
 // TopKMonotone is TopK for an arbitrary monotone preference.
 func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error) {
+	return s.topKMonotone(cancel.Token{}, query, k)
+}
+
+func (s *Server) topKMonotone(tok cancel.Token, query PreferenceQuery, k int) (_ []Assignment, err error) {
+	if err := s.admit(tok); err != nil {
+		return nil, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opTopK, query.ID, &err)
 	vstart := time.Now()
 	if k < 0 {
 		s.om.fail(opTopK)
@@ -633,10 +765,10 @@ func (s *Server) TopKMonotone(query PreferenceQuery, k int) ([]Assignment, error
 		return nil, nil
 	}
 	if s.sh != nil {
-		return s.topKSharded(query.ID, prefAdapter{p: query.Preference}, k, 0, validate)
+		return s.topKSharded(tok, query.ID, prefAdapter{p: query.Preference}, k, 0, validate)
 	}
 	return serve(s, opTopK, validate, func(snap index.ObjectIndex, c *stats.Counters) ([]Assignment, error) {
-		return topkOver(snap, query.ID, prefAdapter{p: query.Preference}, k, c)
+		return topkOver(snap, query.ID, prefAdapter{p: query.Preference}, k, tok, c)
 	})
 }
 
@@ -661,6 +793,15 @@ const batchChunk = 64
 // chunk count leaves unused goes to each chunk's per-shard fan-out
 // (workers=1 stays fully sequential).
 func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, error) {
+	return s.topKMany(cancel.Token{}, queries, k, workers)
+}
+
+func (s *Server) topKMany(tok cancel.Token, queries []Query, k, workers int) (_ [][]Assignment, err error) {
+	if err := s.admit(tok); err != nil {
+		return nil, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opTopKMany, firstQID(queries), &err)
 	vstart := time.Now()
 	results := make([][]Assignment, len(queries))
 	fns := make([]prefs.Preference, len(queries))
@@ -703,12 +844,14 @@ func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, erro
 	}
 	cerrs := make([]error, chunks)
 	fanOut(chunks, budget, func(ci int) {
-		lo := ci * batchChunk
-		hi := lo + batchChunk
-		if hi > len(queries) {
-			hi = len(queries)
-		}
-		cerrs[ci] = s.topKChunk(queries[lo:hi], fns[lo:hi], results[lo:hi], k, shardWorkers)
+		cerrs[ci] = guard.Safe(func() error {
+			lo := ci * batchChunk
+			hi := lo + batchChunk
+			if hi > len(queries) {
+				hi = len(queries)
+			}
+			return s.topKChunk(tok, queries[lo:hi], fns[lo:hi], results[lo:hi], k, shardWorkers)
+		})
 	})
 	if err := errors.Join(cerrs...); err != nil {
 		return nil, err
@@ -721,12 +864,12 @@ func (s *Server) TopKMany(queries []Query, k, workers int) ([][]Assignment, erro
 // server the chunk fans across shards batched (each surviving shard walked
 // once for the whole chunk); otherwise it runs a pooled batch searcher over
 // the pooled snapshot.
-func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]Assignment, k, shardWorkers int) error {
+func (s *Server) topKChunk(tok cancel.Token, queries []Query, fns []prefs.Preference, results [][]Assignment, k, shardWorkers int) error {
 	var tr reqTrace
 	if s.sh != nil {
 		tr.begin(0)
 		c := &stats.Counters{}
-		res, err := s.sh.SearchTopKBatch(fns, k, shardWorkers, c)
+		res, err := s.sh.SearchTopKBatchCancel(fns, k, shardWorkers, tok, c)
 		tr.mark(stageTraverse)
 		if err != nil {
 			s.om.fail(opTopKMany)
@@ -754,6 +897,7 @@ func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]
 	}
 	b := topk.AcquireBatchSearcher(sc.snap, fns, sc.ks, &sc.c)
 	defer b.Release()
+	b.SetCancel(tok)
 	if err := b.Run(); err != nil {
 		s.om.fail(opTopKMany)
 		return err
@@ -784,6 +928,19 @@ func (s *Server) topKChunk(queries []Query, fns []prefs.Preference, results [][]
 // allocations once dst and offsets have grown to capacity. The batch runs
 // on the calling goroutine.
 func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query, k int) ([]Assignment, []int, error) {
+	return s.topKManyAppend(cancel.Token{}, dst, offsets, queries, k)
+}
+
+// topKManyAppend is TopKManyAppend behind the admission gate. The gate and
+// the deferred classifier are both allocation-free (fixed-site defers, an
+// atomic-and-channel admit), so the gated path stays at zero allocations —
+// the CI alloc gate pins this with a MaxInFlight server and a live context.
+func (s *Server) topKManyAppend(tok cancel.Token, dst []Assignment, offsets []int, queries []Query, k int) (_ []Assignment, _ []int, err error) {
+	if err := s.admit(tok); err != nil {
+		return dst, offsets, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opTopKMany, firstQID(queries), &err)
 	vstart := time.Now()
 	if k < 0 {
 		s.om.fail(opTopKMany)
@@ -826,8 +983,7 @@ func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query
 		if hi > len(queries) {
 			hi = len(queries)
 		}
-		var err error
-		dst, offsets, err = s.topKChunkAppend(dst, offsets, queries[lo:hi], sc.fns[lo:hi], k, sc)
+		dst, offsets, err = s.topKChunkAppend(tok, dst, offsets, queries[lo:hi], sc.fns[lo:hi], k, sc)
 		if err != nil {
 			return dst, offsets, err
 		}
@@ -839,12 +995,12 @@ func (s *Server) TopKManyAppend(dst []Assignment, offsets []int, queries []Query
 // topKChunkAppend is topKChunk in append form, emitting boundaries instead
 // of per-query slices. It reuses the caller's scratch for everything but
 // the sharded fan-out (which allocates its merge state per call).
-func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Query, fns []prefs.Preference, k int, sc *serveScratch) ([]Assignment, []int, error) {
+func (s *Server) topKChunkAppend(tok cancel.Token, dst []Assignment, offsets []int, queries []Query, fns []prefs.Preference, k int, sc *serveScratch) ([]Assignment, []int, error) {
 	var tr reqTrace
 	tr.begin(0)
 	if s.sh != nil {
 		c := &stats.Counters{}
-		res, err := s.sh.SearchTopKBatch(fns, k, 1, c)
+		res, err := s.sh.SearchTopKBatchCancel(fns, k, 1, tok, c)
 		tr.mark(stageTraverse)
 		if err != nil {
 			s.om.fail(opTopKMany)
@@ -867,6 +1023,7 @@ func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Quer
 	}
 	b := topk.AcquireBatchSearcher(sc.snap, fns, sc.ks, &sc.c)
 	defer b.Release()
+	b.SetCancel(tok)
 	if err := b.Run(); err != nil {
 		s.om.fail(opTopKMany)
 		return dst, offsets, err
@@ -891,7 +1048,18 @@ func (s *Server) topKChunkAppend(dst []Assignment, offsets []int, queries []Quer
 // Skyline returns the ascending IDs of the non-dominated objects, computed
 // over a snapshot. Safe for concurrent use.
 func (s *Server) Skyline() ([]int, error) {
-	return serve(s, opSkyline, 0, skylineOver)
+	return s.skyline(cancel.Token{})
+}
+
+func (s *Server) skyline(tok cancel.Token) (_ []int, err error) {
+	if err := s.admit(tok); err != nil {
+		return nil, err
+	}
+	defer s.exitRequest()
+	defer s.finishReq(opSkyline, -1, &err)
+	return serve(s, opSkyline, 0, func(snap index.ObjectIndex, c *stats.Counters) ([]int, error) {
+		return skylineOver(snap, tok, c)
+	})
 }
 
 // clampWorkers normalises a worker-count option against a job count: zero

@@ -5,6 +5,7 @@
 package prefmatch_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -131,5 +132,56 @@ func TestZeroAllocSteadyStateServerTopKMany(t *testing.T) {
 	}
 	if limit := float64(3*q + 8); allocs > limit {
 		t.Fatalf("steady-state TopKMany allocated %v times per batch, want <= %v (result slices only)", allocs, limit)
+	}
+}
+
+// TestZeroAllocGatedContextTopKManyAppend extends the zero-allocation pin
+// to the production-hardening layer: the same steady-state batch through
+// TopKManyAppendContext, with the admission gate armed (MaxInFlight) and a
+// live cancelable context driving the cooperative checkpoints. The gate's
+// uncontended path and the per-node cancellation checks must both stay
+// allocation-free, or deadlines would tax every request that never fires
+// one.
+func TestZeroAllocGatedContextTopKManyAppend(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector (instrumented allocations, sync.Pool drops puts)")
+	}
+	const (
+		d = 4
+		k = 10
+		q = 8
+	)
+	srv, err := prefmatch.NewServer(serveObjects(5000, d, 84), &prefmatch.Options{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := serveQueries(q, d, 85)
+	// A cancelable (but never canceled) context: Done() is non-nil, so
+	// every checkpoint takes the real token path, not the zero-token skip.
+	ctx, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+
+	var (
+		dst      []prefmatch.Assignment
+		offsets  []int
+		batchErr error
+	)
+	appendBatch := func() {
+		dst, offsets, batchErr = srv.TopKManyAppendContext(ctx, dst[:0], offsets[:0], qs, k)
+	}
+	for i := 0; i < 5; i++ {
+		appendBatch()
+		if batchErr != nil {
+			t.Fatal(batchErr)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, appendBatch); allocs != 0 {
+		t.Fatalf("gated steady-state TopKManyAppendContext allocated %v times per batch, want 0", allocs)
+	}
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	if len(dst) != q*k {
+		t.Fatalf("gated append batch returned %d assignments, want %d", len(dst), q*k)
 	}
 }

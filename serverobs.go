@@ -11,6 +11,7 @@ import (
 	"time"
 	"unicode"
 
+	"prefmatch/internal/guard"
 	"prefmatch/internal/obs"
 	"prefmatch/internal/stats"
 )
@@ -101,6 +102,15 @@ type serverMetrics struct {
 	slow     *obs.Counter
 	merges   *obs.MergeMetrics
 
+	// Robustness counters: requests shed by the admission gate, requests
+	// abandoned by their caller's deadline or cancel, and worker panics
+	// converted into request errors. shedMeter feeds /healthz's degraded
+	// detection with a trailing-window shed rate.
+	shed      *obs.Counter
+	canceled  *obs.Counter
+	panics    *obs.Counter
+	shedMeter *obs.Meter
+
 	slowThreshold time.Duration
 	slowMu        sync.Mutex
 	slowLog       io.Writer
@@ -135,6 +145,16 @@ func newServerMetrics(s *Server, opts *Options) *serverMetrics {
 	}
 	m.slow = m.reg.Counter("pm_slow_queries_total",
 		"Requests over the slow-query threshold (logged with stage breakdown).")
+	m.shed = m.reg.Counter("pm_shed_total",
+		"Requests refused by the admission gate with ErrOverloaded.")
+	m.canceled = m.reg.Counter("pm_canceled_total",
+		"Requests abandoned mid-flight by their context (canceled or past deadline).")
+	m.panics = m.reg.Counter("pm_panics_total",
+		"Worker panics recovered into per-request errors (each is logged with its stack).")
+	m.shedMeter = obs.NewMeter()
+	m.reg.GaugeFunc("pm_inflight",
+		"Requests currently inside the admission gate.",
+		func() float64 { return float64(s.inflight.Load()) })
 	m.reg.CounterFunc("pm_requests_total",
 		"Logical queries served (batched requests count each query).", s.Served)
 	m.reg.GaugeFunc("pm_request_rate",
@@ -262,6 +282,30 @@ func (m *serverMetrics) observeOp(op serverOp, d time.Duration) {
 // recorded: error returns are dominated by validation rejects, which would
 // drag the latency histograms toward the trivial path).
 func (m *serverMetrics) fail(op serverOp) { m.errors[op].Inc() }
+
+// noteShed counts one request refused by the admission gate, into both the
+// cumulative counter and the trailing-rate meter /healthz reads.
+func (m *serverMetrics) noteShed() {
+	m.shed.Inc()
+	m.shedMeter.Mark(1)
+}
+
+// notePanic counts one recovered worker panic and writes the offending
+// request — operation, representative query ID, panic value, full stack —
+// to the slow-query log, the server's existing "something is wrong, look
+// here" channel.
+func (m *serverMetrics) notePanic(op serverOp, qid int, pe *guard.PanicError) {
+	m.panics.Inc()
+	var b strings.Builder
+	fmt.Fprintf(&b, "panic op=%s query=%d value=%v\n", opNames[op], qid, pe.Val)
+	b.Write(pe.Stack)
+	if len(pe.Stack) == 0 || pe.Stack[len(pe.Stack)-1] != '\n' {
+		b.WriteByte('\n')
+	}
+	m.slowMu.Lock()
+	io.WriteString(m.slowLog, b.String())
+	m.slowMu.Unlock()
+}
 
 // emitSlow writes one structured slow-query line: operation, total and
 // per-stage timings, batch width, and the request's full work-counter dump
