@@ -14,6 +14,7 @@
 //	go run ./cmd/benchfig -batch           # batched shared-traversal vs per-query serving
 //	go run ./cmd/benchfig -alloc           # steady-state serving allocs/op and B/op
 //	go run ./cmd/benchfig -churn           # mixed read/write serving: qps and p99 under live mutation
+//	go run ./cmd/benchfig -sessions        # preference sessions: cold vs cached vs requalified throughput
 //
 // -serve runs the concurrency experiment instead of the paper figures: one
 // shared in-memory index (prefmatch.Server) answers independent top-1
@@ -29,6 +30,14 @@
 // The columns are read throughput, p50/p99 read latency, and merges
 // completed — the claim under test is that reads at a 1% write rate stay
 // within 25% of the static baseline while background merges rotate epochs.
+//
+// -sessions runs the preference-session experiment: one session per nudge
+// magnitude {0%, 1%, 10%} against a cold per-call Server.TopK baseline, on a
+// separated dataset (a dominant head with real rank gaps — the regime
+// incremental re-evaluation is built for). The columns are throughput and
+// the hit/requalified/fallback split of the session's answers, read from the
+// server's own pm_rescache_* counters; the claim under test is that a
+// re-qualified 1% nudge serves at least 5x the cold walk.
 //
 // -sharded runs the sharded-composite experiment: the same clustered object
 // set served unsharded and split across 2/4/8 shards by the spatial and
@@ -77,7 +86,7 @@ import (
 // benchSnapshot names the latest committed snapshot of the bench
 // trajectory; every mode's output header points at it so a table can be
 // compared against the recorded numbers without digging through git.
-const benchSnapshot = "BENCH_3.json"
+const benchSnapshot = "BENCH_4.json"
 
 type scale struct {
 	objectsFig2 int
@@ -135,6 +144,7 @@ func main() {
 	batch := flag.Bool("batch", false, "run the batched shared-traversal experiment: TopKManyAppend batches vs per-query TopK, with nodes/query")
 	alloc := flag.Bool("alloc", false, "run the allocation experiment: steady-state serving ns/op, B/op and allocs/op")
 	check := flag.Bool("check", false, "with -alloc: exit non-zero if a pooled steady-state path reports > 0 allocs/op (the CI regression gate)")
+	sessions := flag.Bool("sessions", false, "run the preference-session experiment: cold vs cached vs requalified top-k throughput across nudge magnitudes")
 	churn := flag.Bool("churn", false, "run the live-mutation experiment: read qps and p50/p99 under mixed read/write workloads on the dynamic backend")
 	churnOps := flag.Int("churnops", 30000, "with -churn: operations per configuration (the CI smoke uses a small count)")
 	admin := flag.String("admin", "", "with -serve or -churn: expose the admin endpoints (/metrics, /statsz, /healthz, /debug/pprof) on this address while the experiment runs")
@@ -162,6 +172,10 @@ func main() {
 	}
 	if *alloc {
 		runAlloc(sc, *seed, *check)
+		return
+	}
+	if *sessions {
+		runSessions(sc, *seed)
 		return
 	}
 	if *churn {
@@ -504,6 +518,21 @@ func runAlloc(sc scale, seed int64, check bool) {
 	liveCtx, cancelLive := context.WithCancel(context.Background())
 	defer cancelLive()
 
+	// Session row: the epoch-keyed result-cache hit path. Warmed here so the
+	// measured loop is the steady state the gate pins at zero.
+	hitSess, err := srv.OpenSession(queries[0])
+	if err != nil {
+		panic(err)
+	}
+	{
+		warm := make([]prefmatch.Assignment, 0, k)
+		for i := 0; i < 3; i++ {
+			if _, err := hitSess.TopKAppend(warm[:0], k); err != nil {
+				panic(err)
+			}
+		}
+	}
+
 	rows := []struct {
 		name string
 		gate bool // pooled steady-state path: must stay at 0 allocs/op
@@ -581,6 +610,16 @@ func runAlloc(sc scale, seed int64, check bool) {
 				}
 			}
 		}},
+		{fmt.Sprintf("Session.TopKAppend k=%d (cache hit)", k), true, func(b *testing.B) {
+			dst := make([]prefmatch.Assignment, 0, k)
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = hitSess.TopKAppend(dst[:0], k)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}},
 		{fmt.Sprintf("Server.TopKManyAppend q=8 k=%d (gated+ctx)", k), true, func(b *testing.B) {
 			var (
 				dst     []prefmatch.Assignment
@@ -632,6 +671,162 @@ func runAlloc(sc scale, seed int64, check bool) {
 		}
 		fmt.Println("\nalloc gate: every pooled steady-state path at 0 allocs/op")
 	}
+}
+
+// runSessions measures the preference-session serving paths against the
+// cold walk: a session answering the same weights repeatedly (every call a
+// result-cache hit), sessions nudged by 1% and 10% per call (fresh cache
+// keys — served by incremental re-qualification when the rank gaps beat the
+// weight-delta bound, by a floor-seeded walk otherwise), and Server.TopK as
+// the cold baseline that walks every time. The dataset has a separated head
+// — a dominant cluster with evenly spaced scores — because re-qualification
+// is a rank-gap machine: on uniform data every nudge falls back and the
+// table would only show the fallback cost. The hit/requal/fallback split
+// comes from the server's own pm_rescache_* counters, so the table proves
+// which path served each row rather than assuming it.
+func runSessions(sc scale, seed int64) {
+	const (
+		d = 4
+		k = 10
+	)
+	nObjects := sc.objectsFig2
+	rng := rand.New(rand.NewSource(seed))
+	objects := make([]prefmatch.Object, nObjects)
+	for i := range objects {
+		vals := make([]float64, d)
+		if i < 25 {
+			// The separated head: superstars dominating every coordinate
+			// with evenly spaced values, so top ranks have real gaps.
+			for j := range vals {
+				vals[j] = 1.0 - 0.015*float64(i)
+			}
+		} else {
+			for j := range vals {
+				vals[j] = rng.Float64() * 0.4
+			}
+		}
+		objects[i] = prefmatch.Object{ID: i, Values: vals}
+	}
+	srv, err := prefmatch.NewServer(objects, nil)
+	if err != nil {
+		panic(err)
+	}
+	base := []float64{0.4, 0.3, 0.2, 0.1}
+
+	rcCounter := func(name string) float64 {
+		var buf strings.Builder
+		if err := srv.WriteMetrics(&buf); err != nil {
+			panic(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				var v float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%g", &v); err != nil {
+					panic(err)
+				}
+				return v
+			}
+		}
+		panic("metric not found: " + name)
+	}
+
+	fmt.Printf("benchfig: preference sessions — |O| = %d (separated head), D = %d, k = %d (bench trajectory: %s)\n\n",
+		nObjects, d, k, benchSnapshot)
+	fmt.Printf("%-26s %8s %14s %14s %8s %8s %8s\n",
+		"mode", "nudge%", "ns/op", "queries/s", "hit%", "requal%", "walk%")
+
+	type rowResult struct{ qps float64 }
+	results := map[string]rowResult{}
+	row := func(name string, nudgePct float64, run func(b *testing.B)) {
+		h0 := rcCounter("pm_rescache_hits_total")
+		r0 := rcCounter("pm_rescache_requalified_total")
+		f0 := rcCounter("pm_rescache_fallbacks_total")
+		r := testing.Benchmark(run)
+		served := rcCounter("pm_rescache_hits_total") - h0 +
+			rcCounter("pm_rescache_requalified_total") - r0 +
+			rcCounter("pm_rescache_fallbacks_total") - f0
+		pct := func(v float64) float64 {
+			if served == 0 {
+				return 0
+			}
+			return 100 * v / served
+		}
+		qps := 1e9 / float64(r.NsPerOp())
+		results[name] = rowResult{qps: qps}
+		fmt.Printf("%-26s %8.0f %14d %14.0f %8.1f %8.1f %8.1f\n",
+			name, nudgePct, r.NsPerOp(), qps,
+			pct(rcCounter("pm_rescache_hits_total")-h0),
+			pct(rcCounter("pm_rescache_requalified_total")-r0),
+			pct(rcCounter("pm_rescache_fallbacks_total")-f0))
+	}
+
+	// Cold baseline: Server.TopK walks the tree on every call (the result
+	// cache serves sessions only).
+	coldQuery := prefmatch.Query{ID: 0, Weights: base}
+	row("Server.TopK (cold)", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.TopK(coldQuery, k); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// Cached: one session, never nudged — every call after the first is a
+	// result-cache hit.
+	hitSess, err := srv.OpenSession(prefmatch.Query{ID: 1, Weights: base})
+	if err != nil {
+		panic(err)
+	}
+	dst := make([]prefmatch.Assignment, 0, k)
+	if _, err := hitSess.TopKAppend(dst[:0], k); err != nil {
+		panic(err)
+	}
+	row("Session (cached)", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = hitSess.TopKAppend(dst[:0], k)
+			if err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// Nudged: a fresh random perturbation of every weight per call — every
+	// key is new, so each answer is either a re-qualification or a seeded
+	// walk; the magnitude decides which dominates.
+	for _, mag := range []float64{0.01, 0.10} {
+		sess, err := srv.OpenSession(prefmatch.Query{ID: 2, Weights: base})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := sess.TopKAppend(dst[:0], k); err != nil {
+			panic(err)
+		}
+		nrng := rand.New(rand.NewSource(seed + int64(mag*1000)))
+		w := append([]float64(nil), base...)
+		name := fmt.Sprintf("Session (nudge %g%%)", mag*100)
+		row(name, mag*100, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range w {
+					w[j] = base[j] * (1 + mag*(nrng.Float64()-0.5))
+				}
+				if err := sess.Nudge(w); err != nil {
+					panic(err)
+				}
+				var err error
+				dst, err = sess.TopKAppend(dst[:0], k)
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+
+	cold := results["Server.TopK (cold)"].qps
+	fmt.Printf("\nspeedup vs cold walk: cached %.1fx, nudge 1%% %.1fx, nudge 10%% %.1fx\n",
+		results["Session (cached)"].qps/cold,
+		results["Session (nudge 1%)"].qps/cold,
+		results["Session (nudge 10%)"].qps/cold)
 }
 
 // runChurn measures serving under live mutation: a single client issues ops

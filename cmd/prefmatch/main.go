@@ -242,6 +242,9 @@ func cmdMatch(args []string) error {
 	if opts.ShardBy, err = parseShardBy(*shardBy); err != nil {
 		return err
 	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
 	res, err := prefmatch.Match(objects, queries, opts)
 	if err != nil {
 		return err
@@ -287,6 +290,9 @@ func cmdTopK(args []string) error {
 	}
 	sopts := &prefmatch.Options{PageSize: *pageSize, Shards: *shards}
 	if sopts.ShardBy, err = parseShardBy(*shardBy); err != nil {
+		return err
+	}
+	if err := sopts.Validate(); err != nil {
 		return err
 	}
 	srv, err := prefmatch.NewServer(objects, sopts)
@@ -385,6 +391,11 @@ func cmdServe(args []string) error {
 	if *slow > 0 {
 		opts.SlowQueryThreshold = *slow
 		opts.SlowQueryLog = os.Stderr
+	}
+	// Fail on bad flag combinations before any indexing work; the error
+	// names the offending Options field.
+	if err := opts.Validate(); err != nil {
+		return err
 	}
 	srv, err := prefmatch.NewServer(objects, opts)
 	if err != nil {

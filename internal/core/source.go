@@ -151,7 +151,7 @@ type incSource struct {
 	tree     index.ObjectIndex
 	fns      []prefs.Function
 	c        *stats.Counters
-	searches []*topk.IncSearch
+	searches []*topk.Searcher
 	cand     []Candidate // current head per function (valid while has[i])
 	has      []bool
 	removed  map[index.ObjID]bool
@@ -163,7 +163,7 @@ func newIncSource(tree index.ObjectIndex, fns []prefs.Function, c *stats.Counter
 		tree:     tree,
 		fns:      fns,
 		c:        c,
-		searches: make([]*topk.IncSearch, len(fns)),
+		searches: make([]*topk.Searcher, len(fns)),
 		cand:     make([]Candidate, len(fns)),
 		has:      make([]bool, len(fns)),
 		removed:  map[index.ObjID]bool{},
@@ -180,7 +180,9 @@ func (s *incSource) Best(fnIdx int) (Candidate, bool, error) {
 		return s.cand[fnIdx], true, nil
 	}
 	if s.searches[fnIdx] == nil {
-		s.searches[fnIdx] = topk.NewIncSearch(s.tree, s.fns[fnIdx], s.c)
+		srch := topk.NewSearcher()
+		srch.Reset(s.tree, s.fns[fnIdx], s.c)
+		s.searches[fnIdx] = srch
 	}
 	for {
 		res, ok, err := s.searches[fnIdx].Next()

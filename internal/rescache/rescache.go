@@ -1,0 +1,337 @@
+// Package rescache is the epoch-keyed semantic result cache behind the
+// Server's preference sessions: it remembers complete top-k answers keyed on
+// (weight fingerprint, k, snapshot epoch) together with the threshold score
+// (the k-th) that incremental re-evaluation needs.
+//
+// # Why the epoch is part of the key
+//
+// A cached ranking is only valid against the exact object set it was
+// computed over. Every write on the dynamic backend rotates the snapshot
+// epoch, so keying on the epoch invalidates the whole cache wholesale at
+// each rotation — no per-write bookkeeping, no invalidation scan: stale
+// entries simply stop being addressable and age out through eviction. On
+// static backends the epoch is constant (the freeze contract: the index
+// never mutates while serving) and entries live until evicted.
+//
+// # Allocation discipline
+//
+// Get copies the entry's payload into caller-owned buffers (appended at
+// [:0]), and Put copies the payload into slot-owned buffers, so a warm
+// cache performs zero allocations per hit and per store. Lookup is
+// open-addressed over the shard's fixed slot array — a key lives within a
+// bounded probe window of its hash's home slot — instead of going through a
+// map: a handful of cache lines per lookup, no map-growth allocations on
+// the store path, and misses cost the window, not the shard. Eviction is
+// second-chance within the full probe window.
+//
+// All methods are safe for concurrent use; each shard has its own mutex and
+// the counters are atomics.
+package rescache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"prefmatch/internal/index"
+)
+
+// numShards spreads unrelated sessions across locks. A power of two so the
+// shard pick is a mask on the well-mixed key hash.
+const numShards = 8
+
+// DefaultEntries is the cache capacity used when New is given a
+// non-positive size.
+const DefaultEntries = 1024
+
+// Cache is a sharded, bounded result cache. Use New; the zero value is not
+// usable.
+type Cache struct {
+	shards [numShards]shard
+
+	// Counters for the pm_rescache_* metric family. Hits and misses are
+	// counted by Get; requalified and fallbacks are session outcomes the
+	// serving layer reports through NoteRequalified/NoteFallback, kept here
+	// so the whole family reads from one place.
+	hits        atomic.Int64
+	misses      atomic.Int64
+	requalified atomic.Int64
+	fallbacks   atomic.Int64
+	evictions   atomic.Int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	slots []entry
+}
+
+// probeWindow bounds how far from its home slot a key may land: lookups and
+// stores touch at most this many slots. A full window evicts within itself
+// even when the shard has free slots elsewhere — the standard bounded-probe
+// trade, bought for O(window) misses.
+const probeWindow = 8
+
+// window is the effective probe width: probeWindow, capped by tiny shards.
+func (sh *shard) window() int {
+	if len(sh.slots) < probeWindow {
+		return len(sh.slots)
+	}
+	return probeWindow
+}
+
+// home is the key's first probe slot. The shard index consumed the hash's
+// low bits, so the home slot comes from the high half — otherwise every key
+// in the shard would share the same few home slots.
+func (sh *shard) home(h uint64) int {
+	return int((h >> 32) % uint64(len(sh.slots)))
+}
+
+// entry is one cached answer. The payload slices are slot-owned and reused
+// across occupants, so a long-lived cache stops allocating once every slot
+// has seen its largest payload.
+type entry struct {
+	used bool
+	ref  bool // second-chance bit: set on hit, cleared by an eviction sweep
+
+	hash      uint64
+	epoch     uint64
+	k         int
+	threshold float64 // the k-th (worst) cached score; +∞ when n < k (no k-th exists)
+
+	weights []float64     // exact key: normalised weights, compared bitwise
+	ids     []index.ObjID // n results, best first
+	coords  []float64     // n×d, row i = result i's point (copied, pins no arena)
+	scores  []float64
+	sums    []float64 // coordinate sums, cached for tie-break ordering
+
+	// The index root's bounding box at the entry's epoch — the domain the
+	// weight-delta bound of re-qualification is taken over. Loose (it may
+	// cover tombstoned objects) but always a superset of the live points,
+	// which is the safe direction for an upper bound.
+	rootLo, rootHi []float64
+}
+
+// View receives one entry's payload from Get. The slices are appended at
+// [:0], so a caller reusing one View across lookups allocates nothing once
+// the buffers have grown.
+type View struct {
+	IDs       []index.ObjID
+	Coords    []float64
+	Scores    []float64
+	Sums      []float64
+	RootLo    []float64
+	RootHi    []float64
+	Threshold float64
+}
+
+// New returns a cache bounded to about `entries` total entries (at least one
+// per shard); non-positive means DefaultEntries.
+func New(entries int) *Cache {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	per := (entries + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].slots = make([]entry, per)
+	}
+	return c
+}
+
+// fnv-1a 64-bit, mixed 8 bytes per word.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// keyHash fingerprints a (weights, k, epoch) key over the exact float bits.
+// Collisions are tolerated — Get and Put compare the full key — but a match
+// on the hash short-circuits almost every non-matching slot with one compare.
+func keyHash(w []float64, k int, epoch uint64) uint64 {
+	h := uint64(fnvOffset)
+	h = mix(h, uint64(k))
+	h = mix(h, epoch)
+	for _, x := range w {
+		h = mix(h, math.Float64bits(x))
+	}
+	return h
+}
+
+func equalWeights(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		// Bitwise, not ==: the key is the exact normalised vector, and two
+		// NaNs (which validation upstream rejects anyway) must not alias.
+		if math.Float64bits(x) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get looks up the answer for (weights, k, epoch) and, on a hit, copies its
+// payload into v (buffers reused at [:0]) and returns true. A hit refreshes
+// the entry's second-chance bit.
+func (c *Cache) Get(weights []float64, k int, epoch uint64, v *View) bool {
+	h := keyHash(weights, k, epoch)
+	sh := &c.shards[h&(numShards-1)]
+	sh.mu.Lock()
+	home, n, w := sh.home(h), len(sh.slots), sh.window()
+	for i := 0; i < w; i++ {
+		e := &sh.slots[(home+i)%n]
+		if !e.used || e.hash != h || e.k != k || e.epoch != epoch || !equalWeights(e.weights, weights) {
+			continue
+		}
+		e.ref = true
+		v.IDs = append(v.IDs[:0], e.ids...)
+		v.Coords = append(v.Coords[:0], e.coords...)
+		v.Scores = append(v.Scores[:0], e.scores...)
+		v.Sums = append(v.Sums[:0], e.sums...)
+		v.RootLo = append(v.RootLo[:0], e.rootLo...)
+		v.RootHi = append(v.RootHi[:0], e.rootHi...)
+		v.Threshold = e.threshold
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return false
+}
+
+// Put stores the answer for (weights, k, epoch): v's payload holds n
+// candidate rows best-first whose prefix is the top-k (sessions retain more
+// than k rows as re-qualification headroom; n < k only when the tree held
+// fewer than k objects) and v.Threshold bounds every live object outside
+// the rows (+∞ when the rows are complete — a bound no re-qualification
+// needs to beat). An existing entry for the same key is overwritten in
+// place; otherwise a free slot is used, evicting by clock when the shard is
+// full. All payload slices are copied, so v and its buffers stay
+// caller-owned.
+func (c *Cache) Put(weights []float64, k int, epoch uint64, v *View) {
+	h := keyHash(weights, k, epoch)
+	sh := &c.shards[h&(numShards-1)]
+	sh.mu.Lock()
+	home, n, w := sh.home(h), len(sh.slots), sh.window()
+	slot, free := -1, -1
+	for i := 0; i < w; i++ {
+		j := (home + i) % n
+		e := &sh.slots[j]
+		if e.used && e.hash == h && e.k == k && e.epoch == epoch && equalWeights(e.weights, weights) {
+			slot = j // same key: overwrite in place
+			break
+		}
+		if free < 0 && !e.used {
+			free = j
+		}
+	}
+	if slot < 0 {
+		slot = free
+	}
+	if slot < 0 {
+		// Second-chance eviction within the window: take the first slot not
+		// hit since the last sweep; if every one was, strip the bits and
+		// take the home slot.
+		for i := 0; i < w; i++ {
+			j := (home + i) % n
+			if !sh.slots[j].ref {
+				slot = j
+				break
+			}
+		}
+		if slot < 0 {
+			for i := 0; i < w; i++ {
+				sh.slots[(home+i)%n].ref = false
+			}
+			slot = home
+		}
+		c.evictions.Add(1)
+	}
+	e := &sh.slots[slot]
+	e.used = true
+	e.ref = true
+	e.hash = h
+	e.epoch = epoch
+	e.k = k
+	e.threshold = v.Threshold
+	e.weights = append(e.weights[:0], weights...)
+	e.ids = append(e.ids[:0], v.IDs...)
+	e.coords = append(e.coords[:0], v.Coords...)
+	e.scores = append(e.scores[:0], v.Scores...)
+	e.sums = append(e.sums[:0], v.Sums...)
+	e.rootLo = append(e.rootLo[:0], v.RootLo...)
+	e.rootHi = append(e.rootHi[:0], v.RootHi...)
+	sh.mu.Unlock()
+}
+
+// Len reports the number of live entries (for tests and introspection).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for j := range sh.slots {
+			if sh.slots[j].used {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Cap reports the total slot capacity.
+func (c *Cache) Cap() int {
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i].slots)
+	}
+	return n
+}
+
+// Hits returns cache hits served by Get.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns Get lookups that found no entry.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Requalified returns session answers proven still-exact by incremental
+// re-scoring alone (reported by the serving layer via NoteRequalified).
+func (c *Cache) Requalified() int64 { return c.requalified.Load() }
+
+// Fallbacks returns session answers that needed a tree walk (reported by the
+// serving layer via NoteFallback).
+func (c *Cache) Fallbacks() int64 { return c.fallbacks.Load() }
+
+// Evictions returns entries displaced by the clock hand.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// NoteRequalified counts one session answer served by re-qualification.
+func (c *Cache) NoteRequalified() { c.requalified.Add(1) }
+
+// NoteFallback counts one session answer that fell back to a tree walk.
+func (c *Cache) NoteFallback() { c.fallbacks.Add(1) }
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup — the
+// pm_rescache_hit_ratio gauge.
+func (c *Cache) HitRatio() float64 {
+	h, m := float64(c.hits.Load()), float64(c.misses.Load())
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
+}

@@ -1,0 +1,84 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefmatch/internal/stats"
+)
+
+// TestFloorKeepsTopKBitIdentical pins the SetFloor contract: with a valid
+// floor — the exact k-th score, which is the tightest bound a caller may ever
+// use — the first k results match the unfloored search exactly, while the
+// frontier does strictly less heap work.
+func TestFloorKeepsTopKBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 4} {
+		tr, _ := buildTree(t, rng, 600, d)
+		for trial := 0; trial < 20; trial++ {
+			f := randFunc(rng, trial, d)
+			for _, k := range []int{1, 5, 17} {
+				var base stats.Counters
+				want, err := Search(tr, f, k, &base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var c stats.Counters
+				s := NewSearcher()
+				s.Reset(tr, f, &c)
+				s.SetFloor(want[len(want)-1].Score)
+				got := make([]Result, 0, k)
+				for len(got) < k {
+					r, ok, err := s.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					got = append(got, r)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("d=%d trial=%d k=%d: floored search returned %d results, want %d", d, trial, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].ID || got[i].Score != want[i].Score || !got[i].Point.Equal(want[i].Point) {
+						t.Fatalf("d=%d trial=%d k=%d: result %d differs: %+v vs %+v", d, trial, k, i, got[i], want[i])
+					}
+				}
+				if c.HeapOps > base.HeapOps {
+					t.Fatalf("floored search did more heap work (%d) than unfloored (%d)", c.HeapOps, base.HeapOps)
+				}
+			}
+		}
+	}
+}
+
+// TestFloorDisarmedByReset pins that Reset clears a previously set floor, so
+// pooled searchers never inherit one.
+func TestFloorDisarmedByReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr, items := buildTree(t, rng, 100, 2)
+	f := randFunc(rng, 0, 2)
+	s := NewSearcher()
+	s.Reset(tr, f, nil)
+	s.SetFloor(1e308) // absurd floor: would suppress everything
+	if _, ok, err := s.Next(); err != nil || ok {
+		t.Fatalf("absurd floor should exhaust the search: ok=%v err=%v", ok, err)
+	}
+	s.Reset(tr, f, nil)
+	n := 0
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != len(items) {
+		t.Fatalf("after Reset the floor must be disarmed: saw %d of %d objects", n, len(items))
+	}
+}

@@ -111,9 +111,13 @@ type Searcher struct {
 	frontier pqueue.Queue[heapItem]
 	counters *stats.Counters
 	cancel   cancel.Token // zero Token: never cancels
+	floor    float64      // entries bounded strictly below it are never pushed (see SetFloor)
 }
 
 // IncSearch is the historical name of Searcher.
+//
+// Deprecated: use Searcher (with NewSearcher/Reset or AcquireSearcher); the
+// alias is kept only so PR-4-era callers keep compiling.
 type IncSearch = Searcher
 
 // NewSearcher returns an unbound reusable searcher; call Reset before Next.
@@ -125,6 +129,9 @@ func NewSearcher() *Searcher {
 
 // NewIncSearch starts an incremental ranked search for pref over t, charging
 // work to c (nil means the tree's own counters).
+//
+// Deprecated: use NewSearcher followed by Reset, or AcquireSearcher for a
+// pooled one.
 func NewIncSearch(t index.ObjectIndex, pref prefs.Preference, c *stats.Counters) *IncSearch {
 	s := NewSearcher()
 	s.Reset(t, pref, c)
@@ -149,6 +156,7 @@ func (s *Searcher) Reset(t index.ObjectIndex, pref prefs.Preference, c *stats.Co
 	s.frontier.Reset()
 	s.frontier.SetCounters(c)
 	s.cancel = cancel.Token{}
+	s.floor = -inf
 	c.Top1Searches++
 	if root := t.RootPage(); root != pagedfile.InvalidPage {
 		// The root's true bound is unknown before reading it; +Inf keeps it
@@ -164,6 +172,19 @@ func (s *Searcher) Reset(t index.ObjectIndex, pref prefs.Preference, c *stats.Co
 // pooled searchers never inherit a previous request's deadline. The zero
 // Token never cancels and costs one nil comparison per node.
 func (s *Searcher) SetCancel(t cancel.Token) { s.cancel = t }
+
+// SetFloor arms the searcher with a proven lower bound on the scores the
+// caller will accept: heap entries — nodes and objects alike — whose bound is
+// strictly below the floor are never pushed, so the frontier stays small and
+// whole subtrees are skipped without a heap operation. The caller must
+// guarantee the floor is a valid lower bound on the k-th score it will take
+// (e.g. the re-scored k-th of k objects known to be live in the same tree);
+// then the first k results are bit-identical to an unfloored search, because
+// every emitted object scores at least the floor and entries below it can
+// never surface among them. Next calls beyond that guarantee may terminate
+// early. Reset and Release disarm the floor, so pooled searchers never
+// inherit one.
+func (s *Searcher) SetFloor(floor float64) { s.floor = floor }
 
 // searcherPool recycles warmed searchers across queries and goroutines: the
 // serving path (Server.TopK/TopKMany, the sharded per-shard fan-out) would
@@ -185,6 +206,7 @@ func (s *Searcher) Release() {
 	s.tree, s.pref, s.counters = nil, nil, nil
 	s.lin, s.isLinear = prefs.Function{}, false
 	s.cancel = cancel.Token{}
+	s.floor = -inf
 	s.frontier.Reset()
 	s.frontier.SetCounters(nil)
 	searcherPool.Put(s)
@@ -218,8 +240,12 @@ func (s *Searcher) Next() (Result, bool, error) {
 			if n.Leaf() {
 				it := n.Object(i)
 				s.counters.ScoreEvals++
+				sc := s.pref.Score(it.Point)
+				if sc < s.floor {
+					continue
+				}
 				s.frontier.Push(heapItem{
-					bound: s.pref.Score(it.Point),
+					bound: sc,
 					isObj: true,
 					id:    it.ID,
 					point: it.Point,
@@ -227,8 +253,12 @@ func (s *Searcher) Next() (Result, bool, error) {
 				})
 			} else {
 				s.counters.ScoreEvals++
+				b := s.pref.UpperBound(n.Rect(i))
+				if b < s.floor {
+					continue
+				}
 				s.frontier.Push(heapItem{
-					bound: s.pref.UpperBound(n.Rect(i)),
+					bound: b,
 					page:  n.ChildPage(i),
 				})
 			}
@@ -255,6 +285,9 @@ func (s *Searcher) expandLinear(n index.Node) bool {
 			p := pts[i*d : i*d+d : i*d+d]
 			dot, sum := vec.DotSum(w, p)
 			s.counters.ScoreEvals++
+			if dot < s.floor {
+				continue
+			}
 			s.frontier.Push(heapItem{
 				bound: dot,
 				isObj: true,
@@ -272,8 +305,12 @@ func (s *Searcher) expandLinear(n index.Node) bool {
 	_, hi := fi.FlatRects() // a monotone bound over an MBR needs the top corner only
 	for i := 0; i < n.Len(); i++ {
 		s.counters.ScoreEvals++
+		b := vec.Dot(w, hi[i*d:i*d+d])
+		if b < s.floor {
+			continue
+		}
 		s.frontier.Push(heapItem{
-			bound: vec.Dot(w, hi[i*d:i*d+d]),
+			bound: b,
 			page:  n.ChildPage(i),
 		})
 	}

@@ -84,7 +84,8 @@ func TestIncrementalOrderIsExact(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		f := randFunc(rng, trial, 3)
 		want := referenceOrder(items, f)
-		s := NewIncSearch(tr, f, nil)
+		s := NewSearcher()
+		s.Reset(tr, f, nil)
 		for i := 0; i < len(items); i++ {
 			r, ok, err := s.Next()
 			if err != nil {
@@ -276,7 +277,8 @@ func TestTiesResolvedByObjectSumThenID(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := prefs.MustFunction(0, []float64{1, 1}) // normalised to (.5, .5): all score 0.5
-	s := NewIncSearch(tr, f, nil)
+	s := NewSearcher()
+	s.Reset(tr, f, nil)
 	// All score 0.5; all sums are 1.0, so order is purely by ID: 3,4,5,10.
 	for _, want := range []index.ObjID{3, 4, 5, 10} {
 		r, ok, err := s.Next()

@@ -1,0 +1,26 @@
+// Weight-revision bound kernel for incremental re-evaluation: when a linear
+// preference's weights move from wOld to wNew, how much can any point's score
+// grow? The answer over a bounding box is the ingredient of Chomicki-style
+// re-qualification (see Server sessions): an object outside a cached top-k
+// scored at most T under wOld, so under wNew it scores at most
+// T + DeltaBound(wOld, wNew, lo, hi).
+package vec
+
+// DeltaBound returns the maximum of (wNew−wOld)·x over the axis-aligned box
+// [lo, hi]: the per-dimension signed choice Σᵢ max(δᵢ·loᵢ, δᵢ·hiᵢ) with
+// δᵢ = wNewᵢ−wOldᵢ, which picks hiᵢ where the weight grew and loᵢ where it
+// shrank. It is never below the coarse |wNew−wOld|·max-extent bound and is
+// exact for boxes (the maximand is linear, so the maximum sits at a corner).
+// All four slices must have the same length.
+func DeltaBound(wOld, wNew, lo, hi []float64) float64 {
+	b := 0.0
+	for i, wn := range wNew {
+		d := wn - wOld[i]
+		if a, c := d*lo[i], d*hi[i]; a > c {
+			b += a
+		} else {
+			b += c
+		}
+	}
+	return b
+}

@@ -178,6 +178,18 @@ func (s *Server) doClose() error {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
+	// Mark every open session closed and drop the registry references, so
+	// a session's next call fails fast with ErrSessionClosed. Sessions hold
+	// no snapshot, so there is nothing else to release. The state already
+	// reads draining here, which is what makes the OpenSession race safe:
+	// a racing open either observed the flip under sessMu and refused, or
+	// registered before this sweep and is swept.
+	s.sessMu.Lock()
+	for sess := range s.sessions {
+		sess.closed.Store(true)
+		delete(s.sessions, sess)
+	}
+	s.sessMu.Unlock()
 	// Quiesce the write tier: stop the merge policy, give an in-flight
 	// merge the rest of the bound, and fold a resident delta in — the
 	// final Compact the interval trigger alone would never run on an

@@ -27,6 +27,32 @@ type PreferenceQuery struct {
 	Preference Preference
 }
 
+// Score makes Query satisfy Preference — the raw (un-normalised) weighted
+// sum Σ Weights[i]·values[i], exactly like LinearPreference. Entry points
+// that accept a Preference (Server.TopKPref, Server.OpenSession) recognise
+// the concrete Query type and validate + normalise its weights first, so
+// passing a Query to them is exactly equivalent to the Query-typed methods;
+// only when a Query is used as an anonymous monotone function elsewhere does
+// the raw sum apply.
+func (q Query) Score(values []float64) float64 {
+	s := 0.0
+	for i, w := range q.Weights {
+		s += w * values[i]
+	}
+	return s
+}
+
+// Score makes PreferenceQuery satisfy Preference by delegating to the
+// wrapped function, so the two query types share one interface: Preference
+// is satisfied by Query (linear) and PreferenceQuery (monotone) alike, and
+// unified entry points (Server.TopKPref, Server.OpenSession) accept either —
+// or any other monotone Preference. Panics when the wrapped Preference is
+// nil, like any nil-interface call; the unified entry points reject nil
+// before scoring.
+func (q PreferenceQuery) Score(values []float64) float64 {
+	return q.Preference.Score(values)
+}
+
 // prefAdapter bridges the public Preference to the internal interface. The
 // upper bound over a rectangle is the score of its top corner, valid for
 // every monotone preference.

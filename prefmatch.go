@@ -356,6 +356,14 @@ type Options struct {
 	// 0 means the default (5s). Server only.
 	DrainTimeout time.Duration
 
+	// ResultCacheEntries bounds the Server's session result cache (see
+	// Server.OpenSession): complete top-k answers keyed on (weights, k,
+	// snapshot epoch), re-served without index work while the epoch stands.
+	// 0 (the default) uses rescache.DefaultEntries (1024); negative disables
+	// the cache — sessions still work, through incremental re-evaluation and
+	// tree walks alone. Server only.
+	ResultCacheEntries int
+
 	// ShardMatch routes matching waves through the shard-parallel fan-out
 	// (sharded.MatchWave): the algorithm's global decision loop — including
 	// all capacity bookkeeping — runs at the merge point, while per-shard
@@ -368,6 +376,67 @@ type Options struct {
 	// sharded servers; this flag opts the one-shot entry points and
 	// Index.Match into the same path.
 	ShardMatch bool
+}
+
+// Validate checks the Options fields for static validity — negative counts,
+// partitioner choices that would be silently dropped, unknown selector
+// values — and returns an error naming the offending field, or nil. Every
+// entry point that takes Options (Match, NewMatcher, NewServer, BuildIndex,
+// TopK, Skyline, …) validates through this one method, so the rules cannot
+// drift between them; cmd/prefmatch routes its flag handling through it too.
+// Contextual rules (algorithm/backend compatibility, ShardMatch requiring a
+// sharded snapshot-capable index) are still enforced where the context
+// exists.
+//
+// Note the deliberate non-rules: MergeThreshold may be negative (it disables
+// size-triggered merges) and ResultCacheEntries may be negative (it disables
+// the session result cache). MergeInterval only bounds staleness on a busy
+// server — see its CAVEAT — but that is a semantic caveat, not a validity
+// error.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.PageSize < 0 {
+		return fmt.Errorf("prefmatch: Options.PageSize is negative (%d)", o.PageSize)
+	}
+	if o.BufferFraction < 0 {
+		return fmt.Errorf("prefmatch: Options.BufferFraction is negative (%v)", o.BufferFraction)
+	}
+	if o.BufferPages < 0 {
+		return fmt.Errorf("prefmatch: Options.BufferPages is negative (%d)", o.BufferPages)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("prefmatch: Options.Shards is negative (%d)", o.Shards)
+	}
+	if o.Shards > sharded.MaxShards {
+		return fmt.Errorf("prefmatch: Options.Shards (%d) exceeds the maximum %d", o.Shards, sharded.MaxShards)
+	}
+	switch o.ShardBy {
+	case ShardSpatial, ShardHash, ShardRoundRobin:
+	default:
+		return fmt.Errorf("prefmatch: Options.ShardBy (%d) is not a known partitioner", int(o.ShardBy))
+	}
+	if o.Shards == 0 && o.ShardBy != ShardSpatial {
+		// Reject a partitioner choice that would silently do nothing.
+		return fmt.Errorf("prefmatch: Options.ShardBy (%v) set without Options.Shards; enable sharding with Options.Shards >= 1", o.ShardBy)
+	}
+	if o.MergeInterval < 0 {
+		return fmt.Errorf("prefmatch: Options.MergeInterval is negative (%v)", o.MergeInterval)
+	}
+	if o.SlowQueryThreshold < 0 {
+		return fmt.Errorf("prefmatch: Options.SlowQueryThreshold is negative (%v)", o.SlowQueryThreshold)
+	}
+	if o.MaxInFlight < 0 {
+		return fmt.Errorf("prefmatch: Options.MaxInFlight is negative (%d)", o.MaxInFlight)
+	}
+	if o.MaxQueueWait < 0 {
+		return fmt.Errorf("prefmatch: Options.MaxQueueWait is negative (%v)", o.MaxQueueWait)
+	}
+	if o.DrainTimeout < 0 {
+		return fmt.Errorf("prefmatch: Options.DrainTimeout is negative (%v)", o.DrainTimeout)
+	}
+	return nil
 }
 
 // Stats reports the work a run performed, mirroring the measurements in the
@@ -590,22 +659,15 @@ func convertQueries(queries []Query, d int) ([]prefs.Function, error) {
 // and resets the counters so that index construction is excluded from the
 // measured work.
 func buildIndex(items []index.Item, d int, opts *Options) (index.ObjectIndex, *stats.Counters, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
 	c := &stats.Counters{}
-	if opts.Shards < 0 {
-		return nil, nil, fmt.Errorf("prefmatch: negative shard count %d", opts.Shards)
-	}
-	if opts.Shards > sharded.MaxShards {
-		return nil, nil, fmt.Errorf("prefmatch: shard count %d exceeds the maximum %d", opts.Shards, sharded.MaxShards)
-	}
 	var (
 		ix  index.ObjectIndex
 		err error
 	)
 	if opts.Shards == 0 {
-		// Reject a partitioner choice that would silently do nothing.
-		if opts.ShardBy != ShardSpatial {
-			return nil, nil, fmt.Errorf("prefmatch: ShardBy %v set without Shards; enable sharding with Options.Shards >= 1", opts.ShardBy)
-		}
 		ix, err = buildSingle(items, d, opts, c)
 	} else {
 		var part sharded.Partitioner

@@ -13,6 +13,7 @@ import (
 	"prefmatch/internal/index"
 	"prefmatch/internal/index/sharded"
 	"prefmatch/internal/prefs"
+	"prefmatch/internal/rescache"
 	"prefmatch/internal/stats"
 	"prefmatch/internal/topk"
 	"prefmatch/internal/vec"
@@ -87,6 +88,14 @@ type Server struct {
 	closing    chan struct{}
 	closeOnce  sync.Once
 	closeErr   error
+
+	// Preference-session state: the epoch-keyed result cache shared by all
+	// sessions (nil when Options.ResultCacheEntries is negative) and the
+	// registry of open sessions, so Close can mark them closed during the
+	// drain (see OpenSession, lifecycle.go).
+	rc       *rescache.Cache
+	sessMu   sync.Mutex
+	sessions map[*Session]struct{}
 
 	adminMu sync.Mutex
 	admin   *adminState
@@ -204,11 +213,18 @@ func newServer(ix index.ObjectIndex, capacities map[index.ObjID]int, opts *Optio
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ix: serving, closing: make(chan struct{})}
-	if opts != nil {
-		if opts.MaxInFlight < 0 {
-			return nil, fmt.Errorf("prefmatch: negative MaxInFlight %d", opts.MaxInFlight)
+	s := &Server{ix: serving, closing: make(chan struct{}), sessions: map[*Session]struct{}{}}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil || opts.ResultCacheEntries >= 0 {
+		entries := 0
+		if opts != nil {
+			entries = opts.ResultCacheEntries
 		}
+		s.rc = rescache.New(entries)
+	}
+	if opts != nil {
 		if opts.MaxInFlight > 0 {
 			s.gate = make(chan struct{}, opts.MaxInFlight)
 		}

@@ -29,12 +29,14 @@ const (
 	opUpdate
 	opRemove
 	opCompact
+	opSessionTopK // Session.TopK / TopKAppend (cached, requalified or walked)
 	numOps
 )
 
 var opNames = [numOps]string{
 	"topk", "topk_many", "match", "skyline",
 	"insert", "update", "remove", "compact",
+	"session_topk",
 }
 
 // reqStage is one phase of a served read request. The stages partition the
@@ -166,6 +168,7 @@ func newServerMetrics(s *Server, opts *Options) *serverMetrics {
 	registerWorkCounters(m.reg, s)
 	m.registerDynamic(s)
 	m.registerSharded(s)
+	m.registerSessions(s)
 	return m
 }
 
@@ -251,6 +254,37 @@ func (m *serverMetrics) registerSharded(s *Server) {
 	m.reg.GaugeFunc("pm_shard_query_skew",
 		"Max/mean of per-shard query counts; 1.0 is a balanced fan-out.",
 		sh.QuerySkew)
+}
+
+// registerSessions exports the preference-session surface: how many sessions
+// are open, and the result cache's hit/miss/requalified/fallback/eviction
+// accounting plus the hit-ratio gauge (absent when the cache is disabled via
+// a negative Options.ResultCacheEntries).
+func (m *serverMetrics) registerSessions(s *Server) {
+	m.reg.GaugeFunc("pm_sessions_open",
+		"Preference sessions currently open (OpenSession minus Close).",
+		func() float64 {
+			s.sessMu.Lock()
+			n := len(s.sessions)
+			s.sessMu.Unlock()
+			return float64(n)
+		})
+	rc := s.rc
+	if rc == nil {
+		return
+	}
+	m.reg.CounterFunc("pm_rescache_hits_total",
+		"Session answers served whole from the result cache (no index work).", rc.Hits)
+	m.reg.CounterFunc("pm_rescache_misses_total",
+		"Result-cache lookups that found no entry for (weights, k, epoch).", rc.Misses)
+	m.reg.CounterFunc("pm_rescache_requalified_total",
+		"Session answers proven still-exact by re-scoring the cached set (no tree walk).", rc.Requalified)
+	m.reg.CounterFunc("pm_rescache_fallbacks_total",
+		"Session answers that fell back to a ranked tree walk.", rc.Fallbacks)
+	m.reg.CounterFunc("pm_rescache_evictions_total",
+		"Result-cache entries displaced by eviction.", rc.Evictions)
+	m.reg.GaugeFunc("pm_rescache_hit_ratio",
+		"Hits over lookups of the session result cache.", rc.HitRatio)
 }
 
 // finish records one completed request: its total latency into the op
@@ -357,7 +391,8 @@ func (s *Server) WriteStatsJSON(w io.Writer) error {
 
 // LatencyQuantile returns the q-quantile (0..1) of the served latency of
 // one operation class ("topk", "topk_many", "match", "skyline", "insert",
-// "update", "remove", "compact"), from the same histogram /metrics exports
+// "update", "remove", "compact", "session_topk"), from the same histogram
+// /metrics exports
 // — so a benchmark reporting through this and a dashboard reading the
 // scrape agree by construction. ok is false for an unknown operation or
 // when nothing was recorded yet.

